@@ -1,0 +1,30 @@
+# hybridstitch — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+# Regenerate every table and figure of the paper (artifacts in results/).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -out results
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/tiffio/
+	$(GO) test -fuzz FuzzUnmarshalResult -fuzztime 30s ./internal/stitch/
+
+clean:
+	rm -rf results dataset pyramid_out

@@ -1,0 +1,585 @@
+// Benchmark harness: one bench per table and figure of the paper's
+// evaluation section (see DESIGN.md's per-experiment index), plus
+// microbenchmarks of the core operators. Real workloads run at reduced
+// scale (the paper's 42×59 grid of 1392×1040 tiles is hours of pure-Go
+// FFT); the calibrated machine model carries the paper-scale numbers and
+// is itself benchmarked here. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/experiments -exp all
+package hybridstitch_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hybridstitch/internal/compose"
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/machine"
+	"hybridstitch/internal/memgov"
+	"hybridstitch/internal/pciam"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// benchSource caches one reduced dataset per configuration across
+// benchmark iterations.
+var benchSources = map[string]*stitch.MemorySource{}
+
+func benchSource(b *testing.B, rows, cols, tw, th int) *stitch.MemorySource {
+	b.Helper()
+	key := fmt.Sprintf("%dx%d-%dx%d", rows, cols, tw, th)
+	if s, ok := benchSources[key]; ok {
+		return s
+	}
+	p := imagegen.DefaultParams(rows, cols, tw, th)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &stitch.MemorySource{DS: ds}
+	benchSources[key] = s
+	return s
+}
+
+func paperGrid() tile.Grid {
+	return tile.Grid{Rows: 42, Cols: 59, TileW: 1392, TileH: 1040, OverlapX: 0.1, OverlapY: 0.1}
+}
+
+// --- Table I ---
+
+func BenchmarkTable1OpCensus(b *testing.B) {
+	g := paperGrid()
+	for i := 0; i < b.N; i++ {
+		c := stitch.Census(g)
+		if c.TotalForwardAndInverseFFTs() != 7333 {
+			b.Fatal("census wrong")
+		}
+	}
+}
+
+// --- Table II: real implementations at reduced scale ---
+
+func benchImpl(b *testing.B, impl stitch.Stitcher, gpus int) {
+	src := benchSource(b, 6, 6, 96, 64)
+	var devs []*gpu.Device
+	for d := 0; d < gpus; d++ {
+		dev := gpu.New(gpu.Config{Name: fmt.Sprintf("GPU%d", d)})
+		defer dev.Close()
+		devs = append(devs, dev)
+	}
+	opts := stitch.Options{Threads: 4, Devices: devs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := impl.Run(src, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete() {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkTable2_Fiji(b *testing.B)         { benchImpl(b, &stitch.Fiji{}, 0) }
+func BenchmarkTable2_SimpleCPU(b *testing.B)    { benchImpl(b, &stitch.SimpleCPU{}, 0) }
+func BenchmarkTable2_MTCPU(b *testing.B)        { benchImpl(b, &stitch.MTCPU{}, 0) }
+func BenchmarkTable2_PipelinedCPU(b *testing.B) { benchImpl(b, &stitch.PipelinedCPU{}, 0) }
+func BenchmarkTable2_SimpleGPU(b *testing.B)    { benchImpl(b, &stitch.SimpleGPU{}, 1) }
+func BenchmarkTable2_PipelinedGPU1(b *testing.B) {
+	benchImpl(b, &stitch.PipelinedGPU{}, 1)
+}
+func BenchmarkTable2_PipelinedGPU2(b *testing.B) {
+	benchImpl(b, &stitch.PipelinedGPU{}, 2)
+}
+
+// BenchmarkTable2Model predicts the full paper-scale Table II.
+func BenchmarkTable2Model(b *testing.B) {
+	g := paperGrid()
+	for i := 0; i < b.N; i++ {
+		for _, impl := range []string{"fiji", "simple-cpu", "mt-cpu", "pipelined-cpu", "simple-gpu", "pipelined-gpu"} {
+			if _, err := machine.Predict(machine.RunSpec{Impl: impl, Grid: g, Threads: 16, GPUs: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Fig 5: virtual-memory cliff ---
+
+func BenchmarkFig5MemoryCliff(b *testing.B) {
+	for _, tiles := range []int{832, 864} {
+		b.Run(fmt.Sprintf("tiles-%d", tiles), func(b *testing.B) {
+			g := tile.Grid{Rows: tiles / 32, Cols: 32, TileW: 1392, TileH: 1040, OverlapX: 0.1, OverlapY: 0.1}
+			for i := 0; i < b.N; i++ {
+				sp, err := machine.FFTWorkloadSpeedup(g, machine.Fig5Host(), machine.PaperCosts(), 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = sp
+			}
+		})
+	}
+}
+
+// BenchmarkFig5GovernorReal measures the real paging-penalty mechanism.
+func BenchmarkFig5GovernorReal(b *testing.B) {
+	for _, over := range []bool{false, true} {
+		name := "resident"
+		if over {
+			name = "paging"
+		}
+		b.Run(name, func(b *testing.B) {
+			gov := memgov.New(1<<20, 20*time.Nanosecond)
+			size := int64(512 << 10)
+			if over {
+				size = 4 << 20
+			}
+			a, err := gov.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = a.Free() }()
+			plan, err := fft.NewPlan2D(64, 64, fft.Forward, fft.Plan2DOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]complex128, 64*64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gov.Touch(64 * 64 * 16)
+				if err := plan.Execute(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figs 7 & 9: profiler timelines ---
+
+func benchProfile(b *testing.B, impl stitch.Stitcher) (util float64) {
+	src := benchSource(b, 6, 6, 96, 64)
+	for i := 0; i < b.N; i++ {
+		dev := gpu.New(gpu.Config{Name: "GPU0", Profile: true, H2DBytesPerSec: 2e9})
+		if _, err := impl.Run(src, stitch.Options{Threads: 4, Devices: []*gpu.Device{dev}}); err != nil {
+			b.Fatal(err)
+		}
+		tl := dev.Timeline()
+		spans := tl.Spans()
+		util = tl.Utilization("kernel", spans[0].Start, spans[len(spans)-1].End)
+		dev.Close()
+	}
+	return util
+}
+
+func BenchmarkFig7SimpleGPUProfile(b *testing.B) {
+	u := benchProfile(b, &stitch.SimpleGPU{})
+	b.ReportMetric(100*u, "kernel-util-%")
+}
+
+func BenchmarkFig9PipelinedGPUProfile(b *testing.B) {
+	u := benchProfile(b, &stitch.PipelinedGPU{})
+	b.ReportMetric(100*u, "kernel-util-%")
+}
+
+// --- Fig 10: CCF thread sweep (model, paper scale) ---
+
+func BenchmarkFig10CCFThreads(b *testing.B) {
+	g := paperGrid()
+	for _, ccf := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("ccf-%d", ccf), func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				s, err = machine.Predict(machine.RunSpec{Impl: "pipelined-gpu", Grid: g, Threads: 16, CCFThreads: ccf, GPUs: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(s, "model-sec")
+		})
+	}
+}
+
+// --- Fig 11: CPU strong scaling (model, paper scale) ---
+
+func BenchmarkFig11CPUScaling(b *testing.B) {
+	g := paperGrid()
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("threads-%d", th), func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				s, err = machine.Predict(machine.RunSpec{Impl: "pipelined-cpu", Grid: g, Threads: th})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(s, "model-sec")
+		})
+	}
+}
+
+// BenchmarkFig11Real runs the real pipelined-CPU at reduced scale across
+// thread counts (on a multi-core host the wall times shrink with
+// threads; on a single-core host they document the overlap behavior).
+func BenchmarkFig11Real(b *testing.B) {
+	for _, th := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads-%d", th), func(b *testing.B) {
+			src := benchSource(b, 6, 6, 96, 64)
+			for i := 0; i < b.N; i++ {
+				if _, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: th}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig 12: speedup surface (model) ---
+
+func BenchmarkFig12SpeedupSurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tiles := range []int{128, 512, 1024} {
+			g := tile.Grid{Rows: tiles / 16, Cols: 16, TileW: 1392, TileH: 1040, OverlapX: 0.1, OverlapY: 0.1}
+			for _, th := range []int{1, 8, 16} {
+				if _, err := machine.Predict(machine.RunSpec{Impl: "pipelined-cpu", Grid: g, Threads: th}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// --- Figs 13 & 14: composition ---
+
+func benchCompose(b *testing.B, highlight bool) {
+	src := benchSource(b, 6, 6, 96, 64)
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if highlight {
+			if _, err := compose.HighlightGrid(pl, src, compose.BlendOverlay); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := compose.Compose(pl, src, compose.BlendOverlay); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig13Compose(b *testing.B)   { benchCompose(b, false) }
+func BenchmarkFig14Highlight(b *testing.B) { benchCompose(b, true) }
+
+// --- §IV: planner modes ---
+
+func BenchmarkPlannerModes(b *testing.B) {
+	for _, mode := range []fft.Mode{fft.Estimate, fft.Measure, fft.Patient} {
+		b.Run(mode.String(), func(b *testing.B) {
+			pl := fft.NewPlanner(mode)
+			p, err := pl.Plan(348, fft.Forward, fft.PlanOpts{}) // 348 = 1392/4, same factors
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]complex128, 348)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §IV: traversal orders ---
+
+func BenchmarkTraversalOrders(b *testing.B) {
+	// A wide grid (4×12) separates the orders: row traversal must keep
+	// a whole 12-tile row resident, the diagonal orders only ~2× the
+	// short dimension.
+	for _, tr := range stitch.Traversals() {
+		b.Run(tr.String(), func(b *testing.B) {
+			src := benchSource(b, 4, 12, 96, 64)
+			var peak int
+			for i := 0; i < b.N; i++ {
+				res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{Traversal: tr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.PeakTransformsLive
+			}
+			b.ReportMetric(float64(peak), "peak-transforms")
+		})
+	}
+}
+
+// --- §VI.A ablations ---
+
+func BenchmarkAblationR2C(b *testing.B) {
+	const h, w = 96, 128
+	b.Run("c2c", func(b *testing.B) {
+		p, err := fft.NewPlan2D(h, w, fft.Forward, fft.Plan2DOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]complex128, h*w)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Execute(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("r2c", func(b *testing.B) {
+		p, err := fft.NewRealPlan2D(h, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img := make([]float64, h*w)
+		sh, sw := p.SpectrumDims()
+		spec := make([]complex128, sh*sw)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Forward(spec, img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationPadding(b *testing.B) {
+	// 348 = 2²·3·29 (the tile width's factor structure) vs its next
+	// fast length 350 = 2·5²·7.
+	for _, n := range []int{348, fft.NextFastLength(348)} {
+		b.Run(fmt.Sprintf("n-%d", n), func(b *testing.B) {
+			p, err := fft.NewPlan(n, fft.Forward, fft.PlanOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]complex128, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- core operator microbenchmarks ---
+
+func BenchmarkFFT2DTile(b *testing.B) {
+	for _, d := range [][2]int{{96, 128}, {192, 256}} {
+		b.Run(fmt.Sprintf("%dx%d", d[0], d[1]), func(b *testing.B) {
+			p, err := fft.NewPlan2D(d[0], d[1], fft.Forward, fft.Plan2DOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]complex128, d[0]*d[1])
+			b.SetBytes(int64(len(buf) * 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPCIAMPair(b *testing.B) {
+	src := benchSource(b, 2, 2, 128, 96)
+	al, err := pciam.NewAligner(128, 96, pciam.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := src.DS.Tile(tile.Coord{Row: 0, Col: 0})
+	c := src.DS.Tile(tile.Coord{Row: 0, Col: 1})
+	fa, err := al.Transform(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fc, err := al.Transform(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := al.Displace(a, c, fa, fc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNCCSpectrum(b *testing.B) {
+	n := 128 * 96
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	dst := make([]complex128, n)
+	for i := range fa {
+		fa[i] = complex(float64(i%17), 1)
+		fb[i] = complex(1, float64(i%13))
+	}
+	b.SetBytes(int64(n * 16))
+	for i := 0; i < b.N; i++ {
+		pciam.NCCSpectrum(dst, fa, fb)
+	}
+}
+
+func BenchmarkCCFRegion(b *testing.B) {
+	src := benchSource(b, 2, 2, 128, 96)
+	a := src.DS.Tile(tile.Coord{Row: 0, Col: 0})
+	c := src.DS.Tile(tile.Coord{Row: 0, Col: 1})
+	for i := 0; i < b.N; i++ {
+		tile.NCCRegion(a, 100, 0, c, 0, 0, 28, 96)
+	}
+}
+
+// --- extension benchmarks ---
+
+func BenchmarkStockhamVsRadix2(b *testing.B) {
+	for _, strat := range []string{"radix2", "stockham"} {
+		b.Run(strat, func(b *testing.B) {
+			p, err := fft.NewPlan(1024, fft.Forward, fft.PlanOpts{ForceStrategy: strat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]complex128, 1024)
+			b.SetBytes(1024 * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolvers(b *testing.B) {
+	src := benchSource(b, 6, 6, 96, 64)
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := global.Solve(res, global.Options{RepairOutliers: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("least-squares", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := global.SolveLeastSquares(res, global.LSOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRefinePass(b *testing.B) {
+	src := benchSource(b, 4, 4, 128, 96)
+	base, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := &stitch.Result{Grid: base.Grid,
+			West:  append([]tile.Displacement(nil), base.West...),
+			North: append([]tile.Displacement(nil), base.North...)}
+		// Corrupt two pairs, then repair.
+		res.West[base.Grid.Index(tile.Coord{Row: 1, Col: 1})] = tile.Displacement{Corr: 0.1}
+		res.North[base.Grid.Index(tile.Coord{Row: 2, Col: 2})] = tile.Displacement{Corr: 0.1}
+		if _, err := global.RefineResult(res, src, global.RefineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViewerRender(b *testing.B) {
+	src := benchSource(b, 4, 6, 96, 64)
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := compose.NewViewer(pl, src, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw, ph := v.PlateBounds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := (i * 37) % (pw - 128)
+		y := (i * 23) % (ph - 96)
+		if _, err := v.Render(x, y, 128, 96); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeriesScan(b *testing.B) {
+	p := imagegen.DefaultParams(4, 4, 96, 64)
+	scans, err := imagegen.GenerateTimeSeries(imagegen.SeriesParams{Params: p, Scans: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr := stitch.NewSeriesRunner(&stitch.PipelinedCPU{}, stitch.Options{Threads: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sr.RunScan(&stitch.MemorySource{DS: scans[i%2]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSockets(b *testing.B) {
+	for _, sockets := range []int{1, 2} {
+		b.Run(fmt.Sprintf("sockets-%d", sockets), func(b *testing.B) {
+			src := benchSource(b, 6, 6, 96, 64)
+			for i := 0; i < b.N; i++ {
+				if _, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4, Sockets: sockets}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFFTVariants(b *testing.B) {
+	for _, v := range []stitch.FFTVariant{stitch.VariantComplex, stitch.VariantPadded, stitch.VariantReal} {
+		name := string(v)
+		if name == "" {
+			name = "complex"
+		}
+		b.Run(name, func(b *testing.B) {
+			src := benchSource(b, 5, 5, 96, 64)
+			for i := 0; i < b.N; i++ {
+				if _, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4, FFTVariant: v}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

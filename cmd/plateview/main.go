@@ -1,0 +1,116 @@
+// Command plateview renders viewports of a stitched plate on demand —
+// the standalone face of the paper's visualization prototype. It uses a
+// dataset directory (genplate layout) plus either saved displacements
+// (stitch -save-displacements) or a fresh phase-1 run, and renders any
+// (x, y, w, h, level) viewport to PNG without composing the plate.
+//
+// Usage:
+//
+//	plateview -dir dataset -overview overview.png
+//	plateview -dir dataset -disp disp.json -x 300 -y 200 -w 512 -h 384 -out view.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hybridstitch/internal/compose"
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plateview: ")
+	var (
+		dir      = flag.String("dir", "", "dataset directory (genplate layout)")
+		dispFile = flag.String("disp", "", "displacements JSON from `stitch -save-displacements` (computed fresh if absent)")
+		x        = flag.Int("x", 0, "viewport left, plate pixels")
+		y        = flag.Int("y", 0, "viewport top, plate pixels")
+		w        = flag.Int("w", 512, "viewport width")
+		h        = flag.Int("h", 384, "viewport height")
+		level    = flag.Int("level", 0, "pyramid level (downsample by 2^level)")
+		out      = flag.String("out", "view.png", "output PNG for the viewport")
+		overview = flag.String("overview", "", "also write a whole-plate overview PNG (max side 1024)")
+		cache    = flag.Int("cache", 0, "decoded-tile cache bound (0 = 2×columns)")
+		stretchF = flag.Bool("stretch", true, "contrast-stretch outputs for display")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("need -dir (a dataset written by genplate)")
+	}
+
+	src, _, _, err := openDataset(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res *stitch.Result
+	if *dispFile != "" {
+		res, err = stitch.LoadResult(*dispFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Grid != src.Grid() {
+			log.Fatalf("displacements are for grid %+v, dataset is %+v", res.Grid, src.Grid())
+		}
+		fmt.Printf("loaded displacements from %s\n", *dispFile)
+	} else {
+		t0 := time.Now()
+		res, err = (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("computed displacements in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	viewer, err := compose.NewViewer(pl, src, *cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pw, ph := viewer.PlateBounds()
+	fmt.Printf("plate: %dx%d px from %d tiles\n", pw, ph, src.Grid().NumTiles())
+
+	save := func(path string, img *tile.Gray16) {
+		if *stretchF {
+			var err error
+			if img, err = compose.Stretch(img, 0.5, 99.8); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := compose.WritePNGFile(path, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%dx%d)\n", path, img.W, img.H)
+	}
+
+	if *overview != "" {
+		img, lvl, err := viewer.Overview(1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("overview at pyramid level %d\n", lvl)
+		save(*overview, img)
+	}
+	if *out != "" {
+		img, err := viewer.RenderScaled(*x, *y, *w, *h, *level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		save(*out, img)
+	}
+}
+
+// openDataset reads the genplate metadata and returns a DirSource.
+func openDataset(dir string) (stitch.Source, []int, []int, error) {
+	// Reuse cmd/stitch's metadata format via a local copy of the loader
+	// (main packages cannot import each other).
+	return loadDirSource(dir)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+)
+
+func TestLoadDirSource(t *testing.T) {
+	dir := t.TempDir()
+	p := imagegen.DefaultParams(2, 3, 64, 48)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stitch.WriteDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	meta := []byte(`{"rows":2,"cols":3,"tile_w":64,"tile_h":48,"overlap_x":0.2,"overlap_y":0.2,"truth_x":[1,2,3,4,5,6],"truth_y":[1,2,3,4,5,6]}`)
+	if err := os.WriteFile(filepath.Join(dir, "truth.json"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, tx, ty, err := loadDirSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Grid().Rows != 2 || len(tx) != 6 || len(ty) != 6 {
+		t.Errorf("grid %+v tx %v", src.Grid(), tx)
+	}
+	if _, _, _, err := loadDirSource(t.TempDir()); err == nil {
+		t.Error("missing metadata should fail")
+	}
+	bad := t.TempDir()
+	_ = os.WriteFile(filepath.Join(bad, "truth.json"), []byte("{"), 0o644)
+	if _, _, _, err := loadDirSource(bad); err == nil {
+		t.Error("corrupt metadata should fail")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// loadDirSource opens a genplate dataset directory: truth.json supplies
+// the grid geometry (and ground truth, returned for optional accuracy
+// reporting).
+func loadDirSource(dir string) (stitch.Source, []int, []int, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "truth.json"))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reading dataset metadata: %w", err)
+	}
+	var meta struct {
+		Rows     int     `json:"rows"`
+		Cols     int     `json:"cols"`
+		TileW    int     `json:"tile_w"`
+		TileH    int     `json:"tile_h"`
+		OverlapX float64 `json:"overlap_x"`
+		OverlapY float64 `json:"overlap_y"`
+		TruthX   []int   `json:"truth_x"`
+		TruthY   []int   `json:"truth_y"`
+	}
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, nil, nil, err
+	}
+	g := tile.Grid{Rows: meta.Rows, Cols: meta.Cols, TileW: meta.TileW, TileH: meta.TileH,
+		OverlapX: meta.OverlapX, OverlapY: meta.OverlapY}
+	if err := g.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("dataset metadata: %w", err)
+	}
+	return &stitch.DirSource{Dir: dir, GridSpec: g}, meta.TruthX, meta.TruthY, nil
+}

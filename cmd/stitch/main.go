@@ -1,0 +1,248 @@
+// Command stitch runs the full three-phase pipeline on a tile dataset:
+// relative displacements (any of the six implementations), global
+// position resolution, and optional composite rendering.
+//
+// Usage:
+//
+//	stitch -dir dataset/                      # stitch a genplate dataset
+//	stitch -synthetic 8x10 -impl pipelined-gpu -gpus 2
+//	stitch -dir dataset/ -out composite.png -highlight grid.png
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hybridstitch/internal/compose"
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stitch: ")
+	var (
+		dir       = flag.String("dir", "", "dataset directory written by genplate")
+		synthetic = flag.String("synthetic", "", "generate an in-memory dataset instead, as ROWSxCOLS (e.g. 8x10)")
+		tileW     = flag.Int("tilew", 256, "tile width for -synthetic")
+		tileH     = flag.Int("tileh", 192, "tile height for -synthetic")
+		implName  = flag.String("impl", "pipelined-cpu", "implementation: fiji, simple-cpu, mt-cpu, pipelined-cpu, simple-gpu, pipelined-gpu")
+		threads   = flag.Int("threads", 4, "CPU worker threads")
+		gpus      = flag.Int("gpus", 1, "simulated GPU count (GPU implementations)")
+		travName  = flag.String("traversal", "chained-diagonal", "grid traversal order")
+		npeaks    = flag.Int("npeaks", 1, "correlation peaks to consider per pair (CPU implementations)")
+		variant   = flag.String("fft-variant", "", "FFT path for CPU implementations: \"\" (complex), padded, real")
+		sockets   = flag.Int("sockets", 1, "CPU pipelines (pipelined-cpu; one per socket)")
+		outPNG    = flag.String("out", "", "write the composite image to this PNG")
+		outTIFF   = flag.String("out-tiff", "", "write the composite image to this 16-bit TIFF (tiled layout for large plates)")
+		highlight = flag.String("highlight", "", "write a tile-outline overlay to this PNG")
+		blendName = flag.String("blend", "overlay", "composite blend: overlay, average, linear")
+		solver    = flag.String("solver", "mst", "phase-2 solver: mst (spanning tree) or ls (least squares)")
+		stretch   = flag.Bool("stretch", true, "contrast-stretch the composite PNG for display")
+		refine    = flag.Bool("refine", false, "repair low-confidence pairs via CCF search from the stage model before phase 2")
+		wisdom    = flag.String("wisdom", "", "FFT wisdom file: imported if present, updated after the run")
+		saveDisp  = flag.String("save-displacements", "", "write the phase-1 displacement arrays to this JSON file")
+		seed      = flag.Int64("seed", 1, "seed for -synthetic")
+	)
+	flag.Parse()
+
+	src, truthX, truthY, err := openSource(*dir, *synthetic, *tileW, *tileH, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	impl, err := stitch.ByName(*implName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trav, err := stitch.TraversalByName(*travName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := stitch.Options{Threads: *threads, Traversal: trav, NPeaks: *npeaks,
+		FFTVariant: stitch.FFTVariant(*variant), Sockets: *sockets}
+	planner := fft.NewPlanner(fft.Measure)
+	if *wisdom != "" {
+		if blob, err := os.ReadFile(*wisdom); err == nil {
+			if err := planner.ImportWisdom(blob); err != nil {
+				log.Fatalf("wisdom file %s: %v", *wisdom, err)
+			}
+			fmt.Printf("imported FFT wisdom (%d entries)\n", planner.WisdomSize())
+		}
+	}
+	opts.Planner = planner
+	var devs []*gpu.Device
+	if *implName == "simple-gpu" || *implName == "pipelined-gpu" {
+		for d := 0; d < *gpus; d++ {
+			dev := gpu.New(gpu.Config{Name: fmt.Sprintf("GPU%d", d)})
+			defer dev.Close()
+			devs = append(devs, dev)
+		}
+		opts.Devices = devs
+	}
+
+	g := src.Grid()
+	fmt.Printf("phase 1: %s on %dx%d grid of %dx%d tiles (%d pairs)...\n",
+		impl.Name(), g.Rows, g.Cols, g.TileW, g.TileH, g.NumPairs())
+	res, err := impl.Run(src, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %v  (%d transforms computed, peak %d resident)\n",
+		res.Elapsed.Round(time.Millisecond), res.TransformsComputed, res.PeakTransformsLive)
+	if *wisdom != "" {
+		if blob, err := planner.ExportWisdom(); err == nil {
+			if err := os.WriteFile(*wisdom, blob, 0o644); err != nil {
+				log.Fatalf("writing wisdom: %v", err)
+			}
+		}
+	}
+	if *refine {
+		n, err := global.RefineResult(res, src, global.RefineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  refined %d low-confidence pairs from the stage model\n", n)
+	}
+	if *saveDisp != "" {
+		if err := stitch.SaveResult(*saveDisp, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote displacements to %s\n", *saveDisp)
+	}
+
+	t0 := time.Now()
+	var pl *global.Placement
+	switch *solver {
+	case "mst":
+		pl, err = global.Solve(res, global.Options{RepairOutliers: true})
+	case "ls":
+		pl, err = global.SolveLeastSquares(res, global.LSOptions{})
+	default:
+		log.Fatalf("unknown -solver %q (want mst or ls)", *solver)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, h := pl.Bounds()
+	fmt.Printf("phase 2: global positions in %v (%d repaired, %d dropped edges); composite %dx%d px\n",
+		time.Since(t0).Round(time.Millisecond), pl.Repaired, pl.Dropped, w, h)
+	if truthX != nil {
+		if rms, err := global.RMSError(pl, truthX, truthY); err == nil {
+			fmt.Printf("  placement RMS vs ground truth: %.2f px\n", rms)
+		}
+	}
+
+	if *outPNG == "" && *highlight == "" && *outTIFF == "" {
+		return
+	}
+	blend, err := parseBlend(*blendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	if *outPNG != "" {
+		img, err := compose.Compose(pl, src, blend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *stretch {
+			if img, err = compose.Stretch(img, 0.5, 99.8); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := compose.WritePNGFile(*outPNG, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("phase 3: wrote %s (%dx%d, %s blend) in %v\n", *outPNG, img.W, img.H, blend, time.Since(t0).Round(time.Millisecond))
+	}
+	if *outTIFF != "" {
+		img, err := compose.Compose(pl, src, blend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := compose.WriteTIFFFile(*outTIFF, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("phase 3: wrote %s (%dx%d 16-bit TIFF)\n", *outTIFF, img.W, img.H)
+	}
+	if *highlight != "" {
+		img, err := compose.HighlightGrid(pl, src, blend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := compose.WriteRGBAPNGFile(*highlight, img); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("phase 3: wrote %s (tile outlines)\n", *highlight)
+	}
+}
+
+// openSource builds the tile source from flags, returning ground truth
+// when available.
+func openSource(dir, synthetic string, tileW, tileH int, seed int64) (stitch.Source, []int, []int, error) {
+	switch {
+	case dir != "" && synthetic != "":
+		return nil, nil, nil, fmt.Errorf("-dir and -synthetic are mutually exclusive")
+	case dir != "":
+		blob, err := os.ReadFile(filepath.Join(dir, "truth.json"))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("reading dataset metadata: %w", err)
+		}
+		var meta struct {
+			Rows     int     `json:"rows"`
+			Cols     int     `json:"cols"`
+			TileW    int     `json:"tile_w"`
+			TileH    int     `json:"tile_h"`
+			OverlapX float64 `json:"overlap_x"`
+			OverlapY float64 `json:"overlap_y"`
+			TruthX   []int   `json:"truth_x"`
+			TruthY   []int   `json:"truth_y"`
+		}
+		if err := json.Unmarshal(blob, &meta); err != nil {
+			return nil, nil, nil, err
+		}
+		g := tile.Grid{Rows: meta.Rows, Cols: meta.Cols, TileW: meta.TileW, TileH: meta.TileH,
+			OverlapX: meta.OverlapX, OverlapY: meta.OverlapY}
+		if err := g.Validate(); err != nil {
+			return nil, nil, nil, fmt.Errorf("dataset metadata: %w", err)
+		}
+		return &stitch.DirSource{Dir: dir, GridSpec: g}, meta.TruthX, meta.TruthY, nil
+	case synthetic != "":
+		var rows, cols int
+		if _, err := fmt.Sscanf(synthetic, "%dx%d", &rows, &cols); err != nil {
+			return nil, nil, nil, fmt.Errorf("bad -synthetic %q, want ROWSxCOLS", synthetic)
+		}
+		p := imagegen.DefaultParams(rows, cols, tileW, tileH)
+		p.Seed = seed
+		ds, err := imagegen.Generate(p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return &stitch.MemorySource{DS: ds}, ds.TruthX, ds.TruthY, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("need -dir or -synthetic (try: stitch -synthetic 6x8)")
+	}
+}
+
+func parseBlend(name string) (compose.Blend, error) {
+	switch name {
+	case "overlay":
+		return compose.BlendOverlay, nil
+	case "average":
+		return compose.BlendAverage, nil
+	case "linear":
+		return compose.BlendLinear, nil
+	default:
+		return 0, fmt.Errorf("unknown blend %q", name)
+	}
+}

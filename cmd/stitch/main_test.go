@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridstitch/internal/compose"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+)
+
+func TestParseBlend(t *testing.T) {
+	cases := map[string]compose.Blend{
+		"overlay": compose.BlendOverlay,
+		"average": compose.BlendAverage,
+		"linear":  compose.BlendLinear,
+	}
+	for name, want := range cases {
+		got, err := parseBlend(name)
+		if err != nil || got != want {
+			t.Errorf("parseBlend(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseBlend("nope"); err == nil {
+		t.Error("unknown blend should fail")
+	}
+}
+
+func TestOpenSourceSynthetic(t *testing.T) {
+	src, tx, ty, err := openSource("", "3x4", 64, 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := src.Grid()
+	if g.Rows != 3 || g.Cols != 4 || g.TileW != 64 || g.TileH != 48 {
+		t.Errorf("grid = %+v", g)
+	}
+	if len(tx) != 12 || len(ty) != 12 {
+		t.Errorf("truth lengths %d, %d", len(tx), len(ty))
+	}
+	if _, _, _, err := openSource("", "bad", 64, 48, 1); err == nil {
+		t.Error("malformed -synthetic should fail")
+	}
+	if _, _, _, err := openSource("x", "3x4", 64, 48, 1); err == nil {
+		t.Error("mutually exclusive flags should fail")
+	}
+	if _, _, _, err := openSource("", "", 64, 48, 1); err == nil {
+		t.Error("no source should fail")
+	}
+}
+
+func TestOpenSourceDir(t *testing.T) {
+	dir := t.TempDir()
+	p := imagegen.DefaultParams(2, 3, 48, 40)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stitch.WriteDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Write the metadata the way genplate does.
+	meta := []byte(`{"rows":2,"cols":3,"tile_w":48,"tile_h":40,"overlap_x":0.2,"overlap_y":0.2,"truth_x":[1,2,3,4,5,6],"truth_y":[1,2,3,4,5,6]}`)
+	if err := os.WriteFile(filepath.Join(dir, "truth.json"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, tx, _, err := openSource(dir, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Grid().Rows != 2 || src.Grid().Cols != 3 {
+		t.Errorf("grid = %+v", src.Grid())
+	}
+	if len(tx) != 6 {
+		t.Errorf("truth x = %v", tx)
+	}
+	img, err := src.ReadTile(src.Grid().CoordOf(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 48 || img.H != 40 {
+		t.Errorf("tile %dx%d", img.W, img.H)
+	}
+	// Missing metadata directory.
+	if _, _, _, err := openSource(t.TempDir(), "", 0, 0, 0); err == nil {
+		t.Error("missing truth.json should fail")
+	}
+	// Corrupt metadata.
+	bad := t.TempDir()
+	_ = os.WriteFile(filepath.Join(bad, "truth.json"), []byte("{"), 0o644)
+	if _, _, _, err := openSource(bad, "", 0, 0, 0); err == nil {
+		t.Error("corrupt truth.json should fail")
+	}
+	// Invalid grid in metadata.
+	badGrid := t.TempDir()
+	_ = os.WriteFile(filepath.Join(badGrid, "truth.json"), []byte(`{"rows":0}`), 0o644)
+	if _, _, _, err := openSource(badGrid, "", 0, 0, 0); err == nil {
+		t.Error("invalid grid metadata should fail")
+	}
+}

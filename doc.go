@@ -1,0 +1,15 @@
+// Package hybridstitch is a Go reproduction of "A Hybrid CPU-GPU System
+// for Stitching Large Scale Optical Microscopy Images" (Blattner et al.,
+// ICPP 2014) — the system that became NIST MIST.
+//
+// The library lives under internal/: the stitching implementations
+// (internal/stitch), the phase-correlation alignment kernel
+// (internal/pciam), the FFT library (internal/fft), the software GPU
+// (internal/gpu), the pipelining API (internal/pipeline), global
+// placement (internal/global), composition (internal/compose), the
+// synthetic dataset generator (internal/imagegen), and the calibrated
+// discrete-event machine model (internal/machine). Executables are under
+// cmd/ and runnable examples under examples/. The benchmark suite in
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package hybridstitch

@@ -1,0 +1,3 @@
+module hybridstitch
+
+go 1.22

@@ -1,0 +1,127 @@
+package hybridstitch_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridstitch/internal/compose"
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tiffio"
+)
+
+// TestFullPipelineThroughDisk is the end-to-end integration test: write a
+// dataset to disk as TIFF files, re-read it through DirSource, run all
+// three phases on the GPU pipeline with two simulated cards, and render
+// the composite — the exact path the CLI tools take.
+func TestFullPipelineThroughDisk(t *testing.T) {
+	dir := t.TempDir()
+	p := imagegen.DefaultParams(4, 5, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stitch.WriteDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: tiles round-trip through the TIFF codec exactly.
+	c0 := p.Grid.CoordOf(0)
+	back, err := tiffio.ReadFile(stitch.TilePath(dir, c0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back.Pix {
+		if back.Pix[i] != ds.Tile(c0).Pix[i] {
+			t.Fatal("TIFF round trip corrupted a tile")
+		}
+	}
+
+	src := &stitch.DirSource{Dir: dir, GridSpec: p.Grid}
+	devs := []*gpu.Device{
+		gpu.New(gpu.Config{Name: "GPU0"}),
+		gpu.New(gpu.Config{Name: "GPU1"}),
+	}
+	defer devs[0].Close()
+	defer devs[1].Close()
+
+	res, err := (&stitch.PipelinedGPU{}).Run(src, stitch.Options{Threads: 2, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatal("incomplete phase-1 result")
+	}
+
+	for _, solve := range []struct {
+		name string
+		fn   func() (*global.Placement, error)
+	}{
+		{"mst", func() (*global.Placement, error) {
+			return global.Solve(res, global.Options{RepairOutliers: true})
+		}},
+		{"least-squares", func() (*global.Placement, error) {
+			return global.SolveLeastSquares(res, global.LSOptions{})
+		}},
+	} {
+		pl, err := solve.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", solve.name, err)
+		}
+		rms, err := global.RMSError(pl, ds.TruthX, ds.TruthY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rms > 1.5 {
+			t.Errorf("%s placement RMS %.2f px", solve.name, rms)
+		}
+		out, err := compose.Compose(pl, src, compose.BlendLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		png := filepath.Join(dir, solve.name+".png")
+		if err := compose.WritePNGFile(png, out); err != nil {
+			t.Fatal(err)
+		}
+		if fi, err := os.Stat(png); err != nil || fi.Size() == 0 {
+			t.Errorf("%s: composite PNG missing or empty", solve.name)
+		}
+	}
+}
+
+// TestCPUAndGPUPathsIdenticalThroughDisk reruns phase 1 on the CPU and
+// asserts bit-identical displacements against the GPU run, with the TIFF
+// decode in the loop.
+func TestCPUAndGPUPathsIdenticalThroughDisk(t *testing.T) {
+	dir := t.TempDir()
+	p := imagegen.DefaultParams(3, 3, 128, 96)
+	p.Seed = 5
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stitch.WriteDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.DirSource{Dir: dir, GridSpec: p.Grid}
+
+	cpu, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpu.New(gpu.Config{Name: "GPU0"})
+	defer dev.Close()
+	gpuRes, err := (&stitch.SimpleGPU{}).Run(src, stitch.Options{Devices: []*gpu.Device{dev}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range p.Grid.Pairs() {
+		a, _ := cpu.PairDisplacement(pr)
+		b, _ := gpuRes.PairDisplacement(pr)
+		if a.X != b.X || a.Y != b.Y {
+			t.Errorf("pair %v: cpu (%d,%d) gpu (%d,%d)", pr, a.X, a.Y, b.X, b.Y)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package compose implements the third phase of stitching: assembling
+// the full plate image from absolutely-positioned tiles (the paper's
+// Fig 13), rendering variants with highlighted tile boundaries (Fig 14),
+// and building the multi-resolution image pyramids of the visualization
+// prototype described in the paper's future work. Composition runs on
+// demand — the paper's system "composes and renders the composite image
+// without saving it in 15 s" — so the compositor streams tiles rather
+// than requiring them all resident.
+package compose
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tiffio"
+	"hybridstitch/internal/tile"
+)
+
+// Blend selects how overlapping pixels combine.
+type Blend int
+
+const (
+	// BlendOverlay writes tiles in grid order; later tiles overwrite
+	// earlier ones in the overlap (the paper's Fig 13 uses an overlay
+	// blend).
+	BlendOverlay Blend = iota
+	// BlendAverage averages all tiles covering a pixel.
+	BlendAverage
+	// BlendLinear feathers tiles with a distance-to-edge weight, hiding
+	// seams under illumination mismatch.
+	BlendLinear
+)
+
+func (b Blend) String() string {
+	switch b {
+	case BlendOverlay:
+		return "overlay"
+	case BlendAverage:
+		return "average"
+	case BlendLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Blend(%d)", int(b))
+	}
+}
+
+// Compose assembles the composite image for a placement, streaming tiles
+// from src.
+func Compose(pl *global.Placement, src stitch.Source, blend Blend) (*tile.Gray16, error) {
+	w, h := pl.Bounds()
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("compose: degenerate composite %dx%d", w, h)
+	}
+	g := pl.Grid
+	out := tile.NewGray16(w, h)
+
+	switch blend {
+	case BlendOverlay:
+		for i := 0; i < g.NumTiles(); i++ {
+			t, err := src.ReadTile(g.CoordOf(i))
+			if err != nil {
+				return nil, err
+			}
+			x0, y0 := pl.X[i], pl.Y[i]
+			for y := 0; y < t.H; y++ {
+				copy(out.Pix[(y0+y)*w+x0:(y0+y)*w+x0+t.W], t.Pix[y*t.W:(y+1)*t.W])
+			}
+		}
+	case BlendAverage, BlendLinear:
+		acc := make([]float64, w*h)
+		wgt := make([]float64, w*h)
+		for i := 0; i < g.NumTiles(); i++ {
+			t, err := src.ReadTile(g.CoordOf(i))
+			if err != nil {
+				return nil, err
+			}
+			x0, y0 := pl.X[i], pl.Y[i]
+			for y := 0; y < t.H; y++ {
+				for x := 0; x < t.W; x++ {
+					wt := 1.0
+					if blend == BlendLinear {
+						wt = feather(x, y, t.W, t.H)
+					}
+					idx := (y0+y)*w + x0 + x
+					acc[idx] += wt * float64(t.Pix[y*t.W+x])
+					wgt[idx] += wt
+				}
+			}
+		}
+		for i := range acc {
+			if wgt[i] > 0 {
+				v := acc[i] / wgt[i]
+				if v > 65535 {
+					v = 65535
+				}
+				out.Pix[i] = uint16(v)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("compose: unknown blend %v", blend)
+	}
+	return out, nil
+}
+
+// feather is the linear-blend weight: distance to the nearest tile edge,
+// normalized, floored so weights never vanish.
+func feather(x, y, w, h int) float64 {
+	dx := x + 1
+	if w-x < dx {
+		dx = w - x
+	}
+	dy := y + 1
+	if h-y < dy {
+		dy = h - y
+	}
+	d := dx
+	if dy < d {
+		d = dy
+	}
+	return float64(d)
+}
+
+// HighlightGrid renders the composite with tile boundaries marked (the
+// paper's Fig 14) as an RGBA image: grayscale content with colored
+// 1-pixel tile outlines.
+func HighlightGrid(pl *global.Placement, src stitch.Source, blend Blend) (*image.RGBA, error) {
+	base, err := Compose(pl, src, blend)
+	if err != nil {
+		return nil, err
+	}
+	img := image.NewRGBA(image.Rect(0, 0, base.W, base.H))
+	for y := 0; y < base.H; y++ {
+		for x := 0; x < base.W; x++ {
+			v := uint8(base.At(x, y) >> 8)
+			img.SetRGBA(x, y, color.RGBA{R: v, G: v, B: v, A: 255})
+		}
+	}
+	outline := color.RGBA{R: 255, G: 64, B: 64, A: 255}
+	g := pl.Grid
+	for i := 0; i < g.NumTiles(); i++ {
+		x0, y0 := pl.X[i], pl.Y[i]
+		x1, y1 := x0+g.TileW-1, y0+g.TileH-1
+		for x := x0; x <= x1; x++ {
+			img.SetRGBA(x, y0, outline)
+			img.SetRGBA(x, y1, outline)
+		}
+		for y := y0; y <= y1; y++ {
+			img.SetRGBA(x0, y, outline)
+			img.SetRGBA(x1, y, outline)
+		}
+	}
+	return img, nil
+}
+
+// Pyramid builds successive 2× downsampled levels of an image until both
+// dimensions fall below minSide. Level 0 is the input itself.
+func Pyramid(img *tile.Gray16, minSide int) []*tile.Gray16 {
+	if minSide < 1 {
+		minSide = 1
+	}
+	levels := []*tile.Gray16{img}
+	cur := img
+	for cur.W > minSide || cur.H > minSide {
+		next := Downsample2x(cur)
+		if next.W == cur.W && next.H == cur.H {
+			break
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+// Downsample2x box-filters an image to half resolution (rounding up).
+func Downsample2x(img *tile.Gray16) *tile.Gray16 {
+	w := (img.W + 1) / 2
+	h := (img.H + 1) / 2
+	out := tile.NewGray16(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum, cnt int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sx, sy := 2*x+dx, 2*y+dy
+					if sx < img.W && sy < img.H {
+						sum += int(img.At(sx, sy))
+						cnt++
+					}
+				}
+			}
+			out.Set(x, y, uint16(sum/cnt))
+		}
+	}
+	return out
+}
+
+// WritePNG saves a 16-bit grayscale image as PNG.
+func WritePNG(w io.Writer, img *tile.Gray16) error {
+	gray := image.NewGray16(image.Rect(0, 0, img.W, img.H))
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			gray.SetGray16(x, y, color.Gray16{Y: img.At(x, y)})
+		}
+	}
+	return png.Encode(w, gray)
+}
+
+// WritePNGFile saves img to path.
+func WritePNGFile(path string, img *tile.Gray16) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePNG(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteRGBAPNGFile saves an RGBA image (highlight renders) to path.
+func WriteRGBAPNGFile(path string, img *image.RGBA) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTIFFFile saves a composite as 16-bit TIFF — the archival format
+// bio-imaging pipelines expect downstream (the paper's Fiji comparison
+// "composes and saves the large image" as TIFF). Large composites use
+// the tiled layout so downstream viewers can random-access them.
+func WriteTIFFFile(path string, img *tile.Gray16) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	opts := tiffio.EncodeOpts{}
+	if img.W*img.H > 4<<20 {
+		opts.TileW, opts.TileH = 256, 256
+	}
+	if err := tiffio.Encode(f, img, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

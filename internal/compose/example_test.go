@@ -1,0 +1,43 @@
+package compose_test
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/compose"
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+)
+
+// ExampleViewer pans a stitched plate without composing it.
+func ExampleViewer() {
+	params := imagegen.DefaultParams(3, 4, 96, 64)
+	dataset, err := imagegen.Generate(params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	src := &stitch.MemorySource{DS: dataset}
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	viewer, err := compose.NewViewer(pl, src, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	viewport, err := viewer.Render(10, 10, 32, 24)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("viewport %dx%d, cache %d/4 tiles\n", viewport.W, viewport.H, viewer.CacheLen())
+	// Output: viewport 32x24, cache 1/4 tiles
+}

@@ -1,0 +1,77 @@
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridstitch/internal/tile"
+)
+
+// Stretch applies a percentile contrast stretch: the [loPct, hiPct]
+// percentile range of the input maps to the full 16-bit range.
+// Microscopy data occupies a narrow band of the 16-bit scale (the paper's
+// tiles are dim infrared acquisitions), so raw composites render nearly
+// black; a 1–99.5% stretch is the conventional display transform.
+func Stretch(img *tile.Gray16, loPct, hiPct float64) (*tile.Gray16, error) {
+	if loPct < 0 || hiPct > 100 || loPct >= hiPct {
+		return nil, fmt.Errorf("compose: invalid stretch percentiles (%g, %g)", loPct, hiPct)
+	}
+	if len(img.Pix) == 0 {
+		return img.Clone(), nil
+	}
+	// Percentiles via a 16-bit histogram (exact, O(n + 65536)).
+	var hist [65536]int64
+	for _, px := range img.Pix {
+		hist[px]++
+	}
+	total := int64(len(img.Pix))
+	loCount := int64(loPct / 100 * float64(total))
+	hiCount := int64(hiPct / 100 * float64(total))
+	var lo, hi uint16
+	var cum int64
+	seenLo := false
+	for v := 0; v < 65536; v++ {
+		cum += hist[v]
+		if !seenLo && cum > loCount {
+			lo = uint16(v)
+			seenLo = true
+		}
+		if cum >= hiCount {
+			hi = uint16(v)
+			break
+		}
+	}
+	if hi <= lo {
+		return img.Clone(), nil // degenerate histogram: nothing to stretch
+	}
+	out := tile.NewGray16(img.W, img.H)
+	scale := 65535.0 / float64(hi-lo)
+	for i, px := range img.Pix {
+		switch {
+		case px <= lo:
+			out.Pix[i] = 0
+		case px >= hi:
+			out.Pix[i] = 65535
+		default:
+			out.Pix[i] = uint16(float64(px-lo) * scale)
+		}
+	}
+	return out, nil
+}
+
+// Percentile returns the p-th percentile pixel value of img (p ∈ [0,100]).
+func Percentile(img *tile.Gray16, p float64) uint16 {
+	if len(img.Pix) == 0 {
+		return 0
+	}
+	s := append([]uint16(nil), img.Pix...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

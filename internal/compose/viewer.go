@@ -1,0 +1,181 @@
+package compose
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// Viewer renders arbitrary viewports of the stitched plate on demand,
+// without ever materializing the full composite — the paper's system
+// "composes and renders the composite image without saving it in 15 s",
+// and its visualization prototype serves the plate "at varying
+// resolutions" (Figs 13, 14 come from it). Rendering a viewport touches
+// only the tiles that intersect it, so panning a 17k×22k plate stays
+// interactive even though the composite would not fit in a GUI texture.
+//
+// A Viewer caches decoded tiles with a bounded LRU so repeated pans over
+// the same region avoid re-reading; the cache bound plays the same role
+// as the pipeline's buffer pool — predictable memory under any access
+// pattern.
+type Viewer struct {
+	pl  *global.Placement
+	src stitch.Source
+
+	cacheCap int
+	cache    map[int]*tile.Gray16
+	order    []int // LRU order, oldest first
+}
+
+// NewViewer creates a viewer over a placement and tile source. cacheTiles
+// bounds the decoded-tile cache (≥1; 0 picks 2× the grid's column count,
+// enough for a horizontal pan strip).
+func NewViewer(pl *global.Placement, src stitch.Source, cacheTiles int) (*Viewer, error) {
+	if pl == nil || src == nil {
+		return nil, fmt.Errorf("compose: viewer needs a placement and a source")
+	}
+	if err := pl.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if cacheTiles < 1 {
+		cacheTiles = 2 * pl.Grid.Cols
+	}
+	return &Viewer{
+		pl: pl, src: src,
+		cacheCap: cacheTiles,
+		cache:    make(map[int]*tile.Gray16),
+	}, nil
+}
+
+// PlateBounds returns the full composite dimensions.
+func (v *Viewer) PlateBounds() (w, h int) { return v.pl.Bounds() }
+
+// CacheLen reports the number of tiles currently cached.
+func (v *Viewer) CacheLen() int { return len(v.cache) }
+
+// tileAt returns tile i through the LRU cache.
+func (v *Viewer) tileAt(i int) (*tile.Gray16, error) {
+	if t, ok := v.cache[i]; ok {
+		// refresh LRU position
+		for k, idx := range v.order {
+			if idx == i {
+				v.order = append(v.order[:k], v.order[k+1:]...)
+				break
+			}
+		}
+		v.order = append(v.order, i)
+		return t, nil
+	}
+	t, err := v.src.ReadTile(v.pl.Grid.CoordOf(i))
+	if err != nil {
+		return nil, err
+	}
+	if len(v.cache) >= v.cacheCap {
+		oldest := v.order[0]
+		v.order = v.order[1:]
+		delete(v.cache, oldest)
+	}
+	v.cache[i] = t
+	v.order = append(v.order, i)
+	return t, nil
+}
+
+// Render produces the viewport with top-left (x0, y0) and size (w, h) in
+// plate coordinates at full resolution. Pixels outside every tile are 0.
+// Tiles draw in grid order, so overlaps resolve like BlendOverlay.
+func (v *Viewer) Render(x0, y0, w, h int) (*tile.Gray16, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("compose: invalid viewport %dx%d", w, h)
+	}
+	out := tile.NewGray16(w, h)
+	g := v.pl.Grid
+	for i := 0; i < g.NumTiles(); i++ {
+		tx, ty := v.pl.X[i], v.pl.Y[i]
+		// Intersection of [tx, tx+TileW) × [ty, ty+TileH) with the
+		// viewport [x0, x0+w) × [y0, y0+h).
+		ix0 := maxi(tx, x0)
+		iy0 := maxi(ty, y0)
+		ix1 := mini(tx+g.TileW, x0+w)
+		iy1 := mini(ty+g.TileH, y0+h)
+		if ix0 >= ix1 || iy0 >= iy1 {
+			continue
+		}
+		t, err := v.tileAt(i)
+		if err != nil {
+			return nil, err
+		}
+		for y := iy0; y < iy1; y++ {
+			srcRow := t.Pix[(y-ty)*t.W+(ix0-tx) : (y-ty)*t.W+(ix1-tx)]
+			dstRow := out.Pix[(y-y0)*w+(ix0-x0) : (y-y0)*w+(ix1-x0)]
+			copy(dstRow, srcRow)
+		}
+	}
+	return out, nil
+}
+
+// RenderScaled renders the viewport (in plate coordinates) downsampled by
+// 2^level — the multi-resolution access pattern of the visualization
+// prototype. Level 0 is full resolution.
+func (v *Viewer) RenderScaled(x0, y0, w, h, level int) (*tile.Gray16, error) {
+	if level < 0 || level > 16 {
+		return nil, fmt.Errorf("compose: invalid pyramid level %d", level)
+	}
+	full, err := v.Render(x0, y0, w, h)
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < level; l++ {
+		full = Downsample2x(full)
+	}
+	return full, nil
+}
+
+// Overview renders the whole plate at the coarsest level whose longer
+// side fits maxSide pixels.
+func (v *Viewer) Overview(maxSide int) (*tile.Gray16, int, error) {
+	if maxSide < 1 {
+		return nil, 0, fmt.Errorf("compose: invalid overview size %d", maxSide)
+	}
+	w, h := v.PlateBounds()
+	level := 0
+	for (w>>uint(level)) > maxSide || (h>>uint(level)) > maxSide {
+		level++
+	}
+	img, err := v.RenderScaled(0, 0, w, h, level)
+	if err != nil {
+		return nil, 0, err
+	}
+	return img, level, nil
+}
+
+// TileRegionStats computes the per-viewport mean and normalized cross
+// correlation between a viewport rendered by this viewer and the same
+// viewport from another viewer — used by the time-series steering code to
+// compare consecutive scans without composing either plate.
+func (v *Viewer) TileRegionStats(other *Viewer, x0, y0, w, h int) (meanA, meanB, ncc float64, err error) {
+	a, err := v.Render(x0, y0, w, h)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := other.Render(x0, y0, w, h)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return a.Mean(), b.Mean(), tile.NCCRegion(a, 0, 0, b, 0, 0, w, h), nil
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+package compose
+
+import (
+	"testing"
+
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func TestViewerMatchesFullCompose(t *testing.T) {
+	ds, src := genClean(t, 3, 4)
+	pl := truthPlacement(ds)
+	full, err := Compose(pl, src, BlendOverlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewViewer(pl, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, ph := v.PlateBounds()
+	if pw != full.W || ph != full.H {
+		t.Fatalf("viewer bounds %dx%d vs composite %dx%d", pw, ph, full.W, full.H)
+	}
+	// Several viewports, including edge-clipping ones, must match the
+	// full composite pixel for pixel.
+	viewports := [][4]int{
+		{0, 0, pw, ph},             // everything
+		{10, 10, 40, 30},           // interior
+		{pw - 20, ph - 15, 20, 15}, // bottom-right corner
+		{pw - 5, 0, 30, 10},        // clips off the right edge
+		{0, ph - 3, 10, 20},        // clips off the bottom
+	}
+	for _, vp := range viewports {
+		x0, y0, w, h := vp[0], vp[1], vp[2], vp[3]
+		got, err := v.Render(x0, y0, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				want := uint16(0)
+				if x0+x < pw && y0+y < ph {
+					want = full.At(x0+x, y0+y)
+				}
+				if got.At(x, y) != want {
+					t.Fatalf("viewport %v pixel (%d,%d): got %d want %d", vp, x, y, got.At(x, y), want)
+				}
+			}
+		}
+	}
+}
+
+func TestViewerCacheBounded(t *testing.T) {
+	ds, src := genClean(t, 3, 4)
+	pl := truthPlacement(ds)
+	v, err := NewViewer(pl, src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, ph := v.PlateBounds()
+	// Sweep the plate; cache must never exceed its bound.
+	for x := 0; x < pw-8; x += 16 {
+		if _, err := v.Render(x, 0, 8, ph); err != nil {
+			t.Fatal(err)
+		}
+		if v.CacheLen() > 3 {
+			t.Fatalf("cache grew to %d (bound 3)", v.CacheLen())
+		}
+	}
+}
+
+func TestViewerScaledAndOverview(t *testing.T) {
+	ds, src := genClean(t, 2, 3)
+	pl := truthPlacement(ds)
+	v, _ := NewViewer(pl, src, 0)
+	pw, ph := v.PlateBounds()
+	img, err := v.RenderScaled(0, 0, pw, ph, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != (pw+3)/4 && img.W != pw/4 {
+		t.Errorf("level-2 width %d from plate %d", img.W, pw)
+	}
+	ov, level, err := v.Overview(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.W > 32 || ov.H > 32 {
+		t.Errorf("overview %dx%d exceeds 32", ov.W, ov.H)
+	}
+	if level < 1 {
+		t.Errorf("level = %d for a plate larger than 32px", level)
+	}
+	if _, err := v.RenderScaled(0, 0, 8, 8, -1); err == nil {
+		t.Error("negative level should fail")
+	}
+	if _, _, err := v.Overview(0); err == nil {
+		t.Error("zero overview size should fail")
+	}
+}
+
+func TestViewerErrors(t *testing.T) {
+	ds, src := genClean(t, 2, 2)
+	pl := truthPlacement(ds)
+	if _, err := NewViewer(nil, src, 0); err == nil {
+		t.Error("nil placement should fail")
+	}
+	v, _ := NewViewer(pl, src, 0)
+	if _, err := v.Render(0, 0, 0, 5); err == nil {
+		t.Error("empty viewport should fail")
+	}
+}
+
+func TestViewerRegionStats(t *testing.T) {
+	ds, src := genClean(t, 2, 2)
+	pl := truthPlacement(ds)
+	v1, _ := NewViewer(pl, src, 0)
+	v2, _ := NewViewer(pl, src, 0)
+	ma, mb, ncc, err := v1.TileRegionStats(v2, 2, 2, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != mb {
+		t.Errorf("same source, different means: %g vs %g", ma, mb)
+	}
+	if ncc < 0.9999 {
+		t.Errorf("self NCC = %g", ncc)
+	}
+}
+
+func TestSeamScoreDiscriminates(t *testing.T) {
+	p := imagegen.DefaultParams(3, 3, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodRep, err := SeamScore(good, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodRep.Mean < 0.85 {
+		t.Errorf("good placement seam score %.3f", goodRep.Mean)
+	}
+	if goodRep.Evaluated != p.Grid.NumPairs() {
+		t.Errorf("evaluated %d of %d pairs", goodRep.Evaluated, p.Grid.NumPairs())
+	}
+
+	// Corrupt the placement: shift the right column by 5 px.
+	bad := &global.Placement{Grid: good.Grid,
+		X: append([]int(nil), good.X...),
+		Y: append([]int(nil), good.Y...)}
+	for r := 0; r < 3; r++ {
+		i := good.Grid.Index(tile.Coord{Row: r, Col: 2})
+		bad.X[i] += 5
+		bad.Y[i] += 4
+	}
+	badRep, err := SeamScore(bad, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badRep.Mean >= goodRep.Mean-0.05 {
+		t.Errorf("corrupted placement scored %.3f vs good %.3f", badRep.Mean, goodRep.Mean)
+	}
+	if badRep.Worst.Coord.Col != 2 && badRep.Worst.Neighbor().Col != 2 {
+		t.Errorf("worst seam %v does not involve the corrupted column", badRep.Worst)
+	}
+}
+
+func TestSeamScoreErrors(t *testing.T) {
+	if _, err := SeamScore(&global.Placement{}, nil); err == nil {
+		t.Error("invalid placement should fail")
+	}
+}

@@ -1,0 +1,80 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// bluesteinState holds the precomputed chirp sequences and the
+// power-of-two convolution plan for Bluestein's algorithm, which evaluates
+// a length-n DFT of arbitrary n as a circular convolution of length
+// m ≥ 2n-1 (m a power of two here).
+//
+// The identity: with w[k] = exp(∓πi k²/n),
+//
+//	X[k] = w[k] · Σ_j (x[j]·w[j]) · conj(w)[k-j]
+//
+// so X = w ⊙ ((x ⊙ w) ⊛ conj(w)), and the convolution runs through
+// power-of-two FFTs.
+type bluesteinState struct {
+	n int
+	m int // convolution length, power of two ≥ 2n-1
+
+	chirp  []complex128 // w[k] = exp(∓πi k²/n), k ∈ [0,n)
+	kernel []complex128 // forward FFT of the padded conj-chirp sequence
+	twF    []complex128 // twiddles for length-m forward transform
+	twI    []complex128 // twiddles for length-m inverse transform
+	buf    []complex128 // length-m work buffer
+}
+
+func newBluestein(n int, dir Direction) *bluesteinState {
+	bs := &bluesteinState{n: n, m: nextPow2(2*n - 1)}
+	sign := -1.0
+	if dir == Inverse {
+		sign = 1.0
+	}
+	bs.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the angle argument small for large k; the
+		// chirp is periodic in k² with period 2n.
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(k2) / float64(n)
+		bs.chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	bs.twF = twiddleTable(bs.m, Forward)
+	bs.twI = twiddleTable(bs.m, Inverse)
+	bs.buf = make([]complex128, bs.m)
+
+	// Kernel: b[j] = conj(chirp[|j|]) laid out circularly, then FFT'd.
+	bs.kernel = make([]complex128, bs.m)
+	bs.kernel[0] = cmplx.Conj(bs.chirp[0])
+	for j := 1; j < n; j++ {
+		c := cmplx.Conj(bs.chirp[j])
+		bs.kernel[j] = c
+		bs.kernel[bs.m-j] = c
+	}
+	radix2InPlace(bs.kernel, bs.twF)
+	return bs
+}
+
+// execute transforms x (length n) in place.
+func (bs *bluesteinState) execute(x []complex128) {
+	n, m := bs.n, bs.m
+	a := bs.buf
+	for j := 0; j < n; j++ {
+		a[j] = x[j] * bs.chirp[j]
+	}
+	for j := n; j < m; j++ {
+		a[j] = 0
+	}
+	radix2InPlace(a, bs.twF)
+	for j := 0; j < m; j++ {
+		a[j] *= bs.kernel[j]
+	}
+	radix2InPlace(a, bs.twI)
+	// Unnormalized inverse: divide by m and apply the post-chirp.
+	inv := 1 / float64(m)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * bs.chirp[k] * complex(inv, 0)
+	}
+}

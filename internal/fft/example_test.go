@@ -1,0 +1,54 @@
+package fft_test
+
+import (
+	"fmt"
+	"math"
+
+	"hybridstitch/internal/fft"
+)
+
+// ExamplePlan transforms a small signal forward and back.
+func ExamplePlan() {
+	x := []complex128{1, 2, 3, 4}
+	fwd, _ := fft.NewPlan(len(x), fft.Forward, fft.PlanOpts{})
+	inv, _ := fft.NewPlan(len(x), fft.Inverse, fft.PlanOpts{NormalizeInverse: true})
+	_ = fwd.Execute(x)
+	fmt.Printf("DC bin: %.0f\n", real(x[0]))
+	_ = inv.Execute(x)
+	fmt.Printf("round trip: %.0f %.0f %.0f %.0f\n", real(x[0]), real(x[1]), real(x[2]), real(x[3]))
+	// Output:
+	// DC bin: 10
+	// round trip: 1 2 3 4
+}
+
+// ExamplePlanner shows wisdom caching: the second plan for a size reuses
+// the measured strategy.
+func ExamplePlanner() {
+	pl := fft.NewPlanner(fft.Measure)
+	p1, _ := pl.Plan(1392, fft.Forward, fft.PlanOpts{}) // the paper's tile width
+	p2, _ := pl.Plan(1392, fft.Forward, fft.PlanOpts{})
+	fmt.Println(p1.Strategy() == p2.Strategy(), pl.WisdomSize())
+	// Output: true 1
+}
+
+// ExampleNewRealPlan2D computes a half-spectrum transform of a real
+// image — half the storage of the complex path.
+func ExampleNewRealPlan2D() {
+	const h, w = 8, 16
+	img := make([]float64, h*w)
+	for i := range img {
+		img[i] = math.Sin(float64(i))
+	}
+	rp, _ := fft.NewRealPlan2D(h, w)
+	sh, sw := rp.SpectrumDims()
+	spec := make([]complex128, sh*sw)
+	_ = rp.Forward(spec, img)
+	fmt.Printf("spectrum %dx%d for image %dx%d\n", sh, sw, h, w)
+	// Output: spectrum 8x9 for image 8x16
+}
+
+// ExampleNextFastLength shows the padding ablation's size mapping.
+func ExampleNextFastLength() {
+	fmt.Println(fft.NextFastLength(1392), fft.NextFastLength(1040))
+	// Output: 1400 1050
+}

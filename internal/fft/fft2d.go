@@ -1,0 +1,180 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Plan2D executes two-dimensional transforms of h×w complex images stored
+// in row-major order. The transform is separable: length-w FFTs over each
+// row followed by length-h FFTs over each column. A Plan2D is NOT safe for
+// concurrent use by multiple goroutines on the same call; use one Plan2D
+// per goroutine or the Workers option, which shards rows/columns
+// internally across worker-local plans.
+type Plan2D struct {
+	w, h    int
+	dir     Direction
+	norm    bool
+	workers int
+
+	rowPlans []*Plan // one per worker
+	colPlans []*Plan
+	colBufs  [][]complex128 // per-worker column gather buffers
+}
+
+// Plan2DOpts adjusts 2-D plan construction.
+type Plan2DOpts struct {
+	// NormalizeInverse folds the 1/(w·h) factor into inverse transforms.
+	NormalizeInverse bool
+	// Workers is the number of goroutines Execute may use; 0 or 1 means
+	// serial execution.
+	Workers int
+	// ForceStrategy pins the 1-D strategy (tests, planner measure mode).
+	ForceStrategy string
+}
+
+// NewPlan2D builds a plan for h-row × w-column transforms.
+func NewPlan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, error) {
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("fft: invalid 2-D transform size %dx%d", h, w)
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers}
+	for i := 0; i < workers; i++ {
+		rp, err := NewPlan(w, dir, PlanOpts{ForceStrategy: opts.ForceStrategy})
+		if err != nil {
+			return nil, err
+		}
+		cp, err := NewPlan(h, dir, PlanOpts{ForceStrategy: opts.ForceStrategy})
+		if err != nil {
+			return nil, err
+		}
+		p.rowPlans = append(p.rowPlans, rp)
+		p.colPlans = append(p.colPlans, cp)
+		p.colBufs = append(p.colBufs, make([]complex128, h))
+	}
+	return p, nil
+}
+
+// W returns the row length (width).
+func (p *Plan2D) W() int { return p.w }
+
+// H returns the column length (height).
+func (p *Plan2D) H() int { return p.h }
+
+// Dir reports the transform direction.
+func (p *Plan2D) Dir() Direction { return p.dir }
+
+// Execute transforms data (len h*w, row-major) in place.
+func (p *Plan2D) Execute(data []complex128) error {
+	if len(data) != p.w*p.h {
+		return fmt.Errorf("fft: plan is %dx%d (%d elements), input has %d", p.h, p.w, p.h*p.w, len(data))
+	}
+	if p.workers == 1 {
+		return p.executeSerial(data)
+	}
+	return p.executeParallel(data)
+}
+
+func (p *Plan2D) executeSerial(data []complex128) error {
+	rp, cp, buf := p.rowPlans[0], p.colPlans[0], p.colBufs[0]
+	for r := 0; r < p.h; r++ {
+		if err := rp.Execute(data[r*p.w : (r+1)*p.w]); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < p.w; c++ {
+		gatherCol(buf, data, c, p.w, p.h)
+		if err := cp.Execute(buf); err != nil {
+			return err
+		}
+		scatterCol(data, buf, c, p.w, p.h)
+	}
+	p.normalize(data)
+	return nil
+}
+
+func (p *Plan2D) executeParallel(data []complex128) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// Row pass: shard rows across workers.
+	wg.Add(p.workers)
+	for wk := 0; wk < p.workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			rp := p.rowPlans[wk]
+			for r := wk; r < p.h; r += p.workers {
+				if err := rp.Execute(data[r*p.w : (r+1)*p.w]); err != nil {
+					record(err)
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Column pass.
+	wg.Add(p.workers)
+	for wk := 0; wk < p.workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			cp, buf := p.colPlans[wk], p.colBufs[wk]
+			for c := wk; c < p.w; c += p.workers {
+				gatherCol(buf, data, c, p.w, p.h)
+				if err := cp.Execute(buf); err != nil {
+					record(err)
+					return
+				}
+				scatterCol(data, buf, c, p.w, p.h)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	p.normalize(data)
+	return nil
+}
+
+func (p *Plan2D) normalize(data []complex128) {
+	if !p.norm || p.dir != Inverse {
+		return
+	}
+	s := complex(1/float64(p.w*p.h), 0)
+	for i := range data {
+		data[i] *= s
+	}
+}
+
+func gatherCol(dst, data []complex128, c, w, h int) {
+	idx := c
+	for r := 0; r < h; r++ {
+		dst[r] = data[idx]
+		idx += w
+	}
+}
+
+func scatterCol(data, src []complex128, c, w, h int) {
+	idx := c
+	for r := 0; r < h; r++ {
+		data[idx] = src[r]
+		idx += w
+	}
+}

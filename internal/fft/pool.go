@@ -1,0 +1,75 @@
+package fft
+
+import (
+	"sync"
+)
+
+// Plan objects are not safe for concurrent use (they own scratch
+// buffers), the same rule FFTW imposes. PlanPool amortizes plan
+// construction across goroutines: Get checks out a plan for one (size,
+// direction), building it through the pool's Planner on first use; Put
+// returns it for reuse. The stitching workers could each own a plan
+// directly (and do), but library users running transforms from ephemeral
+// goroutines need the pool.
+type PlanPool struct {
+	planner *Planner
+	mu      sync.Mutex
+	free    map[poolKey][]*Plan
+}
+
+type poolKey struct {
+	n   int
+	dir Direction
+}
+
+// maxFreePerKey bounds the retained plans per (size, direction); beyond
+// it, Put drops the plan for the GC. A handful covers any realistic
+// worker count between bursts.
+const maxFreePerKey = 32
+
+// NewPlanPool creates a pool backed by the given planner (nil uses a
+// private estimate-mode planner).
+func NewPlanPool(planner *Planner) *PlanPool {
+	if planner == nil {
+		planner = NewPlanner(Estimate)
+	}
+	return &PlanPool{planner: planner, free: make(map[poolKey][]*Plan)}
+}
+
+// Get checks out a plan for length-n transforms in the given direction.
+func (pp *PlanPool) Get(n int, dir Direction) (*Plan, error) {
+	key := poolKey{n, dir}
+	pp.mu.Lock()
+	if lst := pp.free[key]; len(lst) > 0 {
+		p := lst[len(lst)-1]
+		pp.free[key] = lst[:len(lst)-1]
+		pp.mu.Unlock()
+		return p, nil
+	}
+	pp.mu.Unlock()
+	return pp.planner.Plan(n, dir, PlanOpts{})
+}
+
+// Put returns a plan for reuse. Putting a plan whose size or direction
+// was never Get is allowed; it joins that size's free list.
+func (pp *PlanPool) Put(p *Plan) {
+	if p == nil {
+		return
+	}
+	key := poolKey{p.Len(), p.Dir()}
+	pp.mu.Lock()
+	if len(pp.free[key]) < maxFreePerKey {
+		pp.free[key] = append(pp.free[key], p)
+	}
+	pp.mu.Unlock()
+}
+
+// Execute is the convenience form: check out, run, return.
+func (pp *PlanPool) Execute(x []complex128, dir Direction) error {
+	p, err := pp.Get(len(x), dir)
+	if err != nil {
+		return err
+	}
+	defer pp.Put(p)
+	return p.Execute(x)
+}

@@ -1,0 +1,88 @@
+package fft
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPlanPoolReusesPlans(t *testing.T) {
+	pp := NewPlanPool(nil)
+	p1, err := pp.Get(64, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Put(p1)
+	p2, err := pp.Get(64, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("pool did not reuse the plan")
+	}
+	// Different direction gets a different plan.
+	p3, err := pp.Get(64, Inverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("direction confusion in pool")
+	}
+	pp.Put(nil) // harmless
+}
+
+func TestPlanPoolConcurrentCorrectness(t *testing.T) {
+	pp := NewPlanPool(NewPlanner(Measure))
+	const n = 60
+	x := randComplex(n, 5)
+	want := naiveDFT(x, Forward)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				buf := append([]complex128(nil), x...)
+				if err := pp.Execute(buf, Forward); err != nil {
+					errs <- err
+					return
+				}
+				if d := maxAbsDiff(buf, want); d > tolFor(n) {
+					errs <- errDiff(d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errDiff float64
+
+func (e errDiff) Error() string { return "pool transform diverged" }
+
+func TestPlannerConcurrent(t *testing.T) {
+	// The planner itself must be safe for concurrent Plan calls.
+	pl := NewPlanner(Measure)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, n := range []int{12, 60, 64, 97, 120} {
+				if _, err := pl.Plan(n, Forward, PlanOpts{}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pl.WisdomSize() != 5 {
+		t.Errorf("wisdom size %d, want 5", pl.WisdomSize())
+	}
+}

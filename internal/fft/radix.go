@@ -1,0 +1,193 @@
+package fft
+
+// This file contains the execution kernels for the power-of-two and
+// mixed-radix strategies.
+
+// radix2InPlace computes an in-place iterative decimation-in-time FFT for
+// power-of-two lengths: bit-reversal permutation followed by log2(n)
+// butterfly passes reading twiddles from the full-length table.
+func radix2InPlace(x []complex128, tw []complex128) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly passes. At the pass whose half-block is "half", the
+	// twiddle for butterfly position k is tw[k * n/(2*half)].
+	for half := 1; half < n; half <<= 1 {
+		step := n / (2 * half)
+		for start := 0; start < n; start += 2 * half {
+			idx := 0
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * tw[idx]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				idx += step
+			}
+		}
+	}
+}
+
+// mixedRadix executes the recursive Cooley-Tukey decomposition over the
+// plan's factor list. The recursion gathers strided input at the leaves
+// (digit-reversal) and then fuses sub-transforms bottom-up; each fuse step
+// is atomic and may therefore share the single plan-level combine buffer.
+func (p *Plan) mixedRadix(x []complex128) {
+	if p.n == 1 {
+		return
+	}
+	copy(p.scratch, x)
+	p.ctRec(x, p.scratch, p.n, 1, 0)
+}
+
+// ctRec computes the DFT of the n elements src[0], src[stride],
+// src[2*stride], ... into dst[0..n). fi indexes p.factors for the radix to
+// peel at this level. src is never written; dst sub-blocks are combined in
+// place using p.combuf as temporary storage.
+func (p *Plan) ctRec(dst, src []complex128, n, stride, fi int) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := p.factors[fi]
+	m := n / r
+	// Decimation in time: sub-sequence j is src[j*stride::r*stride],
+	// length m, transformed into dst[j*m : (j+1)*m).
+	for j := 0; j < r; j++ {
+		p.ctRec(dst[j*m:(j+1)*m], src[j*stride:], m, stride*r, fi+1)
+	}
+	// Fuse the r sub-transforms: X[q+s*m] = Σ_j tw[j(q+s·m)·unit] · Y_j[q],
+	// with unit = p.n/n so that indices stay inside the full-size table.
+	unit := p.n / n
+	switch r {
+	case 2:
+		combine2(dst, p.combuf, m, p.twiddle, unit)
+	case 3:
+		combine3(dst, p.combuf, m, p.twiddle, unit)
+	case 4:
+		combine4(dst, p.combuf, m, p.twiddle, unit)
+	case 5:
+		combine5(dst, p.combuf, m, p.twiddle, unit)
+	default:
+		combineGeneric(dst, p.combuf, n, m, r, p.twiddle, unit)
+	}
+}
+
+// combine2 fuses two length-m sub-transforms held in dst into one
+// length-2m transform, using tmp as scratch.
+func combine2(dst, tmp []complex128, m int, tw []complex128, unit int) {
+	copy(tmp[:2*m], dst[:2*m])
+	y0 := tmp[:m]
+	y1 := tmp[m : 2*m]
+	idx := 0
+	for q := 0; q < m; q++ {
+		t := y1[q] * tw[idx]
+		dst[q] = y0[q] + t
+		dst[q+m] = y0[q] - t
+		idx += unit
+	}
+}
+
+// combine3 is the radix-3 butterfly.
+func combine3(dst, tmp []complex128, m int, tw []complex128, unit int) {
+	n := 3 * m
+	full := len(tw)
+	copy(tmp[:n], dst[:n])
+	y0, y1, y2 := tmp[:m], tmp[m:2*m], tmp[2*m:n]
+	w1 := tw[(m*unit)%full]   // ω₃
+	w2 := tw[(2*m*unit)%full] // ω₃²
+	w4 := tw[(4*m*unit)%full] // ω₃⁴ = ω₃
+	for q := 0; q < m; q++ {
+		t1 := y1[q] * tw[(q*unit)%full]
+		t2 := y2[q] * tw[(2*q*unit)%full]
+		dst[q] = y0[q] + t1 + t2
+		dst[q+m] = y0[q] + t1*w1 + t2*w2
+		dst[q+2*m] = y0[q] + t1*w2 + t2*w4
+	}
+}
+
+// combine4 is the radix-4 butterfly (two radix-2 levels fused).
+func combine4(dst, tmp []complex128, m int, tw []complex128, unit int) {
+	n := 4 * m
+	full := len(tw)
+	copy(tmp[:n], dst[:n])
+	y0, y1, y2, y3 := tmp[:m], tmp[m:2*m], tmp[2*m:3*m], tmp[3*m:n]
+	rot := tw[(m*unit)%full] // exp(∓2πi/4) = ∓i depending on direction
+	for q := 0; q < m; q++ {
+		t0 := y0[q]
+		t1 := y1[q] * tw[(q*unit)%full]
+		t2 := y2[q] * tw[(2*q*unit)%full]
+		t3 := y3[q] * tw[(3*q*unit)%full]
+		a := t0 + t2
+		b := t0 - t2
+		c := t1 + t3
+		d := (t1 - t3) * rot
+		dst[q] = a + c
+		dst[q+m] = b + d
+		dst[q+2*m] = a - c
+		dst[q+3*m] = b - d
+	}
+}
+
+// combine5 is the radix-5 butterfly.
+func combine5(dst, tmp []complex128, m int, tw []complex128, unit int) {
+	n := 5 * m
+	full := len(tw)
+	copy(tmp[:n], dst[:n])
+	y := [5][]complex128{tmp[:m], tmp[m : 2*m], tmp[2*m : 3*m], tmp[3*m : 4*m], tmp[4*m : n]}
+	var w [5]complex128 // fifth roots of unity in transform direction
+	for j := range w {
+		w[j] = tw[(j*m*unit)%full]
+	}
+	for q := 0; q < m; q++ {
+		var t [5]complex128
+		t[0] = y[0][q]
+		for j := 1; j < 5; j++ {
+			t[j] = y[j][q] * tw[(j*q*unit)%full]
+		}
+		for s := 0; s < 5; s++ {
+			acc := t[0]
+			for j := 1; j < 5; j++ {
+				acc += t[j] * w[(j*s)%5]
+			}
+			dst[q+s*m] = acc
+		}
+	}
+}
+
+// combineGeneric is the O(r²·m) butterfly for arbitrary prime radix
+// r ≤ maxDirectPrime, with n = r*m.
+func combineGeneric(dst, tmp []complex128, n, m, r int, tw []complex128, unit int) {
+	full := len(tw)
+	copy(tmp[:n], dst[:n])
+	for q := 0; q < m; q++ {
+		var t [maxDirectPrime]complex128
+		for j := 0; j < r; j++ {
+			t[j] = tmp[j*m+q] * tw[(j*q*unit)%full]
+		}
+		for s := 0; s < r; s++ {
+			acc := t[0]
+			idx := 0
+			step := (s * m * unit) % full
+			for j := 1; j < r; j++ {
+				idx += step
+				if idx >= full {
+					idx -= full
+				}
+				acc += t[j] * tw[idx]
+			}
+			dst[q+s*m] = acc
+		}
+	}
+}

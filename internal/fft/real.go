@@ -1,0 +1,308 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// This file implements real-input transforms — the paper's §VI.A
+// future-work optimization ("using real to complex transforms will further
+// improve performance by doing less work; it will also reduce the
+// computation's memory footprint").
+//
+// A real length-n sequence has a conjugate-symmetric spectrum, so only the
+// first n/2+1 bins are stored. For even n the forward transform packs the
+// input into an n/2-point complex FFT and untangles the halves; odd n
+// falls back to a full complex transform.
+
+// RealPlan computes forward real-to-complex and inverse complex-to-real
+// 1-D transforms of length n. Not safe for concurrent use.
+type RealPlan struct {
+	n       int
+	half    *Plan        // n/2-point complex plan (even n fast path)
+	full    *Plan        // full-size fallback (odd n)
+	fullInv *Plan        // full-size inverse for odd-n c2r
+	wr      []complex128 // untangling twiddles exp(-2πi k/n)
+	buf     []complex128
+}
+
+// NewRealPlan builds a real-transform plan for length n ≥ 2.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("fft: real plan requires n ≥ 2, got %d", n)
+	}
+	rp := &RealPlan{n: n}
+	if n%2 == 0 {
+		p, err := NewPlan(n/2, Forward, PlanOpts{})
+		if err != nil {
+			return nil, err
+		}
+		rp.half = p
+		rp.wr = make([]complex128, n/2+1)
+		for k := range rp.wr {
+			rp.wr[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		}
+		rp.buf = make([]complex128, n/2)
+	} else {
+		p, err := NewPlan(n, Forward, PlanOpts{})
+		if err != nil {
+			return nil, err
+		}
+		pi, err := NewPlan(n, Inverse, PlanOpts{})
+		if err != nil {
+			return nil, err
+		}
+		rp.full = p
+		rp.fullInv = pi
+		rp.buf = make([]complex128, n)
+	}
+	return rp, nil
+}
+
+// Len reports the real input length.
+func (rp *RealPlan) Len() int { return rp.n }
+
+// SpectrumLen reports the half-spectrum length n/2+1.
+func (rp *RealPlan) SpectrumLen() int { return rp.n/2 + 1 }
+
+// Forward computes the half spectrum X[0..n/2] of the real input x into
+// dst, which must have length SpectrumLen.
+func (rp *RealPlan) Forward(dst []complex128, x []float64) error {
+	if len(x) != rp.n {
+		return fmt.Errorf("fft: real plan length %d, input length %d", rp.n, len(x))
+	}
+	if len(dst) != rp.SpectrumLen() {
+		return fmt.Errorf("fft: spectrum buffer length %d, want %d", len(dst), rp.SpectrumLen())
+	}
+	if rp.full != nil { // odd-n fallback
+		for i, v := range x {
+			rp.buf[i] = complex(v, 0)
+		}
+		if err := rp.full.Execute(rp.buf); err != nil {
+			return err
+		}
+		copy(dst, rp.buf[:rp.n/2+1])
+		return nil
+	}
+	h := rp.n / 2
+	// Pack pairs into a length-h complex signal z[j] = x[2j] + i·x[2j+1].
+	for j := 0; j < h; j++ {
+		rp.buf[j] = complex(x[2*j], x[2*j+1])
+	}
+	if err := rp.half.Execute(rp.buf); err != nil {
+		return err
+	}
+	// Untangle: with Z the FFT of z,
+	//   E[k] = (Z[k] + conj(Z[h-k]))/2          (FFT of even samples)
+	//   O[k] = (Z[k] - conj(Z[h-k]))/(2i)       (FFT of odd samples)
+	//   X[k] = E[k] + exp(-2πik/n)·O[k]
+	for k := 0; k <= h; k++ {
+		zk := rp.buf[k%h]
+		zc := cmplx.Conj(rp.buf[(h-k)%h])
+		e := (zk + zc) * 0.5
+		o := (zk - zc) * complex(0, -0.5)
+		dst[k] = e + rp.wr[k]*o
+	}
+	return nil
+}
+
+// Inverse reconstructs the real signal x (length n) from the half
+// spectrum spec (length SpectrumLen). The result is unnormalized: like the
+// complex plans, it carries a factor of n relative to the original input.
+func (rp *RealPlan) Inverse(x []float64, spec []complex128) error {
+	if len(x) != rp.n {
+		return fmt.Errorf("fft: real plan length %d, output length %d", rp.n, len(x))
+	}
+	if len(spec) != rp.SpectrumLen() {
+		return fmt.Errorf("fft: spectrum buffer length %d, want %d", len(spec), rp.SpectrumLen())
+	}
+	if rp.full != nil { // odd-n fallback: rebuild full spectrum, inverse FFT
+		h := rp.n / 2
+		rp.buf[0] = spec[0]
+		for k := 1; k <= h; k++ {
+			rp.buf[k] = spec[k]
+			rp.buf[rp.n-k] = cmplx.Conj(spec[k])
+		}
+		if err := rp.fullInv.Execute(rp.buf); err != nil {
+			return err
+		}
+		for i := range x {
+			x[i] = real(rp.buf[i])
+		}
+		return nil
+	}
+	h := rp.n / 2
+	// Re-tangle: Z[k] = E[k] + i·exp(+2πik/n)·O'[k] where
+	//   E[k]  = (X[k] + conj(X[h-k]))/2
+	//   O'[k] = (X[k] - conj(X[h-k]))/2 · conj(w[k])·... — derived by
+	// inverting the untangle step.
+	for k := 0; k < h; k++ {
+		xk := spec[k]
+		xc := cmplx.Conj(spec[h-k])
+		e := (xk + xc) * 0.5
+		o := (xk - xc) * 0.5 * cmplx.Conj(rp.wr[k]) // O[k]·(-i) inverted below
+		rp.buf[k] = e + complex(0, 1)*o
+	}
+	// Inverse h-point complex FFT (unnormalized): reuse forward plan via
+	// conjugation trick: IFFT(z) = conj(FFT(conj(z))).
+	for j := 0; j < h; j++ {
+		rp.buf[j] = cmplx.Conj(rp.buf[j])
+	}
+	if err := rp.half.Execute(rp.buf); err != nil {
+		return err
+	}
+	// Unpack: z[j] carries x[2j] (real) and x[2j+1] (imag), each ×h; the
+	// overall unnormalized convention wants ×n = ×2h, so scale by 2.
+	for j := 0; j < h; j++ {
+		z := cmplx.Conj(rp.buf[j])
+		x[2*j] = real(z) * 2
+		x[2*j+1] = imag(z) * 2
+	}
+	return nil
+}
+
+// RealPlan2D computes forward real-to-complex 2-D transforms of h×w
+// row-major real images, producing the half spectrum with rows of length
+// w/2+1 (h rows). Inverse reconstructs the real image. Not safe for
+// concurrent use.
+type RealPlan2D struct {
+	w, h    int
+	sw      int // spectrum row width = w/2+1
+	workers int
+	rowF    []*RealPlan // one per worker
+	colF    []*Plan
+	colI    []*Plan
+	cbuf    [][]complex128
+	specF   []complex128 // scratch spectrum for inverse
+}
+
+// NewRealPlan2D builds a serial 2-D real-transform plan.
+func NewRealPlan2D(h, w int) (*RealPlan2D, error) {
+	return NewRealPlan2DWorkers(h, w, 1)
+}
+
+// NewRealPlan2DWorkers builds a plan whose Forward/Inverse shard rows and
+// spectrum columns across `workers` goroutines — the r2c counterpart of
+// Plan2DOpts.Workers.
+func NewRealPlan2DWorkers(h, w, workers int) (*RealPlan2D, error) {
+	if h <= 0 || w < 2 {
+		return nil, fmt.Errorf("fft: invalid real 2-D size %dx%d", h, w)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &RealPlan2D{w: w, h: h, sw: w/2 + 1, workers: workers,
+		specF: make([]complex128, h*(w/2+1))}
+	for i := 0; i < workers; i++ {
+		rowF, err := NewRealPlan(w)
+		if err != nil {
+			return nil, err
+		}
+		colF, err := NewPlan(h, Forward, PlanOpts{})
+		if err != nil {
+			return nil, err
+		}
+		colI, err := NewPlan(h, Inverse, PlanOpts{})
+		if err != nil {
+			return nil, err
+		}
+		p.rowF = append(p.rowF, rowF)
+		p.colF = append(p.colF, colF)
+		p.colI = append(p.colI, colI)
+		p.cbuf = append(p.cbuf, make([]complex128, h))
+	}
+	return p, nil
+}
+
+// shard runs fn(worker, index) for every index in [0, n), distributed
+// round-robin across the plan's workers, and returns the first error.
+func (p *RealPlan2D) shard(n int, fn func(worker, index int) error) error {
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p.workers)
+	for wk := 0; wk < p.workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < n; i += p.workers {
+				if err := fn(wk, i); err != nil {
+					errs[wk] = err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpectrumDims returns the half-spectrum dimensions (rows, cols).
+func (p *RealPlan2D) SpectrumDims() (int, int) { return p.h, p.sw }
+
+// Forward computes the half spectrum of the real image img (h*w,
+// row-major) into dst (h*(w/2+1), row-major).
+func (p *RealPlan2D) Forward(dst []complex128, img []float64) error {
+	if len(img) != p.h*p.w {
+		return fmt.Errorf("fft: image is %d elements, want %d", len(img), p.h*p.w)
+	}
+	if len(dst) != p.h*p.sw {
+		return fmt.Errorf("fft: spectrum is %d elements, want %d", len(dst), p.h*p.sw)
+	}
+	if err := p.shard(p.h, func(wk, r int) error {
+		return p.rowF[wk].Forward(dst[r*p.sw:(r+1)*p.sw], img[r*p.w:(r+1)*p.w])
+	}); err != nil {
+		return err
+	}
+	return p.shard(p.sw, func(wk, c int) error {
+		gatherCol(p.cbuf[wk], dst, c, p.sw, p.h)
+		if err := p.colF[wk].Execute(p.cbuf[wk]); err != nil {
+			return err
+		}
+		scatterCol(dst, p.cbuf[wk], c, p.sw, p.h)
+		return nil
+	})
+}
+
+// Inverse reconstructs the real image from the half spectrum. The result
+// carries the unnormalized factor w·h, matching the complex 2-D plans.
+func (p *RealPlan2D) Inverse(img []float64, spec []complex128) error {
+	if len(img) != p.h*p.w {
+		return fmt.Errorf("fft: image is %d elements, want %d", len(img), p.h*p.w)
+	}
+	if len(spec) != p.h*p.sw {
+		return fmt.Errorf("fft: spectrum is %d elements, want %d", len(spec), p.h*p.sw)
+	}
+	work := p.specF
+	copy(work, spec)
+	// Undo the column pass with unnormalized inverse FFTs, then each row
+	// through the 1-D c2r inverse. Unnormalized convention: colI gives
+	// ×h, rowF.Inverse gives ×w — the product is the advertised w·h
+	// factor, so no scaling here.
+	if err := p.shard(p.sw, func(wk, c int) error {
+		gatherCol(p.cbuf[wk], work, c, p.sw, p.h)
+		if err := p.colI[wk].Execute(p.cbuf[wk]); err != nil {
+			return err
+		}
+		scatterCol(work, p.cbuf[wk], c, p.sw, p.h)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return p.shard(p.h, func(wk, r int) error {
+		return p.rowF[wk].Inverse(img[r*p.w:(r+1)*p.w], work[r*p.sw:(r+1)*p.sw])
+	})
+}

@@ -1,0 +1,58 @@
+package fft
+
+// Stockham autosort FFT for power-of-two lengths: instead of a bit-
+// reversal permutation followed by in-place butterflies, each pass
+// writes its butterflies to the alternate buffer in sorted order. The
+// access pattern is fully sequential in both buffers, which tends to win
+// on hardware where the strided bit-reversal pass thrashes the cache —
+// exactly the kind of machine-dependent trade FFTW's measured planning
+// exists to arbitrate, so this strategy gives the planner's measure and
+// patient modes a genuine second candidate for power-of-two sizes.
+
+// stockhamState holds the ping-pong buffer for a plan.
+type stockhamState struct {
+	buf []complex128
+}
+
+func newStockham(n int) *stockhamState {
+	return &stockhamState{buf: make([]complex128, n)}
+}
+
+// execute transforms x in place. n = len(x) must be a power of two and
+// tw the full-length twiddle table in the transform direction.
+//
+// Standard radix-2 Stockham (Van Loan's framework): after the pass with
+// built-transform size L, element order is already sorted, so no
+// bit-reversal is ever needed. Per pass, step = n/(2L):
+//
+//	for j in [0,L): w = tw[j·step]
+//	  for k in [0,step):
+//	    c = src[j·2·step + k]
+//	    d = w · src[j·2·step + step + k]
+//	    dst[j·step + k]     = c + d
+//	    dst[(j+L)·step + k] = c - d
+func (st *stockhamState) execute(x []complex128, tw []complex128) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	src, dst := x, st.buf
+	for L := 1; L < n; L <<= 1 {
+		step := n / (2 * L)
+		for j := 0; j < L; j++ {
+			w := tw[j*step]
+			base := j * 2 * step
+			out := j * step
+			for k := 0; k < step; k++ {
+				c := src[base+k]
+				d := src[base+step+k] * w
+				dst[out+k] = c + d
+				dst[out+L*step+k] = c - d
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &x[0] {
+		copy(x, src)
+	}
+}

@@ -1,0 +1,43 @@
+package global_test
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+)
+
+// Example runs the full phase-1 → phase-2 flow and checks accuracy
+// against the generator's ground truth.
+func Example() {
+	params := imagegen.DefaultParams(3, 3, 128, 96)
+	dataset, err := imagegen.Generate(params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	src := &stitch.MemorySource{DS: dataset}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The spanning-tree solver with stage-model repair...
+	mst, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// ...and the robust least-squares optimizer.
+	ls, err := global.SolveLeastSquares(res, global.LSOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mstRMS, _ := global.RMSError(mst, dataset.TruthX, dataset.TruthY)
+	lsRMS, _ := global.RMSError(ls, dataset.TruthX, dataset.TruthY)
+	fmt.Printf("MST %.1f px, least-squares %.1f px\n", mstRMS, lsRMS)
+	// Output: MST 0.0 px, least-squares 0.0 px
+}

@@ -1,0 +1,343 @@
+// Package global implements the second phase of the stitching algorithm:
+// resolving the over-constrained system of pair-wise displacements into
+// absolute tile positions. The displacements form a directed graph whose
+// path sums must be invariant; the paper resolves the over-constraint by
+// "selecting a subset of the relative displacements" — here a maximum
+// spanning tree over correlation quality, with optional outlier repair in
+// the style the NIST group later shipped in MIST (low-confidence edges
+// snap to the median stage displacement before tree construction).
+package global
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// Options tunes the solver.
+type Options struct {
+	// MinCorr discards edges whose correlation is below this threshold
+	// before building the tree (they rejoin via repair if enabled).
+	MinCorr float64
+	// RepairOutliers replaces displacements that deviate from the
+	// per-direction median by more than MaxDeviation with the median —
+	// the stage-model repair for featureless overlaps.
+	RepairOutliers bool
+	// MaxDeviation is the per-axis pixel deviation tolerated before an
+	// edge counts as an outlier. Zero derives a robust threshold from
+	// the observed median absolute deviation (5·MAD+3).
+	MaxDeviation int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinCorr == 0 {
+		o.MinCorr = 0.3
+	}
+	return o
+}
+
+// Placement is the phase-2 output: absolute tile positions.
+type Placement struct {
+	Grid tile.Grid
+	// X, Y are per-tile absolute positions (grid-index order),
+	// normalized so the minimum is 0.
+	X, Y []int
+	// Repaired counts edges snapped to the median displacement.
+	Repaired int
+	// Dropped counts edges excluded from the tree for low correlation.
+	Dropped int
+	// TreeCorrMin is the weakest correlation used in the spanning tree.
+	TreeCorrMin float64
+}
+
+// edge is one usable pair displacement.
+type edge struct {
+	from, to int // grid indices; displacement positions `to` relative to `from`
+	dx, dy   int
+	corr     float64
+	repaired bool
+}
+
+// Solve computes absolute positions from phase-1 output.
+func Solve(res *stitch.Result, opts Options) (*Placement, error) {
+	g := res.Grid
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	edges, dropped, repaired := collectEdges(res, opts)
+
+	n := g.NumTiles()
+	// Maximum spanning tree by correlation (Kruskal).
+	sort.Slice(edges, func(i, j int) bool { return edges[i].corr > edges[j].corr })
+	dsu := newDSU(n)
+	adj := make([][]edge, n)
+	used := 0
+	treeMin := math.Inf(1)
+	for _, e := range edges {
+		if !dsu.union(e.from, e.to) {
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e)
+		adj[e.to] = append(adj[e.to], edge{from: e.to, to: e.from, dx: -e.dx, dy: -e.dy, corr: e.corr})
+		used++
+		if e.corr < treeMin {
+			treeMin = e.corr
+		}
+	}
+	// Reconnect any components the correlation filter disconnected using
+	// nominal displacements, so every tile gets a position.
+	if used < n-1 {
+		nomW := g.NominalDisplacement(tile.West)
+		nomN := g.NominalDisplacement(tile.North)
+		for _, p := range g.Pairs() {
+			bi := g.Index(p.Coord)
+			ai := g.Index(p.Neighbor())
+			if !dsu.union(ai, bi) {
+				continue
+			}
+			nom := nomW
+			if p.Dir == tile.North {
+				nom = nomN
+			}
+			adj[ai] = append(adj[ai], edge{from: ai, to: bi, dx: nom.X, dy: nom.Y})
+			adj[bi] = append(adj[bi], edge{from: bi, to: ai, dx: -nom.X, dy: -nom.Y})
+			used++
+		}
+	}
+	if used < n-1 {
+		return nil, fmt.Errorf("global: placement graph still disconnected (%d/%d tree edges)", used, n-1)
+	}
+
+	// BFS from tile 0 assigning positions.
+	X := make([]int, n)
+	Y := make([]int, n)
+	visited := make([]bool, n)
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			X[e.to] = X[u] + e.dx
+			Y[e.to] = Y[u] + e.dy
+			queue = append(queue, e.to)
+		}
+	}
+	for i, v := range visited {
+		if !v {
+			return nil, fmt.Errorf("global: tile %d unreachable in placement tree", i)
+		}
+	}
+
+	pl := &Placement{Grid: g, X: X, Y: Y, Repaired: repaired, Dropped: dropped}
+	if !math.IsInf(treeMin, 1) {
+		pl.TreeCorrMin = treeMin
+	}
+	pl.normalize()
+	return pl, nil
+}
+
+// collectEdges gathers the usable displacements, applying correlation
+// filtering and optional outlier repair.
+func collectEdges(res *stitch.Result, opts Options) (edges []edge, dropped, repaired int) {
+	g := res.Grid
+	// Per-direction medians for repair.
+	var westDX, westDY, northDX, northDY []int
+	for _, p := range g.Pairs() {
+		d, ok := res.PairDisplacement(p)
+		if !ok {
+			continue
+		}
+		if p.Dir == tile.West {
+			westDX = append(westDX, d.X)
+			westDY = append(westDY, d.Y)
+		} else {
+			northDX = append(northDX, d.X)
+			northDY = append(northDY, d.Y)
+		}
+	}
+	medWX, medWY := median(westDX), median(westDY)
+	medNX, medNY := median(northDX), median(northDY)
+	devW := opts.MaxDeviation
+	if devW == 0 {
+		devW = 5*maxInt(mad(westDX, medWX), mad(westDY, medWY)) + 3
+	}
+	devN := opts.MaxDeviation
+	if opts.MaxDeviation == 0 {
+		devN = 5*maxInt(mad(northDX, medNX), mad(northDY, medNY)) + 3
+	}
+
+	for _, p := range g.Pairs() {
+		d, ok := res.PairDisplacement(p)
+		if !ok {
+			dropped++
+			continue
+		}
+		medX, medY, dev := medWX, medWY, devW
+		if p.Dir == tile.North {
+			medX, medY, dev = medNX, medNY, devN
+		}
+		outlier := abs(d.X-medX) > dev || abs(d.Y-medY) > dev
+		e := edge{
+			from: g.Index(p.Neighbor()),
+			to:   g.Index(p.Coord),
+			dx:   d.X, dy: d.Y, corr: d.Corr,
+		}
+		switch {
+		case d.Corr < opts.MinCorr && opts.RepairOutliers,
+			outlier && opts.RepairOutliers:
+			e.dx, e.dy = medX, medY
+			e.corr = opts.MinCorr // repaired edges rank below measured ones
+			e.repaired = true
+			repaired++
+			edges = append(edges, e)
+		case d.Corr < opts.MinCorr:
+			dropped++
+		default:
+			edges = append(edges, e)
+		}
+	}
+	return edges, dropped, repaired
+}
+
+// normalize shifts positions so min X and Y are zero.
+func (p *Placement) normalize() {
+	if len(p.X) == 0 {
+		return
+	}
+	minX, minY := p.X[0], p.Y[0]
+	for i := range p.X {
+		if p.X[i] < minX {
+			minX = p.X[i]
+		}
+		if p.Y[i] < minY {
+			minY = p.Y[i]
+		}
+	}
+	for i := range p.X {
+		p.X[i] -= minX
+		p.Y[i] -= minY
+	}
+}
+
+// Bounds returns the composite image dimensions implied by the
+// placement.
+func (p *Placement) Bounds() (w, h int) {
+	for i := range p.X {
+		if x := p.X[i] + p.Grid.TileW; x > w {
+			w = x
+		}
+		if y := p.Y[i] + p.Grid.TileH; y > h {
+			h = y
+		}
+	}
+	return w, h
+}
+
+// RMSError compares a placement against ground-truth positions (both
+// normalized to a common origin) and returns the root-mean-square
+// per-tile position error in pixels.
+func RMSError(p *Placement, truthX, truthY []int) (float64, error) {
+	if len(truthX) != len(p.X) || len(truthY) != len(p.Y) {
+		return 0, fmt.Errorf("global: truth has %d/%d entries, placement has %d", len(truthX), len(truthY), len(p.X))
+	}
+	// Normalize truth the same way.
+	minX, minY := truthX[0], truthY[0]
+	for i := range truthX {
+		if truthX[i] < minX {
+			minX = truthX[i]
+		}
+		if truthY[i] < minY {
+			minY = truthY[i]
+		}
+	}
+	var sum float64
+	for i := range p.X {
+		dx := float64(p.X[i] - (truthX[i] - minX))
+		dy := float64(p.Y[i] - (truthY[i] - minY))
+		sum += dx*dx + dy*dy
+	}
+	return math.Sqrt(sum / float64(len(p.X))), nil
+}
+
+// dsu is a union-find structure for Kruskal.
+type dsu struct {
+	parent []int
+	rank   []int
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n), rank: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, returning false if already joined.
+func (d *dsu) union(a, b int) bool {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return false
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	return true
+}
+
+// median returns the median of xs (0 for empty input).
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[len(s)/2]
+}
+
+// mad returns the median absolute deviation around med.
+func mad(xs []int, med int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	devs := make([]int, len(xs))
+	for i, x := range xs {
+		devs[i] = abs(x - med)
+	}
+	return median(devs)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

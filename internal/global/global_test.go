@@ -1,0 +1,249 @@
+package global
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// syntheticResult fabricates a perfect phase-1 result from ground truth.
+func syntheticResult(t *testing.T, rows, cols int, seed int64) (*stitch.Result, *imagegen.Dataset) {
+	t.Helper()
+	p := imagegen.DefaultParams(rows, cols, 32, 32)
+	p.Seed = seed
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resultFromTruth(ds)
+	return res, ds
+}
+
+func resultFromTruth(ds *imagegen.Dataset) *stitch.Result {
+	g := ds.Params.Grid
+	res := &stitch.Result{Grid: g,
+		West:  make([]tile.Displacement, g.NumTiles()),
+		North: make([]tile.Displacement, g.NumTiles())}
+	for i := range res.West {
+		res.West[i].Corr = math.NaN()
+		res.North[i].Corr = math.NaN()
+	}
+	for _, p := range g.Pairs() {
+		d := ds.TrueDisplacement(p)
+		d.Corr = 0.95
+		i := g.Index(p.Coord)
+		if p.Dir == tile.West {
+			res.West[i] = d
+		} else {
+			res.North[i] = d
+		}
+	}
+	return res
+}
+
+func TestSolvePerfectInput(t *testing.T) {
+	res, ds := syntheticResult(t, 4, 5, 3)
+	pl, err := Solve(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := RMSError(pl, ds.TruthX, ds.TruthY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 1e-9 {
+		t.Errorf("RMS error %g on perfect displacements", rms)
+	}
+	if pl.Dropped != 0 || pl.Repaired != 0 {
+		t.Errorf("dropped=%d repaired=%d on clean input", pl.Dropped, pl.Repaired)
+	}
+}
+
+func TestSolvePathInvariance(t *testing.T) {
+	// Positions derived from the tree must reproduce every (non-dropped)
+	// edge within the jitter bound: on perfect input, exactly.
+	res, _ := syntheticResult(t, 3, 6, 5)
+	pl, err := Solve(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Grid
+	for _, p := range g.Pairs() {
+		d, _ := res.PairDisplacement(p)
+		bi, ai := g.Index(p.Coord), g.Index(p.Neighbor())
+		if pl.X[bi]-pl.X[ai] != d.X || pl.Y[bi]-pl.Y[ai] != d.Y {
+			t.Errorf("pair %v: tree gives (%d,%d), edge says (%d,%d)",
+				p, pl.X[bi]-pl.X[ai], pl.Y[bi]-pl.Y[ai], d.X, d.Y)
+		}
+	}
+}
+
+func TestSolveDropsAndRoutesAroundBadEdge(t *testing.T) {
+	res, ds := syntheticResult(t, 4, 4, 7)
+	// Corrupt one edge badly but give it low correlation.
+	g := res.Grid
+	p := tile.Pair{Coord: tile.Coord{Row: 1, Col: 2}, Dir: tile.West}
+	i := g.Index(p.Coord)
+	res.West[i] = tile.Displacement{X: -500, Y: 300, Corr: 0.05}
+
+	pl, err := Solve(res, Options{MinCorr: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", pl.Dropped)
+	}
+	rms, _ := RMSError(pl, ds.TruthX, ds.TruthY)
+	if rms > 1e-9 {
+		t.Errorf("RMS %g: the redundant graph should route around one bad edge", rms)
+	}
+}
+
+func TestSolveRepairsHighCorrOutlier(t *testing.T) {
+	// A confidently wrong edge (high corr, crazy offset) — the sparse-
+	// feature failure mode. Without repair the placement distorts; with
+	// repair it snaps to the stage model.
+	res, ds := syntheticResult(t, 4, 4, 11)
+	g := res.Grid
+	p := tile.Pair{Coord: tile.Coord{Row: 2, Col: 2}, Dir: tile.West}
+	res.West[g.Index(p.Coord)] = tile.Displacement{X: -500, Y: 300, Corr: 0.99}
+
+	repaired, err := Solve(res, Options{RepairOutliers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Repaired < 1 {
+		t.Errorf("repaired = %d, want >= 1", repaired.Repaired)
+	}
+	rms, _ := RMSError(repaired, ds.TruthX, ds.TruthY)
+	// The repaired edge uses the median displacement, so max error is
+	// bounded by the jitter, and the MST prefers the honest edges
+	// anyway.
+	if rms > float64(ds.Params.MaxJitter)+1 {
+		t.Errorf("RMS %g after repair", rms)
+	}
+}
+
+func TestSolveDisconnectedFallsBackToNominal(t *testing.T) {
+	// Kill ALL edges touching the last column except none — i.e. drop
+	// enough that the column is disconnected — and check nominal
+	// reconnection keeps every tile placed.
+	res, _ := syntheticResult(t, 3, 3, 13)
+	g := res.Grid
+	for r := 0; r < g.Rows; r++ {
+		i := g.Index(tile.Coord{Row: r, Col: 2})
+		res.West[i] = tile.Displacement{X: 0, Y: 0, Corr: 0.0}
+		if r > 0 {
+			res.North[i] = tile.Displacement{X: 0, Y: 0, Corr: 0.0}
+		}
+	}
+	pl, err := Solve(res, Options{MinCorr: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := pl.Bounds()
+	if w <= g.TileW || h <= g.TileH {
+		t.Errorf("degenerate bounds %dx%d", w, h)
+	}
+	// The disconnected column sits at its nominal offset.
+	nom := g.NominalDisplacement(tile.West)
+	i21 := g.Index(tile.Coord{Row: 0, Col: 1})
+	i22 := g.Index(tile.Coord{Row: 0, Col: 2})
+	if pl.X[i22]-pl.X[i21] != nom.X {
+		t.Errorf("nominal reconnection gave dx=%d, want %d", pl.X[i22]-pl.X[i21], nom.X)
+	}
+}
+
+func TestPlacementNormalized(t *testing.T) {
+	res, _ := syntheticResult(t, 3, 3, 17)
+	pl, err := Solve(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minX, minY := pl.X[0], pl.Y[0]
+	for i := range pl.X {
+		if pl.X[i] < minX {
+			minX = pl.X[i]
+		}
+		if pl.Y[i] < minY {
+			minY = pl.Y[i]
+		}
+	}
+	if minX != 0 || minY != 0 {
+		t.Errorf("normalization left min at (%d,%d)", minX, minY)
+	}
+}
+
+func TestRMSErrorValidation(t *testing.T) {
+	res, _ := syntheticResult(t, 2, 2, 19)
+	pl, _ := Solve(res, Options{})
+	if _, err := RMSError(pl, []int{1}, []int{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestDSUProperty(t *testing.T) {
+	// After unioning a spanning set, all elements share a root; union
+	// of already-joined returns false.
+	f := func(n uint8) bool {
+		size := int(n)%20 + 2
+		d := newDSU(size)
+		for i := 1; i < size; i++ {
+			if !d.union(i-1, i) {
+				return false
+			}
+		}
+		root := d.find(0)
+		for i := 1; i < size; i++ {
+			if d.find(i) != root {
+				return false
+			}
+		}
+		return !d.union(0, size-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("median(nil) != 0")
+	}
+	if m := median([]int{5, 1, 3}); m != 3 {
+		t.Errorf("median = %d", m)
+	}
+	if m := mad([]int{1, 2, 3, 10}, 2); m != 1 {
+		t.Errorf("mad = %d", m)
+	}
+}
+
+func TestEndToEndWithRealPhase1(t *testing.T) {
+	// Full pipeline: generate → stitch (simple-cpu) → solve → compare to
+	// ground truth.
+	p := imagegen.DefaultParams(3, 3, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Solve(res, Options{RepairOutliers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := RMSError(pl, ds.TruthX, ds.TruthY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 1.5 {
+		t.Errorf("end-to-end RMS position error %.2f px", rms)
+	}
+}

@@ -1,0 +1,241 @@
+package global
+
+import (
+	"fmt"
+	"math"
+
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// This file implements the paper's other phase-2 option: instead of
+// "selecting a subset of the relative displacements" (the spanning tree
+// of Solve), it "uses a global optimization approach to adjust them to a
+// path invariant state in the graph" — a correlation-weighted
+// least-squares placement. Each axis is solved independently: minimize
+//
+//	Σ_e  w_e · (p_to − p_from − d_e)²
+//
+// over tile positions p, with w_e = max(corr_e, ε). The normal equations
+// form a graph Laplacian system solved by Gauss-Seidel sweeps (the matrix
+// is diagonally dominant for connected graphs, so the iteration
+// converges; tile 0 is pinned to remove the translation null space).
+
+// LSOptions tunes SolveLeastSquares.
+type LSOptions struct {
+	// MinCorr excludes edges below this correlation from the system
+	// entirely (they contribute no information).
+	MinCorr float64
+	// MaxIter bounds the Gauss-Seidel sweeps per reweighting round; 0
+	// picks 100·√tiles.
+	MaxIter int
+	// Tol stops iteration when the largest per-tile position update in
+	// a sweep falls below it (pixels); 0 picks 1e-4.
+	Tol float64
+	// Rounds is the number of IRLS reweighting rounds: after each
+	// solve, edges are down-weighted by their residual (Cauchy loss),
+	// which defuses confidently-wrong displacements — the phase
+	// correlation failure mode on featureless overlaps. 0 picks 5;
+	// 1 is plain (non-robust) least squares.
+	Rounds int
+	// ResidualScale is the Cauchy scale c in w ← w/(1+(r/c)²); 0 picks
+	// 2 px.
+	ResidualScale float64
+}
+
+func (o LSOptions) withDefaults(n int) LSOptions {
+	if o.MinCorr == 0 {
+		o.MinCorr = 0.3
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100 * int(math.Sqrt(float64(n))+1)
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-4
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 5
+	}
+	if o.ResidualScale == 0 {
+		o.ResidualScale = 2
+	}
+	return o
+}
+
+// SolveLeastSquares computes absolute positions by global optimization.
+// Compared with the spanning tree, it averages the over-constraint
+// instead of discarding it: every displacement influences the result in
+// proportion to its confidence, which typically halves the RMS position
+// error under per-edge noise (see the solver-comparison experiment).
+func SolveLeastSquares(res *stitch.Result, opts LSOptions) (*Placement, error) {
+	g := res.Grid
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumTiles()
+	opts = opts.withDefaults(n)
+
+	type lsEdge struct {
+		from, to int
+		dx, dy   int
+		w        float64
+	}
+	var edges []lsEdge
+	dropped := 0
+	var westDX, westDY, northDX, northDY []int
+	for _, p := range g.Pairs() {
+		d, ok := res.PairDisplacement(p)
+		if !ok || d.Corr < opts.MinCorr {
+			dropped++
+			continue
+		}
+		if p.Dir == tile.West {
+			westDX = append(westDX, d.X)
+			westDY = append(westDY, d.Y)
+		} else {
+			northDX = append(northDX, d.X)
+			northDY = append(northDY, d.Y)
+		}
+		edges = append(edges, lsEdge{
+			from: g.Index(p.Neighbor()),
+			to:   g.Index(p.Coord),
+			dx:   d.X, dy: d.Y,
+			w: math.Max(d.Corr, 1e-3),
+		})
+	}
+	// Stage-model prior: every pair also gets a weak edge at the median
+	// per-direction displacement (the mechanical stage is consistent).
+	// Good measurements (w ≈ 0.9) dominate it; pairs whose measurement
+	// was dropped or gets IRLS-suppressed fall back to the stage model —
+	// the least-squares analogue of Solve's outlier repair.
+	const priorW = 0.02
+	medWX, medWY := median(westDX), median(westDY)
+	medNX, medNY := median(northDX), median(northDY)
+	for _, p := range g.Pairs() {
+		dx, dy := medWX, medWY
+		if p.Dir == tile.North {
+			dx, dy = medNX, medNY
+		}
+		edges = append(edges, lsEdge{
+			from: g.Index(p.Neighbor()),
+			to:   g.Index(p.Coord),
+			dx:   dx, dy: dy, w: priorW,
+		})
+	}
+
+	// Connectivity check with nominal-edge reconnection, mirroring
+	// Solve: an unconstrained tile would make the system singular.
+	dsu := newDSU(n)
+	for _, e := range edges {
+		dsu.union(e.from, e.to)
+	}
+	nomW := g.NominalDisplacement(tile.West)
+	nomN := g.NominalDisplacement(tile.North)
+	for _, p := range g.Pairs() {
+		bi, ai := g.Index(p.Coord), g.Index(p.Neighbor())
+		if !dsu.union(ai, bi) {
+			continue
+		}
+		nom := nomW
+		if p.Dir == tile.North {
+			nom = nomN
+		}
+		// Nominal edges carry a small weight: enough to anchor the
+		// component, not enough to fight measured edges.
+		edges = append(edges, lsEdge{from: ai, to: bi, dx: nom.X, dy: nom.Y, w: 1e-3})
+	}
+	root := dsu.find(0)
+	for i := 1; i < n; i++ {
+		if dsu.find(i) != root {
+			return nil, fmt.Errorf("global: tile %d unreachable even after nominal reconnection", i)
+		}
+	}
+
+	// Initialize from the robust spanning-tree placement (nominal
+	// positions as a fallback): IRLS converges to the nearest local
+	// minimum, so starting from a fit that outliers cannot drag makes
+	// the first residuals meaningful and the suppression decisive.
+	px := make([]float64, n)
+	py := make([]float64, n)
+	if seed, err := Solve(res, Options{MinCorr: opts.MinCorr, RepairOutliers: true}); err == nil {
+		for i := 0; i < n; i++ {
+			px[i] = float64(seed.X[i])
+			py[i] = float64(seed.Y[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			c := g.CoordOf(i)
+			px[i] = float64(c.Col * nomW.X)
+			py[i] = float64(c.Row * nomN.Y)
+		}
+	}
+
+	// IRLS rounds: reweight from the current positions (the robust seed
+	// supplies the first residuals, so outliers are suppressed BEFORE
+	// the first solve), then run Gauss-Seidel sweeps. With Rounds=1 the
+	// weights stay at their correlation values (plain weighted least
+	// squares, no robustness).
+	robustW := make([]float64, len(edges))
+	for i, e := range edges {
+		robustW[i] = e.w
+	}
+	reweight := func(scale float64) {
+		c2 := scale * scale
+		for i, e := range edges {
+			rx := px[e.to] - px[e.from] - float64(e.dx)
+			ry := py[e.to] - py[e.from] - float64(e.dy)
+			robustW[i] = e.w / (1 + (rx*rx+ry*ry)/c2)
+		}
+	}
+	type nb struct {
+		j      int
+		dx, dy float64
+		w      float64
+	}
+	for round := 0; round < opts.Rounds; round++ {
+		if opts.Rounds > 1 {
+			reweight(opts.ResidualScale)
+		}
+		adj := make([][]nb, n)
+		for i, e := range edges {
+			adj[e.to] = append(adj[e.to], nb{j: e.from, dx: float64(e.dx), dy: float64(e.dy), w: robustW[i]})
+			adj[e.from] = append(adj[e.from], nb{j: e.to, dx: -float64(e.dx), dy: -float64(e.dy), w: robustW[i]})
+		}
+		// Gauss-Seidel: p_i ← Σ_j w_ij (p_j + d_ji) / Σ_j w_ij, tile 0
+		// pinned.
+		for it := 0; it < opts.MaxIter; it++ {
+			var maxDelta float64
+			for i := 1; i < n; i++ {
+				var sw, sx, sy float64
+				for _, e := range adj[i] {
+					// p_i should equal p_j + d(j→i); e.dx is d(e.j→i).
+					sw += e.w
+					sx += e.w * (px[e.j] + e.dx)
+					sy += e.w * (py[e.j] + e.dy)
+				}
+				if sw == 0 {
+					continue
+				}
+				nx, ny := sx/sw, sy/sw
+				if d := math.Abs(nx - px[i]); d > maxDelta {
+					maxDelta = d
+				}
+				if d := math.Abs(ny - py[i]); d > maxDelta {
+					maxDelta = d
+				}
+				px[i], py[i] = nx, ny
+			}
+			if maxDelta < opts.Tol {
+				break
+			}
+		}
+	}
+
+	pl := &Placement{Grid: g, X: make([]int, n), Y: make([]int, n), Dropped: dropped}
+	for i := 0; i < n; i++ {
+		pl.X[i] = int(math.Round(px[i]))
+		pl.Y[i] = int(math.Round(py[i]))
+	}
+	pl.normalize()
+	return pl, nil
+}

@@ -1,0 +1,155 @@
+package global
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func TestLeastSquaresPerfectInput(t *testing.T) {
+	res, ds := syntheticResult(t, 4, 5, 21)
+	pl, err := SolveLeastSquares(res, LSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := RMSError(pl, ds.TruthX, ds.TruthY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 0.51 {
+		// Positions are rounded to integers; perfect input may land on
+		// .5 boundaries but no worse.
+		t.Errorf("RMS %g on perfect input", rms)
+	}
+}
+
+func TestLeastSquaresAveragesNoiseBetterThanTree(t *testing.T) {
+	// Add ±2 px noise to every displacement; LS should average it out
+	// and beat the spanning tree's accumulated drift on a larger grid.
+	var lsTotal, mstTotal float64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		res, ds := syntheticResult(t, 8, 8, int64(31+trial))
+		rng := rand.New(rand.NewSource(int64(77 + trial)))
+		g := res.Grid
+		for _, p := range g.Pairs() {
+			d, _ := res.PairDisplacement(p)
+			d.X += rng.Intn(5) - 2
+			d.Y += rng.Intn(5) - 2
+			i := g.Index(p.Coord)
+			if p.Dir == tile.West {
+				res.West[i] = d
+			} else {
+				res.North[i] = d
+			}
+		}
+		ls, err := SolveLeastSquares(res, LSOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst, err := Solve(res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsRMS, _ := RMSError(ls, ds.TruthX, ds.TruthY)
+		mstRMS, _ := RMSError(mst, ds.TruthX, ds.TruthY)
+		lsTotal += lsRMS
+		mstTotal += mstRMS
+	}
+	if lsTotal >= mstTotal {
+		t.Errorf("least squares (%.2f total RMS) not better than tree (%.2f) under noise", lsTotal, mstTotal)
+	}
+}
+
+func TestLeastSquaresDownweightsLowCorrEdges(t *testing.T) {
+	res, ds := syntheticResult(t, 4, 4, 41)
+	g := res.Grid
+	// A wildly wrong edge with low confidence barely moves the answer.
+	p := tile.Pair{Coord: tile.Coord{Row: 1, Col: 2}, Dir: tile.West}
+	res.West[g.Index(p.Coord)] = tile.Displacement{X: -300, Y: 200, Corr: 0.05}
+	pl, err := SolveLeastSquares(res, LSOptions{MinCorr: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, _ := RMSError(pl, ds.TruthX, ds.TruthY)
+	if rms > 0.51 {
+		t.Errorf("RMS %g: low-corr outlier should be excluded", rms)
+	}
+	if pl.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", pl.Dropped)
+	}
+}
+
+func TestLeastSquaresDisconnectedReconnects(t *testing.T) {
+	res, _ := syntheticResult(t, 3, 3, 43)
+	g := res.Grid
+	for r := 0; r < g.Rows; r++ {
+		i := g.Index(tile.Coord{Row: r, Col: 2})
+		res.West[i] = tile.Displacement{Corr: 0}
+		if r > 0 {
+			res.North[i] = tile.Displacement{Corr: 0}
+		}
+	}
+	pl, err := SolveLeastSquares(res, LSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := pl.Bounds()
+	if w <= g.TileW || h <= g.TileH {
+		t.Errorf("degenerate bounds %dx%d", w, h)
+	}
+}
+
+func TestLeastSquaresInvalidGrid(t *testing.T) {
+	if _, err := SolveLeastSquares(&stitch.Result{}, LSOptions{}); err == nil {
+		t.Error("invalid grid should fail")
+	}
+}
+
+func TestLeastSquaresMatchesTreeOnCleanEndToEnd(t *testing.T) {
+	// Real phase-1 output: both solvers should land within a pixel of
+	// each other and of the truth.
+	res, ds := syntheticResult(t, 3, 4, 47)
+	ls, err := SolveLeastSquares(res, LSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := Solve(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsRMS, _ := RMSError(ls, ds.TruthX, ds.TruthY)
+	mstRMS, _ := RMSError(mst, ds.TruthX, ds.TruthY)
+	if lsRMS > 0.51 || mstRMS > 0.51 {
+		t.Errorf("clean input: LS %.2f, MST %.2f", lsRMS, mstRMS)
+	}
+}
+
+func TestLeastSquaresIRLSDefusesConfidentOutlier(t *testing.T) {
+	// A confidently wrong edge (corr 0.99): plain weighting would drag
+	// the fit; IRLS reweighting must neutralize it.
+	res, ds := syntheticResult(t, 4, 4, 53)
+	g := res.Grid
+	p := tile.Pair{Coord: tile.Coord{Row: 2, Col: 2}, Dir: tile.West}
+	res.West[g.Index(p.Coord)] = tile.Displacement{X: -300, Y: 200, Corr: 0.99}
+
+	robust, err := SolveLeastSquares(res, LSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, _ := RMSError(robust, ds.TruthX, ds.TruthY)
+	if rms > 1.0 {
+		t.Errorf("IRLS RMS %.2f with one confident outlier", rms)
+	}
+	// Plain (1-round) least squares must do visibly worse.
+	plain, err := SolveLeastSquares(res, LSOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRMS, _ := RMSError(plain, ds.TruthX, ds.TruthY)
+	if plainRMS < 2*rms+0.5 {
+		t.Errorf("plain LS RMS %.2f vs robust %.2f: expected the outlier to hurt", plainRMS, rms)
+	}
+}

@@ -1,0 +1,100 @@
+package global
+
+import (
+	"testing"
+
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func TestRefineResultRepairsCorruptedPairs(t *testing.T) {
+	p := imagegen.DefaultParams(3, 3, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt two pairs with low-confidence garbage (the sparse-overlap
+	// failure signature).
+	bad := []tile.Pair{
+		{Coord: tile.Coord{Row: 1, Col: 1}, Dir: tile.West},
+		{Coord: tile.Coord{Row: 2, Col: 2}, Dir: tile.North},
+	}
+	for _, pr := range bad {
+		setPair(res, pr, tile.Displacement{X: 0, Y: 0, Corr: 0.1})
+	}
+	n, err := RefineResult(res, src, RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Errorf("refined %d pairs, want >= 2", n)
+	}
+	for _, pr := range bad {
+		got, _ := res.PairDisplacement(pr)
+		want := ds.TrueDisplacement(pr)
+		if absInt(got.X-want.X) > 1 || absInt(got.Y-want.Y) > 1 {
+			t.Errorf("pair %v refined to (%d,%d), truth (%d,%d)", pr, got.X, got.Y, want.X, want.Y)
+		}
+	}
+}
+
+func TestRefineResultDefaultExhaustive(t *testing.T) {
+	p := imagegen.DefaultParams(2, 3, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := tile.Pair{Coord: tile.Coord{Row: 1, Col: 1}, Dir: tile.West}
+	setPair(res, pr, tile.Displacement{X: 0, Y: 0, Corr: 0.05})
+	if _, err := RefineResult(res, src, RefineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.PairDisplacement(pr)
+	want := ds.TrueDisplacement(pr)
+	if absInt(got.X-want.X) > 1 || absInt(got.Y-want.Y) > 1 {
+		t.Errorf("exhaustive refine got (%d,%d), truth (%d,%d)", got.X, got.Y, want.X, want.Y)
+	}
+}
+
+func TestRefineResultKeepsBetterOriginal(t *testing.T) {
+	// A low-confidence but CORRECT pair: refinement must not make it
+	// worse.
+	p := imagegen.DefaultParams(2, 2, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := tile.Pair{Coord: tile.Coord{Row: 0, Col: 1}, Dir: tile.West}
+	truth := ds.TrueDisplacement(pr)
+	setPair(res, pr, tile.Displacement{X: truth.X, Y: truth.Y, Corr: 0.2})
+	if _, err := RefineResult(res, src, RefineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.PairDisplacement(pr)
+	if absInt(got.X-truth.X) > 1 || absInt(got.Y-truth.Y) > 1 {
+		t.Errorf("refinement degraded a correct pair: (%d,%d) vs (%d,%d)", got.X, got.Y, truth.X, truth.Y)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,175 @@
+package global
+
+import (
+	"math"
+	"sort"
+
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// StageModel is a per-direction linear model of the mechanical stage:
+// each displacement component is a + b·row + c·col. The constant term
+// captures the preset overlap; the linear terms capture systematic
+// errors — thermal expansion over the scan (row-dependent stride) and
+// camera-axis skew — that a constant (median) model cannot represent.
+// MIST fits exactly this kind of model to repair unreliable translations.
+type StageModel struct {
+	// WestX, WestY, NorthX, NorthY are the four fitted components.
+	WestX, WestY, NorthX, NorthY LinearFit
+	// Confident counts the pairs that informed the fit per direction.
+	ConfidentWest, ConfidentNorth int
+}
+
+// LinearFit is v(row, col) = A + B·row + C·col.
+type LinearFit struct {
+	A, B, C float64
+}
+
+// At evaluates the fit.
+func (f LinearFit) At(row, col int) float64 {
+	return f.A + f.B*float64(row) + f.C*float64(col)
+}
+
+// fitLinear solves the 3-parameter least squares over observations
+// (row, col, v) via the normal equations. With fewer than 3 distinct
+// observations (or a singular system) it degrades to the mean.
+func fitLinear(rows, cols []int, vals []float64) LinearFit {
+	n := float64(len(vals))
+	if n == 0 {
+		return LinearFit{}
+	}
+	// Accumulate the symmetric normal matrix for basis (1, row, col).
+	var s1, sr, sc, srr, scc, src float64
+	var sv, svr, svc float64
+	for i := range vals {
+		r := float64(rows[i])
+		c := float64(cols[i])
+		v := vals[i]
+		s1++
+		sr += r
+		sc += c
+		srr += r * r
+		scc += c * c
+		src += r * c
+		sv += v
+		svr += v * r
+		svc += v * c
+	}
+	// Solve the 3x3 system [s1 sr sc; sr srr src; sc src scc]·x = [sv svr svc]
+	// by Cramer's rule.
+	det := s1*(srr*scc-src*src) - sr*(sr*scc-src*sc) + sc*(sr*src-srr*sc)
+	if math.Abs(det) < 1e-9 {
+		return LinearFit{A: sv / n}
+	}
+	detA := sv*(srr*scc-src*src) - sr*(svr*scc-src*svc) + sc*(svr*src-srr*svc)
+	detB := s1*(svr*scc-svc*src) - sv*(sr*scc-src*sc) + sc*(sr*svc-svr*sc)
+	detC := s1*(srr*svc-src*svr) - sr*(sr*svc-svr*sc) + sv*(sr*src-srr*sc)
+	return LinearFit{A: detA / det, B: detB / det, C: detC / det}
+}
+
+// FitStageModel fits the linear stage model to the confident pairs of a
+// phase-1 result.
+func FitStageModel(res *stitch.Result, minCorr float64) StageModel {
+	if minCorr == 0 {
+		minCorr = 0.5
+	}
+	g := res.Grid
+	var wr, wc []int
+	var wx, wy []float64
+	var nr, nc []int
+	var nx, ny []float64
+	for _, p := range g.Pairs() {
+		d, ok := res.PairDisplacement(p)
+		if !ok || d.Corr < minCorr {
+			continue
+		}
+		if p.Dir == tile.West {
+			wr = append(wr, p.Coord.Row)
+			wc = append(wc, p.Coord.Col)
+			wx = append(wx, float64(d.X))
+			wy = append(wy, float64(d.Y))
+		} else {
+			nr = append(nr, p.Coord.Row)
+			nc = append(nc, p.Coord.Col)
+			nx = append(nx, float64(d.X))
+			ny = append(ny, float64(d.Y))
+		}
+	}
+	return StageModel{
+		WestX: robustFit(wr, wc, wx), WestY: robustFit(wr, wc, wy),
+		NorthX: robustFit(nr, nc, nx), NorthY: robustFit(nr, nc, ny),
+		ConfidentWest: len(wx), ConfidentNorth: len(nx),
+	}
+}
+
+// robustFit guards the linear fit two ways. Small samples (or no spread
+// in row/col) would let three parameters fit the jitter noise exactly
+// and extrapolate wildly, so they use the constant (median) model. Larger
+// samples get a trimmed refit: fit, discard observations whose residual
+// exceeds a robust threshold (confidently-wrong phase-1 displacements
+// slip past the correlation filter), fit again.
+func robustFit(rows, cols []int, vals []float64) LinearFit {
+	const minObs = 8
+	if len(vals) < minObs || distinct(rows) < 3 || distinct(cols) < 3 {
+		return LinearFit{A: medianF(vals)}
+	}
+	// Trim against the constant median model first — it is already
+	// robust, so grossly wrong observations (residual ≈ the whole
+	// displacement) are excluded before they can tilt the plane; two
+	// more rounds against the improving linear fit then sharpen the set.
+	fit := LinearFit{A: medianF(vals)}
+	for round := 0; round < 3; round++ {
+		resid := make([]float64, len(vals))
+		for i := range vals {
+			resid[i] = math.Abs(vals[i] - fit.At(rows[i], cols[i]))
+		}
+		thresh := 3*medianF(resid) + 3
+		var kr, kc []int
+		var kv []float64
+		for i := range vals {
+			if resid[i] <= thresh {
+				kr = append(kr, rows[i])
+				kc = append(kc, cols[i])
+				kv = append(kv, vals[i])
+			}
+		}
+		if len(kv) < minObs || distinct(kr) < 3 || distinct(kc) < 3 {
+			return LinearFit{A: medianF(vals)}
+		}
+		fit = fitLinear(kr, kc, kv)
+	}
+	return fit
+}
+
+func distinct(xs []int) int {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+func medianF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Predict returns the model's displacement for a pair.
+func (sm StageModel) Predict(p tile.Pair) tile.Displacement {
+	r, c := p.Coord.Row, p.Coord.Col
+	if p.Dir == tile.West {
+		return tile.Displacement{
+			X: int(math.Round(sm.WestX.At(r, c))),
+			Y: int(math.Round(sm.WestY.At(r, c))),
+		}
+	}
+	return tile.Displacement{
+		X: int(math.Round(sm.NorthX.At(r, c))),
+		Y: int(math.Round(sm.NorthY.At(r, c))),
+	}
+}

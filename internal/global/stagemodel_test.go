@@ -1,0 +1,98 @@
+package global
+
+import (
+	"math"
+	"testing"
+
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// Observations generated from v = 3 + 2·row − 1·col must be
+	// recovered exactly.
+	var rows, cols []int
+	var vals []float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			rows = append(rows, r)
+			cols = append(cols, c)
+			vals = append(vals, 3+2*float64(r)-1*float64(c))
+		}
+	}
+	f := fitLinear(rows, cols, vals)
+	if math.Abs(f.A-3) > 1e-9 || math.Abs(f.B-2) > 1e-9 || math.Abs(f.C+1) > 1e-9 {
+		t.Errorf("fit = %+v, want A=3 B=2 C=-1", f)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	// All observations at the same point: falls back to the mean.
+	f := fitLinear([]int{1, 1}, []int{2, 2}, []float64{10, 14})
+	if math.Abs(f.A-12) > 1e-9 || f.B != 0 || f.C != 0 {
+		t.Errorf("degenerate fit = %+v", f)
+	}
+	if f := fitLinear(nil, nil, nil); f.A != 0 {
+		t.Errorf("empty fit = %+v", f)
+	}
+}
+
+func TestStageModelCapturesThermalDrift(t *testing.T) {
+	// A drifting stage: west dx grows ~1.5 px per row. The linear model
+	// must predict each row's displacement where the median cannot.
+	p := imagegen.DefaultParams(6, 4, 128, 96)
+	p.ThermalDrift = 1.5
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resultFromTruth(ds)
+	sm := FitStageModel(res, 0.5)
+	if sm.ConfidentWest == 0 || sm.ConfidentNorth == 0 {
+		t.Fatal("no confident pairs")
+	}
+	// The fitted row slope of west-x must be ≈ the drift.
+	if math.Abs(sm.WestX.B-1.5) > 0.5 {
+		t.Errorf("west-x row slope %.2f, want ≈1.5", sm.WestX.B)
+	}
+	// Prediction error per pair bounded by jitter; the constant median
+	// would be off by up to drift·rows/2 ≈ 4.5 px at the extremes.
+	maxErr := 0
+	for _, pr := range p.Grid.Pairs() {
+		want := ds.TrueDisplacement(pr)
+		got := sm.Predict(pr)
+		if e := absInt(got.X - want.X); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 2*p.MaxJitter {
+		t.Errorf("max stage-model error %d px exceeds jitter bound", maxErr)
+	}
+}
+
+func TestStageModelRefinementUnderDrift(t *testing.T) {
+	// End to end: corrupt a far-row pair and repair with the
+	// linear-stage-model-seeded CCF search.
+	p := imagegen.DefaultParams(6, 4, 128, 96)
+	p.ThermalDrift = 1.5
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := tile.Pair{Coord: tile.Coord{Row: 5, Col: 2}, Dir: tile.West}
+	setPair(res, pr, tile.Displacement{X: 0, Y: 0, Corr: 0.05})
+	if _, err := RefineResult(res, src, RefineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.PairDisplacement(pr)
+	want := ds.TrueDisplacement(pr)
+	if absInt(got.X-want.X) > 1 || absInt(got.Y-want.Y) > 1 {
+		t.Errorf("refined to (%d,%d), truth (%d,%d)", got.X, got.Y, want.X, want.Y)
+	}
+}

@@ -1,0 +1,230 @@
+// Package gpu implements a software GPU device: the CUDA-shaped substrate
+// the hybrid pipeline schedules against. It reproduces the *semantics*
+// that shaped the paper's results — per-stream in-order command queues,
+// asynchronous host↔device copies with a limited number of copy engines,
+// bounded kernel concurrency (cuFFT on Fermi could not run kernels
+// concurrently), a hard device-memory capacity that forces buffer pooling
+// and reference counting, and a profiler timeline (the NVIDIA Visual
+// Profiler views of Figs 7 and 9). Kernels execute real math on host
+// goroutines standing in for the SM array.
+//
+// What it deliberately does not reproduce is CUDA's absolute speed; the
+// calibrated discrete-event model in internal/machine carries the
+// paper-scale timing, while this device carries the concurrency behavior
+// and produces bit-identical results to the CPU path.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOutOfMemory is returned by Alloc when the device pool is exhausted —
+// the condition whose avoidance drives the paper's buffer-pool and
+// reference-counting design.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// ErrClosed is returned when enqueueing on a closed device.
+var ErrClosed = errors.New("gpu: device closed")
+
+// Config describes one simulated card.
+type Config struct {
+	// Name labels the device in profiles ("GPU0").
+	Name string
+	// MemWords is the device memory capacity in complex128 words. The
+	// Tesla C2070's 6 GB hold ≈258 full-tile transforms of the paper's
+	// 1392×1040 tiles — an order of magnitude fewer than the 2478-tile
+	// grid needs, hence the buffer pool and reference counting.
+	MemWords int64
+	// CopyEngines bounds concurrent DMA transfers (the C2070 has 2:
+	// one per direction).
+	CopyEngines int
+	// KernelSlots bounds concurrently executing kernels. 1 models the
+	// Fermi-era cuFFT register-pressure serialization the paper works
+	// around; Kepler/Hyper-Q behavior raises it.
+	KernelSlots int
+	// H2DBytesPerSec, if positive, injects a transfer delay of
+	// size/bandwidth per host-to-device copy, modeling PCIe. Zero means
+	// no artificial delay.
+	H2DBytesPerSec float64
+	// D2HBytesPerSec is the device-to-host analogue.
+	D2HBytesPerSec float64
+	// Profile enables the timeline recorder.
+	Profile bool
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "GPU"
+	}
+	if c.MemWords <= 0 {
+		c.MemWords = 64 << 20 // 1 GiB of complex128
+	}
+	if c.CopyEngines <= 0 {
+		c.CopyEngines = 2
+	}
+	if c.KernelSlots <= 0 {
+		c.KernelSlots = 1
+	}
+	return c
+}
+
+// Device is one simulated GPU card.
+type Device struct {
+	cfg   Config
+	epoch time.Time
+
+	memMu    sync.Mutex
+	memUsed  int64
+	memPeak  int64
+	allocs   int64
+	oomSeen  bool
+	memAvail *sync.Cond
+
+	copySem   chan struct{}
+	kernelSem chan struct{}
+
+	streamMu sync.Mutex
+	streams  []*Stream
+	closed   bool
+
+	timeline *Timeline
+}
+
+// New creates a device.
+func New(cfg Config) *Device {
+	cfg = cfg.withDefaults()
+	d := &Device{
+		cfg:       cfg,
+		epoch:     time.Now(),
+		copySem:   make(chan struct{}, cfg.CopyEngines),
+		kernelSem: make(chan struct{}, cfg.KernelSlots),
+	}
+	d.memAvail = sync.NewCond(&d.memMu)
+	if cfg.Profile {
+		d.timeline = NewTimeline(d.epoch)
+	}
+	return d
+}
+
+// Name returns the device label.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// MemWords returns the configured capacity.
+func (d *Device) MemWords() int64 { return d.cfg.MemWords }
+
+// Buffer is a device-memory allocation. Its Data lives in host RAM (the
+// simulator has no real VRAM) but is accounted against the device pool,
+// and the pipeline treats it as device-resident: host code only touches
+// it through Memcpy operations and kernels.
+type Buffer struct {
+	dev   *Device
+	Data  []complex128
+	words int64
+	freed bool
+	mu    sync.Mutex
+}
+
+// Words returns the allocation size.
+func (b *Buffer) Words() int64 { return b.words }
+
+// Alloc reserves words of device memory, failing with ErrOutOfMemory if
+// the pool cannot hold the request.
+func (d *Device) Alloc(words int64) (*Buffer, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("gpu: invalid allocation of %d words", words)
+	}
+	d.memMu.Lock()
+	defer d.memMu.Unlock()
+	if d.memUsed+words > d.cfg.MemWords {
+		d.oomSeen = true
+		return nil, fmt.Errorf("%w: %d used + %d requested > %d capacity",
+			ErrOutOfMemory, d.memUsed, words, d.cfg.MemWords)
+	}
+	d.memUsed += words
+	d.allocs++
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
+	return &Buffer{dev: d, Data: make([]complex128, words), words: words}, nil
+}
+
+// AllocBlocking reserves words of device memory, waiting for frees if the
+// pool is currently full. It fails immediately if the request can never
+// fit.
+func (d *Device) AllocBlocking(words int64) (*Buffer, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("gpu: invalid allocation of %d words", words)
+	}
+	if words > d.cfg.MemWords {
+		return nil, fmt.Errorf("%w: request %d exceeds total capacity %d", ErrOutOfMemory, words, d.cfg.MemWords)
+	}
+	d.memMu.Lock()
+	defer d.memMu.Unlock()
+	for d.memUsed+words > d.cfg.MemWords {
+		d.memAvail.Wait()
+	}
+	d.memUsed += words
+	d.allocs++
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
+	return &Buffer{dev: d, Data: make([]complex128, words), words: words}, nil
+}
+
+// Free returns a buffer to the pool. Double frees are rejected.
+func (b *Buffer) Free() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.freed {
+		return fmt.Errorf("gpu: double free of %d-word buffer", b.words)
+	}
+	b.freed = true
+	d := b.dev
+	d.memMu.Lock()
+	d.memUsed -= b.words
+	d.memAvail.Broadcast()
+	d.memMu.Unlock()
+	b.Data = nil
+	return nil
+}
+
+// MemStats reports current usage, peak usage, allocation count, and
+// whether any allocation has ever failed.
+func (d *Device) MemStats() (used, peak, allocs int64, oomSeen bool) {
+	d.memMu.Lock()
+	defer d.memMu.Unlock()
+	return d.memUsed, d.memPeak, d.allocs, d.oomSeen
+}
+
+// Timeline returns the profiler timeline (nil unless Config.Profile).
+func (d *Device) Timeline() *Timeline { return d.timeline }
+
+// Synchronize blocks until every stream has drained its queue.
+func (d *Device) Synchronize() {
+	d.streamMu.Lock()
+	streams := append([]*Stream(nil), d.streams...)
+	d.streamMu.Unlock()
+	for _, s := range streams {
+		s.Synchronize()
+	}
+}
+
+// Close drains and shuts down all streams. The device rejects new work
+// afterwards.
+func (d *Device) Close() {
+	d.streamMu.Lock()
+	if d.closed {
+		d.streamMu.Unlock()
+		return
+	}
+	d.closed = true
+	streams := append([]*Stream(nil), d.streams...)
+	d.streamMu.Unlock()
+	for _, s := range streams {
+		s.close()
+	}
+}

@@ -1,0 +1,62 @@
+package gpu_test
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/gpu"
+)
+
+// Example shows the stream/event model: two streams overlap, an event
+// makes the consumer wait for the producer.
+func Example() {
+	dev := gpu.New(gpu.Config{Name: "GPU0", KernelSlots: 2})
+	defer dev.Close()
+
+	producer, _ := dev.NewStream("producer")
+	consumer, _ := dev.NewStream("consumer")
+
+	buf, err := dev.Alloc(16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = buf.Free() }()
+
+	filled := producer.Launch("fill", func() error {
+		for i := range buf.Data {
+			buf.Data[i] = complex(float64(i), 0)
+		}
+		return nil
+	})
+	var sum float64
+	done := consumer.Launch("sum", func() error {
+		for _, v := range buf.Data {
+			sum += real(v)
+		}
+		return nil
+	}, filled) // cross-stream dependency
+
+	if err := done.Wait(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sum)
+	// Output: 120
+}
+
+// ExampleDevice_Alloc demonstrates the hard capacity that forces the
+// stitching pipeline's buffer-pool discipline.
+func ExampleDevice_Alloc() {
+	dev := gpu.New(gpu.Config{MemWords: 100})
+	a, _ := dev.Alloc(80)
+	if _, err := dev.Alloc(40); err != nil {
+		fmt.Println("second allocation refused")
+	}
+	_ = a.Free()
+	if _, err := dev.Alloc(40); err == nil {
+		fmt.Println("fits after free")
+	}
+	// Output:
+	// second allocation refused
+	// fits after free
+}

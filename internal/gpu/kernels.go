@@ -1,0 +1,100 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/pciam"
+)
+
+// This file provides the stitching kernels as typed stream operations —
+// the analogues of the paper's cuFFT calls and its two custom CUDA
+// kernels (the shared-memory NCC kernel and the Harris-style max
+// reduction). Each executes the reference math on a device buffer, so the
+// GPU path is bit-identical to the CPU path.
+
+// FFT2D executes a 2-D transform in place on a device buffer. plan must
+// match the buffer geometry; the caller owns plan lifetime and must not
+// share one plan across concurrently executing kernels (cuFFT imposes the
+// same rule per plan handle — the paper's FFT stage uses one thread for
+// exactly this reason).
+func (s *Stream) FFT2D(plan *fft.Plan2D, buf *Buffer, after ...*Event) *Event {
+	name := "fft2d"
+	if plan.Dir() == fft.Inverse {
+		name = "ifft2d"
+	}
+	return s.Launch(name, func() error {
+		n := plan.W() * plan.H()
+		if int64(n) > buf.Words() {
+			return fmt.Errorf("gpu: fft2d plan %dx%d exceeds buffer of %d words", plan.H(), plan.W(), buf.Words())
+		}
+		return plan.Execute(buf.Data[:n])
+	}, after...)
+}
+
+// NCC computes the element-wise normalized conjugate multiplication
+// dst = fa·conj(fb)/|fa·conj(fb)| on device buffers (the custom CUDA
+// kernel of the Simple-GPU implementation). dst may alias fa or fb.
+func (s *Stream) NCC(dst, fa, fb *Buffer, n int, after ...*Event) *Event {
+	return s.Launch("ncc", func() error {
+		if int64(n) > dst.Words() || int64(n) > fa.Words() || int64(n) > fb.Words() {
+			return fmt.Errorf("gpu: ncc over %d words exceeds a buffer", n)
+		}
+		pciam.NCCSpectrum(dst.Data[:n], fa.Data[:n], fb.Data[:n])
+		return nil
+	}, after...)
+}
+
+// Reduction receives the result of a MaxAbs kernel. Read it only after
+// the kernel's event has resolved.
+type Reduction struct {
+	Idx int
+	Mag float64
+}
+
+// MaxAbs reduces a device buffer to the index and magnitude of its
+// largest absolute value, writing the scalar result into out — the only
+// datum the pipeline copies back to the host per pair, which is how the
+// paper minimizes D2H traffic.
+func (s *Stream) MaxAbs(src *Buffer, n int, out *Reduction, after ...*Event) *Event {
+	return s.Launch("maxabs", func() error {
+		if int64(n) > src.Words() {
+			return fmt.Errorf("gpu: maxabs over %d words exceeds buffer of %d", n, src.Words())
+		}
+		idx, mag := pciam.MaxAbs(src.Data[:n])
+		out.Idx = idx
+		out.Mag = mag
+		return nil
+	}, after...)
+}
+
+// Scale multiplies a device buffer by a real constant (used by tests and
+// by normalized-inverse paths).
+func (s *Stream) Scale(buf *Buffer, n int, k float64, after ...*Event) *Event {
+	return s.Launch("scale", func() error {
+		if int64(n) > buf.Words() {
+			return fmt.Errorf("gpu: scale over %d words exceeds buffer of %d", n, buf.Words())
+		}
+		c := complex(k, 0)
+		for i := 0; i < n; i++ {
+			buf.Data[i] *= c
+		}
+		return nil
+	}, after...)
+}
+
+// CheckFinite validates that a buffer holds finite values; used by
+// failure-injection tests.
+func (s *Stream) CheckFinite(buf *Buffer, n int, after ...*Event) *Event {
+	return s.Launch("checkfinite", func() error {
+		for i := 0; i < n; i++ {
+			v := buf.Data[i]
+			if math.IsNaN(real(v)) || math.IsNaN(imag(v)) ||
+				math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
+				return fmt.Errorf("gpu: non-finite value at word %d", i)
+			}
+		}
+		return nil
+	}, after...)
+}

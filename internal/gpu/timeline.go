@@ -1,0 +1,182 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one profiled command execution.
+type Span struct {
+	Stream string
+	Kind   string // memcpyH2D, memcpyD2H, kernel
+	Name   string // fft2d, ncc, maxabs, H2D, ...
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Timeline records command executions, the stand-in for the NVIDIA Visual
+// Profiler traces in the paper's Figs 7 and 9.
+type Timeline struct {
+	epoch time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTimeline creates a recorder with the given epoch.
+func NewTimeline(epoch time.Time) *Timeline { return &Timeline{epoch: epoch} }
+
+// Record appends a span.
+func (t *Timeline) Record(s Span) {
+	if s.Name == "sync" {
+		return // synchronization markers are not profiler-visible work
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of all recorded spans ordered by start time.
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Utilization reports, for each command kind, the fraction of the window
+// [from, to) during which at least one command of that kind was
+// executing. The paper's core diagnosis reads directly off this number:
+// Simple-GPU shows sparse kernel rows with gaps; Pipelined-GPU shows a
+// dense kernel row.
+func (t *Timeline) Utilization(kind string, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	type edge struct {
+		at    time.Duration
+		delta int
+	}
+	var edges []edge
+	for _, s := range t.Spans() {
+		if s.Kind != kind || s.End <= from || s.Start >= to {
+			continue
+		}
+		st, en := s.Start, s.End
+		if st < from {
+			st = from
+		}
+		if en > to {
+			en = to
+		}
+		edges = append(edges, edge{st, +1}, edge{en, -1})
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta > edges[j].delta
+	})
+	var busy time.Duration
+	depth := 0
+	var last time.Duration
+	for _, e := range edges {
+		if depth > 0 {
+			busy += e.at - last
+		}
+		depth += e.delta
+		last = e.at
+	}
+	return float64(busy) / float64(to-from)
+}
+
+// GapCount reports how many inter-span gaps longer than threshold occur
+// in the given kind's row — the "gaps between kernel invocations" the
+// paper's Fig 7 profile exposes.
+func (t *Timeline) GapCount(kind string, threshold time.Duration) int {
+	var spans []Span
+	for _, s := range t.Spans() {
+		if s.Kind == kind {
+			spans = append(spans, s)
+		}
+	}
+	gaps := 0
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start-spans[i-1].End > threshold {
+			gaps++
+		}
+	}
+	return gaps
+}
+
+// Render draws an ASCII timeline: one row per (stream, kind), time
+// bucketed into width columns. It is the textual analogue of the
+// profiler screenshots.
+func (t *Timeline) Render(width int) string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width <= 0 {
+		width = 100
+	}
+	start := spans[0].Start
+	end := spans[0].End
+	for _, s := range spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	total := end - start
+	if total <= 0 {
+		total = 1
+	}
+	type rowKey struct{ stream, kind string }
+	rows := map[rowKey][]bool{}
+	var order []rowKey
+	for _, s := range spans {
+		k := rowKey{s.Stream, s.Kind}
+		if _, ok := rows[k]; !ok {
+			rows[k] = make([]bool, width)
+			order = append(order, k)
+		}
+		b0 := int(int64(s.Start-start) * int64(width) / int64(total))
+		b1 := int(int64(s.End-start) * int64(width) / int64(total))
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			rows[k][b] = true
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].stream != order[j].stream {
+			return order[i].stream < order[j].stream
+		}
+		return order[i].kind < order[j].kind
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %v – %v (%v total, %d spans)\n", start, end, total, len(spans))
+	for _, k := range order {
+		cells := rows[k]
+		fmt.Fprintf(&sb, "%-28s |", k.stream+"/"+k.kind)
+		for _, on := range cells {
+			if on {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

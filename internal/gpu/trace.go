@@ -1,0 +1,80 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome Trace Event Format record ("X" = complete
+// event, "M" = metadata). Writing the timeline in this format lets any
+// trace viewer (chrome://tracing, Perfetto, Speedscope) display the
+// reproduction's profiles the way the paper's authors viewed theirs in
+// the NVIDIA Visual Profiler.
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"` // microseconds
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the envelope Perfetto accepts.
+type traceFile struct {
+	TraceEvents []TraceEvent      `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteTrace serializes the timeline as Chrome Trace Event JSON. Each
+// (stream, kind) pair becomes a named thread row under one process per
+// device.
+func (t *Timeline) WriteTrace(w io.Writer, deviceName string) error {
+	spans := t.Spans()
+	type rowKey struct{ stream, kind string }
+	rows := map[rowKey]int{}
+	var order []rowKey
+	for _, s := range spans {
+		k := rowKey{s.Stream, s.Kind}
+		if _, seen := rows[k]; !seen {
+			rows[k] = 0
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].stream != order[j].stream {
+			return order[i].stream < order[j].stream
+		}
+		return order[i].kind < order[j].kind
+	})
+	for i, k := range order {
+		rows[k] = i + 1
+	}
+
+	out := traceFile{Metadata: map[string]string{"device": deviceName}}
+	for _, k := range order {
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: rows[k],
+			Args: map[string]string{"name": fmt.Sprintf("%s/%s", k.stream, k.kind)},
+		})
+	}
+	for _, s := range spans {
+		dur := s.Duration().Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-duration events vanish in trace viewers
+		}
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name:  s.Name,
+			Cat:   s.Kind,
+			Phase: "X",
+			TS:    s.Start.Microseconds(),
+			Dur:   dur,
+			PID:   1,
+			TID:   rows[rowKey{s.Stream, s.Kind}],
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}

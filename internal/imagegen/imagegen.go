@@ -1,0 +1,319 @@
+// Package imagegen synthesizes microscopy-plate datasets with known
+// ground truth. It stands in for the NIST A10 cell-colony acquisitions the
+// paper evaluates on (42×59 grid, 1392×1040 16-bit tiles): a large virtual
+// plate image is rendered once — value-noise background texture, cell
+// colonies seeded at controllable density, optical vignetting, and sensor
+// noise — and overlapping tiles are then cut from it with per-tile stage
+// jitter, mimicking the microscope's mechanical positioning error. The
+// cut positions are retained as ground truth so stitching accuracy can be
+// validated, something the paper's real dataset could not offer.
+package imagegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hybridstitch/internal/tile"
+)
+
+// Params configures a synthetic dataset.
+type Params struct {
+	Grid tile.Grid // layout, tile size, nominal overlaps
+
+	// MaxJitter is the maximum absolute stage positioning error, in
+	// pixels, applied independently per axis per tile. It must be
+	// smaller than the nominal overlap or adjacent tiles may not share
+	// pixels at all.
+	MaxJitter int
+
+	// ColonyDensity controls how many cell colonies are seeded per
+	// megapixel of plate. Low densities (≈1–3) reproduce the paper's
+	// hard case: early-experiment plates with few distinguishable
+	// features in overlap regions. Higher values (≥10) give feature-rich
+	// plates.
+	ColonyDensity float64
+
+	// NoiseAmp is the amplitude of per-pixel sensor noise in 16-bit
+	// counts (σ of a triangular distribution).
+	NoiseAmp float64
+
+	// Vignetting enables a per-tile radial illumination falloff, a
+	// fixed-pattern deviation between tiles that phase correlation must
+	// tolerate.
+	Vignetting bool
+
+	// ThermalDrift models stage expansion over the scan: the effective
+	// horizontal stride grows by ThermalDrift pixels per row (rows are
+	// scanned in time order), so west-pair displacements become
+	// row-dependent — the systematic error a constant (median) stage
+	// model cannot capture and a linear fit can.
+	ThermalDrift float64
+
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultParams returns a small feature-rich dataset configuration.
+func DefaultParams(rows, cols, tileW, tileH int) Params {
+	return Params{
+		Grid: tile.Grid{
+			Rows: rows, Cols: cols,
+			TileW: tileW, TileH: tileH,
+			OverlapX: 0.2, OverlapY: 0.2,
+		},
+		MaxJitter:     3,
+		ColonyDensity: 12,
+		NoiseAmp:      80,
+		Vignetting:    true,
+		Seed:          1,
+	}
+}
+
+// Dataset is a generated tile grid plus its ground truth.
+type Dataset struct {
+	Params Params
+	Tiles  []*tile.Gray16 // row-major, len Grid.NumTiles()
+	// TruthX/TruthY give each tile's true top-left position on the
+	// virtual plate, in pixels.
+	TruthX, TruthY []int
+	// Plate is the full rendered plate (nil unless KeepPlate was used).
+	Plate *tile.Gray16
+}
+
+// Tile returns the tile at the given coordinate.
+func (d *Dataset) Tile(c tile.Coord) *tile.Gray16 {
+	return d.Tiles[d.Params.Grid.Index(c)]
+}
+
+// TrueDisplacement returns the ground-truth displacement for a pair,
+// matching the convention of the stitching phase: for a west pair the
+// translation of the tile relative to its west neighbor; for a north pair
+// the translation of the tile relative to its north neighbor.
+func (d *Dataset) TrueDisplacement(p tile.Pair) tile.Displacement {
+	g := d.Params.Grid
+	i := g.Index(p.Coord)
+	j := g.Index(p.Neighbor())
+	return tile.Displacement{
+		X:    d.TruthX[i] - d.TruthX[j],
+		Y:    d.TruthY[i] - d.TruthY[j],
+		Corr: 1,
+	}
+}
+
+// Generate renders the plate and cuts the tile grid.
+func Generate(p Params) (*Dataset, error) {
+	return generate(p, false)
+}
+
+// GenerateWithPlate additionally retains the full plate image for
+// composition comparisons.
+func GenerateWithPlate(p Params) (*Dataset, error) {
+	return generate(p, true)
+}
+
+func generate(p Params, keepPlate bool) (*Dataset, error) {
+	if err := p.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	strideX := int(float64(g.TileW) * (1 - g.OverlapX))
+	strideY := int(float64(g.TileH) * (1 - g.OverlapY))
+	if strideX <= 0 || strideY <= 0 {
+		return nil, fmt.Errorf("imagegen: overlap leaves non-positive stride (%d, %d)", strideX, strideY)
+	}
+	if p.MaxJitter < 0 {
+		return nil, fmt.Errorf("imagegen: negative jitter %d", p.MaxJitter)
+	}
+	maxDrift := int(math.Ceil(math.Abs(p.ThermalDrift) * float64(g.Rows-1)))
+	if ox, oy := g.TileW-strideX, g.TileH-strideY; p.MaxJitter*2+maxDrift >= ox || p.MaxJitter*2 >= oy {
+		return nil, fmt.Errorf("imagegen: jitter %d + drift %d too large for overlap (%d, %d)", p.MaxJitter, maxDrift, ox, oy)
+	}
+
+	// Plate dimensions with a jitter margin on every side, plus room
+	// for thermal drift at the last row (the +maxDrift slack also covers
+	// negative drift, which only shrinks positions).
+	margin := p.MaxJitter + 1
+	plateW := (strideX+maxDrift)*(g.Cols-1) + g.TileW + 2*margin
+	plateH := strideY*(g.Rows-1) + g.TileH + 2*margin
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	plate := renderPlate(plateW, plateH, p, rng)
+
+	ds := &Dataset{
+		Params: p,
+		Tiles:  make([]*tile.Gray16, g.NumTiles()),
+		TruthX: make([]int, g.NumTiles()),
+		TruthY: make([]int, g.NumTiles()),
+	}
+	for r := 0; r < g.Rows; r++ {
+		driftStride := strideX + int(math.Round(p.ThermalDrift*float64(r)))
+		for c := 0; c < g.Cols; c++ {
+			jx, jy := 0, 0
+			if p.MaxJitter > 0 {
+				jx = rng.Intn(2*p.MaxJitter+1) - p.MaxJitter
+				jy = rng.Intn(2*p.MaxJitter+1) - p.MaxJitter
+			}
+			x := margin + c*driftStride + jx
+			y := margin + r*strideY + jy
+			i := g.Index(tile.Coord{Row: r, Col: c})
+			ds.TruthX[i] = x
+			ds.TruthY[i] = y
+			t := plate.SubRect(x, y, g.TileW, g.TileH)
+			postProcess(t, p, rng)
+			ds.Tiles[i] = t
+		}
+	}
+	if keepPlate {
+		ds.Plate = plate
+	}
+	return ds, nil
+}
+
+// renderPlate draws the virtual plate: smooth value-noise background plus
+// cell colonies.
+func renderPlate(w, h int, p Params, rng *rand.Rand) *tile.Gray16 {
+	plate := tile.NewGray16(w, h)
+
+	// Background: two octaves of bilinear value noise around a dim base
+	// level (out-of-focus culture-medium texture), plus a fine per-pixel
+	// texture octave. The fine octave is part of the PLATE, not the
+	// camera, so adjacent tiles share it in their overlap regions — the
+	// debris-and-medium micro-texture that phase correlation locks onto
+	// on real plates even when cell features are sparse.
+	n1 := newValueNoise(rng, 64)
+	n2 := newValueNoise(rng, 17)
+	base := 6000.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fine := (rng.Float64() + rng.Float64() - 1) * 500
+			v := base + 1800*n1.at(float64(x), float64(y)) + 600*n2.at(float64(x), float64(y)) + fine
+			plate.Set(x, y, clamp16(v))
+		}
+	}
+
+	// Colonies: clusters of soft-edged elliptical cells.
+	megapixels := float64(w*h) / 1e6
+	nColonies := int(p.ColonyDensity*megapixels + 0.5)
+	for i := 0; i < nColonies; i++ {
+		cx := rng.Float64() * float64(w)
+		cy := rng.Float64() * float64(h)
+		colonyR := 15 + rng.Float64()*40
+		nCells := 4 + rng.Intn(24)
+		for j := 0; j < nCells; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			dist := rng.Float64() * colonyR
+			drawCell(plate,
+				cx+math.Cos(ang)*dist,
+				cy+math.Sin(ang)*dist,
+				2.5+rng.Float64()*5, // radius
+				0.6+rng.Float64()*0.8,
+				6000+rng.Float64()*22000, // brightness over background
+				rng)
+		}
+	}
+	return plate
+}
+
+// drawCell adds a soft elliptical blob at (cx, cy).
+func drawCell(img *tile.Gray16, cx, cy, r, aspect, amp float64, rng *rand.Rand) {
+	theta := rng.Float64() * math.Pi
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	rx, ry := r, r*aspect
+	ext := int(math.Max(rx, ry)) + 2
+	x0, x1 := int(cx)-ext, int(cx)+ext
+	y0, y1 := int(cy)-ext, int(cy)+ext
+	for y := y0; y <= y1; y++ {
+		if y < 0 || y >= img.H {
+			continue
+		}
+		for x := x0; x <= x1; x++ {
+			if x < 0 || x >= img.W {
+				continue
+			}
+			dx, dy := float64(x)-cx, float64(y)-cy
+			u := (dx*cosT + dy*sinT) / rx
+			v := (-dx*sinT + dy*cosT) / ry
+			d2 := u*u + v*v
+			if d2 >= 1 {
+				continue
+			}
+			// Smooth falloff with a brighter rim (cells image as rings
+			// under phase contrast).
+			fall := 1 - d2
+			rim := math.Exp(-8 * (d2 - 0.55) * (d2 - 0.55))
+			add := amp * (0.35*fall + 0.65*rim)
+			img.Set(x, y, clamp16(float64(img.At(x, y))+add))
+		}
+	}
+}
+
+// postProcess applies per-tile camera effects: vignetting and sensor
+// noise. These differ between tiles even in shared overlap regions, which
+// is exactly why the stitcher normalizes correlation.
+func postProcess(t *tile.Gray16, p Params, rng *rand.Rand) {
+	if p.Vignetting {
+		cx, cy := float64(t.W)/2, float64(t.H)/2
+		maxR2 := cx*cx + cy*cy
+		for y := 0; y < t.H; y++ {
+			for x := 0; x < t.W; x++ {
+				dx, dy := float64(x)-cx, float64(y)-cy
+				fall := 1 - 0.18*(dx*dx+dy*dy)/maxR2
+				t.Set(x, y, clamp16(float64(t.At(x, y))*fall))
+			}
+		}
+	}
+	if p.NoiseAmp > 0 {
+		for i := range t.Pix {
+			// Triangular noise ≈ Gaussian but cheaper.
+			n := (rng.Float64() + rng.Float64() - 1) * p.NoiseAmp
+			t.Pix[i] = clamp16(float64(t.Pix[i]) + n)
+		}
+	}
+}
+
+func clamp16(v float64) uint16 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 65535 {
+		return 65535
+	}
+	return uint16(v)
+}
+
+// valueNoise is bilinear interpolated lattice noise.
+type valueNoise struct {
+	cell float64
+	w, h int
+	grid []float64
+}
+
+func newValueNoise(rng *rand.Rand, cell float64) *valueNoise {
+	const lattice = 96
+	g := make([]float64, lattice*lattice)
+	for i := range g {
+		g[i] = rng.Float64()*2 - 1
+	}
+	return &valueNoise{cell: cell, w: lattice, h: lattice, grid: g}
+}
+
+func (v *valueNoise) at(x, y float64) float64 {
+	gx := x / v.cell
+	gy := y / v.cell
+	x0 := int(math.Floor(gx))
+	y0 := int(math.Floor(gy))
+	fx := gx - float64(x0)
+	fy := gy - float64(y0)
+	// smoothstep
+	fx = fx * fx * (3 - 2*fx)
+	fy = fy * fy * (3 - 2*fy)
+	sample := func(ix, iy int) float64 {
+		ix = ((ix % v.w) + v.w) % v.w
+		iy = ((iy % v.h) + v.h) % v.h
+		return v.grid[iy*v.w+ix]
+	}
+	a := sample(x0, y0)*(1-fx) + sample(x0+1, y0)*fx
+	b := sample(x0, y0+1)*(1-fx) + sample(x0+1, y0+1)*fx
+	return a*(1-fy) + b*fy
+}

@@ -1,0 +1,212 @@
+package imagegen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridstitch/internal/tile"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	p := DefaultParams(3, 4, 64, 48)
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Tiles) != 12 {
+		t.Fatalf("tile count %d", len(ds.Tiles))
+	}
+	for i, tl := range ds.Tiles {
+		if tl.W != 64 || tl.H != 48 {
+			t.Fatalf("tile %d dims %dx%d", i, tl.W, tl.H)
+		}
+	}
+	if ds.Plate != nil {
+		t.Error("Generate should not keep the plate")
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	p := DefaultParams(2, 2, 32, 32)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tiles {
+		for j := range a.Tiles[i].Pix {
+			if a.Tiles[i].Pix[j] != b.Tiles[i].Pix[j] {
+				t.Fatalf("tile %d pixel %d differs between identical seeds", i, j)
+			}
+		}
+	}
+	p.Seed = 99
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a.Tiles[0].Pix {
+		if a.Tiles[0].Pix[j] != c.Tiles[0].Pix[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tiles")
+	}
+}
+
+func TestGroundTruthGeometry(t *testing.T) {
+	p := DefaultParams(4, 5, 40, 40)
+	p.MaxJitter = 2
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Grid
+	nominalW := g.NominalDisplacement(tile.West)
+	nominalN := g.NominalDisplacement(tile.North)
+	for _, pr := range g.Pairs() {
+		d := ds.TrueDisplacement(pr)
+		var nom tile.Displacement
+		if pr.Dir == tile.West {
+			nom = nominalW
+		} else {
+			nom = nominalN
+		}
+		if abs(d.X-nom.X) > 2*p.MaxJitter || abs(d.Y-nom.Y) > 2*p.MaxJitter {
+			t.Errorf("pair %v: truth %+v strays more than 2·jitter from nominal %+v", pr, d, nom)
+		}
+	}
+}
+
+func TestTilesOverlapConsistency(t *testing.T) {
+	// Without per-tile post-processing, the shared region of adjacent
+	// tiles must match the plate exactly at the ground-truth offset.
+	p := DefaultParams(2, 3, 48, 40)
+	p.NoiseAmp = 0
+	p.Vignetting = false
+	ds, err := GenerateWithPlate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Plate == nil {
+		t.Fatal("plate not kept")
+	}
+	g := p.Grid
+	for _, pr := range g.Pairs() {
+		ti := ds.Tile(pr.Coord)
+		i := g.Index(pr.Coord)
+		// every pixel of the tile matches the plate at its truth offset
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if ti.At(x, y) != ds.Plate.At(ds.TruthX[i]+x, ds.TruthY[i]+y) {
+					t.Fatalf("tile %v does not match plate at truth position", pr.Coord)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	p := DefaultParams(2, 2, 32, 32)
+	p.MaxJitter = 10 // overlap is 0.2*32 ≈ 6 px; jitter too big
+	if _, err := Generate(p); err == nil {
+		t.Error("excessive jitter should fail")
+	}
+	p = DefaultParams(0, 2, 32, 32)
+	if _, err := Generate(p); err == nil {
+		t.Error("invalid grid should fail")
+	}
+	p = DefaultParams(2, 2, 32, 32)
+	p.MaxJitter = -1
+	if _, err := Generate(p); err == nil {
+		t.Error("negative jitter should fail")
+	}
+}
+
+func TestJitterBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := DefaultParams(3, 3, 40, 40)
+		p.Seed = seed
+		p.MaxJitter = 3
+		ds, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		g := p.Grid
+		strideX := int(float64(g.TileW) * (1 - g.OverlapX))
+		strideY := int(float64(g.TileH) * (1 - g.OverlapY))
+		margin := p.MaxJitter + 1
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				i := g.Index(tile.Coord{Row: r, Col: c})
+				if abs(ds.TruthX[i]-(margin+c*strideX)) > p.MaxJitter {
+					return false
+				}
+				if abs(ds.TruthY[i]-(margin+r*strideY)) > p.MaxJitter {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColonyDensityAffectsContent(t *testing.T) {
+	sparse := DefaultParams(1, 1, 128, 128)
+	sparse.ColonyDensity = 0
+	sparse.NoiseAmp = 0
+	sparse.Vignetting = false
+	dense := sparse
+	dense.ColonyDensity = 200
+	a, err := Generate(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense plates must be brighter on average (colonies add light).
+	if b.Tiles[0].Mean() <= a.Tiles[0].Mean() {
+		t.Errorf("dense mean %g not above sparse mean %g", b.Tiles[0].Mean(), a.Tiles[0].Mean())
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestThermalDrift(t *testing.T) {
+	p := DefaultParams(5, 4, 128, 96)
+	p.ThermalDrift = 1.5
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// West displacements must grow with row: row 4's stride exceeds
+	// row 0's by round(1.5·4) = 6 px (± jitter).
+	rowDX := func(r int) int {
+		d := ds.TrueDisplacement(tile.Pair{Coord: tile.Coord{Row: r, Col: 1}, Dir: tile.West})
+		return d.X
+	}
+	if diff := rowDX(4) - rowDX(0); diff < 6-2*p.MaxJitter || diff > 6+2*p.MaxJitter {
+		t.Errorf("drift across rows = %d px, want ≈6", diff)
+	}
+	// Excessive drift must be rejected.
+	p.ThermalDrift = 10
+	if _, err := Generate(p); err == nil {
+		t.Error("drift that destroys overlap should fail")
+	}
+}

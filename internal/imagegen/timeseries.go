@@ -1,0 +1,158 @@
+package imagegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hybridstitch/internal/tile"
+)
+
+// This file generates the paper's motivating workload: a long-running
+// live-cell experiment that re-images the same plate every scan interval
+// (§I: "the plate is 2×2 cm² and is scanned every 45 min ... scanned a
+// plate 161 times"). The plate background (medium texture, debris) is
+// FIXED across scans; the cell colonies grow between scans; the stage
+// re-jitters on every pass. That is exactly what a stitching system sees
+// over a five-day experiment.
+
+// SeriesParams configures a time series of scans.
+type SeriesParams struct {
+	// Params is the base configuration; ColonyDensity sets the FINAL
+	// scan's density.
+	Params Params
+	// Scans is the number of plate passes.
+	Scans int
+	// GrowthRate scales colony radius per scan: radius at scan s is
+	// r·(Start + (1-Start)·(s+1)/Scans) with Start the initial size
+	// fraction.
+	StartFraction float64
+}
+
+// colonySeed is a colony's fixed identity across the series.
+type colonySeed struct {
+	cx, cy  float64
+	radius  float64
+	nCells  int
+	cellRng int64
+}
+
+// GenerateTimeSeries renders the experiment: one dataset per scan, all
+// sharing the same plate background, with colonies growing and fresh
+// stage jitter per scan.
+func GenerateTimeSeries(sp SeriesParams) ([]*Dataset, error) {
+	if sp.Scans < 1 {
+		return nil, fmt.Errorf("imagegen: need at least 1 scan, got %d", sp.Scans)
+	}
+	if sp.StartFraction <= 0 || sp.StartFraction > 1 {
+		sp.StartFraction = 0.35
+	}
+	p := sp.Params
+	if err := p.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	strideX := int(float64(g.TileW) * (1 - g.OverlapX))
+	strideY := int(float64(g.TileH) * (1 - g.OverlapY))
+	if strideX <= 0 || strideY <= 0 {
+		return nil, fmt.Errorf("imagegen: overlap leaves non-positive stride")
+	}
+	if ox, oy := g.TileW-strideX, g.TileH-strideY; p.MaxJitter < 0 || p.MaxJitter*2 >= ox || p.MaxJitter*2 >= oy {
+		return nil, fmt.Errorf("imagegen: jitter %d incompatible with overlap (%d, %d)", p.MaxJitter, ox, oy)
+	}
+
+	margin := p.MaxJitter + 1
+	plateW := strideX*(g.Cols-1) + g.TileW + 2*margin
+	plateH := strideY*(g.Rows-1) + g.TileH + 2*margin
+
+	// Fixed background and fixed colony identities from the base seed.
+	rng := rand.New(rand.NewSource(p.Seed))
+	background := renderBackground(plateW, plateH, rng)
+	megapixels := float64(plateW*plateH) / 1e6
+	nColonies := int(p.ColonyDensity*megapixels + 0.5)
+	seeds := make([]colonySeed, nColonies)
+	for i := range seeds {
+		seeds[i] = colonySeed{
+			cx:      rng.Float64() * float64(plateW),
+			cy:      rng.Float64() * float64(plateH),
+			radius:  15 + rng.Float64()*40,
+			nCells:  4 + rng.Intn(24),
+			cellRng: rng.Int63(),
+		}
+	}
+
+	out := make([]*Dataset, sp.Scans)
+	for s := 0; s < sp.Scans; s++ {
+		grow := sp.StartFraction + (1-sp.StartFraction)*float64(s+1)/float64(sp.Scans)
+		plate := background.Clone()
+		for _, cs := range seeds {
+			drawColony(plate, cs, grow)
+		}
+		// Fresh stage jitter per scan, deterministic per (seed, scan).
+		scanRng := rand.New(rand.NewSource(p.Seed*1_000_003 + int64(s)))
+		ds := &Dataset{
+			Params: p,
+			Tiles:  make([]*tile.Gray16, g.NumTiles()),
+			TruthX: make([]int, g.NumTiles()),
+			TruthY: make([]int, g.NumTiles()),
+		}
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				jx, jy := 0, 0
+				if p.MaxJitter > 0 {
+					jx = scanRng.Intn(2*p.MaxJitter+1) - p.MaxJitter
+					jy = scanRng.Intn(2*p.MaxJitter+1) - p.MaxJitter
+				}
+				x := margin + c*strideX + jx
+				y := margin + r*strideY + jy
+				i := g.Index(tile.Coord{Row: r, Col: c})
+				ds.TruthX[i], ds.TruthY[i] = x, y
+				t := plate.SubRect(x, y, g.TileW, g.TileH)
+				postProcess(t, p, scanRng)
+				ds.Tiles[i] = t
+			}
+		}
+		out[s] = ds
+	}
+	return out, nil
+}
+
+// renderBackground draws the fixed plate texture: smooth value-noise
+// octaves plus the per-pixel debris texture that phase correlation locks
+// onto.
+func renderBackground(w, h int, rng *rand.Rand) *tile.Gray16 {
+	plate := tile.NewGray16(w, h)
+	n1 := newValueNoise(rng, 64)
+	n2 := newValueNoise(rng, 17)
+	base := 6000.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fine := (rng.Float64() + rng.Float64() - 1) * 500
+			v := base + 1800*n1.at(float64(x), float64(y)) + 600*n2.at(float64(x), float64(y)) + fine
+			plate.Set(x, y, clamp16(v))
+		}
+	}
+	return plate
+}
+
+// drawColony renders one colony at the given growth fraction: cells
+// spread to grow·radius and the visible cell count scales with area.
+func drawColony(plate *tile.Gray16, cs colonySeed, grow float64) {
+	rng := rand.New(rand.NewSource(cs.cellRng))
+	r := cs.radius * grow
+	n := int(math.Ceil(float64(cs.nCells) * grow * grow))
+	if n < 1 {
+		n = 1
+	}
+	for j := 0; j < n; j++ {
+		ang := rng.Float64() * 2 * math.Pi
+		dist := rng.Float64() * r
+		drawCell(plate,
+			cs.cx+math.Cos(ang)*dist,
+			cs.cy+math.Sin(ang)*dist,
+			2.5+rng.Float64()*5,
+			0.6+rng.Float64()*0.8,
+			6000+rng.Float64()*22000,
+			rng)
+	}
+}

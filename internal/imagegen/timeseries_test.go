@@ -1,0 +1,153 @@
+package imagegen
+
+import (
+	"testing"
+)
+
+func seriesParams() SeriesParams {
+	p := DefaultParams(3, 3, 64, 48)
+	p.NoiseAmp = 0
+	p.Vignetting = false
+	return SeriesParams{Params: p, Scans: 3}
+}
+
+func TestTimeSeriesBasics(t *testing.T) {
+	sp := seriesParams()
+	scans, err := GenerateTimeSeries(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scans) != 3 {
+		t.Fatalf("got %d scans", len(scans))
+	}
+	for s, ds := range scans {
+		if len(ds.Tiles) != 9 {
+			t.Fatalf("scan %d has %d tiles", s, len(ds.Tiles))
+		}
+	}
+}
+
+func TestTimeSeriesSharedBackground(t *testing.T) {
+	// Without camera noise, two scans differ ONLY where colonies grew:
+	// the majority of pixels (background) must be identical between
+	// scans even though tiles re-jittered — compare via ground-truth
+	// aligned positions.
+	scans, err := GenerateTimeSeries(seriesParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := scans[0], scans[1]
+	same, total := 0, 0
+	g := a.Params.Grid
+	for i := 0; i < g.NumTiles(); i++ {
+		ta, tb := a.Tiles[i], b.Tiles[i]
+		// Align through plate coordinates: pixel (x,y) of tile i in
+		// scan A sits at plate (TruthX+x, TruthY+y); find the same
+		// plate pixel in scan B's tile.
+		dx := a.TruthX[i] - b.TruthX[i]
+		dy := a.TruthY[i] - b.TruthY[i]
+		for y := 4; y < ta.H-4; y += 3 {
+			for x := 4; x < ta.W-4; x += 3 {
+				bx, by := x+dx, y+dy
+				if bx < 0 || by < 0 || bx >= tb.W || by >= tb.H {
+					continue
+				}
+				total++
+				if ta.At(x, y) == tb.At(bx, by) {
+					same++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no comparable pixels")
+	}
+	if frac := float64(same) / float64(total); frac < 0.80 {
+		t.Errorf("only %.0f%% of aligned pixels identical between scans; background should dominate", 100*frac)
+	}
+}
+
+func TestTimeSeriesColoniesGrow(t *testing.T) {
+	sp := seriesParams()
+	sp.Params.ColonyDensity = 20
+	scans, err := GenerateTimeSeries(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occupancy := func(ds *Dataset) float64 {
+		bright, total := 0, 0
+		for _, tl := range ds.Tiles {
+			for _, px := range tl.Pix {
+				total++
+				if px > 12000 {
+					bright++
+				}
+			}
+		}
+		return float64(bright) / float64(total)
+	}
+	prev := -1.0
+	for s, ds := range scans {
+		occ := occupancy(ds)
+		if occ < prev {
+			t.Errorf("scan %d occupancy %.4f below scan %d's %.4f", s, occ, s-1, prev)
+		}
+		prev = occ
+	}
+	if first, last := occupancy(scans[0]), occupancy(scans[len(scans)-1]); last < 1.5*first {
+		t.Errorf("colonies barely grew: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestTimeSeriesJitterVariesPerScan(t *testing.T) {
+	scans, err := GenerateTimeSeries(seriesParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range scans[0].TruthX {
+		if scans[0].TruthX[i] != scans[1].TruthX[i] || scans[0].TruthY[i] != scans[1].TruthY[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("stage jitter identical across scans")
+	}
+}
+
+func TestTimeSeriesReproducible(t *testing.T) {
+	a, err := GenerateTimeSeries(seriesParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTimeSeries(seriesParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a {
+		for i := range a[s].Tiles[0].Pix {
+			if a[s].Tiles[0].Pix[i] != b[s].Tiles[0].Pix[i] {
+				t.Fatalf("scan %d not reproducible", s)
+			}
+		}
+	}
+}
+
+func TestTimeSeriesErrors(t *testing.T) {
+	sp := seriesParams()
+	sp.Scans = 0
+	if _, err := GenerateTimeSeries(sp); err == nil {
+		t.Error("zero scans should fail")
+	}
+	sp = seriesParams()
+	sp.Params.MaxJitter = 50
+	if _, err := GenerateTimeSeries(sp); err == nil {
+		t.Error("excessive jitter should fail")
+	}
+	sp = seriesParams()
+	sp.Params.Grid.Rows = 0
+	if _, err := GenerateTimeSeries(sp); err == nil {
+		t.Error("invalid grid should fail")
+	}
+}

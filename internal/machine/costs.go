@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"math"
+
+	"hybridstitch/internal/tile"
+)
+
+// HostConfig describes the simulated machine.
+type HostConfig struct {
+	// PhysicalCores and LogicalCores model hyper-threading: threads
+	// beyond PhysicalCores add only HTEfficiency of a core each (the
+	// knee in the paper's Fig 11 at 8 physical / 16 logical).
+	PhysicalCores int
+	LogicalCores  int
+	HTEfficiency  float64
+	// MemContention degrades per-thread compute when several threads
+	// stream transform-sized data concurrently (FFT is bandwidth-bound;
+	// the paper's MT-CPU reaches 6.6x on 8 physical cores, not 8x).
+	MemContention float64
+	// RAMBytes is physical memory; exceeding it triggers the paging
+	// model (Fig 5). UsableRAMBytes subtracts OS/buffer overhead.
+	RAMBytes       int64
+	UsableRAMBytes int64
+	// PagePenalty multiplies compute-task durations at full overcommit.
+	PagePenalty float64
+	// GPUs is the card count.
+	GPUs int
+	// CPUSpeed and GPUSpeed scale per-op costs relative to the paper's
+	// Xeon E-5620 / Tesla C2070 (1.0 each); the §VI laptop has a
+	// slightly faster core and a far weaker (GF116) card.
+	CPUSpeed float64
+	GPUSpeed float64
+}
+
+// PaperHost returns the evaluation machine of §IV: two Xeon E-5620
+// quad-cores with HT, 48 GB RAM, two Tesla C2070s.
+func PaperHost() HostConfig {
+	return HostConfig{
+		PhysicalCores: 8, LogicalCores: 16, HTEfficiency: 0.10,
+		MemContention:  0.86,
+		RAMBytes:       48 << 30,
+		UsableRAMBytes: 44 << 30,
+		PagePenalty:    40,
+		GPUs:           2,
+		CPUSpeed:       1, GPUSpeed: 1,
+	}
+}
+
+// Fig5Host is the reduced-memory variant used for the virtual-memory
+// cliff experiment ("the same evaluation machine but with 24 GB of RAM
+// only"). The paper's cliff falls between 832 and 864 tiles, i.e.
+// ≈ 19.3 GB of 23.2 MB transforms resident, the rest being OS, page
+// cache, and tile buffers.
+func Fig5Host() HostConfig {
+	h := PaperHost()
+	h.RAMBytes = 24 << 30
+	h.UsableRAMBytes = 19_500_000_000 // ≈842 resident transforms
+	return h
+}
+
+// LaptopHost is the paper's §VI validation laptop: i7-950 quad-core,
+// 12 GB RAM, one GTX 560M.
+func LaptopHost() HostConfig {
+	return HostConfig{
+		PhysicalCores: 4, LogicalCores: 8, HTEfficiency: 0.10,
+		MemContention:  0.86,
+		RAMBytes:       12 << 30,
+		UsableRAMBytes: 10 << 30,
+		PagePenalty:    40,
+		GPUs:           1,
+		CPUSpeed:       1.11, GPUSpeed: 0.36,
+	}
+}
+
+// CostModel gives per-operation service times in seconds for the paper's
+// 1392×1040 16-bit tiles; OpCosts scales them to other tile sizes.
+//
+// Calibration: the paper reports Simple-CPU at 10.6 min with "80% of
+// this time spent on Fourier transforms" over 3nm-n-m = 7333 transforms,
+// fixing FFTCPU ≈ 69 ms; the residual fixes the read/NCC/reduce/CCF
+// costs. GPU kernel costs are calibrated against the Pipelined-GPU
+// end-to-end times (49.7 s / 26.6 s), which bound the serialized cuFFT
+// kernel at ≈ 5.5 ms — note this is far below the paper's "cuFFT ≈ 1.5×
+// faster than FFTW" aside, which cannot hold per-kernel: 7333 kernels at
+// 46 ms would alone take 337 s on one card. The reproduction treats the
+// 1.5× remark as describing the synchronous Simple-GPU access pattern
+// (kernel + launch + synchronization + transfer), which the SyncOverhead
+// term models; EXPERIMENTS.md discusses the discrepancy.
+type CostModel struct {
+	Read         float64 // disk read + TIFF decode, per tile
+	FFTCPU       float64 // one 2-D transform (fwd or inv), one core
+	NCCCPU       float64
+	MaxCPU       float64
+	CCF          float64 // all four factors, one core
+	H2D          float64 // tile upload over PCIe
+	FFTGPU       float64
+	NCCGPU       float64
+	MaxGPU       float64
+	D2H          float64 // scalar result readback
+	SyncOverhead float64 // per synchronous GPU call in Simple-GPU
+	// FijiFactor inflates per-operator costs for the ImageJ/Fiji
+	// plugin. The paper insists the plugin runs the same mathematical
+	// operators yet measures >3.6 h against 10.6 min sequential C++ —
+	// an architecture/runtime gap of ~80× per op after accounting for
+	// its ~2× transform count; it is calibrated, not derived.
+	FijiFactor  float64
+	FijiThreads int // "5–6" in Table II
+}
+
+// PaperCosts returns the calibrated model.
+func PaperCosts() CostModel {
+	return CostModel{
+		Read:   0.010,
+		FFTCPU: 0.0694,
+		NCCCPU: 0.008,
+		MaxCPU: 0.005,
+		CCF:    0.008,
+
+		H2D:    0.0022,
+		FFTGPU: 0.0050,
+		NCCGPU: 0.0012,
+		MaxGPU: 0.0009,
+		D2H:    0.00002,
+
+		SyncOverhead: 0.0178,
+		FijiFactor:   58,
+		FijiThreads:  5,
+	}
+}
+
+// paperTilePixels is the calibration tile size.
+const paperTilePixels = 1392 * 1040
+
+// OpCosts is the cost model scaled to a concrete grid.
+type OpCosts struct {
+	CostModel
+	Grid tile.Grid
+}
+
+// ForHost additionally applies the host's CPU/GPU speed factors.
+func (c CostModel) ForHost(g tile.Grid, h HostConfig) OpCosts {
+	out := c.For(g)
+	cs, gs := h.CPUSpeed, h.GPUSpeed
+	if cs <= 0 {
+		cs = 1
+	}
+	if gs <= 0 {
+		gs = 1
+	}
+	out.FFTCPU /= cs
+	out.NCCCPU /= cs
+	out.MaxCPU /= cs
+	out.CCF /= cs
+	out.FFTGPU /= gs
+	out.NCCGPU /= gs
+	out.MaxGPU /= gs
+	return out
+}
+
+// For scales the calibrated model to grid g: linear ops scale with
+// pixel count, transforms with N·log N.
+func (c CostModel) For(g tile.Grid) OpCosts {
+	px := float64(g.TileW * g.TileH)
+	lin := px / paperTilePixels
+	ref := paperTilePixels * math.Log(paperTilePixels)
+	fftScale := px * math.Log(px) / ref
+	out := c
+	out.Read *= lin
+	out.FFTCPU *= fftScale
+	out.NCCCPU *= lin
+	out.MaxCPU *= lin
+	out.CCF *= lin
+	out.H2D *= lin
+	out.FFTGPU *= fftScale
+	out.NCCGPU *= lin
+	out.MaxGPU *= lin
+	return OpCosts{CostModel: out, Grid: g}
+}
+
+// cpuSlowdown returns the per-task duration multiplier when `threads`
+// compute workers share the host: 1.0 while threads fit physical cores,
+// then the hyper-threading tax, with memory contention on top for >1
+// thread. The DES gives each of the T workers a slot; the multiplier
+// makes T workers deliver the throughput of p(T) ideal cores:
+//
+//	p(T) = T                      for T ≤ physical
+//	p(T) = phys + ht·(T-phys)     for T > physical
+func cpuSlowdown(h HostConfig, threads int) float64 {
+	if threads <= 1 {
+		return 1
+	}
+	p := float64(threads)
+	if threads > h.PhysicalCores {
+		p = float64(h.PhysicalCores) + h.HTEfficiency*float64(threads-h.PhysicalCores)
+	}
+	eff := h.MemContention
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	return float64(threads) / (p * eff)
+}
+
+// transformBytes is one tile transform's footprint.
+func transformBytes(g tile.Grid) int64 {
+	return int64(g.TileW) * int64(g.TileH) * 16
+}

@@ -1,0 +1,47 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/machine"
+	"hybridstitch/internal/tile"
+)
+
+// Example predicts the paper's headline result: the 42×59 grid on the
+// evaluation machine, one vs two GPUs. The discrete-event model is
+// deterministic, so the numbers are stable.
+func Example() {
+	grid := tile.Grid{Rows: 42, Cols: 59, TileW: 1392, TileH: 1040, OverlapX: 0.1, OverlapY: 0.1}
+	one, err := machine.Predict(machine.RunSpec{Impl: "pipelined-gpu", Grid: grid, Threads: 16, GPUs: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	two, err := machine.Predict(machine.RunSpec{Impl: "pipelined-gpu", Grid: grid, Threads: 16, GPUs: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("1 GPU: %.0f s (paper: 49.7 s)\n", one)
+	fmt.Printf("2 GPUs: %.0f s (paper: 26.6 s)\n", two)
+	// Output:
+	// 1 GPU: 47 s (paper: 49.7 s)
+	// 2 GPUs: 26 s (paper: 26.6 s)
+}
+
+// ExamplePredictWithStats shows the bottleneck analysis: with two cards
+// the shared disk saturates.
+func ExamplePredictWithStats() {
+	grid := tile.Grid{Rows: 42, Cols: 59, TileW: 1392, TileH: 1040, OverlapX: 0.1, OverlapY: 0.1}
+	mk, stats, err := machine.PredictWithStats(machine.RunSpec{Impl: "pipelined-gpu", Grid: grid, Threads: 16, GPUs: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range stats {
+		if s.Name == "disk" {
+			fmt.Printf("disk busy %.0f%% of the %.0f s run\n", 100*s.BusySeconds/mk, mk)
+		}
+	}
+	// Output: disk busy 98% of the 26 s run
+}

@@ -1,0 +1,363 @@
+package machine
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/tile"
+)
+
+// RunSpec describes one modeled stitching run.
+type RunSpec struct {
+	Impl       string // stitch implementation registry name
+	Grid       tile.Grid
+	Host       HostConfig
+	Costs      CostModel
+	Threads    int
+	CCFThreads int
+	GPUs       int
+	// CCFOnGPU moves the cross-correlation-factor step onto the GPU
+	// kernel engine (the design alternative the paper rejects): the GPU
+	// executes it ~2× faster per op, but it competes with the FFT/NCC
+	// kernels for the card, while idle CPU cores go unused.
+	CCFOnGPU bool
+	// KernelSlots is the per-GPU concurrent-kernel limit: 1 models the
+	// Fermi-era cuFFT serialization the paper works around; larger
+	// values model Kepler's Hyper-Q (paper §VI.A future work).
+	KernelSlots int
+	// Sockets models one CPU pipeline per socket (paper §IV.B future
+	// work): memory contention halves (each pipeline streams
+	// socket-local DRAM) at the cost of one redundant boundary row of
+	// reads and transforms per extra socket.
+	Sockets int
+}
+
+func (s RunSpec) withDefaults() RunSpec {
+	if s.Host.PhysicalCores == 0 {
+		s.Host = PaperHost()
+	}
+	if s.Costs.FFTCPU == 0 {
+		s.Costs = PaperCosts()
+	}
+	if s.Threads < 1 {
+		s.Threads = 1
+	}
+	if s.CCFThreads < 1 {
+		s.CCFThreads = s.Threads
+	}
+	if s.GPUs < 1 {
+		s.GPUs = 1
+	}
+	if s.GPUs > s.Host.GPUs {
+		s.GPUs = s.Host.GPUs
+	}
+	if s.KernelSlots < 1 {
+		s.KernelSlots = 1
+	}
+	return s
+}
+
+// Predict returns the modeled end-to-end time in seconds for a run.
+func Predict(spec RunSpec) (float64, error) {
+	t, _, err := PredictWithStats(spec)
+	return t, err
+}
+
+// ResourceStat summarizes one station's load during a modeled run.
+type ResourceStat struct {
+	Name        string
+	BusySeconds float64
+	MaxQueue    int
+}
+
+// PredictWithStats additionally reports per-resource busy time and
+// backlog — the bottleneck analysis behind e.g. why a second GPU yields
+// 1.87× rather than 2× (the shared disk saturates).
+func PredictWithStats(spec RunSpec) (float64, []ResourceStat, error) {
+	spec = spec.withDefaults()
+	if err := spec.Grid.Validate(); err != nil {
+		return 0, nil, err
+	}
+	c := spec.Costs.ForHost(spec.Grid, spec.Host)
+	var m *Model
+	var resources []*Resource
+	var err error
+	switch spec.Impl {
+	case "simple-cpu":
+		m, resources, err = buildSimpleCPU(spec, c)
+	case "mt-cpu":
+		m, resources, err = buildPipelineCPU(spec, c, mtImbalance)
+	case "pipelined-cpu":
+		m, resources, err = buildPipelineCPU(spec, c, 1.0)
+	case "simple-gpu":
+		m, resources, err = buildSimpleGPU(spec, c)
+	case "pipelined-gpu":
+		m, resources, err = buildPipelinedGPU(spec, c)
+	case "fiji":
+		m, resources, err = buildFiji(spec, c)
+	default:
+		return 0, nil, fmt.Errorf("machine: unknown implementation %q", spec.Impl)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	makespan, err := m.Run()
+	if err != nil {
+		return 0, nil, err
+	}
+	stats := make([]ResourceStat, 0, len(resources))
+	for _, r := range resources {
+		stats = append(stats, ResourceStat{Name: r.Name(), BusySeconds: r.Utilization(), MaxQueue: r.MaxQueue()})
+	}
+	return makespan, stats, nil
+}
+
+// mtImbalance is the static-partition penalty the dynamic pipeline
+// removes.
+const mtImbalance = 1.12
+
+// buildSimpleCPU chains every operation on a single core.
+func buildSimpleCPU(spec RunSpec, c OpCosts) (*Model, []*Resource, error) {
+	g := spec.Grid
+	m := NewModel()
+	cpu := NewResource(m.Sim, "cpu", 1)
+	for i := 0; i < g.NumTiles(); i++ {
+		m.AddTask(&Task{Name: "read+fft", Dur: c.Read + c.FFTCPU, Res: cpu})
+	}
+	for i := 0; i < g.NumPairs(); i++ {
+		m.AddTask(&Task{Name: "pair", Dur: c.NCCCPU + c.FFTCPU + c.MaxCPU + c.CCF, Res: cpu})
+	}
+	return m, []*Resource{cpu}, nil
+}
+
+// buildPipelineCPU is the common CPU task graph: reads on a serial disk,
+// transforms and pair computations on T workers, pair tasks gated on
+// their tiles' transforms. imbalance models MT-CPU's static partitioning.
+// Sockets > 1 halves the cross-socket share of memory contention and
+// adds the redundant boundary-row work of the per-socket split.
+func buildPipelineCPU(spec RunSpec, c OpCosts, imbalance float64) (*Model, []*Resource, error) {
+	g := spec.Grid
+	host := spec.Host
+	extraTiles := 0
+	if spec.Sockets > 1 {
+		host.MemContention = host.MemContention + (1-host.MemContention)*0.5
+		extraTiles = (spec.Sockets - 1) * g.Cols
+	}
+	slow := cpuSlowdown(host, spec.Threads) * imbalance
+	m := NewModel()
+	disk := NewResource(m.Sim, "disk", 1)
+	cpu := NewResource(m.Sim, "cpu", spec.Threads)
+
+	ffts := make([]*Task, g.NumTiles())
+	for i := 0; i < g.NumTiles(); i++ {
+		read := m.AddTask(&Task{Name: "read", Dur: c.Read, Res: disk})
+		ffts[i] = m.AddTask(&Task{Name: "fft", Dur: c.FFTCPU * slow, Res: cpu}, read)
+	}
+	for i := 0; i < extraTiles; i++ {
+		read := m.AddTask(&Task{Name: "read", Dur: c.Read, Res: disk})
+		m.AddTask(&Task{Name: "fft", Dur: c.FFTCPU * slow, Res: cpu}, read)
+	}
+	pairDur := (c.NCCCPU + c.FFTCPU + c.MaxCPU + c.CCF) * slow
+	for _, p := range g.Pairs() {
+		bi := g.Index(p.Coord)
+		ai := g.Index(p.Neighbor())
+		m.AddTask(&Task{Name: "pair", Dur: pairDur, Res: cpu}, ffts[ai], ffts[bi])
+	}
+	return m, []*Resource{disk, cpu}, nil
+}
+
+// buildSimpleGPU chains every operation on one CPU thread with
+// synchronous GPU dispatch: each device call pays the launch+synchronize
+// overhead that the profiler gaps of Fig 7 expose.
+func buildSimpleGPU(spec RunSpec, c OpCosts) (*Model, []*Resource, error) {
+	g := spec.Grid
+	m := NewModel()
+	host := NewResource(m.Sim, "host-thread", 1)
+	ov := c.SyncOverhead
+	perTile := c.Read + (c.H2D + ov) + (c.FFTGPU + ov)
+	perPair := (c.NCCGPU + ov) + (c.FFTGPU + ov) + (c.MaxGPU + ov) + (c.D2H + ov) + c.CCF
+	for i := 0; i < g.NumTiles(); i++ {
+		m.AddTask(&Task{Name: "tile", Dur: perTile, Res: host})
+	}
+	for i := 0; i < g.NumPairs(); i++ {
+		m.AddTask(&Task{Name: "pair", Dur: perPair, Res: host})
+	}
+	return m, []*Resource{host}, nil
+}
+
+// buildPipelinedGPU builds the Fig 8 task graph: per GPU a copy engine
+// and a kernel engine fed by a shared disk, pair kernels gated on both
+// transforms, CCF on a shared CPU worker pool.
+func buildPipelinedGPU(spec RunSpec, c OpCosts) (*Model, []*Resource, error) {
+	g := spec.Grid
+	m := NewModel()
+	disk := NewResource(m.Sim, "disk", 1)
+	ccfSlow := cpuSlowdown(spec.Host, spec.CCFThreads)
+	ccf := NewResource(m.Sim, "ccf", spec.CCFThreads)
+
+	type gpuRes struct{ copy, kernel *Resource }
+	gpus := make([]gpuRes, spec.GPUs)
+	resources := []*Resource{disk, ccf}
+	for d := range gpus {
+		gpus[d] = gpuRes{
+			copy:   NewResource(m.Sim, fmt.Sprintf("gpu%d-copy", d), 1),
+			kernel: NewResource(m.Sim, fmt.Sprintf("gpu%d-kernel", d), spec.KernelSlots),
+		}
+		resources = append(resources, gpus[d].copy, gpus[d].kernel)
+	}
+
+	// Row-band partitions, like the real implementation: each partition
+	// reads and transforms its band plus the boundary row above. The
+	// partitions' reads interleave on the shared disk (round-robin),
+	// matching the concurrent per-pipeline reader threads — creating
+	// them device-by-device would serialize the pipelines' lead-ins and
+	// wrongly flatten the multi-GPU speedup.
+	rows := g.Rows
+	nDev := spec.GPUs
+	if nDev > rows {
+		nDev = rows
+	}
+	type band struct {
+		lo, hi int
+		coords []tile.Coord
+	}
+	bands := make([]band, nDev)
+	maxNeed := 0
+	for d := 0; d < nDev; d++ {
+		lo := rows * d / nDev
+		hi := rows * (d + 1) / nDev
+		needLo := lo - 1
+		if needLo < 0 {
+			needLo = 0
+		}
+		b := band{lo: lo, hi: hi}
+		for r := needLo; r < hi; r++ {
+			for col := 0; col < g.Cols; col++ {
+				b.coords = append(b.coords, tile.Coord{Row: r, Col: col})
+			}
+		}
+		bands[d] = b
+		if len(b.coords) > maxNeed {
+			maxNeed = len(b.coords)
+		}
+	}
+
+	ffts := make([]map[int]*Task, nDev) // device → tile index → fft task
+	for d := range ffts {
+		ffts[d] = make(map[int]*Task)
+	}
+	for k := 0; k < maxNeed; k++ {
+		for d := 0; d < nDev; d++ {
+			if k >= len(bands[d].coords) {
+				continue
+			}
+			coord := bands[d].coords[k]
+			i := g.Index(coord)
+			read := m.AddTask(&Task{Name: "read", Dur: c.Read, Res: disk})
+			h2d := m.AddTask(&Task{Name: "h2d", Dur: c.H2D, Res: gpus[d].copy}, read)
+			ffts[d][i] = m.AddTask(&Task{Name: "fft", Dur: c.FFTGPU, Res: gpus[d].kernel}, h2d)
+		}
+	}
+	for d := 0; d < nDev; d++ {
+		for r := bands[d].lo; r < bands[d].hi; r++ {
+			for col := 0; col < g.Cols; col++ {
+				addPair := func(ai, bi int) {
+					k := m.AddTask(&Task{Name: "pair-kernels", Dur: c.NCCGPU + c.FFTGPU + c.MaxGPU, Res: gpus[d].kernel},
+						ffts[d][ai], ffts[d][bi])
+					if spec.CCFOnGPU {
+						kc := m.AddTask(&Task{Name: "ccf-kernel", Dur: c.CCF * 0.5, Res: gpus[d].kernel}, k)
+						m.AddTask(&Task{Name: "d2h", Dur: c.D2H, Res: gpus[d].copy}, kc)
+						return
+					}
+					d2h := m.AddTask(&Task{Name: "d2h", Dur: c.D2H, Res: gpus[d].copy}, k)
+					m.AddTask(&Task{Name: "ccf", Dur: c.CCF * ccfSlow, Res: ccf}, d2h)
+				}
+				i := g.Index(tile.Coord{Row: r, Col: col})
+				if col > 0 {
+					addPair(g.Index(tile.Coord{Row: r, Col: col - 1}), i)
+				}
+				if r > 0 {
+					addPair(g.Index(tile.Coord{Row: r - 1, Col: col}), i)
+				}
+			}
+		}
+	}
+	return m, resources, nil
+}
+
+// buildFiji models the plugin: a small thread pool of per-pair jobs,
+// each re-reading and re-transforming both tiles, with the calibrated
+// runtime factor on compute.
+func buildFiji(spec RunSpec, c OpCosts) (*Model, []*Resource, error) {
+	g := spec.Grid
+	m := NewModel()
+	disk := NewResource(m.Sim, "disk", 1)
+	threads := c.FijiThreads
+	if threads < 1 {
+		threads = 5
+	}
+	pool := NewResource(m.Sim, "java-pool", threads)
+	compute := (2*c.FFTCPU + c.NCCCPU + c.FFTCPU + c.MaxCPU + c.CCF) * c.FijiFactor
+	for i := 0; i < g.NumPairs(); i++ {
+		r1 := m.AddTask(&Task{Name: "read", Dur: c.Read, Res: disk})
+		r2 := m.AddTask(&Task{Name: "read", Dur: c.Read, Res: disk})
+		m.AddTask(&Task{Name: "pair", Dur: compute, Res: pool}, r1, r2)
+	}
+	return m, []*Resource{disk, pool}, nil
+}
+
+// PredictFFTWorkload models the Fig 5 experiment: read every tile and
+// compute its transform WITHOUT releasing memory, on `threads` workers
+// and a host with limited RAM. Once the resident transform set exceeds
+// usable RAM, compute tasks pay a paging penalty that grows with the
+// overcommit fraction and with the number of threads thrashing the
+// paging subsystem concurrently.
+func PredictFFTWorkload(g tile.Grid, host HostConfig, costs CostModel, threads int) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	c := costs.For(g)
+	slow := cpuSlowdown(host, threads)
+	m := NewModel()
+	disk := NewResource(m.Sim, "disk", 1)
+	cpu := NewResource(m.Sim, "cpu", threads)
+
+	var resident int64
+	tb := transformBytes(g)
+	for i := 0; i < g.NumTiles(); i++ {
+		read := m.AddTask(&Task{Name: "read", Dur: c.Read, Res: disk})
+		m.AddTask(&Task{
+			Name: "fft",
+			Res:  cpu,
+			DurFn: func() float64 {
+				d := c.FFTCPU * slow
+				if resident > host.UsableRAMBytes {
+					// Thrashing: once the working set spills, every
+					// transform streams through the paging subsystem,
+					// and concurrent threads amplify the eviction storm
+					// — the binary cliff of Fig 5.
+					d *= 1 + host.PagePenalty*float64(threads)
+				}
+				return d
+			},
+			OnDone: func() { resident += tb },
+		}, read)
+	}
+	return m.Run()
+}
+
+// FFTWorkloadSpeedup returns the Fig 5 z-value: the 1-thread time over
+// the T-thread time for the same tile count (both subject to paging).
+func FFTWorkloadSpeedup(g tile.Grid, host HostConfig, costs CostModel, threads int) (float64, error) {
+	t1, err := PredictFFTWorkload(g, host, costs, 1)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := PredictFFTWorkload(g, host, costs, threads)
+	if err != nil {
+		return 0, err
+	}
+	return t1 / tn, nil
+}

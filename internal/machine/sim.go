@@ -1,0 +1,248 @@
+// Package machine is a discrete-event model of the paper's evaluation
+// machine (two Xeon E-5620 quad-cores with hyper-threading, 48 GB RAM,
+// two Tesla C2070s) and of the six stitching implementations' schedules
+// on it. The functional implementations in internal/stitch demonstrate
+// correctness and concurrency behavior at reduced scale; this model
+// carries the paper-scale *timing*: it replays each implementation's
+// task graph — reads, copies, kernels, CCFs, with their true dependency
+// structure and resource limits — in virtual time against a cost model
+// calibrated from the paper's own measurements, reproducing Table II and
+// the scaling figures (5, 10, 11, 12) deterministically on any host.
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sim is a discrete-event simulator: a virtual clock and an event queue.
+type Sim struct {
+	now    float64
+	events eventHeap
+	seq    int64
+}
+
+// NewSim creates a simulator at t=0.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run at absolute virtual time t (≥ now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// Run processes events until the queue is empty and returns the final
+// clock value.
+func (s *Sim) Run() float64 {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		s.now = ev.t
+		ev.fn()
+	}
+	return s.now
+}
+
+type event struct {
+	t   float64
+	seq int64 // FIFO tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Resource is a k-server FIFO station: at most Cap tasks execute on it
+// concurrently; excess tasks queue in arrival order. It models a disk, a
+// PCIe copy engine, a GPU's kernel slot, or a pool of CPU worker
+// threads.
+type Resource struct {
+	sim  *Sim
+	name string
+	cap  int
+	busy int
+	q    []*Task
+
+	// accounting
+	busyTime float64
+	maxQueue int
+}
+
+// NewResource creates a station with the given concurrency.
+func NewResource(sim *Sim, name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{sim: sim, name: name, cap: capacity}
+}
+
+// Name returns the station label.
+func (r *Resource) Name() string { return r.name }
+
+// Utilization returns busy-server-seconds accumulated (divide by
+// makespan × cap for a fraction).
+func (r *Resource) Utilization() float64 { return r.busyTime }
+
+// MaxQueue returns the deepest backlog observed.
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// Task is a unit of simulated work.
+type Task struct {
+	Name string
+	// Dur is the service time in seconds. DurFn, if set, is evaluated
+	// at dispatch time instead (e.g. paging-dependent FFT costs).
+	Dur   float64
+	DurFn func() float64
+	Res   *Resource
+
+	// OnStart/OnDone run at dispatch and completion (bookkeeping hooks:
+	// working-set tracking, buffer pools).
+	OnStart func()
+	OnDone  func()
+
+	nDeps  int
+	succs  []*Task
+	fin    float64
+	queued bool
+	done   bool
+}
+
+// Finish returns the task's completion time (valid after Model.Run).
+func (t *Task) Finish() float64 { return t.fin }
+
+// Model is a task graph over resources.
+type Model struct {
+	Sim   *Sim
+	tasks []*Task
+	// Trace, when enabled, records every task execution in virtual time.
+	trace   []TraceSpan
+	traceOn bool
+}
+
+// TraceSpan is one executed task in virtual time.
+type TraceSpan struct {
+	Name     string
+	Resource string
+	Start    float64 // seconds
+	End      float64
+}
+
+// NewModel creates an empty model.
+func NewModel() *Model { return &Model{Sim: NewSim()} }
+
+// EnableTrace turns on schedule recording.
+func (m *Model) EnableTrace() { m.traceOn = true }
+
+// Trace returns the recorded schedule (empty unless EnableTrace was
+// called before Run).
+func (m *Model) Trace() []TraceSpan { return m.trace }
+
+// AddTask registers a task with its dependencies.
+func (m *Model) AddTask(t *Task, deps ...*Task) *Task {
+	t.nDeps = 0
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		t.nDeps++
+		d.succs = append(d.succs, t)
+	}
+	m.tasks = append(m.tasks, t)
+	return t
+}
+
+// enqueue places a ready task on its resource.
+func (m *Model) enqueue(t *Task) {
+	r := t.Res
+	if r == nil {
+		panic(fmt.Sprintf("machine: task %s has no resource", t.Name))
+	}
+	t.queued = true
+	if r.busy < r.cap {
+		m.dispatch(r, t)
+		return
+	}
+	r.q = append(r.q, t)
+	if len(r.q) > r.maxQueue {
+		r.maxQueue = len(r.q)
+	}
+}
+
+func (m *Model) dispatch(r *Resource, t *Task) {
+	r.busy++
+	if t.OnStart != nil {
+		t.OnStart()
+	}
+	dur := t.Dur
+	if t.DurFn != nil {
+		dur = t.DurFn()
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	r.busyTime += dur
+	startAt := m.Sim.Now()
+	m.Sim.After(dur, func() {
+		t.done = true
+		t.fin = m.Sim.Now()
+		if m.traceOn {
+			m.trace = append(m.trace, TraceSpan{Name: t.Name, Resource: r.name, Start: startAt, End: t.fin})
+		}
+		if t.OnDone != nil {
+			t.OnDone()
+		}
+		r.busy--
+		if len(r.q) > 0 {
+			next := r.q[0]
+			r.q = r.q[1:]
+			m.dispatch(r, next)
+		}
+		for _, succ := range t.succs {
+			succ.nDeps--
+			if succ.nDeps == 0 && !succ.queued {
+				m.enqueue(succ)
+			}
+		}
+	})
+}
+
+// Run executes the task graph and returns the makespan in seconds. It
+// fails if some task never became ready (a dependency cycle).
+func (m *Model) Run() (float64, error) {
+	for _, t := range m.tasks {
+		if t.nDeps == 0 {
+			m.enqueue(t)
+		}
+	}
+	makespan := m.Sim.Run()
+	for _, t := range m.tasks {
+		if !t.done {
+			return 0, fmt.Errorf("machine: task %s never completed (dependency cycle or missing resource)", t.Name)
+		}
+	}
+	return makespan, nil
+}

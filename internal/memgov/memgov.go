@@ -1,0 +1,133 @@
+// Package memgov simulates a machine's physical-memory limit and the
+// virtual-memory paging penalty that the paper's Fig 5 exposes: a
+// multi-threaded FFT workload whose speedup "falls off a cliff, across all
+// thread counts" the moment the working set (832 → 864 tiles) exceeds
+// RAM and the VM subsystem starts paging.
+//
+// The governor tracks live allocation bytes against a configured physical
+// capacity. While the working set fits, Touch is free; once it exceeds
+// capacity, every Touch pays a delay proportional to the bytes touched
+// and the overcommit fraction — a first-order model of page-fault
+// stalls. This lets experiments reproduce the cliff deterministically on
+// a host whose real RAM is plentiful.
+package memgov
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Governor models one machine's physical memory.
+type Governor struct {
+	mu       sync.Mutex
+	physical int64
+	live     int64
+	peak     int64
+	// penaltyPerByte is the paging stall per byte touched at 100%
+	// overcommit (live = 2×physical ⇒ half of all touched pages fault).
+	penaltyPerByte time.Duration
+	faults         int64
+	stalled        time.Duration
+	sleep          func(time.Duration) // test seam
+}
+
+// New creates a governor with the given physical capacity in bytes and a
+// paging penalty per byte at full overcommit. A penalty of 0 disables
+// stalls (accounting only).
+func New(physicalBytes int64, penaltyPerByte time.Duration) *Governor {
+	return &Governor{
+		physical:       physicalBytes,
+		penaltyPerByte: penaltyPerByte,
+		sleep:          time.Sleep,
+	}
+}
+
+// Allocation is a tracked reservation.
+type Allocation struct {
+	g     *Governor
+	bytes int64
+	freed bool
+	mu    sync.Mutex
+}
+
+// Alloc records a reservation of n bytes. Unlike a real OS, the governor
+// never refuses: exceeding physical capacity is exactly the regime under
+// study; it just starts costing.
+func (g *Governor) Alloc(n int64) (*Allocation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("memgov: negative allocation %d", n)
+	}
+	g.mu.Lock()
+	g.live += n
+	if g.live > g.peak {
+		g.peak = g.live
+	}
+	g.mu.Unlock()
+	return &Allocation{g: g, bytes: n}, nil
+}
+
+// Free releases the reservation.
+func (a *Allocation) Free() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.freed {
+		return fmt.Errorf("memgov: double free of %d bytes", a.bytes)
+	}
+	a.freed = true
+	a.g.mu.Lock()
+	a.g.live -= a.bytes
+	a.g.mu.Unlock()
+	return nil
+}
+
+// OvercommitFraction returns max(0, (live-physical)/live): the fraction
+// of the working set that cannot be resident.
+func (g *Governor) OvercommitFraction() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.overcommitLocked()
+}
+
+func (g *Governor) overcommitLocked() float64 {
+	if g.live <= g.physical || g.live == 0 {
+		return 0
+	}
+	return float64(g.live-g.physical) / float64(g.live)
+}
+
+// Penalty computes the stall a Touch of n bytes would incur right now.
+func (g *Governor) Penalty(n int64) time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	frac := g.overcommitLocked()
+	if frac == 0 || g.penaltyPerByte == 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * frac * float64(g.penaltyPerByte))
+}
+
+// Touch models the workload accessing n bytes of its working set,
+// stalling for the current paging penalty.
+func (g *Governor) Touch(n int64) {
+	d := g.Penalty(n)
+	if d > 0 {
+		g.mu.Lock()
+		g.faults++
+		g.stalled += d
+		g.mu.Unlock()
+		g.sleep(d)
+	}
+}
+
+// Stats reports live bytes, peak bytes, the number of penalized touches,
+// and the total stall time injected.
+func (g *Governor) Stats() (live, peak int64, faults int64, stalled time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.live, g.peak, g.faults, g.stalled
+}
+
+// SetSleeper replaces the stall function (tests use a recorder instead of
+// real sleeps).
+func (g *Governor) SetSleeper(f func(time.Duration)) { g.sleep = f }

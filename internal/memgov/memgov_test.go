@@ -1,0 +1,139 @@
+package memgov
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNoPenaltyWithinPhysical(t *testing.T) {
+	g := New(1000, time.Microsecond)
+	a, err := g.Alloc(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.Penalty(100); p != 0 {
+		t.Errorf("penalty %v while resident", p)
+	}
+	g.Touch(100)
+	_, _, faults, stalled := g.Stats()
+	if faults != 0 || stalled != 0 {
+		t.Errorf("faults=%d stalled=%v while resident", faults, stalled)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPenaltyGrowsWithOvercommit(t *testing.T) {
+	g := New(1000, time.Microsecond)
+	var slept time.Duration
+	g.SetSleeper(func(d time.Duration) { slept += d })
+	a, _ := g.Alloc(1500) // 33% overcommit
+	p1 := g.Penalty(300)
+	if p1 <= 0 {
+		t.Fatal("expected penalty at overcommit")
+	}
+	b, _ := g.Alloc(1500) // 3000 live, 67% overcommit
+	p2 := g.Penalty(300)
+	if p2 <= p1 {
+		t.Errorf("penalty did not grow: %v then %v", p1, p2)
+	}
+	g.Touch(300)
+	if slept != p2 {
+		t.Errorf("slept %v, want %v", slept, p2)
+	}
+	_, _, faults, _ := g.Stats()
+	if faults != 1 {
+		t.Errorf("faults = %d", faults)
+	}
+	_ = a.Free()
+	_ = b.Free()
+	if p := g.Penalty(300); p != 0 {
+		t.Errorf("penalty %v after frees", p)
+	}
+}
+
+func TestCliffShape(t *testing.T) {
+	// Sweep working sets across the capacity boundary: penalty must be
+	// exactly zero below it and strictly increasing above it — the
+	// Fig 5 cliff.
+	g := New(10000, time.Microsecond)
+	g.SetSleeper(func(time.Duration) {})
+	var prev time.Duration
+	for _, ws := range []int64{4000, 8000, 10000, 10400, 12000, 16000, 20000} {
+		a, _ := g.Alloc(ws)
+		p := g.Penalty(1000)
+		if ws <= 10000 && p != 0 {
+			t.Errorf("ws=%d: penalty %v below capacity", ws, p)
+		}
+		if ws > 10400 && p <= prev {
+			t.Errorf("ws=%d: penalty %v did not increase (prev %v)", ws, p, prev)
+		}
+		prev = p
+		_ = a.Free()
+	}
+}
+
+func TestAllocErrorsAndDoubleFree(t *testing.T) {
+	g := New(100, 0)
+	if _, err := g.Alloc(-1); err == nil {
+		t.Error("negative alloc should fail")
+	}
+	a, _ := g.Alloc(10)
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestAccountingProperty(t *testing.T) {
+	// Live never goes negative when every alloc is freed exactly once,
+	// and ends at zero.
+	f := func(sizes []uint16) bool {
+		g := New(1000, 0)
+		var allocs []*Allocation
+		for _, s := range sizes {
+			a, err := g.Alloc(int64(s))
+			if err != nil {
+				return false
+			}
+			allocs = append(allocs, a)
+		}
+		for _, a := range allocs {
+			if a.Free() != nil {
+				return false
+			}
+		}
+		live, peak, _, _ := g.Stats()
+		return live == 0 && peak >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentTouches(t *testing.T) {
+	g := New(100, time.Nanosecond)
+	g.SetSleeper(func(time.Duration) {})
+	a, _ := g.Alloc(1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Touch(10)
+			}
+		}()
+	}
+	wg.Wait()
+	_, _, faults, _ := g.Stats()
+	if faults != 800 {
+		t.Errorf("faults = %d, want 800", faults)
+	}
+	_ = a.Free()
+}

@@ -1,0 +1,271 @@
+package pciam
+
+import (
+	"fmt"
+	"math"
+
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/tile"
+)
+
+// This file implements the paper's §VI.A future-work optimizations as
+// alternative alignment paths, plus the subpixel refinement MIST later
+// added:
+//
+//   - padded transforms: tiles are zero-padded to the next "fast" length
+//     (all prime factors ≤ 7) before the FFT, trading a few percent more
+//     elements for much cheaper butterflies — and, as a side effect,
+//     removing the circular wrap-around of the correlation;
+//   - real-to-complex transforms: the tiles are real, so the forward
+//     transform needs only the half spectrum and the inverse correlation
+//     surface is real — roughly half the work and memory.
+//
+// Both paths produce the same displacements as the baseline aligner
+// (tested), differing only in cost.
+
+// PaddedAligner computes displacements using zero-padded fast-size
+// transforms. Not safe for concurrent use.
+type PaddedAligner struct {
+	w, h   int // original tile size
+	pw, ph int // padded (fast) size
+	opts   Options
+	fwd    *fft.Plan2D
+	inv    *fft.Plan2D
+	work   []complex128
+}
+
+// NewPaddedAligner builds a padded aligner for w×h tiles.
+func NewPaddedAligner(w, h int, opts Options) (*PaddedAligner, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("pciam: invalid tile size %dx%d", w, h)
+	}
+	opts = opts.withDefaults()
+	pw := fft.NextFastLength(w)
+	ph := fft.NextFastLength(h)
+	pl := opts.Planner
+	if pl == nil {
+		pl = fft.NewPlanner(fft.Estimate)
+	}
+	fwd, err := pl.Plan2D(ph, pw, fft.Forward, fft.Plan2DOpts{Workers: opts.FFTWorkers})
+	if err != nil {
+		return nil, err
+	}
+	inv, err := pl.Plan2D(ph, pw, fft.Inverse, fft.Plan2DOpts{Workers: opts.FFTWorkers})
+	if err != nil {
+		return nil, err
+	}
+	return &PaddedAligner{
+		w: w, h: h, pw: pw, ph: ph, opts: opts,
+		fwd: fwd, inv: inv, work: make([]complex128, pw*ph),
+	}, nil
+}
+
+// PaddedDims reports the fast transform size in use.
+func (al *PaddedAligner) PaddedDims() (w, h int) { return al.pw, al.ph }
+
+// Transform computes the zero-padded forward FFT of a tile.
+func (al *PaddedAligner) Transform(t *tile.Gray16) ([]complex128, error) {
+	if t.W != al.w || t.H != al.h {
+		return nil, fmt.Errorf("pciam: tile is %dx%d, aligner expects %dx%d", t.W, t.H, al.w, al.h)
+	}
+	buf := make([]complex128, al.pw*al.ph)
+	for y := 0; y < al.h; y++ {
+		for x := 0; x < al.w; x++ {
+			buf[y*al.pw+x] = complex(float64(t.At(x, y)), 0)
+		}
+	}
+	if err := al.fwd.Execute(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Displace computes the displacement of b relative to a from padded
+// transforms. Because the pad region is zero, the correlation no longer
+// wraps: the peak coordinate is unambiguous in the padded frame and maps
+// to a signed displacement directly, but the CCF pass over candidate
+// interpretations is retained for confidence scoring and noise
+// robustness.
+func (al *PaddedAligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displacement, error) {
+	n := al.pw * al.ph
+	if len(fa) != n || len(fb) != n {
+		return tile.Displacement{}, fmt.Errorf("pciam: padded transform length %d/%d, want %d", len(fa), len(fb), n)
+	}
+	NCCSpectrum(al.work, fa, fb)
+	if err := al.inv.Execute(al.work); err != nil {
+		return tile.Displacement{}, err
+	}
+	peaks := TopPeaks(al.work, al.pw, al.ph, al.opts.NPeaks)
+	best := tile.Displacement{Corr: math.Inf(-1)}
+	for _, p := range peaks {
+		// Candidates in the PADDED frame: px or px-pw; the overlap test
+		// still runs against the original tile dimensions.
+		for _, dx := range candidateOffsets(p.X, al.pw, al.opts.PositiveOnly) {
+			for _, dy := range candidateOffsets(p.Y, al.ph, al.opts.PositiveOnly) {
+				if dx <= -al.w || dx >= al.w || dy <= -al.h || dy >= al.h {
+					continue
+				}
+				c := ccfRegion(a, b, dx, dy, al.opts.MinOverlapPx)
+				if c > best.Corr {
+					best = tile.Displacement{X: dx, Y: dy, Corr: c}
+				}
+			}
+		}
+	}
+	if math.IsInf(best.Corr, -1) {
+		best = tile.Displacement{Corr: -1}
+	}
+	return best, nil
+}
+
+// DisplaceTiles is the convenience form computing both transforms.
+func (al *PaddedAligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
+	fa, err := al.Transform(a)
+	if err != nil {
+		return tile.Displacement{}, err
+	}
+	fb, err := al.Transform(b)
+	if err != nil {
+		return tile.Displacement{}, err
+	}
+	return al.Displace(a, b, fa, fb)
+}
+
+// RealAligner computes displacements through real-to-complex transforms:
+// the forward FFT stores only the half spectrum (w/2+1 columns) and the
+// inverse correlation comes back as a real surface. Not safe for
+// concurrent use.
+type RealAligner struct {
+	w, h int
+	sw   int // spectrum width = w/2+1
+	opts Options
+	fwd  *fft.RealPlan2D
+	spec []complex128 // NCC half-spectrum scratch
+	corr []float64    // real correlation surface
+	pix  []float64
+}
+
+// NewRealAligner builds a real-transform aligner for w×h tiles.
+func NewRealAligner(w, h int, opts Options) (*RealAligner, error) {
+	if w < 2 || h <= 0 {
+		return nil, fmt.Errorf("pciam: invalid tile size %dx%d", w, h)
+	}
+	opts = opts.withDefaults()
+	fwd, err := fft.NewRealPlan2DWorkers(h, w, opts.FFTWorkers)
+	if err != nil {
+		return nil, err
+	}
+	sh, sw := fwd.SpectrumDims()
+	return &RealAligner{
+		w: w, h: h, sw: sw, opts: opts, fwd: fwd,
+		spec: make([]complex128, sh*sw),
+		corr: make([]float64, w*h),
+		pix:  make([]float64, w*h),
+	}, nil
+}
+
+// Transform computes the half-spectrum forward transform of a tile —
+// (w/2+1)/w of the storage of the complex path.
+func (al *RealAligner) Transform(t *tile.Gray16) ([]complex128, error) {
+	if t.W != al.w || t.H != al.h {
+		return nil, fmt.Errorf("pciam: tile is %dx%d, aligner expects %dx%d", t.W, t.H, al.w, al.h)
+	}
+	if err := t.ToFloat(al.pix); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, al.h*al.sw)
+	if err := al.fwd.Forward(out, al.pix); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Displace computes the displacement of b relative to a from half
+// spectra. The NCC runs over the half spectrum only; by conjugate
+// symmetry the missing bins contribute the mirrored phases, so the
+// inverse c2r transform reconstructs the full real correlation surface.
+func (al *RealAligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displacement, error) {
+	n := al.h * al.sw
+	if len(fa) != n || len(fb) != n {
+		return tile.Displacement{}, fmt.Errorf("pciam: half-spectrum length %d/%d, want %d", len(fa), len(fb), n)
+	}
+	NCCSpectrum(al.spec, fa, fb)
+	if err := al.fwd.Inverse(al.corr, al.spec); err != nil {
+		return tile.Displacement{}, err
+	}
+	peaks := topPeaksReal(al.corr, al.w, al.h, al.opts.NPeaks)
+	best := tile.Displacement{Corr: math.Inf(-1)}
+	for _, p := range peaks {
+		d := Resolve(a, b, p.X, p.Y, al.opts)
+		if d.Corr > best.Corr {
+			best = d
+		}
+	}
+	if math.IsInf(best.Corr, -1) {
+		best = tile.Displacement{Corr: -1}
+	}
+	return best, nil
+}
+
+// DisplaceTiles is the convenience form computing both transforms.
+func (al *RealAligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
+	fa, err := al.Transform(a)
+	if err != nil {
+		return tile.Displacement{}, err
+	}
+	fb, err := al.Transform(b)
+	if err != nil {
+		return tile.Displacement{}, err
+	}
+	return al.Displace(a, b, fa, fb)
+}
+
+// topPeaksReal is TopPeaks over a real surface.
+func topPeaksReal(data []float64, w, h, k int) []Peak {
+	if k <= 1 {
+		bi, bm := 0, math.Inf(-1)
+		for i, v := range data {
+			if m := math.Abs(v); m > bm {
+				bm = m
+				bi = i
+			}
+		}
+		return []Peak{{X: bi % w, Y: bi / w, Mag: bm}}
+	}
+	cx := make([]complex128, len(data))
+	for i, v := range data {
+		cx[i] = complex(v, 0)
+	}
+	return TopPeaks(cx, w, h, k)
+}
+
+// SubpixelPeak refines an integer correlation peak to subpixel precision
+// by fitting a 1-D parabola through the peak and its neighbors along
+// each axis (the standard refinement MIST applies after phase
+// correlation). data is the h×w correlation surface; returns the refined
+// (x, y) with each offset clamped to (-0.5, 0.5).
+func SubpixelPeak(data []complex128, w, h, px, py int) (float64, float64) {
+	at := func(x, y int) float64 {
+		x = ((x % w) + w) % w
+		y = ((y % h) + h) % h
+		v := data[y*w+x]
+		return math.Hypot(real(v), imag(v))
+	}
+	refine := func(m1, c, p1 float64) float64 {
+		den := m1 - 2*c + p1
+		if den == 0 {
+			return 0
+		}
+		d := 0.5 * (m1 - p1) / den
+		if d > 0.5 {
+			d = 0.5
+		}
+		if d < -0.5 {
+			d = -0.5
+		}
+		return d
+	}
+	dx := refine(at(px-1, py), at(px, py), at(px+1, py))
+	dy := refine(at(px, py-1), at(px, py), at(px, py+1))
+	return float64(px) + dx, float64(py) + dy
+}

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pipeline owns a set of stages (goroutine groups) and the queues between
+// them. The first stage error aborts every registered queue so all other
+// stages unblock and drain; Wait returns that first error.
+type Pipeline struct {
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	queues []aborter
+	err    error
+	failed bool
+	abortC chan struct{}
+}
+
+// New creates an empty pipeline.
+func New() *Pipeline { return &Pipeline{abortC: make(chan struct{})} }
+
+// Aborted is closed when any stage fails; stages blocked on resources
+// other than pipeline queues (e.g. a device buffer pool) select on it so
+// teardown cannot hang.
+func (p *Pipeline) Aborted() <-chan struct{} { return p.abortC }
+
+// Register adds a queue to the pipeline's teardown set. A queue
+// registered after the pipeline has already failed is aborted
+// immediately — builders that construct stages incrementally (one
+// sub-pipeline per device) may keep registering after an early stage
+// has failed, and those late queues must not block their stages.
+func (p *Pipeline) register(q aborter) {
+	p.mu.Lock()
+	p.queues = append(p.queues, q)
+	failed := p.failed
+	p.mu.Unlock()
+	if failed {
+		q.Abort()
+	}
+}
+
+// AddQueue creates a bounded queue owned by pipeline p.
+func AddQueue[T any](p *Pipeline, name string, capacity int) *Queue[T] {
+	q := NewQueue[T](name, capacity)
+	p.register(q)
+	return q
+}
+
+// Abort fails the pipeline from outside a stage — builders that hit an
+// error during incremental construction use it to unblock the stages
+// already launched. Wait then returns the FIRST failure recorded, which
+// is a stage's root-cause error if one beat the builder to it.
+func (p *Pipeline) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("pipeline: aborted")
+	}
+	p.fail(err)
+}
+
+// fail records the first error and aborts every queue.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed {
+		return
+	}
+	p.failed = true
+	p.err = err
+	close(p.abortC)
+	for _, q := range p.queues {
+		q.Abort()
+	}
+}
+
+// Go launches a stage of n worker goroutines. The stage function receives
+// the worker index; a non-nil return aborts the whole pipeline. done, if
+// non-nil, runs once after ALL workers of this stage return (typically to
+// Close the stage's output queue).
+func (p *Pipeline) Go(name string, workers int, fn func(worker int) error, done func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	var stage sync.WaitGroup
+	stage.Add(workers)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer p.wg.Done()
+			defer stage.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					p.fail(fmt.Errorf("pipeline: stage %s worker %d panicked: %v", name, w, r))
+				}
+			}()
+			if err := fn(w); err != nil {
+				p.fail(fmt.Errorf("pipeline: stage %s worker %d: %w", name, w, err))
+			}
+		}(w)
+	}
+	if done != nil {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			stage.Wait()
+			done()
+		}()
+	}
+}
+
+// Wait blocks until every stage has returned, then reports the first
+// error (nil on clean completion).
+func (p *Pipeline) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Connect wires a linear stage: `workers` goroutines pop items from in,
+// apply fn, and push fn's emissions to out. When the input is exhausted
+// and all workers have returned, out is closed. fn may emit zero, one, or
+// many outputs per input via the emit callback.
+func Connect[I, O any](p *Pipeline, name string, workers int, in *Queue[I], out *Queue[O], fn func(item I, emit func(O) error) error) {
+	p.Go(name, workers, func(worker int) error {
+		for {
+			item, ok := in.Pop()
+			if !ok {
+				return nil
+			}
+			if err := fn(item, out.Push); err != nil {
+				return err
+			}
+		}
+	}, out.Close)
+}
+
+// Source wires a producer stage: fn pushes items to out until it returns;
+// out closes afterwards.
+func Source[O any](p *Pipeline, name string, out *Queue[O], fn func(emit func(O) error) error) {
+	p.Go(name, 1, func(int) error { return fn(out.Push) }, out.Close)
+}
+
+// Sink wires a consumer stage of `workers` goroutines that pop from in
+// until it is exhausted.
+func Sink[I any](p *Pipeline, name string, workers int, in *Queue[I], fn func(item I) error) {
+	p.Go(name, workers, func(worker int) error {
+		for {
+			item, ok := in.Pop()
+			if !ok {
+				return nil
+			}
+			if err := fn(item); err != nil {
+				return err
+			}
+		}
+	}, nil)
+}

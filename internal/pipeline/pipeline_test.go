@@ -1,0 +1,387 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]("t", 4)
+	for i := 0; i < 4; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop after drain should report !ok")
+	}
+	if err := q.Push(9); !errors.Is(err, ErrClosed) {
+		t.Errorf("push after close: %v", err)
+	}
+}
+
+func TestQueueBlockingAndCapacity(t *testing.T) {
+	q := NewQueue[int]("t", 2)
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(2); err != nil {
+		t.Fatal(err)
+	}
+	pushed := make(chan struct{})
+	go func() {
+		_ = q.Push(3) // blocks until a Pop
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push should have blocked at capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("pop got %d, %v", v, ok)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("push did not unblock after pop")
+	}
+	if _, max := q.Stats(); max != 2 {
+		t.Errorf("maxDepth = %d, want 2", max)
+	}
+}
+
+func TestQueueAbortUnblocksEverything(t *testing.T) {
+	q := NewQueue[int]("t", 1)
+	_ = q.Push(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // blocked producer
+		defer wg.Done()
+		if err := q.Push(2); !errors.Is(err, ErrAborted) {
+			t.Errorf("producer: %v", err)
+		}
+	}()
+	empty := NewQueue[int]("e", 1)
+	go func() { // blocked consumer
+		defer wg.Done()
+		if _, ok := empty.Pop(); ok {
+			t.Error("consumer should see !ok")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Abort()
+	empty.Abort()
+	wg.Wait()
+	if _, ok := q.Pop(); ok {
+		t.Error("aborted queue should drop items")
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	q := NewQueue[string]("t", 2)
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop on empty should fail")
+	}
+	_ = q.Push("a")
+	if v, ok := q.TryPop(); !ok || v != "a" {
+		t.Errorf("TryPop = %q, %v", v, ok)
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int]("t", 8)
+	const producers, perProducer = 4, 200
+	var got sync.Map
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(p*perProducer + i); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var consumed int64
+	var cwg sync.WaitGroup
+	cwg.Add(3)
+	for c := 0; c < 3; c++ {
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate item %d", v)
+				}
+				atomic.AddInt64(&consumed, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if consumed != producers*perProducer {
+		t.Errorf("consumed %d, want %d", consumed, producers*perProducer)
+	}
+}
+
+func TestQueueOrderProperty(t *testing.T) {
+	// Single producer, single consumer: strict FIFO for any capacity.
+	f := func(capSel uint8, n uint8) bool {
+		capacity := int(capSel)%7 + 1
+		count := int(n)%50 + 1
+		q := NewQueue[int]("t", capacity)
+		go func() {
+			for i := 0; i < count; i++ {
+				_ = q.Push(i)
+			}
+			q.Close()
+		}()
+		for i := 0; i < count; i++ {
+			v, ok := q.Pop()
+			if !ok || v != i {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineLinear(t *testing.T) {
+	p := New()
+	q1 := AddQueue[int](p, "q1", 4)
+	q2 := AddQueue[int](p, "q2", 4)
+	Source(p, "gen", q1, func(emit func(int) error) error {
+		for i := 1; i <= 100; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	Connect(p, "square", 3, q1, q2, func(v int, emit func(int) error) error {
+		return emit(v * v)
+	})
+	var mu sync.Mutex
+	var out []int
+	Sink(p, "collect", 2, q2, func(v int) error {
+		mu.Lock()
+		out = append(out, v)
+		mu.Unlock()
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("collected %d items", len(out))
+	}
+	sort.Ints(out)
+	for i, v := range out {
+		if v != (i+1)*(i+1) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPipelineErrorAbortsEverything(t *testing.T) {
+	p := New()
+	q1 := AddQueue[int](p, "q1", 1)
+	q2 := AddQueue[int](p, "q2", 1)
+	Source(p, "gen", q1, func(emit func(int) error) error {
+		for i := 0; ; i++ {
+			if err := emit(i); err != nil {
+				return nil // aborted downstream; clean exit
+			}
+		}
+	})
+	boom := errors.New("boom")
+	Connect(p, "fail", 1, q1, q2, func(v int, emit func(int) error) error {
+		if v == 5 {
+			return boom
+		}
+		return emit(v)
+	})
+	Sink(p, "drain", 1, q2, func(int) error { return nil })
+	err := p.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+}
+
+func TestPipelinePanicBecomesError(t *testing.T) {
+	p := New()
+	q := AddQueue[int](p, "q", 1)
+	Source(p, "gen", q, func(emit func(int) error) error { return emit(1) })
+	Sink(p, "panic", 1, q, func(int) error { panic("kaboom") })
+	err := p.Wait()
+	if err == nil || !containsStr(err.Error(), "kaboom") {
+		t.Fatalf("Wait = %v, want panic error", err)
+	}
+}
+
+func TestPipelineFanOutStageWorkers(t *testing.T) {
+	// A stage with N workers processes concurrently; verify all workers
+	// participate by checking the sum and the worker-count ceiling.
+	p := New()
+	q := AddQueue[int](p, "q", 64)
+	var active, peak int64
+	Source(p, "gen", q, func(emit func(int) error) error {
+		for i := 0; i < 64; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var sum int64
+	Sink(p, "work", 8, q, func(v int) error {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&sum, int64(v))
+		atomic.AddInt64(&active, -1)
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 64*63/2 {
+		t.Errorf("sum = %d", sum)
+	}
+	if peak > 8 {
+		t.Errorf("peak concurrency %d exceeds worker count", peak)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	}()
+}
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue[int]("stats", 3)
+	for i := 0; i < 3; i++ {
+		_ = q.Push(i)
+	}
+	q.Pop()
+	_ = q.Push(3)
+	pushes, max := q.Stats()
+	if pushes != 4 {
+		t.Errorf("pushes = %d", pushes)
+	}
+	if max != 3 {
+		t.Errorf("maxDepth = %d", max)
+	}
+	if q.Name() != "stats" || q.Cap() != 3 {
+		t.Error("metadata wrong")
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestMinCapacityFloor(t *testing.T) {
+	q := NewQueue[int]("t", 0)
+	if q.Cap() != 1 {
+		t.Errorf("capacity floor = %d, want 1", q.Cap())
+	}
+}
+
+func ExamplePipeline() {
+	p := New()
+	nums := AddQueue[int](p, "nums", 8)
+	squares := AddQueue[int](p, "squares", 8)
+	Source(p, "gen", nums, func(emit func(int) error) error {
+		for i := 1; i <= 3; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	Connect(p, "square", 1, nums, squares, func(v int, emit func(int) error) error {
+		return emit(v * v)
+	})
+	var out []int
+	Sink(p, "collect", 1, squares, func(v int) error {
+		out = append(out, v)
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output: [1 4 9]
+}
+
+func TestLateQueueRegistrationAfterFailure(t *testing.T) {
+	// Builders that construct stages incrementally may register queues
+	// after an early stage has failed; those queues must arrive
+	// pre-aborted so their stages cannot block (the multi-device
+	// pipeline construction race).
+	p := New()
+	q1 := AddQueue[int](p, "early", 1)
+	Source(p, "boom", q1, func(emit func(int) error) error {
+		return errors.New("early failure")
+	})
+	// Wait until the failure has propagated.
+	<-p.Aborted()
+
+	late := AddQueue[int](p, "late", 1)
+	if err := late.Push(1); !errors.Is(err, ErrAborted) {
+		t.Errorf("push to late queue: %v, want ErrAborted", err)
+	}
+	done := make(chan struct{})
+	p.Go("late-stage", 1, func(int) error {
+		_, ok := late.Pop()
+		if ok {
+			t.Error("late queue should be drained/aborted")
+		}
+		close(done)
+		return nil
+	}, nil)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("late stage blocked on an unaborted queue")
+	}
+	if err := p.Wait(); err == nil {
+		t.Error("Wait should report the failure")
+	}
+}

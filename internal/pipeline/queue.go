@@ -1,0 +1,171 @@
+// Package pipeline is the general-purpose pipelining API the paper's
+// future work proposes extracting: bounded monitor queues connecting
+// stages of one or more worker threads, with lifecycle management, error
+// propagation, and teardown. The stitching implementations (Pipelined-CPU,
+// Pipelined-GPU) are built on it, and it is independent of image
+// stitching, usable for any problem that wants to "overlap disk and PCI
+// express I/O with computation while staying within strict memory
+// constraints".
+package pipeline
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Push after Close.
+var ErrClosed = errors.New("pipeline: queue closed")
+
+// ErrAborted is returned by Push and Pop after Abort (pipeline teardown
+// on failure).
+var ErrAborted = errors.New("pipeline: queue aborted")
+
+// Queue is a bounded blocking FIFO with monitor semantics — the paper's
+// inter-stage queues ("these queues have monitor implementations to
+// prevent race conditions"). A zero capacity makes every Push rendezvous
+// with a Pop.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	nonFull *sync.Cond
+	nonEmpt *sync.Cond
+
+	name    string
+	cap     int
+	items   []T
+	closed  bool
+	aborted bool
+
+	// statistics for the ablation benches
+	pushes   int64
+	maxDepth int
+}
+
+// NewQueue creates a queue with the given capacity (minimum 1; the
+// rendezvous case is not needed by the stitching stages and a floor of 1
+// keeps Push/Pop symmetric).
+func NewQueue[T any](name string, capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{name: name, cap: capacity}
+	q.nonFull = sync.NewCond(&q.mu)
+	q.nonEmpt = sync.NewCond(&q.mu)
+	return q
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the queue's capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Push appends v, blocking while the queue is full. It fails with
+// ErrClosed after Close and ErrAborted after Abort.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) >= q.cap && !q.closed && !q.aborted {
+		q.nonFull.Wait()
+	}
+	if q.aborted {
+		return ErrAborted
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, v)
+	q.pushes++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	q.nonEmpt.Signal()
+	return nil
+}
+
+// Pop removes the oldest item, blocking while the queue is empty. ok is
+// false when the queue is closed and drained, or aborted.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed && !q.aborted {
+		q.nonEmpt.Wait()
+	}
+	if q.aborted || len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	// Avoid retaining a reference in the backing array.
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		// Reset so the backing array does not grow without bound.
+		q.items = nil
+	}
+	q.nonFull.Signal()
+	return v, true
+}
+
+// TryPop is the non-blocking Pop; ok is false if nothing was available
+// (which does not imply the queue is closed).
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.aborted || len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.nonFull.Signal()
+	return v, true
+}
+
+// Close marks the queue as complete: subsequent Push calls fail, and Pop
+// drains the remaining items then reports ok=false. Closing twice is
+// harmless.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmpt.Broadcast()
+	q.nonFull.Broadcast()
+}
+
+// Abort tears the queue down: blocked producers and consumers wake
+// immediately, pending items are dropped.
+func (q *Queue[T]) Abort() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.aborted = true
+	q.items = nil
+	q.nonEmpt.Broadcast()
+	q.nonFull.Broadcast()
+}
+
+// Len reports the current depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stats reports the total number of Pushes and the maximum depth
+// observed.
+func (q *Queue[T]) Stats() (pushes int64, maxDepth int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushes, q.maxDepth
+}
+
+// aborter lets the Pipeline tear down queues without knowing their
+// element types.
+type aborter interface {
+	Abort()
+	Close()
+}
+
+var _ aborter = (*Queue[int])(nil)

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tbl.Add("x", 12)
+	tbl.Add("longer", 3.5)
+	out := tbl.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "longer") || !strings.Contains(out, "3.50") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	out := PlotASCII("p", "x", "y", 8,
+		Series{Label: "s", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	if !strings.Contains(out, "p\n") || !strings.Contains(out, "*") {
+		t.Errorf("plot output:\n%s", out)
+	}
+	// Flat data must not divide by zero.
+	flat := PlotASCII("f", "x", "y", 8, Series{Label: "s", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if flat == "" {
+		t.Error("flat plot empty")
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByID(e.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Title != e.Title {
+			t.Errorf("ByID(%q) mismatch", e.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes each experiment in quick mode —
+// the full regeneration path of every table and figure.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds each")
+	}
+	dir := t.TempDir()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Options{Quick: true, OutDir: dir, Seed: 2})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out) < 40 {
+				t.Errorf("%s produced suspiciously little output:\n%s", e.ID, out)
+			}
+		})
+	}
+	// Figures 13/14 must have produced PNGs.
+	for _, f := range []string{"fig13_composite.png", "fig14_highlight.png"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s", f)
+		}
+	}
+}
+
+func TestTable2ContainsAllRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the functional implementations")
+	}
+	out, err := runTable2(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"ImageJ/Fiji", "Simple-CPU", "MT-CPU", "Pipelined-CPU", "Simple-GPU", "Pipelined-GPU"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("Table II output missing %q", label)
+		}
+	}
+}
+
+func TestFig7ShowsMoreGapsThanFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the GPU implementations")
+	}
+	// The core diagnosis of the paper: the synchronous implementation's
+	// kernel row has gaps; the pipelined one's is dense. Compare
+	// utilization statements qualitatively via the generated text.
+	out7, err := runFig7(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out9, err := runFig9(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u7 := extractUtil(t, out7)
+	u9 := extractUtil(t, out9)
+	if u9 <= u7 {
+		t.Errorf("pipelined kernel utilization %.1f%% not above synchronous %.1f%%", u9, u7)
+	}
+}
+
+func extractUtil(t *testing.T, out string) float64 {
+	t.Helper()
+	idx := strings.Index(out, "kernel-row utilization: ")
+	if idx < 0 {
+		t.Fatalf("no utilization line in:\n%s", out)
+	}
+	var v float64
+	if _, err := fmt.Sscanf(out[idx:], "kernel-row utilization: %f%%", &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Headers: []string{"a", "b"}}
+	tbl.Add("plain", `with "quotes", and comma`)
+	tbl.Add(1, 2.5)
+	csv := tbl.CSV()
+	want := "a,b\nplain,\"with \"\"quotes\"\", and comma\"\n1,2.50\n"
+	if csv != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}
+
+func TestWriteCSVArtifact(t *testing.T) {
+	dir := t.TempDir()
+	tbl := Table{Headers: []string{"x"}, Rows: [][]string{{"1"}}}
+	if err := writeCSV(Options{OutDir: dir}, "test", &tbl); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "test.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "x\n1\n" {
+		t.Errorf("artifact = %q", blob)
+	}
+	// No OutDir: silent no-op.
+	if err := writeCSV(Options{}, "test", &tbl); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package report runs the paper's experiments — every table and figure
+// of the evaluation section plus the ablations DESIGN.md calls out — and
+// renders their results as text tables, ASCII plots, and PNG images. It
+// is the engine behind cmd/experiments and the root benchmark suite.
+//
+// Each experiment produces two kinds of evidence where applicable:
+// model-scale numbers from the calibrated discrete-event machine model
+// (the paper's exact workload and host), and real measurements from the
+// functional implementations at a reduced scale that runs in seconds.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if n := len([]rune(c)); n > width[i] {
+				width[i] = n
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i]+2, cell)
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total) + "\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Series is a labeled (x, y) sequence for ASCII plotting.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// PlotASCII renders series as a crude line chart, height rows tall.
+func PlotASCII(title, xlabel, ylabel string, height int, series ...Series) string {
+	if height < 4 {
+		height = 12
+	}
+	const width = 72
+	minX, maxX := series[0].X[0], series[0].X[0]
+	minY, maxY := series[0].Y[0], series[0].Y[0]
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%s (max %.2f)\n", ylabel, maxY)
+	for _, row := range grid {
+		sb.WriteString("  |" + string(row) + "\n")
+	}
+	fmt.Fprintf(&sb, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "   %s: %.0f .. %.0f", xlabel, minX, maxX)
+	if len(series) > 1 {
+		sb.WriteString("   legend:")
+		for si, s := range series {
+			fmt.Fprintf(&sb, " %c=%s", marks[si%len(marks)], s.Label)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package stitch
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/pciam"
+	"hybridstitch/internal/tile"
+)
+
+// FFTVariant selects the per-pair transform path for the CPU
+// implementations (the GPU pipelines use the baseline complex path).
+type FFTVariant string
+
+const (
+	// VariantComplex is the paper's baseline: full complex transforms.
+	VariantComplex FFTVariant = ""
+	// VariantPadded zero-pads tiles to the next small-prime-factor size
+	// before transforming (paper §VI.A future work).
+	VariantPadded FFTVariant = "padded"
+	// VariantReal uses real-to-complex transforms and half spectra
+	// (paper §VI.A future work).
+	VariantReal FFTVariant = "real"
+)
+
+// aligner is the per-worker alignment engine; all three pciam variants
+// satisfy it.
+type aligner interface {
+	Transform(*tile.Gray16) ([]complex128, error)
+	Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displacement, error)
+}
+
+var (
+	_ aligner = (*pciam.Aligner)(nil)
+	_ aligner = (*pciam.PaddedAligner)(nil)
+	_ aligner = (*pciam.RealAligner)(nil)
+)
+
+// newAligner builds the variant selected by the options.
+func newAligner(g tile.Grid, opts Options) (aligner, error) {
+	po := opts.pciamOptions()
+	switch opts.FFTVariant {
+	case VariantComplex:
+		return pciam.NewAligner(g.TileW, g.TileH, po)
+	case VariantPadded:
+		return pciam.NewPaddedAligner(g.TileW, g.TileH, po)
+	case VariantReal:
+		return pciam.NewRealAligner(g.TileW, g.TileH, po)
+	default:
+		return nil, fmt.Errorf("stitch: unknown FFT variant %q", opts.FFTVariant)
+	}
+}

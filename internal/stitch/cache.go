@@ -1,0 +1,173 @@
+package stitch
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridstitch/internal/memgov"
+	"hybridstitch/internal/tile"
+)
+
+// transformBytes is the memory footprint of one tile transform:
+// complex128 per pixel (the paper: "each transform takes up nearly 22 MB"
+// for 1392×1040 tiles).
+func transformBytes(g tile.Grid) int64 {
+	return int64(g.TileW) * int64(g.TileH) * 16
+}
+
+// refCounter tracks, per tile, how many pairs still need it. When a
+// tile's count reaches zero its resources are released — the mechanism
+// that keeps the paper's system inside RAM and GPU memory limits.
+type refCounter struct {
+	mu     sync.Mutex
+	counts []int
+}
+
+// newRefCounter initializes counts to the number of pairs each tile
+// participates in (corner 2, edge 3, interior 4).
+func newRefCounter(g tile.Grid) *refCounter {
+	rc := &refCounter{counts: make([]int, g.NumTiles())}
+	for i := range rc.counts {
+		rc.counts[i] = len(g.PairsOf(g.CoordOf(i)))
+	}
+	return rc
+}
+
+// release decrements tile i's count and reports whether it hit zero.
+func (rc *refCounter) release(i int) (free bool, err error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.counts[i] <= 0 {
+		return false, fmt.Errorf("stitch: refcount underflow on tile %d", i)
+	}
+	rc.counts[i]--
+	return rc.counts[i] == 0, nil
+}
+
+// remaining returns tile i's current count.
+func (rc *refCounter) remaining(i int) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.counts[i]
+}
+
+// cacheEntry is one resident tile: its pixels (needed by the CCF stage)
+// and, for the CPU implementations, its forward transform.
+type cacheEntry struct {
+	img *tile.Gray16
+	f   []complex128
+}
+
+// hostCache stores resident tiles with reference counting, live/peak
+// tracking, and optional memory-governor accounting of transform bytes.
+// Safe for concurrent use.
+type hostCache struct {
+	g   tile.Grid
+	rc  *refCounter
+	gov *memgov.Governor
+
+	mu       sync.Mutex
+	data     map[int]cacheEntry
+	allocs   map[int]*memgov.Allocation
+	live     int
+	peak     int
+	computed int
+}
+
+func newHostCache(g tile.Grid, gov *memgov.Governor) *hostCache {
+	return &hostCache{
+		g:      g,
+		rc:     newRefCounter(g),
+		gov:    gov,
+		data:   make(map[int]cacheEntry),
+		allocs: make(map[int]*memgov.Allocation),
+	}
+}
+
+// put stores tile i. f may be nil when transforms live elsewhere (the
+// GPU pipelines keep them in device memory); the governor is charged only
+// for host-resident transforms.
+func (c *hostCache) put(i int, img *tile.Gray16, f []complex128) error {
+	var alloc *memgov.Allocation
+	if c.gov != nil && f != nil {
+		a, err := c.gov.Alloc(transformBytes(c.g))
+		if err != nil {
+			return err
+		}
+		alloc = a
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.data[i]; dup {
+		if alloc != nil {
+			_ = alloc.Free()
+		}
+		return fmt.Errorf("stitch: tile %d stored twice", i)
+	}
+	c.data[i] = cacheEntry{img: img, f: f}
+	if alloc != nil {
+		c.allocs[i] = alloc
+	}
+	if f != nil {
+		c.computed++
+	}
+	c.live++
+	if c.live > c.peak {
+		c.peak = c.live
+	}
+	return nil
+}
+
+// get returns tile i's entry; img is nil if the tile is not resident.
+func (c *hostCache) get(i int) (*tile.Gray16, []complex128) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.data[i]
+	return e.img, e.f
+}
+
+// releasePair decrements both tiles of a completed pair, evicting tiles
+// whose counts reach zero.
+func (c *hostCache) releasePair(p tile.Pair) error {
+	for _, coord := range []tile.Coord{p.Coord, p.Neighbor()} {
+		i := c.g.Index(coord)
+		free, err := c.rc.release(i)
+		if err != nil {
+			return err
+		}
+		if !free {
+			continue
+		}
+		c.mu.Lock()
+		var alloc *memgov.Allocation
+		if _, ok := c.data[i]; ok {
+			delete(c.data, i)
+			c.live--
+			alloc = c.allocs[i]
+			delete(c.allocs, i)
+		}
+		c.mu.Unlock()
+		if alloc != nil {
+			if err := alloc.Free(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stats reports live entries, the peak, and the number of transforms
+// computed.
+func (c *hostCache) stats() (live, peak, computed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live, c.peak, c.computed
+}
+
+// touch charges the governor for streaming one transform's bytes through
+// the CPU (an FFT execution or an NCC pass).
+func (c *hostCache) touch() {
+	if c.gov != nil {
+		c.gov.Touch(transformBytes(c.g))
+	}
+}

@@ -1,0 +1,105 @@
+package stitch
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/tile"
+)
+
+// devicePool is the paper's per-GPU transform buffer pool: a fixed number
+// of transform-sized device buffers allocated once at initialization
+// ("the system allocates GPU memory only once to avoid any further
+// allocations which would force a global synchronization"). acquire
+// blocks until a buffer is recycled; the pool size therefore bounds the
+// number of tiles in flight. The paper requires the pool to exceed the
+// grid's smallest dimension so the chained-diagonal traversal can start
+// recycling before the pool drains; newDevicePool enforces that.
+type devicePool struct {
+	ch   chan *gpu.Buffer
+	bufs []*gpu.Buffer
+
+	mu   sync.Mutex
+	out  int // buffers currently acquired
+	peak int
+}
+
+// newDevicePool preallocates n transform buffers for grid g on dev.
+func newDevicePool(dev *gpu.Device, g tile.Grid, n int) (*devicePool, error) {
+	minDim := g.Rows
+	if g.Cols < minDim {
+		minDim = g.Cols
+	}
+	if n <= minDim {
+		return nil, fmt.Errorf("stitch: pool of %d transforms does not exceed smallest grid dimension %d (paper's minimum-pool constraint)", n, minDim)
+	}
+	words := int64(g.TileW) * int64(g.TileH)
+	if need := int64(n) * words; need > dev.MemWords() {
+		return nil, fmt.Errorf("stitch: pool of %d transforms needs %d words, device %s has %d",
+			n, need, dev.Name(), dev.MemWords())
+	}
+	p := &devicePool{ch: make(chan *gpu.Buffer, n)}
+	for i := 0; i < n; i++ {
+		b, err := dev.Alloc(words)
+		if err != nil {
+			p.drain()
+			return nil, err
+		}
+		p.bufs = append(p.bufs, b)
+		p.ch <- b
+	}
+	return p, nil
+}
+
+// acquire takes a buffer, blocking until one is available.
+func (p *devicePool) acquire() *gpu.Buffer {
+	b := <-p.ch
+	p.note(b)
+	return b
+}
+
+// acquireOr takes a buffer or gives up when abort is closed (pipeline
+// teardown must not hang on a drained pool).
+func (p *devicePool) acquireOr(abort <-chan struct{}) (*gpu.Buffer, error) {
+	select {
+	case b := <-p.ch:
+		p.note(b)
+		return b, nil
+	case <-abort:
+		return nil, fmt.Errorf("stitch: pool acquire aborted")
+	}
+}
+
+func (p *devicePool) note(*gpu.Buffer) {
+	p.mu.Lock()
+	p.out++
+	if p.out > p.peak {
+		p.peak = p.out
+	}
+	p.mu.Unlock()
+}
+
+// release returns a buffer to the pool.
+func (p *devicePool) release(b *gpu.Buffer) {
+	p.mu.Lock()
+	p.out--
+	p.mu.Unlock()
+	p.ch <- b
+}
+
+// peakInUse reports the maximum number of buffers simultaneously
+// acquired.
+func (p *devicePool) peakInUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// drain frees all pool memory back to the device.
+func (p *devicePool) drain() {
+	for _, b := range p.bufs {
+		_ = b.Free()
+	}
+	p.bufs = nil
+}

@@ -1,0 +1,69 @@
+package stitch_test
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// ExamplePipelinedGPU runs the paper's headline implementation on two
+// simulated Fermi-class devices and verifies it agrees with the
+// sequential reference.
+func ExamplePipelinedGPU() {
+	params := imagegen.DefaultParams(4, 4, 128, 96)
+	dataset, err := imagegen.Generate(params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	src := &stitch.MemorySource{DS: dataset}
+
+	devices := []*gpu.Device{
+		gpu.New(gpu.FermiConfig("GPU0")),
+		gpu.New(gpu.FermiConfig("GPU1")),
+	}
+	defer devices[0].Close()
+	defer devices[1].Close()
+
+	pipelined, err := (&stitch.PipelinedGPU{}).Run(src, stitch.Options{
+		Threads: 4,
+		Devices: devices,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reference, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	identical := true
+	for _, p := range src.Grid().Pairs() {
+		a, _ := reference.PairDisplacement(p)
+		b, _ := pipelined.PairDisplacement(p)
+		if a.X != b.X || a.Y != b.Y {
+			identical = false
+		}
+	}
+	fmt.Println("pairs:", src.Grid().NumPairs(), "identical to reference:", identical)
+	// Output: pairs: 24 identical to reference: true
+}
+
+// ExampleCensus prints the paper's Table I quantities for its workload.
+func ExampleCensus() {
+	c := stitch.Census(paper42x59())
+	fmt.Println("total FFTs:", c.TotalForwardAndInverseFFTs())
+	fmt.Printf("transform working set: %.1f GB\n", float64(c.TransformWorkingSetBytes())/1e9)
+	// Output:
+	// total FFTs: 7333
+	// transform working set: 57.4 GB
+}
+
+func paper42x59() tile.Grid {
+	return tile.Grid{Rows: 42, Cols: 59, TileW: 1392, TileH: 1040, OverlapX: 0.1, OverlapY: 0.1}
+}

@@ -1,0 +1,36 @@
+package stitch
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalResult asserts the displacement-file parser never panics
+// and only accepts structurally valid results.
+func FuzzUnmarshalResult(f *testing.F) {
+	f.Add([]byte(`{"rows":2,"cols":2,"tile_w":4,"tile_h":4,"pairs":[{"row":0,"col":1,"dir":"west","x":3,"y":0,"corr":0.9}]}`))
+	f.Add([]byte(`{"rows":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"rows":2,"cols":2,"tile_w":4,"tile_h":4,"pairs":[{"row":9,"col":9,"dir":"north"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalResult(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		if err := r.Grid.Validate(); err != nil {
+			t.Fatalf("accepted result with invalid grid: %v", err)
+		}
+		if len(r.West) != r.Grid.NumTiles() || len(r.North) != r.Grid.NumTiles() {
+			t.Fatal("accepted result with mismatched arrays")
+		}
+		// Round trip must be stable.
+		blob, err := MarshalResult(r)
+		if err != nil {
+			t.Fatalf("marshal of accepted result failed: %v", err)
+		}
+		if _, err := UnmarshalResult(blob); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

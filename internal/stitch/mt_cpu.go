@@ -1,0 +1,132 @@
+package stitch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridstitch/internal/tile"
+)
+
+// MTCPU is the multithreaded SPMD implementation (paper §IV.A): the
+// pair list is decomposed spatially across T threads, each running the
+// same program on its partition. Transforms are computed once into a
+// shared reference-counted cache guarded per tile, so boundary tiles are
+// not recomputed by both partitions.
+type MTCPU struct{}
+
+// Name implements Stitcher.
+func (MTCPU) Name() string { return "mt-cpu" }
+
+// Run implements Stitcher.
+func (MTCPU) Run(src Source, opts Options) (*Result, error) {
+	g := src.Grid()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(g)
+	threads := opts.Threads
+	cache := newHostCache(g, opts.Governor)
+	res := newResult(g)
+	start := time.Now()
+
+	// Per-tile once guards: the first worker to need a tile computes its
+	// transform; others wait on it.
+	onces := make([]sync.Once, g.NumTiles())
+	errs := make([]error, g.NumTiles())
+
+	// Spatial decomposition: contiguous chunks of the traversal's pair
+	// order, so each thread works a compact region and refcounts still
+	// free memory early within a region.
+	pairs := opts.Traversal.PairOrder(g)
+	chunk := (len(pairs) + threads - 1) / threads
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if lo >= len(pairs) {
+			break
+		}
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(part []tile.Pair) {
+			defer wg.Done()
+			al, err := newAligner(g, opts)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ensure := func(c tile.Coord) (*tile.Gray16, []complex128, error) {
+				i := g.Index(c)
+				onces[i].Do(func() {
+					img, err := src.ReadTile(c)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					cache.touch()
+					f, err := al.Transform(img)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					errs[i] = cache.put(i, img, f)
+				})
+				if errs[i] != nil {
+					return nil, nil, errs[i]
+				}
+				img, f := cache.get(i)
+				if img == nil {
+					return nil, nil, fmt.Errorf("stitch: tile %v evicted before use (refcount bug)", c)
+				}
+				return img, f, nil
+			}
+			for _, p := range part {
+				bImg, bF, err := ensure(p.Coord)
+				if err != nil {
+					fail(err)
+					return
+				}
+				aImg, aF, err := ensure(p.Neighbor())
+				if err != nil {
+					fail(err)
+					return
+				}
+				cache.touch()
+				d, err := al.Displace(aImg, bImg, aF, bF)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				res.setPair(p, d)
+				mu.Unlock()
+				if err := cache.releasePair(p); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(pairs[lo:hi])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res.Elapsed = time.Since(start)
+	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
+	return res, nil
+}

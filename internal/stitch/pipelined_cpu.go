@@ -1,0 +1,198 @@
+package stitch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridstitch/internal/pipeline"
+	"hybridstitch/internal/tile"
+)
+
+// PipelinedCPU is the three-stage CPU pipeline of paper §IV.B: reader →
+// fft/displacement → bookkeeping, built on the bounded monitor queues of
+// internal/pipeline. The reader streams tiles in traversal order; the
+// bookkeeping stage resolves data dependencies and advances ready work;
+// a pool of worker threads executes transforms and displacements. All
+// memory mechanisms of the GPU pipeline (reference counting, early
+// recycling) are retained, which the paper calls out explicitly.
+type PipelinedCPU struct{}
+
+// Name implements Stitcher.
+func (PipelinedCPU) Name() string { return "pipelined-cpu" }
+
+// cpuWork is one task for the fft/displacement worker stage.
+type cpuWork struct {
+	isPair bool
+	coord  tile.Coord   // transform task
+	img    *tile.Gray16 // transform task payload
+	pair   tile.Pair    // pair task
+	aImg   *tile.Gray16 // pair task payloads
+	bImg   *tile.Gray16
+	aF, bF []complex128
+}
+
+// cpuEvent is a notification to the bookkeeping stage.
+type cpuEvent struct {
+	coord tile.Coord
+}
+
+// Run implements Stitcher.
+func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
+	g := src.Grid()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sockets > 1 {
+		return runSockets(src, opts)
+	}
+	opts = opts.withDefaults(g)
+	cache := newHostCache(g, opts.Governor)
+	res := newResult(g)
+	var resMu sync.Mutex
+	start := time.Now()
+
+	p := pipeline.New()
+	qRead := pipeline.AddQueue[cpuWork](p, "read→work", opts.QueueCap)
+	qWork := pipeline.AddQueue[cpuWork](p, "bk→work", opts.QueueCap)
+	// Every transform completion produces exactly one event; capacity
+	// NumTiles makes pushes non-blocking, which keeps the stage graph
+	// trivially deadlock-free.
+	qFFTDone := pipeline.AddQueue[cpuEvent](p, "work→bk", g.NumTiles())
+
+	// Stage 1: readers stream tiles in traversal order.
+	order := opts.Traversal.Order(g)
+	coords := pipeline.AddQueue[tile.Coord](p, "coords", g.NumTiles())
+	for _, c := range order {
+		if err := coords.Push(c); err != nil {
+			return nil, err
+		}
+	}
+	coords.Close()
+	pipeline.Connect(p, "read", opts.ReadThreads, coords, qRead,
+		func(c tile.Coord, emit func(cpuWork) error) error {
+			img, err := src.ReadTile(c)
+			if err != nil {
+				return err
+			}
+			return emit(cpuWork{coord: c, img: img})
+		})
+
+	// Stage 3 (bookkeeping): merge freshly read tiles into the work
+	// queue, watch transform completions, and emit pair tasks when both
+	// sides are ready. It owns the dependency state.
+	p.Go("bookkeeping", 1, func(int) error {
+		ready := make([]bool, g.NumTiles())
+		emitted := 0
+		reads, ffts := 0, 0
+		total := g.NumTiles()
+
+		// onFFTDone marks a transform ready and emits every pair whose
+		// two tiles are now both resident.
+		onFFTDone := func(ev cpuEvent) error {
+			ffts++
+			ready[g.Index(ev.coord)] = true
+			for _, pr := range g.PairsOf(ev.coord) {
+				if !ready[g.Index(pr.Coord)] || !ready[g.Index(pr.Neighbor())] {
+					continue
+				}
+				bImg, bF := cache.get(g.Index(pr.Coord))
+				aImg, aF := cache.get(g.Index(pr.Neighbor()))
+				if aImg == nil || bImg == nil {
+					return fmt.Errorf("stitch: pair %v ready but tiles evicted", pr)
+				}
+				if err := qWork.Push(cpuWork{isPair: true, pair: pr, aImg: aImg, bImg: bImg, aF: aF, bF: bF}); err != nil {
+					return err
+				}
+				emitted++
+			}
+			return nil
+		}
+
+		for emitted < g.NumPairs() || ffts < total {
+			// Prefer completions so pair work is released promptly.
+			if ev, ok := qFFTDone.TryPop(); ok {
+				if err := onFFTDone(ev); err != nil {
+					return err
+				}
+				continue
+			}
+			if reads < total {
+				w, ok := qRead.Pop()
+				if !ok {
+					reads = total
+					continue
+				}
+				reads++
+				if err := qWork.Push(w); err != nil {
+					return err
+				}
+				continue
+			}
+			// All reads forwarded: block on completions.
+			ev, ok := qFFTDone.Pop()
+			if !ok {
+				return fmt.Errorf("stitch: bookkeeping starved with %d/%d pairs emitted", emitted, g.NumPairs())
+			}
+			if err := onFFTDone(ev); err != nil {
+				return err
+			}
+		}
+		qWork.Close()
+		return nil
+	}, nil)
+
+	// Stage 2: fft/displacement workers.
+	p.Go("fft+disp", opts.Threads, func(worker int) error {
+		al, err := newAligner(g, opts)
+		if err != nil {
+			return err
+		}
+		for {
+			w, ok := qWork.Pop()
+			if !ok {
+				return nil
+			}
+			if !w.isPair {
+				cache.touch()
+				f, err := al.Transform(w.img)
+				if err != nil {
+					return err
+				}
+				if err := cache.put(g.Index(w.coord), w.img, f); err != nil {
+					return err
+				}
+				if err := qFFTDone.Push(cpuEvent{coord: w.coord}); err != nil {
+					return err
+				}
+				continue
+			}
+			cache.touch()
+			d, err := al.Displace(w.aImg, w.bImg, w.aF, w.bF)
+			if err != nil {
+				return err
+			}
+			resMu.Lock()
+			res.setPair(w.pair, d)
+			resMu.Unlock()
+			if err := cache.releasePair(w.pair); err != nil {
+				return err
+			}
+		}
+	}, nil)
+
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
+	for _, q := range []interface {
+		Name() string
+		Cap() int
+		Stats() (int64, int)
+	}{qRead, qWork, qFFTDone, coords} {
+		pushes, maxDepth := q.Stats()
+		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
+	}
+	return res, nil
+}

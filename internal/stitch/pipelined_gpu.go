@@ -1,0 +1,425 @@
+package stitch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/pciam"
+	"hybridstitch/internal/pipeline"
+	"hybridstitch/internal/tile"
+)
+
+// PipelinedGPU is the paper's headline implementation (Fig 8): one
+// six-stage execution pipeline per GPU —
+//
+//	read → copier → FFT → bookkeeping → displacement → CCF
+//
+// with the image grid decomposed spatially into one row-band partition
+// per device. Stages 2, 3, and 5 each own a CUDA stream so copies and
+// kernels from different stages overlap on the device (the Fig 9
+// profile); stage 6's CCF threads are CPU-side and shared across all
+// GPUs, and the only per-pair device-to-host transfer is the scalar
+// max-reduction result. Device memory is a fixed buffer pool recycled by
+// reference counting through the bookkeeping stage, exactly the paper's
+// memory-management design (stage 5 posts release entries to the queue
+// between stages 3 and 4).
+type PipelinedGPU struct{}
+
+// Name implements Stitcher.
+func (PipelinedGPU) Name() string { return "pipelined-gpu" }
+
+// gpuTile moves a tile through the per-device stages.
+type gpuTile struct {
+	coord tile.Coord
+	img   *tile.Gray16
+	buf   *gpu.Buffer
+	ev    *gpu.Event // last device op on buf
+}
+
+// gpuBKMsg is a message to the bookkeeping stage: either a completed
+// transform or a buffer-release notice from the displacement stage.
+type gpuBKMsg struct {
+	isRelease bool
+	t         gpuTile
+	release   tile.Coord
+}
+
+// gpuPair is a ready pair for the displacement stage.
+type gpuPair struct {
+	pair tile.Pair
+	a, b gpuTile
+}
+
+// ccfTask is the CPU-side tail of one pair: resolve the reduction peak
+// with cross-correlation factors.
+type ccfTask struct {
+	pair       tile.Pair
+	aImg, bImg *tile.Gray16
+	peakIdx    int
+}
+
+// partition is one device's share of the grid: the row band
+// [rowLo, rowHi) owns every pair whose tile sits in the band; tiles in
+// row rowLo-1 are read and transformed redundantly to serve the band's
+// top north pairs.
+type partition struct {
+	rowLo, rowHi int
+	needLo       int // rowLo-1 clamped to 0
+}
+
+func makePartitions(rows, nDev int) []partition {
+	if nDev > rows {
+		nDev = rows
+	}
+	parts := make([]partition, 0, nDev)
+	for d := 0; d < nDev; d++ {
+		lo := rows * d / nDev
+		hi := rows * (d + 1) / nDev
+		needLo := lo - 1
+		if needLo < 0 {
+			needLo = 0
+		}
+		parts = append(parts, partition{rowLo: lo, rowHi: hi, needLo: needLo})
+	}
+	return parts
+}
+
+// pairs lists the pairs owned by the partition.
+func (pt partition) pairs(g tile.Grid) []tile.Pair {
+	var ps []tile.Pair
+	for r := pt.rowLo; r < pt.rowHi; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if c > 0 {
+				ps = append(ps, tile.Pair{Coord: tile.Coord{Row: r, Col: c}, Dir: tile.West})
+			}
+			if r > 0 {
+				ps = append(ps, tile.Pair{Coord: tile.Coord{Row: r, Col: c}, Dir: tile.North})
+			}
+		}
+	}
+	return ps
+}
+
+// needOrder returns the coordinates the partition must read and
+// transform, in the given traversal order restricted to the band
+// [needLo, rowHi).
+func (pt partition) needOrder(g tile.Grid, tr Traversal) []tile.Coord {
+	band := tile.Grid{Rows: pt.rowHi - pt.needLo, Cols: g.Cols, TileW: g.TileW, TileH: g.TileH,
+		OverlapX: g.OverlapX, OverlapY: g.OverlapY}
+	out := make([]tile.Coord, 0, band.NumTiles())
+	for _, c := range tr.Order(band) {
+		out = append(out, tile.Coord{Row: c.Row + pt.needLo, Col: c.Col})
+	}
+	return out
+}
+
+// Run implements Stitcher.
+func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
+	g := src.Grid()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(g)
+	if len(opts.Devices) == 0 {
+		return nil, fmt.Errorf("stitch: %s requires at least one GPU device", PipelinedGPU{}.Name())
+	}
+	if opts.NPeaks > 1 {
+		return nil, fmt.Errorf("stitch: GPU implementations support NPeaks=1 only (max-reduction kernel)")
+	}
+	if opts.FFTVariant != VariantComplex {
+		return nil, fmt.Errorf("stitch: GPU implementations support the baseline complex FFT variant only")
+	}
+
+	words := int64(g.TileW) * int64(g.TileH)
+	res := newResult(g)
+	var resMu sync.Mutex
+	start := time.Now()
+
+	p := pipeline.New()
+	qCCF := pipeline.AddQueue[ccfTask](p, "disp→ccf", opts.QueueCap)
+	parts := makePartitions(g.Rows, len(opts.Devices))
+	var wgDisp sync.WaitGroup
+	wgDisp.Add(len(parts))
+
+	pools := make([]*devicePool, len(parts))
+	scratches := make([]*gpu.Buffer, 0, len(parts))
+	streams := make([]*gpu.Stream, 0, 3*len(parts))
+	cleanup := func() {
+		for _, s := range streams {
+			s.Close()
+		}
+		for _, b := range scratches {
+			_ = b.Free()
+		}
+		for _, pool := range pools {
+			if pool != nil {
+				pool.drain()
+			}
+		}
+	}
+	// constructionFail handles errors raised while stages of earlier
+	// devices are already running: a stage failure aborts the shared
+	// queues, which can surface here as a secondary ErrAborted from a
+	// Push — wait for the launched stages (they unblock via the aborted
+	// queues) and report the pipeline's FIRST error as the root cause.
+	constructionFail := func(err error) error {
+		p.Abort(err) // unblock already-launched stages
+		if werr := p.Wait(); werr != nil {
+			err = werr
+		}
+		cleanup()
+		return err
+	}
+	var transformsTotal int64
+	var tMu sync.Mutex
+	type statQueue interface {
+		Name() string
+		Cap() int
+		Stats() (int64, int)
+	}
+	var statQueues []statQueue
+	statQueues = append(statQueues, qCCF)
+
+	for d := range parts {
+		pt := parts[d]
+		dev := opts.Devices[d]
+		pool, err := newDevicePool(dev, g, opts.PoolTransforms)
+		if err != nil {
+			return nil, constructionFail(err)
+		}
+		pools[d] = pool
+		scratch, err := dev.Alloc(words) // displacement-stage NCC buffer
+		if err != nil {
+			return nil, constructionFail(err)
+		}
+		scratches = append(scratches, scratch)
+
+		copyStream, err := dev.NewStream("copy")
+		if err != nil {
+			return nil, constructionFail(err)
+		}
+		// One FFT-issuing thread per stream; the paper uses exactly one
+		// (Fermi cuFFT serialization), Hyper-Q configurations use more.
+		fftStreams := make([]*gpu.Stream, opts.FFTStreams)
+		fwdPlans := make([]*fft.Plan2D, opts.FFTStreams)
+		for w := range fftStreams {
+			st, err := dev.NewStream(fmt.Sprintf("fft%d", w))
+			if err != nil {
+				return nil, constructionFail(err)
+			}
+			streams = append(streams, st)
+			fftStreams[w] = st
+			plan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
+			if err != nil {
+				return nil, constructionFail(err)
+			}
+			fwdPlans[w] = plan
+		}
+		dispStream, err := dev.NewStream("disp")
+		if err != nil {
+			return nil, constructionFail(err)
+		}
+		streams = append(streams, copyStream, dispStream)
+
+		invPlan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+		if err != nil {
+			return nil, constructionFail(err)
+		}
+
+		need := pt.needOrder(g, opts.Traversal)
+		partPairs := pt.pairs(g)
+
+		// Per-partition device refcounts: how many of THIS partition's
+		// pairs use each tile's transform.
+		devCounts := map[int]int{}
+		for _, pr := range partPairs {
+			devCounts[g.Index(pr.Coord)]++
+			devCounts[g.Index(pr.Neighbor())]++
+		}
+
+		name := func(s string) string { return fmt.Sprintf("%s[gpu%d]", s, d) }
+		qCoords := pipeline.AddQueue[tile.Coord](p, name("coords"), len(need))
+		for _, c := range need {
+			if err := qCoords.Push(c); err != nil {
+				return nil, constructionFail(err)
+			}
+		}
+		qCoords.Close()
+		qRead := pipeline.AddQueue[gpuTile](p, name("read→copy"), opts.QueueCap)
+		qCopied := pipeline.AddQueue[gpuTile](p, name("copy→fft"), opts.QueueCap)
+		// All bookkeeping pushes are non-blocking: capacity covers every
+		// transform arrival plus two releases per pair.
+		qBK := pipeline.AddQueue[gpuBKMsg](p, name("→bk"), len(need)+2*len(partPairs))
+		qPairs := pipeline.AddQueue[gpuPair](p, name("bk→disp"), opts.QueueCap)
+		statQueues = append(statQueues, qRead, qCopied, qBK, qPairs)
+
+		// Stage 1: readers.
+		pipeline.Connect(p, name("read"), opts.ReadThreads, qCoords, qRead,
+			func(c tile.Coord, emit func(gpuTile) error) error {
+				img, err := src.ReadTile(c)
+				if err != nil {
+					return err
+				}
+				return emit(gpuTile{coord: c, img: img})
+			})
+
+		// Stage 2: copier — one thread, async H2D on its own stream.
+		pipeline.Connect(p, name("copier"), 1, qRead, qCopied,
+			func(t gpuTile, emit func(gpuTile) error) error {
+				buf, err := pool.acquireOr(p.Aborted())
+				if err != nil {
+					return err
+				}
+				t.buf = buf
+				pix := make([]float64, words)
+				if err := t.img.ToFloat(pix); err != nil {
+					return err
+				}
+				t.ev = copyStream.MemcpyH2DReal(t.buf, pix)
+				return emit(t)
+			})
+
+		// Stage 3: FFT — one thread launches transforms (cuFFT's Fermi
+		// register pressure means one in flight; the device's
+		// KernelSlots enforces serialization too). Not wired through
+		// Connect: qBK must stay open for the displacement stage's
+		// release messages, so nobody closes it — bookkeeping
+		// terminates on message counts instead.
+		p.Go(name("fft"), opts.FFTStreams, func(w int) error {
+			st, plan := fftStreams[w], fwdPlans[w]
+			for {
+				t, ok := qCopied.Pop()
+				if !ok {
+					return nil
+				}
+				t.ev = st.FFT2D(plan, t.buf, t.ev)
+				tMu.Lock()
+				transformsTotal++
+				tMu.Unlock()
+				if err := qBK.Push(gpuBKMsg{t: t}); err != nil {
+					return err
+				}
+			}
+		}, nil)
+
+		// Stage 4: bookkeeping — dependency resolution and memory
+		// recycling.
+		p.Go(name("bk"), 1, func(int) error {
+			readyT := map[int]gpuTile{}
+			fftSeen := make(map[int]bool, len(need))
+			pairReady := map[tile.Pair]bool{}
+			emitted, releases := 0, 0
+			for emitted < len(partPairs) || releases < 2*len(partPairs) {
+				msg, ok := qBK.Pop()
+				if !ok {
+					return fmt.Errorf("stitch: gpu%d bookkeeping starved (%d/%d pairs, %d/%d releases)",
+						d, emitted, len(partPairs), releases, 2*len(partPairs))
+				}
+				if msg.isRelease {
+					releases++
+					i := g.Index(msg.release)
+					devCounts[i]--
+					if devCounts[i] == 0 {
+						pool.release(readyT[i].buf)
+						delete(readyT, i)
+					}
+					continue
+				}
+				i := g.Index(msg.t.coord)
+				readyT[i] = msg.t
+				fftSeen[i] = true
+				for _, pr := range g.PairsOf(msg.t.coord) {
+					if pr.Coord.Row < pt.rowLo || pr.Coord.Row >= pt.rowHi {
+						continue // another partition owns it
+					}
+					bi, ai := g.Index(pr.Coord), g.Index(pr.Neighbor())
+					if !fftSeen[bi] || !fftSeen[ai] || pairReady[pr] {
+						continue
+					}
+					pairReady[pr] = true
+					if err := qPairs.Push(gpuPair{pair: pr, a: readyT[ai], b: readyT[bi]}); err != nil {
+						return err
+					}
+					emitted++
+				}
+			}
+			qPairs.Close()
+			return nil
+		}, nil)
+
+		// Stage 5: displacement — one thread, NCC + inverse FFT + max
+		// reduction on the disp stream; only the scalar comes home.
+		p.Go(name("disp"), 1, func(int) error {
+			defer wgDisp.Done()
+			for {
+				gp, ok := qPairs.Pop()
+				if !ok {
+					return nil
+				}
+				ev := dispStream.NCC(scratch, gp.a.buf, gp.b.buf, int(words), gp.a.ev, gp.b.ev)
+				ev = dispStream.FFT2D(invPlan, scratch, ev)
+				var red gpu.Reduction
+				if err := dispStream.MaxAbs(scratch, int(words), &red, ev).Wait(); err != nil {
+					return err
+				}
+				// Release device transforms through bookkeeping (paper:
+				// stage 5 posts to the stage-3→4 queue).
+				if err := qBK.Push(gpuBKMsg{isRelease: true, release: gp.pair.Coord}); err != nil {
+					return err
+				}
+				if err := qBK.Push(gpuBKMsg{isRelease: true, release: gp.pair.Neighbor()}); err != nil {
+					return err
+				}
+				if err := qCCF.Push(ccfTask{pair: gp.pair, aImg: gp.a.img, bImg: gp.b.img, peakIdx: red.Idx}); err != nil {
+					return err
+				}
+			}
+		}, nil)
+
+	}
+
+	// Close the shared CCF queue when every displacement stage is done.
+	p.Go("ccf-closer", 1, func(int) error {
+		wgDisp.Wait()
+		qCCF.Close()
+		return nil
+	}, nil)
+
+	// Stage 6: CCF workers, shared across GPUs.
+	pciamOpts := opts.pciamOptions()
+	p.Go("ccf", opts.CCFThreads, func(int) error {
+		for {
+			t, ok := qCCF.Pop()
+			if !ok {
+				return nil
+			}
+			d := pciam.Resolve(t.aImg, t.bImg, t.peakIdx%g.TileW, t.peakIdx/g.TileW, pciamOpts)
+			resMu.Lock()
+			res.setPair(t.pair, d)
+			resMu.Unlock()
+		}
+	}, nil)
+
+	err := p.Wait()
+	peak := 0
+	for _, pool := range pools {
+		peak += pool.peakInUse()
+	}
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.PeakTransformsLive = peak
+	tMu.Lock()
+	res.TransformsComputed = int(transformsTotal)
+	tMu.Unlock()
+	for _, q := range statQueues {
+		pushes, maxDepth := q.Stats()
+		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package stitch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"hybridstitch/internal/tile"
+)
+
+// This file serializes phase-1 results so displacements can be computed
+// once and reused — across color channels (the paper's experiments
+// acquire two grids per scan), across composition settings, or for
+// offline inspection of per-pair confidences.
+
+// resultJSON is the stable on-disk form of a Result.
+type resultJSON struct {
+	Rows     int        `json:"rows"`
+	Cols     int        `json:"cols"`
+	TileW    int        `json:"tile_w"`
+	TileH    int        `json:"tile_h"`
+	OverlapX float64    `json:"overlap_x"`
+	OverlapY float64    `json:"overlap_y"`
+	Pairs    []pairJSON `json:"pairs"`
+}
+
+type pairJSON struct {
+	Row  int     `json:"row"`
+	Col  int     `json:"col"`
+	Dir  string  `json:"dir"` // "west" or "north"
+	X    int     `json:"x"`
+	Y    int     `json:"y"`
+	Corr float64 `json:"corr"`
+}
+
+// MarshalResult encodes a result as JSON.
+func MarshalResult(r *Result) ([]byte, error) {
+	out := resultJSON{
+		Rows: r.Grid.Rows, Cols: r.Grid.Cols,
+		TileW: r.Grid.TileW, TileH: r.Grid.TileH,
+		OverlapX: r.Grid.OverlapX, OverlapY: r.Grid.OverlapY,
+	}
+	for _, p := range r.Grid.Pairs() {
+		d, ok := r.PairDisplacement(p)
+		if !ok {
+			continue
+		}
+		out.Pairs = append(out.Pairs, pairJSON{
+			Row: p.Coord.Row, Col: p.Coord.Col, Dir: p.Dir.String(),
+			X: d.X, Y: d.Y, Corr: d.Corr,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalResult decodes a result from JSON.
+func UnmarshalResult(data []byte) (*Result, error) {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("stitch: bad result JSON: %w", err)
+	}
+	g := tile.Grid{Rows: in.Rows, Cols: in.Cols, TileW: in.TileW, TileH: in.TileH,
+		OverlapX: in.OverlapX, OverlapY: in.OverlapY}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("stitch: result JSON: %w", err)
+	}
+	r := newResult(g)
+	for _, pj := range in.Pairs {
+		var dir tile.Dir
+		switch pj.Dir {
+		case "west":
+			dir = tile.West
+		case "north":
+			dir = tile.North
+		default:
+			return nil, fmt.Errorf("stitch: result JSON: unknown direction %q", pj.Dir)
+		}
+		p := tile.Pair{Coord: tile.Coord{Row: pj.Row, Col: pj.Col}, Dir: dir}
+		if !g.In(p.Coord) || !g.In(p.Neighbor()) {
+			return nil, fmt.Errorf("stitch: result JSON: pair %v outside grid", p)
+		}
+		if math.IsNaN(pj.Corr) {
+			continue
+		}
+		r.setPair(p, tile.Displacement{X: pj.X, Y: pj.Y, Corr: pj.Corr})
+	}
+	return r, nil
+}
+
+// SaveResult writes a result to path as JSON.
+func SaveResult(path string, r *Result) error {
+	blob, err := MarshalResult(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadResult reads a result from path.
+func LoadResult(path string) (*Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalResult(blob)
+}

@@ -1,0 +1,75 @@
+package stitch
+
+import (
+	"time"
+
+	"hybridstitch/internal/tile"
+)
+
+// SimpleCPU is the sequential reference implementation (paper §IV.A):
+// one thread, transforms computed once and freed as early as the
+// traversal order allows (chained diagonal by default).
+type SimpleCPU struct{}
+
+// Name implements Stitcher.
+func (SimpleCPU) Name() string { return "simple-cpu" }
+
+// Run implements Stitcher.
+func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
+	g := src.Grid()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(g)
+	al, err := newAligner(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	cache := newHostCache(g, opts.Governor)
+	res := newResult(g)
+	start := time.Now()
+
+	ensure := func(c tile.Coord) (*tile.Gray16, []complex128, error) {
+		i := g.Index(c)
+		if img, f := cache.get(i); img != nil {
+			return img, f, nil
+		}
+		img, err := src.ReadTile(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache.touch()
+		f, err := al.Transform(img)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cache.put(g.Index(c), img, f); err != nil {
+			return nil, nil, err
+		}
+		return img, f, nil
+	}
+
+	for _, p := range opts.Traversal.PairOrder(g) {
+		bImg, bF, err := ensure(p.Coord)
+		if err != nil {
+			return nil, err
+		}
+		aImg, aF, err := ensure(p.Neighbor())
+		if err != nil {
+			return nil, err
+		}
+		cache.touch()
+		d, err := al.Displace(aImg, bImg, aF, bF)
+		if err != nil {
+			return nil, err
+		}
+		res.setPair(p, d)
+		if err := cache.releasePair(p); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package stitch
+
+import (
+	"fmt"
+	"time"
+
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/pciam"
+	"hybridstitch/internal/tile"
+)
+
+// SimpleGPU is the direct port of the sequential implementation to the
+// GPU (paper §IV.A): single CPU thread, one stream (CUDA's default
+// stream), synchronous copies — every operation waits for the previous
+// one. It keeps the Simple-CPU improvements: forward transforms stay in
+// device memory in a reference-counted buffer pool and are freed when a
+// tile's four pairs are done, NCC and the max reduction run as device
+// kernels, and only the reduction's scalar result is copied back. The
+// profiler timeline it produces is the paper's Fig 7: one kernel at a
+// time with gaps for the CPU work between launches.
+type SimpleGPU struct{}
+
+// Name implements Stitcher.
+func (SimpleGPU) Name() string { return "simple-gpu" }
+
+// Run implements Stitcher.
+func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
+	g := src.Grid()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(g)
+	if len(opts.Devices) == 0 {
+		return nil, fmt.Errorf("stitch: %s requires a GPU device", SimpleGPU{}.Name())
+	}
+	if opts.NPeaks > 1 {
+		return nil, fmt.Errorf("stitch: GPU implementations support NPeaks=1 only (max-reduction kernel)")
+	}
+	if opts.FFTVariant != VariantComplex {
+		return nil, fmt.Errorf("stitch: GPU implementations support the baseline complex FFT variant only")
+	}
+	dev := opts.Devices[0]
+	stream, err := dev.NewStream("default")
+	if err != nil {
+		return nil, err
+	}
+	defer stream.Close()
+
+	words := int64(g.TileW) * int64(g.TileH)
+	pool, err := newDevicePool(dev, g, opts.PoolTransforms)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.drain()
+	// One scratch buffer for the NCC/inverse product.
+	scratch, err := dev.Alloc(words)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = scratch.Free() }()
+
+	fwdPlan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
+	if err != nil {
+		return nil, err
+	}
+	invPlan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+	if err != nil {
+		return nil, err
+	}
+
+	cache := newHostCache(g, opts.Governor) // host images for the CCF step
+	bufs := make(map[int]*gpu.Buffer)
+	devRC := newRefCounter(g)
+	liveBufs, peakBufs := 0, 0
+	transforms := 0
+	res := newResult(g)
+	start := time.Now()
+
+	pix := make([]float64, words)
+	ensure := func(c tile.Coord) error {
+		i := g.Index(c)
+		if _, ok := bufs[i]; ok {
+			return nil
+		}
+		img, err := src.ReadTile(c)
+		if err != nil {
+			return err
+		}
+		if err := cache.put(i, img, nil); err != nil {
+			return err
+		}
+		buf := pool.acquire()
+		if err := img.ToFloat(pix); err != nil {
+			return err
+		}
+		// Synchronous upload and transform: wait on each event, the
+		// Simple-GPU anti-pattern under study.
+		if err := stream.MemcpyH2DReal(buf, pix).Wait(); err != nil {
+			return err
+		}
+		if err := stream.FFT2D(fwdPlan, buf).Wait(); err != nil {
+			return err
+		}
+		transforms++
+		bufs[i] = buf
+		liveBufs++
+		if liveBufs > peakBufs {
+			peakBufs = liveBufs
+		}
+		return nil
+	}
+
+	release := func(c tile.Coord) error {
+		i := g.Index(c)
+		free, err := devRC.release(i)
+		if err != nil {
+			return err
+		}
+		if free {
+			pool.release(bufs[i])
+			delete(bufs, i)
+			liveBufs--
+		}
+		return nil
+	}
+
+	for _, p := range opts.Traversal.PairOrder(g) {
+		if err := ensure(p.Coord); err != nil {
+			return nil, err
+		}
+		if err := ensure(p.Neighbor()); err != nil {
+			return nil, err
+		}
+		bi := g.Index(p.Coord)
+		ai := g.Index(p.Neighbor())
+		aImg, _ := cache.get(ai)
+		bImg, _ := cache.get(bi)
+
+		// NCC → inverse FFT → max reduction, each synchronous.
+		if err := stream.NCC(scratch, bufs[ai], bufs[bi], int(words)).Wait(); err != nil {
+			return nil, err
+		}
+		if err := stream.FFT2D(invPlan, scratch).Wait(); err != nil {
+			return nil, err
+		}
+		var red gpu.Reduction
+		if err := stream.MaxAbs(scratch, int(words), &red).Wait(); err != nil {
+			return nil, err
+		}
+
+		// CCF on the CPU, inline (the gap in the Fig 7 profile).
+		d := pciam.Resolve(aImg, bImg, red.Idx%g.TileW, red.Idx/g.TileW, opts.pciamOptions())
+		res.setPair(p, d)
+
+		if err := release(p.Coord); err != nil {
+			return nil, err
+		}
+		if err := release(p.Neighbor()); err != nil {
+			return nil, err
+		}
+		if err := cache.releasePair(p); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	res.PeakTransformsLive = peakBufs
+	res.TransformsComputed = transforms
+	return res, nil
+}

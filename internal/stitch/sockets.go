@@ -1,0 +1,98 @@
+package stitch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridstitch/internal/tile"
+)
+
+// Per-socket execution (paper §IV.B: "In the future, we will modify this
+// implementation to create one execution pipeline per CPU socket"): the
+// grid is decomposed into row bands exactly like the multi-GPU split,
+// and each socket runs an independent 3-stage pipeline over its band with
+// its own transform cache — so on a NUMA machine every pipeline touches
+// only socket-local memory. Tiles on a band boundary are read and
+// transformed by both adjacent sockets, the same redundancy the GPU
+// partitioning accepts.
+
+// bandSource adapts a Source to one row band.
+type bandSource struct {
+	inner  Source
+	rowOff int
+	g      tile.Grid
+}
+
+func (b bandSource) Grid() tile.Grid { return b.g }
+
+func (b bandSource) ReadTile(c tile.Coord) (*tile.Gray16, error) {
+	return b.inner.ReadTile(tile.Coord{Row: c.Row + b.rowOff, Col: c.Col})
+}
+
+// runSockets executes one pipeline per socket and merges the results.
+func runSockets(src Source, opts Options) (*Result, error) {
+	g := src.Grid()
+	sockets := opts.Sockets
+	if sockets > g.Rows {
+		sockets = g.Rows
+	}
+	parts := makePartitions(g.Rows, sockets)
+	res := newResult(g)
+	start := time.Now()
+
+	perSocket := opts
+	perSocket.Sockets = 1
+	perSocket.Threads = opts.Threads / sockets
+	if perSocket.Threads < 1 {
+		perSocket.Threads = 1
+	}
+
+	type socketOut struct {
+		part partition
+		sub  *Result
+		err  error
+	}
+	outs := make([]socketOut, len(parts))
+	var wg sync.WaitGroup
+	for i, pt := range parts {
+		wg.Add(1)
+		go func(i int, pt partition) {
+			defer wg.Done()
+			band := tile.Grid{
+				Rows: pt.rowHi - pt.needLo, Cols: g.Cols,
+				TileW: g.TileW, TileH: g.TileH,
+				OverlapX: g.OverlapX, OverlapY: g.OverlapY,
+			}
+			sub, err := (PipelinedCPU{}).Run(bandSource{inner: src, rowOff: pt.needLo, g: band}, perSocket)
+			outs[i] = socketOut{part: pt, sub: sub, err: err}
+		}(i, pt)
+	}
+	wg.Wait()
+
+	transforms, peak := 0, 0
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("stitch: socket pipeline [rows %d-%d): %w", o.part.rowLo, o.part.rowHi, o.err)
+		}
+		transforms += o.sub.TransformsComputed
+		peak += o.sub.PeakTransformsLive
+		// Keep only the pairs this partition owns; boundary-row west
+		// pairs were computed redundantly by the partition above.
+		for _, bp := range o.sub.Grid.Pairs() {
+			globalCoord := tile.Coord{Row: bp.Coord.Row + o.part.needLo, Col: bp.Coord.Col}
+			if globalCoord.Row < o.part.rowLo || globalCoord.Row >= o.part.rowHi {
+				continue
+			}
+			d, ok := o.sub.PairDisplacement(bp)
+			if !ok {
+				return nil, fmt.Errorf("stitch: socket pipeline missing pair %v", bp)
+			}
+			res.setPair(tile.Pair{Coord: globalCoord, Dir: bp.Dir}, d)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.TransformsComputed = transforms
+	res.PeakTransformsLive = peak
+	return res, nil
+}

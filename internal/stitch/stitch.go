@@ -1,0 +1,302 @@
+// Package stitch is the paper's primary contribution: phase-1 relative
+// displacement computation over a grid of overlapping microscope tiles,
+// in six interchangeable implementations —
+//
+//	Simple-CPU     sequential reference (paper §IV.A)
+//	MT-CPU         SPMD spatial decomposition across threads
+//	Pipelined-CPU  3-stage pipeline: reader → fft/displacement → bookkeeping
+//	Simple-GPU     synchronous single-stream GPU port
+//	Pipelined-GPU  6-stage pipeline per GPU (paper Fig 8)
+//	Fiji           the ImageJ/Fiji-plugin-shaped baseline (batch phases,
+//	               no transform reuse)
+//
+// plus the supporting machinery they share: tile sources, traversal
+// orders, transform reference counting, and the Table I operation census.
+// Every implementation produces identical displacement arrays for the
+// same input; they differ only in scheduling, concurrency, and memory
+// behavior.
+package stitch
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/memgov"
+	"hybridstitch/internal/pciam"
+	"hybridstitch/internal/tiffio"
+	"hybridstitch/internal/tile"
+)
+
+// Source supplies tiles to a stitcher. ReadTile is called once per tile
+// per run by the well-behaved implementations (the Fiji baseline calls it
+// more often, which is part of what it models). Implementations must be
+// safe for concurrent ReadTile calls.
+type Source interface {
+	Grid() tile.Grid
+	ReadTile(c tile.Coord) (*tile.Gray16, error)
+}
+
+// MemorySource serves a generated dataset from memory.
+type MemorySource struct {
+	DS *imagegen.Dataset
+	// ReadDelay, if positive, sleeps per ReadTile to model disk/decode
+	// latency in pipeline-overlap experiments.
+	ReadDelay time.Duration
+}
+
+// Grid returns the dataset's grid.
+func (m *MemorySource) Grid() tile.Grid { return m.DS.Params.Grid }
+
+// ReadTile returns the tile at c.
+func (m *MemorySource) ReadTile(c tile.Coord) (*tile.Gray16, error) {
+	if !m.Grid().In(c) {
+		return nil, fmt.Errorf("stitch: coordinate %v outside grid", c)
+	}
+	if m.ReadDelay > 0 {
+		time.Sleep(m.ReadDelay)
+	}
+	return m.DS.Tile(c), nil
+}
+
+// DirSource reads tiles from per-tile TIFF files laid out as
+// <dir>/tile_r{row}_c{col}.tif (the layout cmd/genplate writes).
+type DirSource struct {
+	Dir      string
+	GridSpec tile.Grid
+}
+
+// TilePath returns the canonical file name for a coordinate.
+func TilePath(dir string, c tile.Coord) string {
+	return filepath.Join(dir, fmt.Sprintf("tile_r%03d_c%03d.tif", c.Row, c.Col))
+}
+
+// Grid returns the declared grid.
+func (d *DirSource) Grid() tile.Grid { return d.GridSpec }
+
+// ReadTile decodes one tile file.
+func (d *DirSource) ReadTile(c tile.Coord) (*tile.Gray16, error) {
+	img, err := tiffio.ReadFile(TilePath(d.Dir, c))
+	if err != nil {
+		return nil, fmt.Errorf("stitch: tile %v: %w", c, err)
+	}
+	g := d.GridSpec
+	if img.W != g.TileW || img.H != g.TileH {
+		return nil, fmt.Errorf("stitch: tile %v is %dx%d, grid declares %dx%d", c, img.W, img.H, g.TileW, g.TileH)
+	}
+	return img, nil
+}
+
+// WriteDataset writes a dataset to dir in DirSource layout, creating the
+// directory if needed.
+func WriteDataset(dir string, ds *imagegen.Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := ds.Params.Grid
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			coord := tile.Coord{Row: r, Col: c}
+			if err := tiffio.WriteFile(TilePath(dir, coord), ds.Tile(coord)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Options configures a stitching run. The zero value is usable.
+type Options struct {
+	// Threads is the worker count for the CPU implementations (the
+	// paper sweeps 1–16).
+	Threads int
+	// CCFThreads is the CCF-stage worker count in Pipelined-GPU (the
+	// paper's Fig 10 sweep); 0 means Threads.
+	CCFThreads int
+	// ReadThreads is the reader-stage worker count in the pipelines.
+	ReadThreads int
+	// NPeaks and PositiveOnly pass through to pciam.Options.
+	NPeaks       int
+	PositiveOnly bool
+	// Traversal selects the grid walk order for the sequential and GPU
+	// implementations; the paper defaults to chained diagonal because it
+	// lets transform memory be freed earliest.
+	Traversal Traversal
+	// Planner supplies FFT wisdom shared across workers; nil builds an
+	// estimate-mode planner per run.
+	Planner *fft.Planner
+	// Governor, if set, accounts transform memory against a simulated
+	// physical RAM limit and injects paging stalls (Fig 5).
+	Governor *memgov.Governor
+	// Devices are the simulated GPUs for the GPU implementations.
+	Devices []*gpu.Device
+	// PoolTransforms is the per-GPU buffer pool size in transforms. The
+	// paper requires it to exceed the smallest grid dimension; 0 picks
+	// 2×min(rows, cols)+4.
+	PoolTransforms int
+	// QueueCap bounds the inter-stage queues; 0 picks 4× the stage
+	// worker count.
+	QueueCap int
+	// FFTVariant selects the transform path for the CPU
+	// implementations: baseline complex, padded, or real-to-complex
+	// (the paper's §VI.A future-work optimizations). GPU
+	// implementations support the baseline only.
+	FFTVariant FFTVariant
+	// Sockets runs one independent CPU pipeline per (simulated) CPU
+	// socket in Pipelined-CPU, each over a row band with its own
+	// transform cache — the paper's stated future work for the CPU
+	// version (NUMA locality). 0 or 1 keeps the single pipeline.
+	Sockets int
+	// FFTStreams is the number of CPU threads issuing forward-FFT
+	// kernels per GPU in Pipelined-GPU. The paper pins it to 1 (Fermi
+	// cuFFT cannot run kernels concurrently); raising it exploits a
+	// Kepler/Hyper-Q device (paper §VI.A future work) — pair it with a
+	// gpu.Config.KernelSlots > 1.
+	FFTStreams int
+}
+
+func (o Options) withDefaults(g tile.Grid) Options {
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	if o.CCFThreads < 1 {
+		o.CCFThreads = o.Threads
+	}
+	if o.ReadThreads < 1 {
+		o.ReadThreads = 1
+	}
+	if o.FFTStreams < 1 {
+		o.FFTStreams = 1
+	}
+	if o.Planner == nil {
+		o.Planner = fft.NewPlanner(fft.Estimate)
+	}
+	if o.PoolTransforms < 1 {
+		minDim := g.Rows
+		if g.Cols < minDim {
+			minDim = g.Cols
+		}
+		o.PoolTransforms = 2*minDim + 4
+	}
+	if o.QueueCap < 1 {
+		o.QueueCap = 4 * o.Threads
+	}
+	return o
+}
+
+// pciamOptions builds the per-pair aligner configuration.
+func (o Options) pciamOptions() pciam.Options {
+	return pciam.Options{NPeaks: o.NPeaks, PositiveOnly: o.PositiveOnly, Planner: o.Planner}
+}
+
+// Result is the phase-1 output: the two displacement arrays of the
+// paper's Fig 4, plus run metrics.
+type Result struct {
+	Grid tile.Grid
+	// West[i] is the displacement of tile i relative to its west
+	// neighbor; valid iff the tile has one (col > 0). North likewise.
+	West, North []tile.Displacement
+	// Elapsed is the end-to-end wall time of the run.
+	Elapsed time.Duration
+	// PeakTransformsLive is the maximum number of tile transforms
+	// simultaneously resident — the memory-management metric the
+	// traversal-order ablation reads.
+	PeakTransformsLive int
+	// TransformsComputed counts forward FFT executions (the Fiji
+	// baseline recomputes; the others hit exactly NumTiles).
+	TransformsComputed int
+	// QueueStats reports, for the pipelined implementations, each
+	// inter-stage queue's total pushes and maximum depth — the
+	// backpressure picture behind the QueueCap ablation.
+	QueueStats []QueueStat
+}
+
+// QueueStat summarizes one inter-stage queue after a run.
+type QueueStat struct {
+	Name     string
+	Cap      int
+	Pushes   int64
+	MaxDepth int
+}
+
+// newResult allocates a result shell for grid g.
+func newResult(g tile.Grid) *Result {
+	n := g.NumTiles()
+	r := &Result{Grid: g, West: make([]tile.Displacement, n), North: make([]tile.Displacement, n)}
+	for i := range r.West {
+		r.West[i].Corr = math.NaN()
+		r.North[i].Corr = math.NaN()
+	}
+	return r
+}
+
+// setPair records a pair's displacement.
+func (r *Result) setPair(p tile.Pair, d tile.Displacement) {
+	i := r.Grid.Index(p.Coord)
+	if p.Dir == tile.West {
+		r.West[i] = d
+	} else {
+		r.North[i] = d
+	}
+}
+
+// PairDisplacement returns the stored displacement for a pair and whether
+// it was computed.
+func (r *Result) PairDisplacement(p tile.Pair) (tile.Displacement, bool) {
+	i := r.Grid.Index(p.Coord)
+	var d tile.Displacement
+	if p.Dir == tile.West {
+		d = r.West[i]
+	} else {
+		d = r.North[i]
+	}
+	return d, !math.IsNaN(d.Corr)
+}
+
+// Complete reports whether every pair of the grid has a displacement.
+func (r *Result) Complete() bool {
+	for _, p := range r.Grid.Pairs() {
+		if _, ok := r.PairDisplacement(p); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Stitcher is one implementation of the phase-1 computation.
+type Stitcher interface {
+	Name() string
+	Run(src Source, opts Options) (*Result, error)
+}
+
+// Implementations returns the registry of stitchers in the paper's
+// Table II order.
+func Implementations() []Stitcher {
+	return []Stitcher{
+		&Fiji{},
+		&SimpleCPU{},
+		&MTCPU{},
+		&PipelinedCPU{},
+		&SimpleGPU{},
+		&PipelinedGPU{},
+	}
+}
+
+// ByName finds a stitcher by its registry name.
+func ByName(name string) (Stitcher, error) {
+	var names []string
+	for _, s := range Implementations() {
+		if s.Name() == name {
+			return s, nil
+		}
+		names = append(names, s.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("stitch: unknown implementation %q (have %v)", name, names)
+}

@@ -1,0 +1,158 @@
+package stitch
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/tile"
+)
+
+// Traversal selects the order in which a grid's tiles are visited. The
+// order controls when a tile's last dependent pair completes and hence
+// when its transform memory can be recycled; the paper found chained
+// diagonal frees memory earliest and made it the default.
+type Traversal int
+
+const (
+	// TraverseChainedDiagonal walks anti-diagonals, alternating
+	// direction between consecutive diagonals (the default).
+	TraverseChainedDiagonal Traversal = iota
+	// TraverseRow walks row-major.
+	TraverseRow
+	// TraverseColumn walks column-major.
+	TraverseColumn
+	// TraverseDiagonal walks anti-diagonals, all in the same direction.
+	TraverseDiagonal
+	// TraverseChainedRow walks rows serpentine (boustrophedon).
+	TraverseChainedRow
+	// TraverseChainedColumn walks columns serpentine.
+	TraverseChainedColumn
+)
+
+// Traversals lists every order for the ablation experiments.
+func Traversals() []Traversal {
+	return []Traversal{
+		TraverseChainedDiagonal, TraverseRow, TraverseColumn,
+		TraverseDiagonal, TraverseChainedRow, TraverseChainedColumn,
+	}
+}
+
+func (t Traversal) String() string {
+	switch t {
+	case TraverseChainedDiagonal:
+		return "chained-diagonal"
+	case TraverseRow:
+		return "row"
+	case TraverseColumn:
+		return "column"
+	case TraverseDiagonal:
+		return "diagonal"
+	case TraverseChainedRow:
+		return "chained-row"
+	case TraverseChainedColumn:
+		return "chained-column"
+	default:
+		return fmt.Sprintf("Traversal(%d)", int(t))
+	}
+}
+
+// TraversalByName parses a traversal name.
+func TraversalByName(name string) (Traversal, error) {
+	for _, t := range Traversals() {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("stitch: unknown traversal %q", name)
+}
+
+// Order returns every coordinate of g exactly once in this traversal's
+// order.
+func (t Traversal) Order(g tile.Grid) []tile.Coord {
+	out := make([]tile.Coord, 0, g.NumTiles())
+	switch t {
+	case TraverseRow:
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				out = append(out, tile.Coord{Row: r, Col: c})
+			}
+		}
+	case TraverseChainedRow:
+		for r := 0; r < g.Rows; r++ {
+			if r%2 == 0 {
+				for c := 0; c < g.Cols; c++ {
+					out = append(out, tile.Coord{Row: r, Col: c})
+				}
+			} else {
+				for c := g.Cols - 1; c >= 0; c-- {
+					out = append(out, tile.Coord{Row: r, Col: c})
+				}
+			}
+		}
+	case TraverseColumn:
+		for c := 0; c < g.Cols; c++ {
+			for r := 0; r < g.Rows; r++ {
+				out = append(out, tile.Coord{Row: r, Col: c})
+			}
+		}
+	case TraverseChainedColumn:
+		for c := 0; c < g.Cols; c++ {
+			if c%2 == 0 {
+				for r := 0; r < g.Rows; r++ {
+					out = append(out, tile.Coord{Row: r, Col: c})
+				}
+			} else {
+				for r := g.Rows - 1; r >= 0; r-- {
+					out = append(out, tile.Coord{Row: r, Col: c})
+				}
+			}
+		}
+	case TraverseDiagonal, TraverseChainedDiagonal:
+		chained := t == TraverseChainedDiagonal
+		for d := 0; d <= g.Rows+g.Cols-2; d++ {
+			var diag []tile.Coord
+			for r := 0; r < g.Rows; r++ {
+				c := d - r
+				if c >= 0 && c < g.Cols {
+					diag = append(diag, tile.Coord{Row: r, Col: c})
+				}
+			}
+			if chained && d%2 == 1 {
+				for i := len(diag) - 1; i >= 0; i-- {
+					out = append(out, diag[i])
+				}
+			} else {
+				out = append(out, diag...)
+			}
+		}
+	default:
+		return TraverseRow.Order(g)
+	}
+	return out
+}
+
+// PairOrder derives the pair schedule from a tile traversal: when a tile
+// is visited, every pair whose two tiles have both been visited becomes
+// ready, in visit order. This is how the sequential implementations walk
+// the 2nm-n-m pairs.
+func (t Traversal) PairOrder(g tile.Grid) []tile.Pair {
+	visited := make([]bool, g.NumTiles())
+	out := make([]tile.Pair, 0, g.NumPairs())
+	for _, c := range t.Order(g) {
+		visited[g.Index(c)] = true
+		// pairs (c, west) and (c, north)
+		if c.Col > 0 && visited[g.Index(tile.Coord{Row: c.Row, Col: c.Col - 1})] {
+			out = append(out, tile.Pair{Coord: c, Dir: tile.West})
+		}
+		if c.Row > 0 && visited[g.Index(tile.Coord{Row: c.Row - 1, Col: c.Col})] {
+			out = append(out, tile.Pair{Coord: c, Dir: tile.North})
+		}
+		// pairs where c completes a later-visited neighbor's pair
+		if c.Col+1 < g.Cols && visited[g.Index(tile.Coord{Row: c.Row, Col: c.Col + 1})] {
+			out = append(out, tile.Pair{Coord: tile.Coord{Row: c.Row, Col: c.Col + 1}, Dir: tile.West})
+		}
+		if c.Row+1 < g.Rows && visited[g.Index(tile.Coord{Row: c.Row + 1, Col: c.Col})] {
+			out = append(out, tile.Pair{Coord: tile.Coord{Row: c.Row + 1, Col: c.Col}, Dir: tile.North})
+		}
+	}
+	return out
+}

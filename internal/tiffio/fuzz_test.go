@@ -1,0 +1,45 @@
+package tiffio
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridstitch/internal/tile"
+)
+
+// FuzzDecode asserts the decoder never panics and never returns a
+// malformed image on arbitrary input — acquisition software crashes are
+// a fact of life for five-day experiments, and a truncated tile file
+// must surface as an error, not take the stitcher down.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid file and a few truncations of it.
+	img := tile.NewGray16(9, 7)
+	for i := range img.Pix {
+		img.Pix[i] = uint16(i * 911)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img, EncodeOpts{}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("II*\x00"))
+	f.Add([]byte("MM\x00*"))
+	var bigEndian bytes.Buffer
+	if err := Encode(&bigEndian, img, EncodeOpts{BigEndian: true, RowsPerStrip: 2}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bigEndian.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
+			t.Fatalf("accepted malformed image: %dx%d with %d pixels", img.W, img.H, len(img.Pix))
+		}
+	})
+}

@@ -1,0 +1,477 @@
+// Package tiffio reads and writes the subset of baseline TIFF 6.0 that
+// optical-microscopy acquisition software emits: single-image files,
+// grayscale, 8 or 16 bits per sample, uncompressed, strip-organized, in
+// either byte order. It is the stand-in for libTIFF in the stitching
+// pipeline, implemented on the standard library only.
+package tiffio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"hybridstitch/internal/tile"
+)
+
+// TIFF tag IDs used by the baseline grayscale subset.
+const (
+	tagImageWidth      = 256
+	tagImageLength     = 257
+	tagBitsPerSample   = 258
+	tagCompression     = 259
+	tagPhotometric     = 262
+	tagStripOffsets    = 273
+	tagSamplesPerPixel = 277
+	tagRowsPerStrip    = 278
+	tagStripByteCounts = 279
+	tagXResolution     = 282
+	tagYResolution     = 283
+	tagResolutionUnit  = 296
+	tagTileWidth       = 322
+	tagTileLength      = 323
+	tagTileOffsets     = 324
+	tagTileByteCounts  = 325
+	tagSampleFormat    = 339
+)
+
+// TIFF field types.
+const (
+	typeByte     = 1
+	typeASCII    = 2
+	typeShort    = 3
+	typeLong     = 4
+	typeRational = 5
+)
+
+const (
+	compressionNone       = 1
+	photometricMinIsBlack = 1
+)
+
+// typeSize maps a TIFF field type to its byte width.
+func typeSize(t uint16) int {
+	switch t {
+	case typeByte, typeASCII:
+		return 1
+	case typeShort:
+		return 2
+	case typeLong:
+		return 4
+	case typeRational:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// ifdEntry is one parsed directory entry.
+type ifdEntry struct {
+	tag   uint16
+	ftype uint16
+	count uint32
+	// values as unsigned integers (we only need integral tags)
+	vals []uint32
+}
+
+// Decode parses a baseline grayscale TIFF from r.
+func Decode(r io.ReaderAt) (*tile.Gray16, error) {
+	var hdr [8]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("tiffio: short header: %w", err)
+	}
+	var bo binary.ByteOrder
+	switch {
+	case hdr[0] == 'I' && hdr[1] == 'I':
+		bo = binary.LittleEndian
+	case hdr[0] == 'M' && hdr[1] == 'M':
+		bo = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("tiffio: bad byte-order mark %q", hdr[:2])
+	}
+	if magic := bo.Uint16(hdr[2:4]); magic != 42 {
+		return nil, fmt.Errorf("tiffio: bad magic %d", magic)
+	}
+	ifdOff := int64(bo.Uint32(hdr[4:8]))
+	if ifdOff < 8 {
+		return nil, fmt.Errorf("tiffio: IFD offset %d inside header", ifdOff)
+	}
+
+	entries, err := readIFD(r, bo, ifdOff)
+	if err != nil {
+		return nil, err
+	}
+	get := func(tag uint16) (ifdEntry, bool) {
+		for _, e := range entries {
+			if e.tag == tag {
+				return e, true
+			}
+		}
+		return ifdEntry{}, false
+	}
+	first := func(tag uint16, def uint32) uint32 {
+		if e, ok := get(tag); ok && len(e.vals) > 0 {
+			return e.vals[0]
+		}
+		return def
+	}
+
+	width := int(first(tagImageWidth, 0))
+	height := int(first(tagImageLength, 0))
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("tiffio: missing or invalid dimensions %dx%d", width, height)
+	}
+	// Sanity bounds: reject absurd headers before allocating. 2^20 per
+	// side and 2^28 pixels (512 MB of 16-bit data) comfortably cover
+	// every plate the paper discusses (10k–200k px per side are full
+	// COMPOSITES; tiles are thousands per side).
+	if width > 1<<20 || height > 1<<20 || int64(width)*int64(height) > 1<<28 {
+		return nil, fmt.Errorf("tiffio: implausible dimensions %dx%d", width, height)
+	}
+	bits := int(first(tagBitsPerSample, 1))
+	if bits != 8 && bits != 16 {
+		return nil, fmt.Errorf("tiffio: unsupported bits per sample %d", bits)
+	}
+	if c := first(tagCompression, compressionNone); c != compressionNone {
+		return nil, fmt.Errorf("tiffio: unsupported compression %d", c)
+	}
+	if spp := first(tagSamplesPerPixel, 1); spp != 1 {
+		return nil, fmt.Errorf("tiffio: unsupported samples per pixel %d", spp)
+	}
+
+	// Tiled layout (TIFF 6.0 §15): fixed-size tiles, edge tiles padded.
+	if tw := int(first(tagTileWidth, 0)); tw > 0 {
+		return decodeTiled(r, bo, get, width, height, bits)
+	}
+
+	offsets, ok := get(tagStripOffsets)
+	if !ok {
+		return nil, fmt.Errorf("tiffio: missing StripOffsets")
+	}
+	counts, ok := get(tagStripByteCounts)
+	if !ok {
+		return nil, fmt.Errorf("tiffio: missing StripByteCounts")
+	}
+	if len(offsets.vals) != len(counts.vals) {
+		return nil, fmt.Errorf("tiffio: %d strip offsets vs %d byte counts", len(offsets.vals), len(counts.vals))
+	}
+
+	bytesPerPixel := bits / 8
+	want := width * height * bytesPerPixel
+	raw := make([]byte, 0, want)
+	for i := range offsets.vals {
+		n := int(counts.vals[i])
+		if len(raw)+n > want {
+			n = want - len(raw) // tolerate trailing padding in final strip
+		}
+		buf := make([]byte, n)
+		if _, err := r.ReadAt(buf, int64(offsets.vals[i])); err != nil {
+			return nil, fmt.Errorf("tiffio: strip %d: %w", i, err)
+		}
+		raw = append(raw, buf...)
+	}
+	if len(raw) != want {
+		return nil, fmt.Errorf("tiffio: pixel data is %d bytes, want %d", len(raw), want)
+	}
+
+	img := tile.NewGray16(width, height)
+	if bits == 8 {
+		for i, b := range raw {
+			// Scale 8-bit to the 16-bit range the pipeline works in.
+			img.Pix[i] = uint16(b) * 257
+		}
+	} else {
+		for i := range img.Pix {
+			img.Pix[i] = bo.Uint16(raw[2*i : 2*i+2])
+		}
+	}
+	return img, nil
+}
+
+// decodeTiled reads the tile-organized pixel layout.
+func decodeTiled(r io.ReaderAt, bo binary.ByteOrder, get func(uint16) (ifdEntry, bool), width, height, bits int) (*tile.Gray16, error) {
+	first := func(tag uint16, def uint32) uint32 {
+		if e, ok := get(tag); ok && len(e.vals) > 0 {
+			return e.vals[0]
+		}
+		return def
+	}
+	tw := int(first(tagTileWidth, 0))
+	th := int(first(tagTileLength, 0))
+	if tw <= 0 || th <= 0 || tw > 1<<16 || th > 1<<16 {
+		return nil, fmt.Errorf("tiffio: invalid tile size %dx%d", tw, th)
+	}
+	offsets, ok := get(tagTileOffsets)
+	if !ok {
+		return nil, fmt.Errorf("tiffio: missing TileOffsets")
+	}
+	counts, ok := get(tagTileByteCounts)
+	if !ok {
+		return nil, fmt.Errorf("tiffio: missing TileByteCounts")
+	}
+	across := (width + tw - 1) / tw
+	down := (height + th - 1) / th
+	if len(offsets.vals) != across*down || len(counts.vals) != across*down {
+		return nil, fmt.Errorf("tiffio: %d tile offsets for a %dx%d tile grid", len(offsets.vals), down, across)
+	}
+	bytesPerPixel := bits / 8
+	tileBytes := tw * th * bytesPerPixel
+	img := tile.NewGray16(width, height)
+	buf := make([]byte, tileBytes)
+	for ty := 0; ty < down; ty++ {
+		for tx := 0; tx < across; tx++ {
+			idx := ty*across + tx
+			n := int(counts.vals[idx])
+			if n != tileBytes {
+				return nil, fmt.Errorf("tiffio: tile %d is %d bytes, want %d", idx, n, tileBytes)
+			}
+			if _, err := r.ReadAt(buf, int64(offsets.vals[idx])); err != nil {
+				return nil, fmt.Errorf("tiffio: tile %d: %w", idx, err)
+			}
+			for y := 0; y < th; y++ {
+				iy := ty*th + y
+				if iy >= height {
+					break
+				}
+				for x := 0; x < tw; x++ {
+					ix := tx*tw + x
+					if ix >= width {
+						break
+					}
+					var v uint16
+					if bits == 8 {
+						v = uint16(buf[y*tw+x]) * 257
+					} else {
+						v = bo.Uint16(buf[2*(y*tw+x):])
+					}
+					img.Set(ix, iy, v)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// readIFD parses the directory at off.
+func readIFD(r io.ReaderAt, bo binary.ByteOrder, off int64) ([]ifdEntry, error) {
+	var nb [2]byte
+	if _, err := r.ReadAt(nb[:], off); err != nil {
+		return nil, fmt.Errorf("tiffio: IFD count: %w", err)
+	}
+	n := int(bo.Uint16(nb[:]))
+	if n == 0 {
+		return nil, fmt.Errorf("tiffio: empty IFD")
+	}
+	buf := make([]byte, n*12)
+	if _, err := r.ReadAt(buf, off+2); err != nil {
+		return nil, fmt.Errorf("tiffio: IFD entries: %w", err)
+	}
+	entries := make([]ifdEntry, 0, n)
+	for i := 0; i < n; i++ {
+		b := buf[i*12 : (i+1)*12]
+		e := ifdEntry{
+			tag:   bo.Uint16(b[0:2]),
+			ftype: bo.Uint16(b[2:4]),
+			count: bo.Uint32(b[4:8]),
+		}
+		sz := typeSize(e.ftype)
+		if sz == 0 || e.count == 0 {
+			entries = append(entries, e)
+			continue
+		}
+		total := sz * int(e.count)
+		// Bound out-of-line tag data: no baseline grayscale tag needs
+		// more than one offset per strip, and strips are bounded by the
+		// pixel data; 64 MB of tag data means a corrupt file.
+		if total < 0 || total > 64<<20 {
+			return nil, fmt.Errorf("tiffio: tag %d claims %d bytes of data", e.tag, total)
+		}
+		var data []byte
+		if total <= 4 {
+			data = b[8 : 8+total]
+		} else {
+			data = make([]byte, total)
+			if _, err := r.ReadAt(data, int64(bo.Uint32(b[8:12]))); err != nil {
+				return nil, fmt.Errorf("tiffio: tag %d data: %w", e.tag, err)
+			}
+		}
+		e.vals = make([]uint32, 0, e.count)
+		for j := 0; j < int(e.count); j++ {
+			switch e.ftype {
+			case typeByte, typeASCII:
+				e.vals = append(e.vals, uint32(data[j]))
+			case typeShort:
+				e.vals = append(e.vals, uint32(bo.Uint16(data[2*j:2*j+2])))
+			case typeLong:
+				e.vals = append(e.vals, bo.Uint32(data[4*j:4*j+4]))
+			case typeRational:
+				// store numerator only; resolution tags are ignored
+				e.vals = append(e.vals, bo.Uint32(data[8*j:8*j+4]))
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// EncodeOpts adjusts Encode output.
+type EncodeOpts struct {
+	// BigEndian writes an "MM" file; default is "II".
+	BigEndian bool
+	// RowsPerStrip bounds strip height; 0 chooses strips of about 8 KiB,
+	// the TIFF 6.0 recommendation.
+	RowsPerStrip int
+	// TileW/TileH switch to the tiled layout (TIFF 6.0 §15). The spec
+	// requires multiples of 16. Zero keeps strips.
+	TileW, TileH int
+}
+
+// Encode writes img as an uncompressed 16-bit grayscale baseline TIFF.
+func Encode(w io.Writer, img *tile.Gray16, opts EncodeOpts) error {
+	if img.W <= 0 || img.H <= 0 {
+		return fmt.Errorf("tiffio: cannot encode empty image %dx%d", img.W, img.H)
+	}
+	var bo binary.ByteOrder = binary.LittleEndian
+	mark := [2]byte{'I', 'I'}
+	if opts.BigEndian {
+		bo = binary.BigEndian
+		mark = [2]byte{'M', 'M'}
+	}
+	if opts.TileW > 0 || opts.TileH > 0 {
+		return encodeTiled(w, img, bo, mark, opts)
+	}
+	rps := opts.RowsPerStrip
+	if rps <= 0 {
+		rowBytes := img.W * 2
+		rps = (8 << 10) / rowBytes
+		if rps < 1 {
+			rps = 1
+		}
+	}
+	if rps > img.H {
+		rps = img.H
+	}
+	nStrips := (img.H + rps - 1) / rps
+
+	// Layout: header(8) | pixel strips | IFD | out-of-line tag data.
+	pixBytes := img.W * img.H * 2
+	stripOff := make([]uint32, nStrips)
+	stripCnt := make([]uint32, nStrips)
+	off := uint32(8)
+	for s := 0; s < nStrips; s++ {
+		rows := rps
+		if s == nStrips-1 {
+			rows = img.H - s*rps
+		}
+		stripOff[s] = off
+		stripCnt[s] = uint32(rows * img.W * 2)
+		off += stripCnt[s]
+	}
+	ifdOff := 8 + uint32(pixBytes)
+
+	// Header.
+	hdr := make([]byte, 8)
+	hdr[0], hdr[1] = mark[0], mark[1]
+	bo.PutUint16(hdr[2:4], 42)
+	bo.PutUint32(hdr[4:8], ifdOff)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	// Pixel data.
+	rowBuf := make([]byte, img.W*2)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			bo.PutUint16(rowBuf[2*x:2*x+2], img.At(x, y))
+		}
+		if _, err := w.Write(rowBuf); err != nil {
+			return err
+		}
+	}
+
+	// IFD with 10 entries, then the out-of-line arrays.
+	type entry struct {
+		tag, ftype uint16
+		count      uint32
+		value      uint32
+	}
+	nEntries := 10
+	ifdSize := 2 + nEntries*12 + 4
+	extraOff := ifdOff + uint32(ifdSize)
+
+	var extra []byte
+	appendLongs := func(vals []uint32) uint32 {
+		o := extraOff + uint32(len(extra))
+		for _, v := range vals {
+			var b [4]byte
+			bo.PutUint32(b[:], v)
+			extra = append(extra, b[:]...)
+		}
+		return o
+	}
+
+	offVal, cntVal := stripOff[0], stripCnt[0]
+	if nStrips > 1 {
+		offVal = appendLongs(stripOff)
+		cntVal = appendLongs(stripCnt)
+	}
+	entries := []entry{
+		{tagImageWidth, typeLong, 1, uint32(img.W)},
+		{tagImageLength, typeLong, 1, uint32(img.H)},
+		{tagBitsPerSample, typeShort, 1, 16},
+		{tagCompression, typeShort, 1, compressionNone},
+		{tagPhotometric, typeShort, 1, photometricMinIsBlack},
+		{tagStripOffsets, typeLong, uint32(nStrips), offVal},
+		{tagSamplesPerPixel, typeShort, 1, 1},
+		{tagRowsPerStrip, typeLong, 1, uint32(rps)},
+		{tagStripByteCounts, typeLong, uint32(nStrips), cntVal},
+		{tagSampleFormat, typeShort, 1, 1}, // unsigned integer
+	}
+
+	ifd := make([]byte, ifdSize)
+	bo.PutUint16(ifd[0:2], uint16(nEntries))
+	for i, e := range entries {
+		b := ifd[2+i*12 : 2+(i+1)*12]
+		bo.PutUint16(b[0:2], e.tag)
+		bo.PutUint16(b[2:4], e.ftype)
+		bo.PutUint32(b[4:8], e.count)
+		if e.ftype == typeShort && e.count == 1 {
+			bo.PutUint16(b[8:10], uint16(e.value))
+		} else {
+			bo.PutUint32(b[8:12], e.value)
+		}
+	}
+	// next-IFD pointer = 0 (already zeroed)
+	if _, err := w.Write(ifd); err != nil {
+		return err
+	}
+	if len(extra) > 0 {
+		if _, err := w.Write(extra); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile decodes the TIFF at path.
+func ReadFile(path string) (*tile.Gray16, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// WriteFile encodes img to path as little-endian 16-bit TIFF.
+func WriteFile(path string, img *tile.Gray16) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, img, EncodeOpts{}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

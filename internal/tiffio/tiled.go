@@ -1,0 +1,133 @@
+package tiffio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hybridstitch/internal/tile"
+)
+
+// encodeTiled writes the tile-organized layout (TIFF 6.0 §15): the image
+// is cut into fixed-size tiles, edge tiles zero-padded to full size, and
+// the IFD carries TileWidth/TileLength/TileOffsets/TileByteCounts in
+// place of the strip tags.
+func encodeTiled(w io.Writer, img *tile.Gray16, bo binary.ByteOrder, mark [2]byte, opts EncodeOpts) error {
+	tw, th := opts.TileW, opts.TileH
+	if tw <= 0 {
+		tw = 64
+	}
+	if th <= 0 {
+		th = 64
+	}
+	if tw%16 != 0 || th%16 != 0 {
+		return fmt.Errorf("tiffio: tile size %dx%d must be multiples of 16", tw, th)
+	}
+	across := (img.W + tw - 1) / tw
+	down := (img.H + th - 1) / th
+	nTiles := across * down
+	tileBytes := tw * th * 2
+
+	// Layout: header(8) | tiles | IFD | out-of-line arrays.
+	offsets := make([]uint32, nTiles)
+	counts := make([]uint32, nTiles)
+	off := uint32(8)
+	for i := range offsets {
+		offsets[i] = off
+		counts[i] = uint32(tileBytes)
+		off += uint32(tileBytes)
+	}
+	ifdOff := off
+
+	hdr := make([]byte, 8)
+	hdr[0], hdr[1] = mark[0], mark[1]
+	bo.PutUint16(hdr[2:4], 42)
+	bo.PutUint32(hdr[4:8], ifdOff)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	// Tile payloads, zero-padded at the right/bottom edges.
+	buf := make([]byte, tileBytes)
+	for ty := 0; ty < down; ty++ {
+		for tx := 0; tx < across; tx++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			for y := 0; y < th; y++ {
+				iy := ty*th + y
+				if iy >= img.H {
+					break
+				}
+				for x := 0; x < tw; x++ {
+					ix := tx*tw + x
+					if ix >= img.W {
+						break
+					}
+					bo.PutUint16(buf[2*(y*tw+x):], img.At(ix, iy))
+				}
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+
+	type entry struct {
+		tag, ftype uint16
+		count      uint32
+		value      uint32
+	}
+	nEntries := 10
+	ifdSize := 2 + nEntries*12 + 4
+	extraOff := ifdOff + uint32(ifdSize)
+	var extra []byte
+	appendLongs := func(vals []uint32) uint32 {
+		o := extraOff + uint32(len(extra))
+		for _, v := range vals {
+			var b [4]byte
+			bo.PutUint32(b[:], v)
+			extra = append(extra, b[:]...)
+		}
+		return o
+	}
+	offVal, cntVal := offsets[0], counts[0]
+	if nTiles > 1 {
+		offVal = appendLongs(offsets)
+		cntVal = appendLongs(counts)
+	}
+	entries := []entry{
+		{tagImageWidth, typeLong, 1, uint32(img.W)},
+		{tagImageLength, typeLong, 1, uint32(img.H)},
+		{tagBitsPerSample, typeShort, 1, 16},
+		{tagCompression, typeShort, 1, compressionNone},
+		{tagPhotometric, typeShort, 1, photometricMinIsBlack},
+		{tagSamplesPerPixel, typeShort, 1, 1},
+		{tagTileWidth, typeLong, 1, uint32(tw)},
+		{tagTileLength, typeLong, 1, uint32(th)},
+		{tagTileOffsets, typeLong, uint32(nTiles), offVal},
+		{tagTileByteCounts, typeLong, uint32(nTiles), cntVal},
+	}
+	ifd := make([]byte, ifdSize)
+	bo.PutUint16(ifd[0:2], uint16(nEntries))
+	for i, e := range entries {
+		b := ifd[2+i*12 : 2+(i+1)*12]
+		bo.PutUint16(b[0:2], e.tag)
+		bo.PutUint16(b[2:4], e.ftype)
+		bo.PutUint32(b[4:8], e.count)
+		if e.ftype == typeShort && e.count == 1 {
+			bo.PutUint16(b[8:10], uint16(e.value))
+		} else {
+			bo.PutUint32(b[8:12], e.value)
+		}
+	}
+	if _, err := w.Write(ifd); err != nil {
+		return err
+	}
+	if len(extra) > 0 {
+		if _, err := w.Write(extra); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package tile defines the in-memory representation of microscope image
+// tiles, the grid geometry that relates them, and the fused statistics
+// kernels (mean, norm, dot product) that the cross-correlation stage
+// needs. The original system hand-coded these with SSE intrinsics; here
+// they are tight scalar loops the Go compiler can keep in registers.
+package tile
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray16 is a dense row-major 16-bit grayscale image — the native pixel
+// format of the microscope cameras in the paper (1392×1040 16-bit tiles).
+type Gray16 struct {
+	W, H int
+	Pix  []uint16 // len W*H, row-major
+}
+
+// NewGray16 allocates a zeroed W×H image.
+func NewGray16(w, h int) *Gray16 {
+	return &Gray16{W: w, H: h, Pix: make([]uint16, w*h)}
+}
+
+// At returns the pixel at (x, y) with no bounds checking beyond the
+// slice's own.
+func (g *Gray16) At(x, y int) uint16 { return g.Pix[y*g.W+x] }
+
+// Set writes the pixel at (x, y).
+func (g *Gray16) Set(x, y int, v uint16) { g.Pix[y*g.W+x] = v }
+
+// Bytes reports the image payload size in bytes (2 per pixel).
+func (g *Gray16) Bytes() int { return 2 * len(g.Pix) }
+
+// Clone returns a deep copy.
+func (g *Gray16) Clone() *Gray16 {
+	c := NewGray16(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// SubRect copies the rectangle with top-left (x0, y0) and dimensions
+// (w, h) into a fresh image. It panics if the rectangle exceeds the
+// bounds; callers derive rectangles from validated overlap geometry.
+func (g *Gray16) SubRect(x0, y0, w, h int) *Gray16 {
+	if x0 < 0 || y0 < 0 || x0+w > g.W || y0+h > g.H || w < 0 || h < 0 {
+		panic(fmt.Sprintf("tile: SubRect(%d,%d,%d,%d) outside %dx%d", x0, y0, w, h, g.W, g.H))
+	}
+	out := NewGray16(w, h)
+	for r := 0; r < h; r++ {
+		copy(out.Pix[r*w:(r+1)*w], g.Pix[(y0+r)*g.W+x0:(y0+r)*g.W+x0+w])
+	}
+	return out
+}
+
+// ToComplex converts pixel values to a complex field for FFT input. dst
+// must have length W*H.
+func (g *Gray16) ToComplex(dst []complex128) error {
+	if len(dst) != len(g.Pix) {
+		return fmt.Errorf("tile: destination has %d elements, image has %d", len(dst), len(g.Pix))
+	}
+	for i, v := range g.Pix {
+		dst[i] = complex(float64(v), 0)
+	}
+	return nil
+}
+
+// ToFloat converts pixel values to float64. dst must have length W*H.
+func (g *Gray16) ToFloat(dst []float64) error {
+	if len(dst) != len(g.Pix) {
+		return fmt.Errorf("tile: destination has %d elements, image has %d", len(dst), len(g.Pix))
+	}
+	for i, v := range g.Pix {
+		dst[i] = float64(v)
+	}
+	return nil
+}
+
+// Mean returns the average pixel value.
+func (g *Gray16) Mean() float64 {
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range g.Pix {
+		s += float64(v)
+	}
+	return s / float64(len(g.Pix))
+}
+
+// Stats computes, in one pass, the statistics the CCF kernel needs for a
+// rectangular region: the sum and the sum of squares.
+func (g *Gray16) Stats(x0, y0, w, h int) (sum, sumSq float64) {
+	for r := 0; r < h; r++ {
+		row := g.Pix[(y0+r)*g.W+x0 : (y0+r)*g.W+x0+w]
+		for _, v := range row {
+			f := float64(v)
+			sum += f
+			sumSq += f * f
+		}
+	}
+	return sum, sumSq
+}
+
+// NCCRegion computes the normalized cross-correlation factor between the
+// w×h region of a at (ax, ay) and the w×h region of b at (bx, by):
+//
+//	ccf = Σ(a-ā)(b-b̄) / (‖a-ā‖·‖b-b̄‖)
+//
+// using the single-pass expansion Σab - n·ā·b̄ over raw moments. This is
+// the ccf() routine of the paper's Fig 3, fused into one traversal of both
+// regions (the original used SSE intrinsics for the same reason).
+// Degenerate regions (zero variance) yield -1 so they never win the
+// four-way max in PCIAM.
+func NCCRegion(a *Gray16, ax, ay int, b *Gray16, bx, by, w, h int) float64 {
+	if w <= 0 || h <= 0 {
+		return -1
+	}
+	n := float64(w * h)
+	var sa, sb, saa, sbb, sab float64
+	for r := 0; r < h; r++ {
+		ra := a.Pix[(ay+r)*a.W+ax : (ay+r)*a.W+ax+w]
+		rb := b.Pix[(by+r)*b.W+bx : (by+r)*b.W+bx+w]
+		for i := 0; i < w; i++ {
+			fa := float64(ra[i])
+			fb := float64(rb[i])
+			sa += fa
+			sb += fb
+			saa += fa * fa
+			sbb += fb * fb
+			sab += fa * fb
+		}
+	}
+	num := sab - sa*sb/n
+	da := saa - sa*sa/n
+	db := sbb - sb*sb/n
+	if da <= 0 || db <= 0 {
+		return -1
+	}
+	return num / math.Sqrt(da*db)
+}
