@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments fuzz clean
+.PHONY: all build test race test-race check bench experiments fuzz clean
 
 all: build test
 
@@ -15,6 +15,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+test-race: race
+
+# Full pre-merge gate: vet, build, tests, race detector.
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 
@@ -25,6 +33,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/tiffio/
 	$(GO) test -fuzz FuzzUnmarshalResult -fuzztime 30s ./internal/stitch/
+	$(GO) test -fuzz FuzzDegradedTileRead -fuzztime 30s ./internal/stitch/
 
 clean:
 	rm -rf results dataset pyramid_out

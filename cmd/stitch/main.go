@@ -16,14 +16,17 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"hybridstitch/internal/compose"
+	"hybridstitch/internal/fault"
 	"hybridstitch/internal/fft"
 	"hybridstitch/internal/global"
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
 	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tiffio"
 	"hybridstitch/internal/tile"
 )
 
@@ -52,6 +55,9 @@ func main() {
 		wisdom    = flag.String("wisdom", "", "FFT wisdom file: imported if present, updated after the run")
 		saveDisp  = flag.String("save-displacements", "", "write the phase-1 displacement arrays to this JSON file")
 		seed      = flag.Int64("seed", 1, "seed for -synthetic")
+		faultSpec = flag.String("fault-spec", "", "fault-injection spec, e.g. \"stitch.read@r003:always;gpu.kernel.fft:nth=5\" (testing)")
+		maxRetry  = flag.Int("max-retries", 2, "re-attempts per faulted operation before degrading")
+		degrade   = flag.Bool("degrade", true, "finish with degraded tiles/pairs on persistent per-tile faults instead of aborting")
 	)
 	flag.Parse()
 
@@ -68,8 +74,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	injector, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		log.Fatalf("-fault-spec: %v", err)
+	}
+	tiffio.SetInjector(injector)
+
 	opts := stitch.Options{Threads: *threads, Traversal: trav, NPeaks: *npeaks,
-		FFTVariant: stitch.FFTVariant(*variant), Sockets: *sockets}
+		FFTVariant: stitch.FFTVariant(*variant), Sockets: *sockets,
+		Faults: injector, MaxRetries: *maxRetry, RetryBackoff: 5 * time.Millisecond,
+		Degrade: *degrade && *implName != "fiji"}
 	planner := fft.NewPlanner(fft.Measure)
 	if *wisdom != "" {
 		if blob, err := os.ReadFile(*wisdom); err == nil {
@@ -83,7 +97,7 @@ func main() {
 	var devs []*gpu.Device
 	if *implName == "simple-gpu" || *implName == "pipelined-gpu" {
 		for d := 0; d < *gpus; d++ {
-			dev := gpu.New(gpu.Config{Name: fmt.Sprintf("GPU%d", d)})
+			dev := gpu.New(gpu.Config{Name: fmt.Sprintf("GPU%d", d), Faults: injector})
 			defer dev.Close()
 			devs = append(devs, dev)
 		}
@@ -99,6 +113,12 @@ func main() {
 	}
 	fmt.Printf("  %v  (%d transforms computed, peak %d resident)\n",
 		res.Elapsed.Round(time.Millisecond), res.TransformsComputed, res.PeakTransformsLive)
+	if s := degradedSummary(res); s != "" {
+		fmt.Print(s)
+	}
+	if injector != nil {
+		fmt.Printf("  fault injector fired %d times\n", injector.Fired())
+	}
 	if *wisdom != "" {
 		if blob, err := planner.ExportWisdom(); err == nil {
 			if err := os.WriteFile(*wisdom, blob, 0o644); err != nil {
@@ -149,6 +169,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Degraded tiles render as blank background rather than failing the
+	// composite read.
+	src = stitch.MaskDegraded(src, res)
 	t0 = time.Now()
 	if *outPNG != "" {
 		img, err := compose.Compose(pl, src, blend)
@@ -185,6 +208,24 @@ func main() {
 		}
 		fmt.Printf("phase 3: wrote %s (tile outlines)\n", *highlight)
 	}
+}
+
+// degradedSummary renders the casualty block printed after phase 1, or
+// "" for a clean run.
+func degradedSummary(res *stitch.Result) string {
+	if !res.Degraded() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  DEGRADED: %d tiles, %d pairs lost to persistent faults\n",
+		len(res.DegradedTiles), len(res.DegradedPairs))
+	for _, dt := range res.DegradedTiles {
+		fmt.Fprintf(&b, "    tile %v: %v\n", dt.Coord, dt.Err)
+	}
+	for _, dp := range res.DegradedPairs {
+		fmt.Fprintf(&b, "    pair %v: %v\n", dp.Pair, dp.Err)
+	}
+	return b.String()
 }
 
 // openSource builds the tile source from flags, returning ground truth

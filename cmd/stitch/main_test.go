@@ -5,9 +5,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"errors"
+	"strings"
+
 	"hybridstitch/internal/compose"
+	"hybridstitch/internal/fault"
 	"hybridstitch/internal/imagegen"
 	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
 )
 
 func TestParseBlend(t *testing.T) {
@@ -97,5 +102,62 @@ func TestOpenSourceDir(t *testing.T) {
 	_ = os.WriteFile(filepath.Join(badGrid, "truth.json"), []byte(`{"rows":0}`), 0o644)
 	if _, _, _, err := openSource(badGrid, "", 0, 0, 0); err == nil {
 		t.Error("invalid grid metadata should fail")
+	}
+}
+
+// TestDegradedSummary checks the post-phase-1 casualty block: one line
+// per degraded tile and pair for a degraded run, empty for a clean one.
+func TestDegradedSummary(t *testing.T) {
+	if got := degradedSummary(&stitch.Result{}); got != "" {
+		t.Errorf("clean run produced a summary: %q", got)
+	}
+	res := &stitch.Result{}
+	res.DegradedTiles = append(res.DegradedTiles, stitch.DegradedTile{
+		Coord: tile.Coord{Row: 4, Col: 4}, Err: errors.New("injected")})
+	res.DegradedPairs = append(res.DegradedPairs, stitch.DegradedPair{
+		Pair: tile.Pair{Coord: tile.Coord{Row: 4, Col: 4}, Dir: tile.West},
+		Err:  errors.New("tile degraded")})
+	out := degradedSummary(res)
+	for _, want := range []string{"DEGRADED: 1 tiles, 1 pairs", "tile (4,4): injected", "pair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultSpecFlowEndToEnd mirrors main's fault wiring: a parsed spec
+// drives a Degrade-mode run to completion with the expected casualty,
+// and a malformed spec is rejected at parse time (what -fault-spec does
+// before the run starts).
+func TestFaultSpecFlowEndToEnd(t *testing.T) {
+	if _, err := fault.ParseSpec("stitch.read:bogus-directive"); err == nil {
+		t.Error("malformed -fault-spec value should fail to parse")
+	}
+	inj, err := fault.ParseSpec("stitch.read@r001_c001:always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _, _, err := openSource("", "3x3", 64, 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl, err := stitch.ByName("pipelined-cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := impl.Run(src, stitch.Options{
+		Threads: 2, Faults: inj, MaxRetries: 1, Degrade: true,
+	})
+	if err != nil {
+		t.Fatalf("degrade-mode run aborted: %v", err)
+	}
+	if len(res.DegradedTiles) != 1 || res.DegradedTiles[0].Coord != (tile.Coord{Row: 1, Col: 1}) {
+		t.Fatalf("degraded tiles = %v, want exactly (1,1)", res.DegradedTiles)
+	}
+	if out := degradedSummary(res); !strings.Contains(out, "tile (1,1)") {
+		t.Errorf("summary does not name the lost tile:\n%s", out)
+	}
+	if inj.Fired() == 0 {
+		t.Error("injector never fired")
 	}
 }

@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if err := in.Hit("any.site", "detail"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.Fired() != 0 {
+		t.Error("nil injector fired")
+	}
+}
+
+func TestNthAndCount(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Nth: 3, Count: 2})
+	var fails []int
+	for i := 1; i <= 6; i++ {
+		if err := in.Hit("s", ""); err != nil {
+			fails = append(fails, i)
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Hit != int64(i) {
+				t.Errorf("hit %d: bad error %v", i, err)
+			}
+		}
+	}
+	if len(fails) != 2 || fails[0] != 3 || fails[1] != 4 {
+		t.Errorf("fired on hits %v, want [3 4]", fails)
+	}
+	if in.Fired() != 2 {
+		t.Errorf("Fired = %d", in.Fired())
+	}
+}
+
+func TestAlwaysWithMatch(t *testing.T) {
+	in := NewInjector(Rule{Site: "read", Match: "r002", Always: true})
+	if err := in.Hit("read", "tile_r001_c000.tif"); err != nil {
+		t.Errorf("non-matching detail fired: %v", err)
+	}
+	if err := in.Hit("read", "tile_r002_c003.tif"); err == nil {
+		t.Error("matching detail did not fire")
+	}
+	if err := in.Hit("read", "tile_r002_c003.tif"); err == nil {
+		t.Error("always rule must fire every time")
+	}
+	if err := in.Hit("other", "tile_r002_c003.tif"); err != nil {
+		t.Errorf("wrong site fired: %v", err)
+	}
+}
+
+func TestProbDeterministicAcrossInjectors(t *testing.T) {
+	sequence := func() []bool {
+		in := NewInjector(Rule{Site: "p", Prob: 0.3, Seed: 99})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Hit("p", "") != nil
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d diverged between identically seeded injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob=0.3 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestInjectorConcurrentHits(t *testing.T) {
+	in := NewInjector(Rule{Site: "c", Nth: 1, Count: 10})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if in.Hit("c", "") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Errorf("fired %d times under concurrency, want exactly 10", fired)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("tiffio.read:nth=5,count=2; gpu.kernel.fft:prob=0.5,seed=7; tiffio.read@r002:always,err=disk gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nth=5,count=2 on generic reads.
+	fails := 0
+	for i := 0; i < 8; i++ {
+		if in.Hit("tiffio.read", "tile_r000_c000.tif") != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("nth rule fired %d times, want 2", fails)
+	}
+	// always rule with match and custom message.
+	err = in.Hit("tiffio.read", "tile_r002_c001.tif")
+	if err == nil {
+		t.Fatal("match rule did not fire")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Msg != "disk gone" {
+		t.Errorf("err = %v", err)
+	}
+	if !IsInjected(err) {
+		t.Error("IsInjected false for injected error")
+	}
+}
+
+func TestParseSpecEmptyAndErrors(t *testing.T) {
+	if in, err := ParseSpec("   "); err != nil || in != nil {
+		t.Errorf("empty spec: %v, %v", in, err)
+	}
+	for _, bad := range []string{
+		"noseparator",
+		":nth=1",
+		"s:nth=0",
+		"s:prob=2",
+		"s:count=3", // needs nth/always/prob
+		"s:wat=1",
+		"s:nth=x",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestRetrierAbsorbsTransients(t *testing.T) {
+	calls := 0
+	err := Retrier{MaxRetries: 3}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetrierExhaustsAndAnnotates(t *testing.T) {
+	base := errors.New("still down")
+	calls := 0
+	err := Retrier{MaxRetries: 2}.Do(func() error { calls++; return base })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Errorf("err %v lost the cause chain", err)
+	}
+	if want := "after 3 attempts"; err == nil || !contains(err.Error(), want) {
+		t.Errorf("err %v missing %q", err, want)
+	}
+}
+
+func TestRetrierStopsOnPermanent(t *testing.T) {
+	calls := 0
+	base := errors.New("corrupt")
+	err := Retrier{MaxRetries: 5}.Do(func() error { calls++; return Permanent(base) })
+	if calls != 1 {
+		t.Errorf("permanent error retried %d times", calls-1)
+	}
+	if !IsPermanent(err) || !errors.Is(err, base) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetrierBackoffSchedule(t *testing.T) {
+	var slept []time.Duration
+	r := Retrier{
+		MaxRetries: 3,
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 25 * time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	_ = r.Do(func() error { return errors.New("x") })
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v", slept)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) should stay nil")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Error("plain error marked permanent")
+	}
+}
+
+func TestInjectedErrorFormat(t *testing.T) {
+	e := &InjectedError{Site: "gpu.alloc", Detail: "GPU0", Hit: 4}
+	if !contains(e.Error(), "gpu.alloc") || !contains(e.Error(), "GPU0") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	e2 := &InjectedError{Site: "s", Hit: 1, Msg: "boom"}
+	if !contains(e2.Error(), "boom") {
+		t.Errorf("Error() = %q", e2.Error())
+	}
+	if fmt.Sprintf("%v", e2) == "" {
+		t.Error("empty format")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

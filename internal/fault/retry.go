@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// Retrier runs operations with bounded retry and exponential backoff.
+// The zero value runs the operation exactly once (no retries, no
+// sleeping), which is the production default until a retry policy is
+// configured.
+type Retrier struct {
+	// MaxRetries is the number of re-attempts after the first failure;
+	// an operation therefore runs at most MaxRetries+1 times.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt. Zero disables sleeping entirely (the deterministic-test
+	// configuration — no test may synchronize via time.Sleep).
+	Backoff time.Duration
+	// MaxBackoff caps the doubled delay. Zero means uncapped.
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep (test hook). Nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Do runs op, retrying failures up to the policy limit. Errors marked
+// with Permanent stop immediately. The returned error is the last
+// attempt's, annotated with the attempt count when retries happened.
+func (r Retrier) Do(op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) || attempt >= r.MaxRetries {
+			break
+		}
+		if r.Backoff > 0 {
+			d := r.Backoff << uint(attempt)
+			if r.MaxBackoff > 0 && d > r.MaxBackoff {
+				d = r.MaxBackoff
+			}
+			sleep := r.Sleep
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(d)
+		}
+	}
+	if r.MaxRetries > 0 && !IsPermanent(err) {
+		return fmt.Errorf("after %d attempts: %w", r.MaxRetries+1, err)
+	}
+	return err
+}

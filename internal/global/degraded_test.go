@@ -1,0 +1,82 @@
+package global
+
+import (
+	"testing"
+
+	"hybridstitch/internal/fault"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// TestSolvePlacesDegradedRun: the end-to-end contract of the fault
+// layer — a phase-1 run that lost 3 tiles to permanent read failures
+// still completes, and phase 2 positions every tile (the spanning tree
+// reconnects the casualties' neighbors through surviving edges, and
+// component stitching places even a fully isolated tile at its nominal
+// offset). The surviving tiles must land within a few pixels of ground
+// truth.
+func TestSolvePlacesDegradedRun(t *testing.T) {
+	p := imagegen.DefaultParams(8, 8, 64, 48)
+	p.Seed = 3
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &stitch.MemorySource{DS: ds}
+	g := src.Grid()
+
+	inj, err := fault.ParseSpec(
+		"stitch.read@r001_c002:always;stitch.read@r004_c004:always;stitch.read@r007_c000:always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{
+		Threads: 3, Faults: inj, MaxRetries: 2, Degrade: true,
+	})
+	if err != nil {
+		t.Fatalf("degraded run aborted: %v", err)
+	}
+	if len(res.DegradedTiles) != 3 {
+		t.Fatalf("degraded tiles = %v, want 3", res.DegradedTiles)
+	}
+
+	pl, err := Solve(res, Options{RepairOutliers: true})
+	if err != nil {
+		t.Fatalf("phase 2 on degraded result: %v", err)
+	}
+	if len(pl.X) != g.NumTiles() || len(pl.Y) != g.NumTiles() {
+		t.Fatalf("placement covers %d tiles, want %d", len(pl.X), g.NumTiles())
+	}
+
+	// The 61 surviving tiles must be placed accurately despite the holes
+	// in the displacement graph. Compare pairwise offsets against ground
+	// truth relative to a surviving anchor tile.
+	degraded := map[int]bool{}
+	for _, dt := range res.DegradedTiles {
+		degraded[g.Index(dt.Coord)] = true
+	}
+	anchor := g.Index(tile.Coord{Row: 0, Col: 0})
+	if degraded[anchor] {
+		t.Fatal("test setup: anchor tile must survive")
+	}
+	const tol = 3 // px; degraded neighborhoods may lean on nominal offsets
+	checked := 0
+	for i := 0; i < g.NumTiles(); i++ {
+		if degraded[i] {
+			continue
+		}
+		wantX := ds.TruthX[i] - ds.TruthX[anchor]
+		wantY := ds.TruthY[i] - ds.TruthY[anchor]
+		gotX := pl.X[i] - pl.X[anchor]
+		gotY := pl.Y[i] - pl.Y[anchor]
+		if abs(gotX-wantX) > tol || abs(gotY-wantY) > tol {
+			t.Errorf("tile %v placed at (%d,%d) rel anchor, truth (%d,%d)",
+				g.CoordOf(i), gotX, gotY, wantX, wantY)
+		}
+		checked++
+	}
+	if want := g.NumTiles() - 3; checked != want {
+		t.Fatalf("checked %d surviving tiles, want %d", checked, want)
+	}
+}

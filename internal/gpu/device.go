@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"hybridstitch/internal/fault"
 )
 
 // ErrOutOfMemory is returned by Alloc when the device pool is exhausted —
@@ -53,6 +55,10 @@ type Config struct {
 	D2HBytesPerSec float64
 	// Profile enables the timeline recorder.
 	Profile bool
+	// Faults, if set, makes allocations, copies, and kernel launches
+	// error points (sites "gpu.alloc", "gpu.copy.h2d", "gpu.copy.d2h",
+	// "gpu.kernel.<name>"). Nil costs nothing.
+	Faults *fault.Injector
 }
 
 // withDefaults fills zero values.
@@ -137,6 +143,9 @@ func (d *Device) Alloc(words int64) (*Buffer, error) {
 	if words <= 0 {
 		return nil, fmt.Errorf("gpu: invalid allocation of %d words", words)
 	}
+	if err := d.cfg.Faults.Hit("gpu.alloc", d.cfg.Name); err != nil {
+		return nil, err
+	}
 	d.memMu.Lock()
 	defer d.memMu.Unlock()
 	if d.memUsed+words > d.cfg.MemWords {
@@ -161,6 +170,9 @@ func (d *Device) AllocBlocking(words int64) (*Buffer, error) {
 	}
 	if words > d.cfg.MemWords {
 		return nil, fmt.Errorf("%w: request %d exceeds total capacity %d", ErrOutOfMemory, words, d.cfg.MemWords)
+	}
+	if err := d.cfg.Faults.Hit("gpu.alloc", d.cfg.Name); err != nil {
+		return nil, err
 	}
 	d.memMu.Lock()
 	defer d.memMu.Unlock()

@@ -152,7 +152,10 @@ func (s *Stream) execute(cmd *command) {
 	}
 	sem <- struct{}{}
 	start := time.Now()
-	err := cmd.fn()
+	err := s.injectFault(cmd)
+	if err == nil {
+		err = cmd.fn()
+	}
 	end := time.Now()
 	<-sem
 	if tl := s.dev.timeline; tl != nil {
@@ -166,6 +169,37 @@ func (s *Stream) execute(cmd *command) {
 	}
 	cmd.ev.err = err
 	close(cmd.ev.done)
+}
+
+// injectFault consults the device's fault injector for this command. The
+// injected error takes the place of the command's own result, so it
+// propagates through events and cross-stream dependencies exactly like a
+// real device failure. Sites: gpu.copy.h2d, gpu.copy.d2h, and
+// gpu.kernel.{fft,ncc,reduce,<name>}; the detail is "stream/op".
+func (s *Stream) injectFault(cmd *command) error {
+	in := s.dev.cfg.Faults
+	if in == nil {
+		return nil
+	}
+	var site string
+	switch cmd.kind {
+	case opH2D:
+		site = "gpu.copy.h2d"
+	case opD2H:
+		site = "gpu.copy.d2h"
+	default:
+		switch cmd.name {
+		case "fft2d", "ifft2d":
+			site = "gpu.kernel.fft"
+		case "ncc":
+			site = "gpu.kernel.ncc"
+		case "maxabs":
+			site = "gpu.kernel.reduce"
+		default:
+			site = "gpu.kernel." + cmd.name
+		}
+	}
+	return in.Hit(site, s.name+"/"+cmd.name)
 }
 
 // Synchronize blocks until the stream's queue is empty and its dispatcher

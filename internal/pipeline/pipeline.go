@@ -15,6 +15,7 @@ type Pipeline struct {
 	err    error
 	failed bool
 	abortC chan struct{}
+	notes  []error
 }
 
 // New creates an empty pipeline.
@@ -56,6 +57,30 @@ func (p *Pipeline) Abort(err error) {
 		err = fmt.Errorf("pipeline: aborted")
 	}
 	p.fail(err)
+}
+
+// Note records a recoverable error without failing the pipeline: no
+// queue is closed or aborted, sibling stages keep running, and Wait
+// still returns nil if nothing fatal happens. This is the partial-
+// failure mode degraded runs use — a stage that retried an operation to
+// exhaustion reports the casualty here and moves to its next item.
+// Abort (or any stage returning an error) still wins: fatal failures
+// tear the pipeline down regardless of how many notes were recorded.
+func (p *Pipeline) Note(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	p.notes = append(p.notes, err)
+	p.mu.Unlock()
+}
+
+// Notes returns the recoverable errors recorded so far, in arrival
+// order.
+func (p *Pipeline) Notes() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]error(nil), p.notes...)
 }
 
 // fail records the first error and aborts every queue.

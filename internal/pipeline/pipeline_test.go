@@ -385,3 +385,121 @@ func TestLateQueueRegistrationAfterFailure(t *testing.T) {
 		t.Error("Wait should report the failure")
 	}
 }
+
+func TestNoteDoesNotAbortSiblings(t *testing.T) {
+	// Partial-failure mode: a stage that Notes a recoverable error must
+	// not close or abort sibling queues — the rest of the pipeline keeps
+	// flowing and Wait returns nil.
+	p := New()
+	q1 := AddQueue[int](p, "q1", 4)
+	q2 := AddQueue[int](p, "q2", 4)
+	Source(p, "gen", q1, func(emit func(int) error) error {
+		for i := 0; i < 20; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	Connect(p, "degrade-some", 2, q1, q2, func(v int, emit func(int) error) error {
+		if v%5 == 0 {
+			p.Note(fmt.Errorf("item %d degraded", v))
+			return nil // recoverable: skip the item, keep the stage alive
+		}
+		return emit(v)
+	})
+	var survived int64
+	Sink(p, "count", 2, q2, func(int) error {
+		atomic.AddInt64(&survived, 1)
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatalf("notes must not fail the pipeline: %v", err)
+	}
+	if survived != 16 {
+		t.Errorf("survived = %d, want 16", survived)
+	}
+	if notes := p.Notes(); len(notes) != 4 {
+		t.Errorf("notes = %v, want 4 entries", notes)
+	}
+	select {
+	case <-p.Aborted():
+		t.Error("Note must not trip the abort channel")
+	default:
+	}
+}
+
+func TestNoteNilIsIgnored(t *testing.T) {
+	p := New()
+	p.Note(nil)
+	if notes := p.Notes(); len(notes) != 0 {
+		t.Errorf("nil note recorded: %v", notes)
+	}
+}
+
+func TestAbortWinsOverNotes(t *testing.T) {
+	// Fatal failures still tear the pipeline down no matter how many
+	// recoverable errors were recorded first.
+	p := New()
+	q := AddQueue[int](p, "q", 1)
+	p.Note(errors.New("recoverable 1"))
+	p.Note(errors.New("recoverable 2"))
+	boom := errors.New("fatal")
+	Source(p, "gen", q, func(emit func(int) error) error {
+		for i := 0; ; i++ {
+			if err := emit(i); err != nil {
+				return nil
+			}
+		}
+	})
+	Sink(p, "fail", 1, q, func(v int) error {
+		if v == 3 {
+			return boom
+		}
+		return nil
+	})
+	err := p.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want the fatal error", err)
+	}
+	if notes := p.Notes(); len(notes) != 2 {
+		t.Errorf("notes lost across an abort: %v", notes)
+	}
+}
+
+func TestNotesThenLateRegistration(t *testing.T) {
+	// Notes leave the pipeline healthy: queues registered afterwards must
+	// NOT arrive pre-aborted (only a real failure does that).
+	p := New()
+	p.Note(errors.New("recoverable"))
+	q := AddQueue[int](p, "late", 1)
+	if err := q.Push(1); err != nil {
+		t.Fatalf("push to queue after a note: %v", err)
+	}
+	if v, ok := q.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop = %d, %v", v, ok)
+	}
+	q.Close()
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+func TestNotesConcurrent(t *testing.T) {
+	// Notes from many goroutines are all retained.
+	p := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Note(fmt.Errorf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(p.Notes()); n != 400 {
+		t.Errorf("notes = %d, want 400", n)
+	}
+}

@@ -1,0 +1,25 @@
+package report
+
+import (
+	"hybridstitch/internal/stitch"
+)
+
+// Degradation renders a stitch result's casualty report: one row per
+// tile lost to a persistent fault and one per pair whose displacement
+// could not be computed, each with its full error chain. An empty table
+// (headers only) means the run was clean. Rows arrive pre-sorted from
+// the stitcher — tiles by grid index, pairs by coordinate then
+// direction — so the table is deterministic across runs.
+func Degradation(res *stitch.Result) *Table {
+	t := &Table{
+		Title:   "Degraded tiles and pairs",
+		Headers: []string{"kind", "where", "error"},
+	}
+	for _, dt := range res.DegradedTiles {
+		t.Add("tile", dt.Coord, dt.Err)
+	}
+	for _, dp := range res.DegradedPairs {
+		t.Add("pair", dp.Pair, dp.Err)
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+func TestDegradationTable(t *testing.T) {
+	res := &stitch.Result{}
+	res.DegradedTiles = append(res.DegradedTiles, stitch.DegradedTile{
+		Coord: tile.Coord{Row: 1, Col: 2},
+		Err:   errors.New("read tile (1,2): injected fault"),
+	})
+	res.DegradedPairs = append(res.DegradedPairs,
+		stitch.DegradedPair{
+			Pair: tile.Pair{Coord: tile.Coord{Row: 1, Col: 2}, Dir: tile.West},
+			Err:  errors.New("tile (1,2) degraded"),
+		},
+		stitch.DegradedPair{
+			Pair: tile.Pair{Coord: tile.Coord{Row: 1, Col: 2}, Dir: tile.North},
+			Err:  errors.New("tile (1,2) degraded"),
+		})
+	out := Degradation(res).String()
+	for _, want := range []string{"tile", "pair", "injected fault", "degraded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+
+	// A clean run renders headers only.
+	clean := Degradation(&stitch.Result{}).String()
+	if strings.Contains(clean, "tile (") {
+		t.Errorf("clean table has rows:\n%s", clean)
+	}
+}

@@ -1,7 +1,14 @@
 package stitch
 
 import (
+	"bytes"
+	"os"
 	"testing"
+
+	"hybridstitch/internal/fault"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/tiffio"
+	"hybridstitch/internal/tile"
 )
 
 // FuzzUnmarshalResult asserts the displacement-file parser never panics
@@ -31,6 +38,63 @@ func FuzzUnmarshalResult(f *testing.F) {
 		}
 		if _, err := UnmarshalResult(blob); err != nil {
 			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzDegradedTileRead drops arbitrary bytes in place of one tile file
+// of a DirSource dataset and runs a full Degrade-mode phase 1 over it.
+// Whatever the bytes are, the run must not panic and must not abort:
+// either the bytes decode to a valid tile of the right geometry (clean
+// run), or exactly that tile is reported degraded with a permanent,
+// typed error — corrupt files are not retryable.
+func FuzzDegradedTileRead(f *testing.F) {
+	p := imagegen.DefaultParams(2, 2, 64, 48)
+	p.Seed = 5
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	victim := tile.Coord{Row: 1, Col: 1}
+
+	var valid bytes.Buffer
+	if err := tiffio.Encode(&valid, ds.Tile(victim), tiffio.EncodeOpts{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:8])
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte("II*\x00trunc"))
+	f.Add([]byte{})
+	var wrongSize bytes.Buffer
+	if err := tiffio.Encode(&wrongSize, tile.NewGray16(16, 16), tiffio.EncodeOpts{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wrongSize.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := WriteDataset(dir, ds); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(TilePath(dir, victim), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		src := &DirSource{Dir: dir, GridSpec: ds.Params.Grid}
+		res, err := (&SimpleCPU{}).Run(src, Options{Degrade: true})
+		if err != nil {
+			t.Fatalf("degrade-mode run aborted: %v", err)
+		}
+		for _, dt := range res.DegradedTiles {
+			if dt.Coord != victim {
+				t.Fatalf("unexpected degraded tile %v (only %v was fuzzed)", dt.Coord, victim)
+			}
+			if !fault.IsPermanent(dt.Err) {
+				t.Fatalf("degraded tile error must be permanent, got: %v", dt.Err)
+			}
+		}
+		if len(res.DegradedTiles) == 0 && res.Degraded() {
+			t.Fatalf("degraded pairs without a degraded tile: %v", res.DegradedPairs)
 		}
 	})
 }

@@ -28,6 +28,8 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	threads := opts.Threads
 	cache := newHostCache(g, opts.Governor)
 	res := newResult(g)
+	fp := opts.plan()
+	ds := newDegradedSet(g)
 	start := time.Now()
 
 	// Per-tile once guards: the first worker to need a tile computes its
@@ -72,13 +74,13 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 			ensure := func(c tile.Coord) (*tile.Gray16, []complex128, error) {
 				i := g.Index(c)
 				onces[i].Do(func() {
-					img, err := src.ReadTile(c)
+					img, err := fp.readTile(src, c)
 					if err != nil {
 						errs[i] = err
 						return
 					}
 					cache.touch()
-					f, err := al.Transform(img)
+					f, err := fp.transform(al, c, img)
 					if err != nil {
 						errs[i] = err
 						return
@@ -94,22 +96,50 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 				}
 				return img, f, nil
 			}
+			// degradeTile marks the tile and the pair needing it, keeping
+			// refcounts balanced; sync.Once makes "persistently failed"
+			// sticky across both partitions sharing a boundary tile.
+			degradeTile := func(p tile.Pair, c tile.Coord, err error) bool {
+				if !fp.degrade {
+					fail(err)
+					return false
+				}
+				ds.tileFailed(c, err)
+				ds.pairFailed(p, pairCause(p, c, err))
+				if err := cache.releasePair(p); err != nil {
+					fail(err)
+					return false
+				}
+				return true
+			}
 			for _, p := range part {
 				bImg, bF, err := ensure(p.Coord)
 				if err != nil {
-					fail(err)
-					return
+					if !degradeTile(p, p.Coord, err) {
+						return
+					}
+					continue
 				}
 				aImg, aF, err := ensure(p.Neighbor())
 				if err != nil {
-					fail(err)
-					return
+					if !degradeTile(p, p.Neighbor(), err) {
+						return
+					}
+					continue
 				}
 				cache.touch()
-				d, err := al.Displace(aImg, bImg, aF, bF)
+				d, err := fp.displace(al, p, aImg, bImg, aF, bF)
 				if err != nil {
-					fail(err)
-					return
+					if !fp.degrade {
+						fail(err)
+						return
+					}
+					ds.pairFailed(p, err)
+					if err := cache.releasePair(p); err != nil {
+						fail(err)
+						return
+					}
+					continue
 				}
 				mu.Lock()
 				res.setPair(p, d)
@@ -126,6 +156,7 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 		return nil, firstErr
 	}
 
+	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
 	return res, nil

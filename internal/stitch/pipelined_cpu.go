@@ -26,15 +26,19 @@ type cpuWork struct {
 	isPair bool
 	coord  tile.Coord   // transform task
 	img    *tile.Gray16 // transform task payload
+	failed error        // tile casualty marker (degrade mode)
 	pair   tile.Pair    // pair task
 	aImg   *tile.Gray16 // pair task payloads
 	bImg   *tile.Gray16
 	aF, bF []complex128
 }
 
-// cpuEvent is a notification to the bookkeeping stage.
+// cpuEvent is a notification to the bookkeeping stage: a transform
+// completion, or — in degrade mode — a persistent tile failure. Either
+// way it is the tile's single terminal event.
 type cpuEvent struct {
-	coord tile.Coord
+	coord  tile.Coord
+	failed error
 }
 
 // Run implements Stitcher.
@@ -49,6 +53,8 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	opts = opts.withDefaults(g)
 	cache := newHostCache(g, opts.Governor)
 	res := newResult(g)
+	fp := opts.plan()
+	ds := newDegradedSet(g)
 	var resMu sync.Mutex
 	start := time.Now()
 
@@ -71,9 +77,14 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	coords.Close()
 	pipeline.Connect(p, "read", opts.ReadThreads, coords, qRead,
 		func(c tile.Coord, emit func(cpuWork) error) error {
-			img, err := src.ReadTile(c)
+			img, err := fp.readTile(src, c)
 			if err != nil {
-				return err
+				if !fp.degrade {
+					return err
+				}
+				// The casualty marker flows downstream so bookkeeping
+				// still sees exactly one terminal event per tile.
+				return emit(cpuWork{coord: c, failed: err})
 			}
 			return emit(cpuWork{coord: c, img: img})
 		})
@@ -83,21 +94,51 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	// sides are ready. It owns the dependency state.
 	p.Go("bookkeeping", 1, func(int) error {
 		ready := make([]bool, g.NumTiles())
+		failedT := make([]error, g.NumTiles())
+		terminal := func(i int) bool { return ready[i] || failedT[i] != nil }
 		emitted := 0
 		reads, ffts := 0, 0
 		total := g.NumTiles()
 
-		// onFFTDone marks a transform ready and emits every pair whose
-		// two tiles are now both resident.
-		onFFTDone := func(ev cpuEvent) error {
+		// onTerminal consumes a tile's single terminal event — transform
+		// ready, or persistent failure in degrade mode — and settles every
+		// pair whose two tiles now both have an outcome: ready+ready
+		// emits pair work, anything else degrades the pair. Each pair is
+		// settled exactly once, when the second of its tiles turns
+		// terminal.
+		onTerminal := func(ev cpuEvent) error {
 			ffts++
-			ready[g.Index(ev.coord)] = true
+			i := g.Index(ev.coord)
+			if ev.failed != nil {
+				failedT[i] = ev.failed
+				ds.tileFailed(ev.coord, ev.failed)
+				p.Note(ev.failed)
+			} else {
+				ready[i] = true
+			}
 			for _, pr := range g.PairsOf(ev.coord) {
-				if !ready[g.Index(pr.Coord)] || !ready[g.Index(pr.Neighbor())] {
+				bi, ai := g.Index(pr.Coord), g.Index(pr.Neighbor())
+				if !terminal(bi) || !terminal(ai) {
 					continue
 				}
-				bImg, bF := cache.get(g.Index(pr.Coord))
-				aImg, aF := cache.get(g.Index(pr.Neighbor()))
+				var cause error
+				switch {
+				case failedT[bi] != nil:
+					cause = pairCause(pr, pr.Coord, failedT[bi])
+				case failedT[ai] != nil:
+					cause = pairCause(pr, pr.Neighbor(), failedT[ai])
+				}
+				if cause != nil {
+					ds.pairFailed(pr, cause)
+					p.Note(cause)
+					if err := cache.releasePair(pr); err != nil {
+						return err
+					}
+					emitted++
+					continue
+				}
+				bImg, bF := cache.get(bi)
+				aImg, aF := cache.get(ai)
 				if aImg == nil || bImg == nil {
 					return fmt.Errorf("stitch: pair %v ready but tiles evicted", pr)
 				}
@@ -112,7 +153,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 		for emitted < g.NumPairs() || ffts < total {
 			// Prefer completions so pair work is released promptly.
 			if ev, ok := qFFTDone.TryPop(); ok {
-				if err := onFFTDone(ev); err != nil {
+				if err := onTerminal(ev); err != nil {
 					return err
 				}
 				continue
@@ -124,6 +165,14 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 					continue
 				}
 				reads++
+				if w.failed != nil {
+					// Read casualties never reach the workers; the marker
+					// is the tile's terminal event.
+					if err := onTerminal(cpuEvent{coord: w.coord, failed: w.failed}); err != nil {
+						return err
+					}
+					continue
+				}
 				if err := qWork.Push(w); err != nil {
 					return err
 				}
@@ -134,7 +183,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 			if !ok {
 				return fmt.Errorf("stitch: bookkeeping starved with %d/%d pairs emitted", emitted, g.NumPairs())
 			}
-			if err := onFFTDone(ev); err != nil {
+			if err := onTerminal(ev); err != nil {
 				return err
 			}
 		}
@@ -155,9 +204,15 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 			}
 			if !w.isPair {
 				cache.touch()
-				f, err := al.Transform(w.img)
+				f, err := fp.transform(al, w.coord, w.img)
 				if err != nil {
-					return err
+					if !fp.degrade {
+						return err
+					}
+					if err := qFFTDone.Push(cpuEvent{coord: w.coord, failed: err}); err != nil {
+						return err
+					}
+					continue
 				}
 				if err := cache.put(g.Index(w.coord), w.img, f); err != nil {
 					return err
@@ -168,9 +223,17 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 				continue
 			}
 			cache.touch()
-			d, err := al.Displace(w.aImg, w.bImg, w.aF, w.bF)
+			d, err := fp.displace(al, w.pair, w.aImg, w.bImg, w.aF, w.bF)
 			if err != nil {
-				return err
+				if !fp.degrade {
+					return err
+				}
+				ds.pairFailed(w.pair, err)
+				p.Note(err)
+				if err := cache.releasePair(w.pair); err != nil {
+					return err
+				}
+				continue
 			}
 			resMu.Lock()
 			res.setPair(w.pair, d)
@@ -184,6 +247,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	if err := p.Wait(); err != nil {
 		return nil, err
 	}
+	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
 	for _, q := range []interface {

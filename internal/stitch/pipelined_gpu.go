@@ -31,12 +31,17 @@ type PipelinedGPU struct{}
 // Name implements Stitcher.
 func (PipelinedGPU) Name() string { return "pipelined-gpu" }
 
-// gpuTile moves a tile through the per-device stages.
+// gpuTile moves a tile through the per-device stages. failed marks a
+// tile whose read was lost to a persistent fault (degrade mode): the
+// marker floats through the copier and FFT stages untouched — never
+// acquiring a device buffer — so bookkeeping still receives exactly one
+// terminal message per tile.
 type gpuTile struct {
-	coord tile.Coord
-	img   *tile.Gray16
-	buf   *gpu.Buffer
-	ev    *gpu.Event // last device op on buf
+	coord  tile.Coord
+	img    *tile.Gray16
+	buf    *gpu.Buffer
+	ev     *gpu.Event // last device op on buf
+	failed error
 }
 
 // gpuBKMsg is a message to the bookkeeping stage: either a completed
@@ -135,6 +140,8 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 
 	words := int64(g.TileW) * int64(g.TileH)
 	res := newResult(g)
+	fp := opts.plan()
+	ds := newDegradedSet(g)
 	var resMu sync.Mutex
 	start := time.Now()
 
@@ -259,16 +266,23 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		// Stage 1: readers.
 		pipeline.Connect(p, name("read"), opts.ReadThreads, qCoords, qRead,
 			func(c tile.Coord, emit func(gpuTile) error) error {
-				img, err := src.ReadTile(c)
+				img, err := fp.readTile(src, c)
 				if err != nil {
-					return err
+					if !fp.degrade {
+						return err
+					}
+					return emit(gpuTile{coord: c, failed: err})
 				}
 				return emit(gpuTile{coord: c, img: img})
 			})
 
 		// Stage 2: copier — one thread, async H2D on its own stream.
+		// Casualty markers pass through without consuming a pool buffer.
 		pipeline.Connect(p, name("copier"), 1, qRead, qCopied,
 			func(t gpuTile, emit func(gpuTile) error) error {
+				if t.failed != nil {
+					return emit(t)
+				}
 				buf, err := pool.acquireOr(p.Aborted())
 				if err != nil {
 					return err
@@ -295,6 +309,12 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				if !ok {
 					return nil
 				}
+				if t.failed != nil {
+					if err := qBK.Push(gpuBKMsg{t: t}); err != nil {
+						return err
+					}
+					continue
+				}
 				t.ev = st.FFT2D(plan, t.buf, t.ev)
 				tMu.Lock()
 				transformsTotal++
@@ -309,9 +329,22 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		// recycling.
 		p.Go(name("bk"), 1, func(int) error {
 			readyT := map[int]gpuTile{}
-			fftSeen := make(map[int]bool, len(need))
+			fftSeen := make(map[int]bool, len(need)) // terminal: transformed or failed
+			failedT := map[int]error{}
 			pairReady := map[tile.Pair]bool{}
 			emitted, releases := 0, 0
+			// decRef is the shared refcount decrement: failed tiles have
+			// no entry in readyT (they never acquired a buffer), so the
+			// pool release is guarded.
+			decRef := func(i int) {
+				devCounts[i]--
+				if devCounts[i] == 0 {
+					if t, ok := readyT[i]; ok {
+						pool.release(t.buf)
+						delete(readyT, i)
+					}
+				}
+			}
 			for emitted < len(partPairs) || releases < 2*len(partPairs) {
 				msg, ok := qBK.Pop()
 				if !ok {
@@ -320,17 +353,18 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				}
 				if msg.isRelease {
 					releases++
-					i := g.Index(msg.release)
-					devCounts[i]--
-					if devCounts[i] == 0 {
-						pool.release(readyT[i].buf)
-						delete(readyT, i)
-					}
+					decRef(g.Index(msg.release))
 					continue
 				}
 				i := g.Index(msg.t.coord)
-				readyT[i] = msg.t
 				fftSeen[i] = true
+				if msg.t.failed != nil {
+					failedT[i] = msg.t.failed
+					ds.tileFailed(msg.t.coord, msg.t.failed)
+					p.Note(msg.t.failed)
+				} else {
+					readyT[i] = msg.t
+				}
 				for _, pr := range g.PairsOf(msg.t.coord) {
 					if pr.Coord.Row < pt.rowLo || pr.Coord.Row >= pt.rowHi {
 						continue // another partition owns it
@@ -340,6 +374,25 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 						continue
 					}
 					pairReady[pr] = true
+					var cause error
+					switch {
+					case failedT[bi] != nil:
+						cause = pairCause(pr, pr.Coord, failedT[bi])
+					case failedT[ai] != nil:
+						cause = pairCause(pr, pr.Neighbor(), failedT[ai])
+					}
+					if cause != nil {
+						// Degraded pairs never reach the displacement
+						// stage, so no release messages will arrive for
+						// them; account both sides here.
+						ds.pairFailed(pr, cause)
+						p.Note(cause)
+						decRef(bi)
+						decRef(ai)
+						releases += 2
+						emitted++
+						continue
+					}
 					if err := qPairs.Push(gpuPair{pair: pr, a: readyT[ai], b: readyT[bi]}); err != nil {
 						return err
 					}
@@ -359,19 +412,35 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				if !ok {
 					return nil
 				}
-				ev := dispStream.NCC(scratch, gp.a.buf, gp.b.buf, int(words), gp.a.ev, gp.b.ev)
-				ev = dispStream.FFT2D(invPlan, scratch, ev)
+				// The scratch buffer is rewritten from the top of the
+				// sequence, so a transient kernel fault is absorbed by
+				// replaying NCC → inverse FFT → reduction. A persistent
+				// fault — including an upstream copy/FFT error carried by
+				// the pair's sticky events — degrades the pair.
 				var red gpu.Reduction
-				if err := dispStream.MaxAbs(scratch, int(words), &red, ev).Wait(); err != nil {
+				err := fp.retry.Do(func() error {
+					ev := dispStream.NCC(scratch, gp.a.buf, gp.b.buf, int(words), gp.a.ev, gp.b.ev)
+					ev = dispStream.FFT2D(invPlan, scratch, ev)
+					return dispStream.MaxAbs(scratch, int(words), &red, ev).Wait()
+				})
+				if err != nil && !fp.degrade {
 					return err
 				}
+				if err != nil {
+					ds.pairFailed(gp.pair, err)
+					p.Note(err)
+				}
 				// Release device transforms through bookkeeping (paper:
-				// stage 5 posts to the stage-3→4 queue).
+				// stage 5 posts to the stage-3→4 queue) whether or not
+				// the pair produced a displacement.
 				if err := qBK.Push(gpuBKMsg{isRelease: true, release: gp.pair.Coord}); err != nil {
 					return err
 				}
 				if err := qBK.Push(gpuBKMsg{isRelease: true, release: gp.pair.Neighbor()}); err != nil {
 					return err
+				}
+				if err != nil {
+					continue
 				}
 				if err := qCCF.Push(ccfTask{pair: gp.pair, aImg: gp.a.img, bImg: gp.b.img, peakIdx: red.Idx}); err != nil {
 					return err
@@ -412,6 +481,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	res.PeakTransformsLive = peak
 	tMu.Lock()

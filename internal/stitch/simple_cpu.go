@@ -27,6 +27,8 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	}
 	cache := newHostCache(g, opts.Governor)
 	res := newResult(g)
+	fp := opts.plan()
+	ds := newDegradedSet(g)
 	start := time.Now()
 
 	ensure := func(c tile.Coord) (*tile.Gray16, []complex128, error) {
@@ -34,34 +36,68 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 		if img, f := cache.get(i); img != nil {
 			return img, f, nil
 		}
-		img, err := src.ReadTile(c)
+		// A tile that already failed persistently stays failed; later
+		// pairs must not re-attempt the read, or an Nth-hit rule could
+		// let a "permanent" failure heal mid-run.
+		if err := ds.tileBad(c); err != nil {
+			return nil, nil, err
+		}
+		img, err := fp.readTile(src, c)
 		if err != nil {
 			return nil, nil, err
 		}
 		cache.touch()
-		f, err := al.Transform(img)
+		f, err := fp.transform(al, c, img)
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := cache.put(g.Index(c), img, f); err != nil {
+		if err := cache.put(i, img, f); err != nil {
 			return nil, nil, err
 		}
 		return img, f, nil
 	}
 
+	// degradeTile marks the tile and the pair that needed it as degraded
+	// and keeps the refcounts balanced so the surviving side is still
+	// evicted on schedule.
+	degradeTile := func(p tile.Pair, c tile.Coord, err error) error {
+		ds.tileFailed(c, err)
+		ds.pairFailed(p, pairCause(p, c, err))
+		return cache.releasePair(p)
+	}
+
 	for _, p := range opts.Traversal.PairOrder(g) {
 		bImg, bF, err := ensure(p.Coord)
 		if err != nil {
-			return nil, err
+			if !fp.degrade {
+				return nil, err
+			}
+			if err := degradeTile(p, p.Coord, err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		aImg, aF, err := ensure(p.Neighbor())
 		if err != nil {
-			return nil, err
+			if !fp.degrade {
+				return nil, err
+			}
+			if err := degradeTile(p, p.Neighbor(), err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		cache.touch()
-		d, err := al.Displace(aImg, bImg, aF, bF)
+		d, err := fp.displace(al, p, aImg, bImg, aF, bF)
 		if err != nil {
-			return nil, err
+			if !fp.degrade {
+				return nil, err
+			}
+			ds.pairFailed(p, err)
+			if err := cache.releasePair(p); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		res.setPair(p, d)
 		if err := cache.releasePair(p); err != nil {
@@ -69,6 +105,7 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 		}
 	}
 
+	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
 	return res, nil

@@ -75,6 +75,8 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	liveBufs, peakBufs := 0, 0
 	transforms := 0
 	res := newResult(g)
+	fp := opts.plan()
+	ds := newDegradedSet(g)
 	start := time.Now()
 
 	pix := make([]float64, words)
@@ -83,7 +85,12 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		if _, ok := bufs[i]; ok {
 			return nil
 		}
-		img, err := src.ReadTile(c)
+		// A degraded tile stays degraded: re-attempting the read here
+		// would double-store the cache entry and skew hit counts.
+		if err := ds.tileBad(c); err != nil {
+			return err
+		}
+		img, err := fp.readTile(src, c)
 		if err != nil {
 			return err
 		}
@@ -92,14 +99,22 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		}
 		buf := pool.acquire()
 		if err := img.ToFloat(pix); err != nil {
+			pool.release(buf)
 			return err
 		}
 		// Synchronous upload and transform: wait on each event, the
-		// Simple-GPU anti-pattern under study.
-		if err := stream.MemcpyH2DReal(buf, pix).Wait(); err != nil {
-			return err
-		}
-		if err := stream.FFT2D(fwdPlan, buf).Wait(); err != nil {
+		// Simple-GPU anti-pattern under study. The sequence is idempotent
+		// (same pixels, same buffer), so a transient device fault is
+		// absorbed by replaying it.
+		if err := fp.retry.Do(func() error {
+			if err := stream.MemcpyH2DReal(buf, pix).Wait(); err != nil {
+				return err
+			}
+			return stream.FFT2D(fwdPlan, buf).Wait()
+		}); err != nil {
+			// Return the acquired buffer or a later acquire deadlocks on
+			// the drained pool.
+			pool.release(buf)
 			return err
 		}
 		transforms++
@@ -118,52 +133,89 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 			return err
 		}
 		if free {
-			pool.release(bufs[i])
-			delete(bufs, i)
-			liveBufs--
+			// Degraded tiles never got a device buffer.
+			if b, ok := bufs[i]; ok {
+				pool.release(b)
+				delete(bufs, i)
+				liveBufs--
+			}
 		}
 		return nil
 	}
 
+	// settle keeps the device and host refcounts moving for a pair that
+	// will produce no displacement.
+	settle := func(p tile.Pair) error {
+		if err := release(p.Coord); err != nil {
+			return err
+		}
+		if err := release(p.Neighbor()); err != nil {
+			return err
+		}
+		return cache.releasePair(p)
+	}
+
 	for _, p := range opts.Traversal.PairOrder(g) {
 		if err := ensure(p.Coord); err != nil {
-			return nil, err
+			if !fp.degrade {
+				return nil, err
+			}
+			ds.tileFailed(p.Coord, err)
+			ds.pairFailed(p, pairCause(p, p.Coord, err))
+			if err := settle(p); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if err := ensure(p.Neighbor()); err != nil {
-			return nil, err
+			if !fp.degrade {
+				return nil, err
+			}
+			ds.tileFailed(p.Neighbor(), err)
+			ds.pairFailed(p, pairCause(p, p.Neighbor(), err))
+			if err := settle(p); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		bi := g.Index(p.Coord)
 		ai := g.Index(p.Neighbor())
 		aImg, _ := cache.get(ai)
 		bImg, _ := cache.get(bi)
 
-		// NCC → inverse FFT → max reduction, each synchronous.
-		if err := stream.NCC(scratch, bufs[ai], bufs[bi], int(words)).Wait(); err != nil {
-			return nil, err
-		}
-		if err := stream.FFT2D(invPlan, scratch).Wait(); err != nil {
-			return nil, err
-		}
+		// NCC → inverse FFT → max reduction, each synchronous. The
+		// scratch buffer is rewritten from the start, so the whole
+		// sequence replays cleanly on a transient kernel fault.
 		var red gpu.Reduction
-		if err := stream.MaxAbs(scratch, int(words), &red).Wait(); err != nil {
-			return nil, err
+		if err := fp.retry.Do(func() error {
+			if err := stream.NCC(scratch, bufs[ai], bufs[bi], int(words)).Wait(); err != nil {
+				return err
+			}
+			if err := stream.FFT2D(invPlan, scratch).Wait(); err != nil {
+				return err
+			}
+			return stream.MaxAbs(scratch, int(words), &red).Wait()
+		}); err != nil {
+			if !fp.degrade {
+				return nil, err
+			}
+			ds.pairFailed(p, err)
+			if err := settle(p); err != nil {
+				return nil, err
+			}
+			continue
 		}
 
 		// CCF on the CPU, inline (the gap in the Fig 7 profile).
 		d := pciam.Resolve(aImg, bImg, red.Idx%g.TileW, red.Idx/g.TileW, opts.pciamOptions())
 		res.setPair(p, d)
 
-		if err := release(p.Coord); err != nil {
-			return nil, err
-		}
-		if err := release(p.Neighbor()); err != nil {
-			return nil, err
-		}
-		if err := cache.releasePair(p); err != nil {
+		if err := settle(p); err != nil {
 			return nil, err
 		}
 	}
 
+	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	res.PeakTransformsLive = peakBufs
 	res.TransformsComputed = transforms

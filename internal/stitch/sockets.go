@@ -30,6 +30,13 @@ func (b bandSource) ReadTile(c tile.Coord) (*tile.Gray16, error) {
 	return b.inner.ReadTile(tile.Coord{Row: c.Row + b.rowOff, Col: c.Col})
 }
 
+// TileDetail reports fault details in the global coordinate frame, so an
+// injection rule targeting one tile matches it in whichever band reads
+// it.
+func (b bandSource) TileDetail(c tile.Coord) string {
+	return tileDetail(b.inner, tile.Coord{Row: c.Row + b.rowOff, Col: c.Col})
+}
+
 // runSockets executes one pipeline per socket and merges the results.
 func runSockets(src Source, opts Options) (*Result, error) {
 	g := src.Grid()
@@ -71,12 +78,33 @@ func runSockets(src Source, opts Options) (*Result, error) {
 	wg.Wait()
 
 	transforms, peak := 0, 0
+	ds := newDegradedSet(g)
 	for _, o := range outs {
 		if o.err != nil {
 			return nil, fmt.Errorf("stitch: socket pipeline [rows %d-%d): %w", o.part.rowLo, o.part.rowHi, o.err)
 		}
 		transforms += o.sub.TransformsComputed
 		peak += o.sub.PeakTransformsLive
+		// Merge the band's casualties, filtered to the rows this
+		// partition owns — a degraded boundary tile is reported by its
+		// owning partition only (the neighbor band read it redundantly
+		// and failed on it too).
+		degraded := make(map[tile.Pair]bool, len(o.sub.DegradedPairs))
+		for _, dt := range o.sub.DegradedTiles {
+			gc := tile.Coord{Row: dt.Coord.Row + o.part.needLo, Col: dt.Coord.Col}
+			if gc.Row < o.part.rowLo || gc.Row >= o.part.rowHi {
+				continue
+			}
+			ds.tileFailed(gc, dt.Err)
+		}
+		for _, dp := range o.sub.DegradedPairs {
+			degraded[dp.Pair] = true
+			gc := tile.Coord{Row: dp.Pair.Coord.Row + o.part.needLo, Col: dp.Pair.Coord.Col}
+			if gc.Row < o.part.rowLo || gc.Row >= o.part.rowHi {
+				continue
+			}
+			ds.pairFailed(tile.Pair{Coord: gc, Dir: dp.Pair.Dir}, dp.Err)
+		}
 		// Keep only the pairs this partition owns; boundary-row west
 		// pairs were computed redundantly by the partition above.
 		for _, bp := range o.sub.Grid.Pairs() {
@@ -86,11 +114,15 @@ func runSockets(src Source, opts Options) (*Result, error) {
 			}
 			d, ok := o.sub.PairDisplacement(bp)
 			if !ok {
+				if degraded[bp] {
+					continue // recorded as a degraded pair above
+				}
 				return nil, fmt.Errorf("stitch: socket pipeline missing pair %v", bp)
 			}
 			res.setPair(tile.Pair{Coord: globalCoord, Dir: bp.Dir}, d)
 		}
 	}
+	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	res.TransformsComputed = transforms
 	res.PeakTransformsLive = peak

@@ -18,6 +18,7 @@
 package stitch
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"hybridstitch/internal/fault"
 	"hybridstitch/internal/fft"
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
@@ -80,15 +82,21 @@ func TilePath(dir string, c tile.Coord) string {
 // Grid returns the declared grid.
 func (d *DirSource) Grid() tile.Grid { return d.GridSpec }
 
-// ReadTile decodes one tile file.
+// ReadTile decodes one tile file. Corrupt files and geometry mismatches
+// are marked fault.Permanent: re-reading cannot fix the bytes, so the
+// retry layer degrades the tile immediately instead of spinning.
 func (d *DirSource) ReadTile(c tile.Coord) (*tile.Gray16, error) {
 	img, err := tiffio.ReadFile(TilePath(d.Dir, c))
 	if err != nil {
-		return nil, fmt.Errorf("stitch: tile %v: %w", c, err)
+		err = fmt.Errorf("stitch: tile %v: %w", c, err)
+		if errors.Is(err, tiffio.ErrCorrupt) {
+			err = fault.Permanent(err)
+		}
+		return nil, err
 	}
 	g := d.GridSpec
 	if img.W != g.TileW || img.H != g.TileH {
-		return nil, fmt.Errorf("stitch: tile %v is %dx%d, grid declares %dx%d", c, img.W, img.H, g.TileW, g.TileH)
+		return nil, fault.Permanent(fmt.Errorf("stitch: tile %v is %dx%d, grid declares %dx%d", c, img.W, img.H, g.TileW, g.TileH))
 	}
 	return img, nil
 }
@@ -159,6 +167,24 @@ type Options struct {
 	// Kepler/Hyper-Q device (paper §VI.A future work) — pair it with a
 	// gpu.Config.KernelSlots > 1.
 	FFTStreams int
+	// Faults is the fault-injection registry consulted at the stitch
+	// layer's error points (sites "stitch.read", "stitch.fft",
+	// "pciam.ncc"). Nil — the default — makes every site a single nil
+	// check.
+	Faults *fault.Injector
+	// MaxRetries bounds re-attempts of a failed tile read, transform, or
+	// pair displacement before the failure is treated as persistent.
+	// Zero means no retries.
+	MaxRetries int
+	// RetryBackoff is the base delay between retry attempts (doubling,
+	// capped at 16×). Zero — the test configuration — never sleeps.
+	RetryBackoff time.Duration
+	// Degrade switches every implementation except the Fiji baseline to
+	// partial-failure semantics: a persistent per-tile or per-pair error
+	// marks that tile/pair degraded instead of aborting the run, and the
+	// result lists the casualties. Phase 2 proceeds on the surviving
+	// displacement graph.
+	Degrade bool
 }
 
 func (o Options) withDefaults(g tile.Grid) Options {
@@ -215,6 +241,31 @@ type Result struct {
 	// inter-stage queue's total pushes and maximum depth — the
 	// backpressure picture behind the QueueCap ablation.
 	QueueStats []QueueStat
+	// DegradedTiles lists tiles whose read or transform failed
+	// persistently in a Degrade-mode run, sorted in grid-index order.
+	DegradedTiles []DegradedTile
+	// DegradedPairs lists pairs without a displacement — either a
+	// side tile was degraded or the pair's own computation failed
+	// persistently — sorted by coordinate then direction.
+	DegradedPairs []DegradedPair
+}
+
+// DegradedTile is one tile lost to a persistent failure, with the error
+// chain that condemned it.
+type DegradedTile struct {
+	Coord tile.Coord
+	Err   error
+}
+
+// DegradedPair is one pair displacement lost to a persistent failure.
+type DegradedPair struct {
+	Pair tile.Pair
+	Err  error
+}
+
+// Degraded reports whether the run lost any tiles or pairs.
+func (r *Result) Degraded() bool {
+	return len(r.DegradedTiles) > 0 || len(r.DegradedPairs) > 0
 }
 
 // QueueStat summarizes one inter-stage queue after a run.

@@ -2,6 +2,7 @@ package tiffio
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"hybridstitch/internal/tile"
@@ -33,10 +34,33 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add(bigEndian.Bytes())
 
+	// Corrupt-but-plausible inputs: valid header with the body mangled in
+	// ways acquisition crashes actually produce (mid-strip truncation,
+	// zeroed IFD, bit flips in the offsets).
+	for _, cut := range []int{9, 16, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[5] ^= 0xff
+	f.Add(flipped)
+	zeroIFD := append([]byte(nil), valid...)
+	for i := 4; i < 8 && i < len(zeroIFD); i++ {
+		zeroIFD[i] = 0
+	}
+	f.Add(zeroIFD)
+	f.Add([]byte("II*\x00trunc"))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		img, err := Decode(bytes.NewReader(data))
 		if err != nil {
-			return // rejecting is fine; panicking is not
+			// Rejecting is fine; panicking is not — and every rejection
+			// must carry the ErrCorrupt classification so the stitcher can
+			// mark the tile permanently degraded instead of retrying.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error not classified as ErrCorrupt: %v", err)
+			}
+			return
 		}
 		if img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
 			t.Fatalf("accepted malformed image: %dx%d with %d pixels", img.W, img.H, len(img.Pix))

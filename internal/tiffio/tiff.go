@@ -7,12 +7,44 @@ package tiffio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
+	"hybridstitch/internal/fault"
 	"hybridstitch/internal/tile"
 )
+
+// ErrCorrupt classifies every Decode failure: the bytes on disk do not
+// form a decodable baseline TIFF (truncation, bad structure, implausible
+// headers). Callers use errors.Is(err, ErrCorrupt) to decide that a tile
+// is permanently unreadable — retrying the read cannot fix the data — and
+// degrade it instead of aborting the plate.
+var ErrCorrupt = errors.New("tiffio: corrupt file")
+
+// corruptError carries the specific decode failure while matching
+// ErrCorrupt in errors.Is chains.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string { return e.err.Error() }
+func (e *corruptError) Unwrap() error { return e.err }
+func (e *corruptError) Is(target error) bool {
+	return target == ErrCorrupt
+}
+
+// injector is the package's fault-injection hook (site "tiffio.read",
+// detail = file path). The atomic pointer keeps the uninstalled path to
+// a single load-and-nil-check per ReadFile.
+var injector atomic.Pointer[fault.Injector]
+
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted by ReadFile. Tests install a seeded injector and remove it
+// when done; production runs install the -fault-spec registry.
+func SetInjector(in *fault.Injector) {
+	injector.Store(in)
+}
 
 // TIFF tag IDs used by the baseline grayscale subset.
 const (
@@ -74,8 +106,19 @@ type ifdEntry struct {
 	vals []uint32
 }
 
-// Decode parses a baseline grayscale TIFF from r.
+// Decode parses a baseline grayscale TIFF from r. Any failure wraps
+// ErrCorrupt: the input is a complete byte stream, so an undecodable one
+// is bad data, not a transient condition.
 func Decode(r io.ReaderAt) (*tile.Gray16, error) {
+	img, err := decode(r)
+	if err != nil {
+		return nil, &corruptError{err: err}
+	}
+	return img, nil
+}
+
+// decode is the unwrapped parser.
+func decode(r io.ReaderAt) (*tile.Gray16, error) {
 	var hdr [8]byte
 	if _, err := r.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("tiffio: short header: %w", err)
@@ -453,8 +496,13 @@ func Encode(w io.Writer, img *tile.Gray16, opts EncodeOpts) error {
 	return nil
 }
 
-// ReadFile decodes the TIFF at path.
+// ReadFile decodes the TIFF at path. When a fault injector is installed
+// via SetInjector, the read is an error point: site "tiffio.read",
+// detail = path.
 func ReadFile(path string) (*tile.Gray16, error) {
+	if err := injector.Load().Hit("tiffio.read", path); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
