@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race check bench experiments fuzz clean
+.PHONY: all build test race test-race lint lint-help check bench experiments fuzz clean
 
 all: build test
 
@@ -17,9 +17,30 @@ race:
 
 test-race: race
 
-# Full pre-merge gate: vet, build, tests, race detector.
+# Repo-specific static analysis: the four stitchlint analyzers
+# (bufferfree, streamsync, faultsite, blockinglock) over every package,
+# including tests. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/stitchlint ./...
+
+# How to waive a finding: stitchlint diagnostics can be suppressed at the
+# offending line (same line or the line above) with
+#
+#     //lint:allow <analyzer> <reason>
+#
+# e.g. //lint:allow bufferfree allocation must fail; nothing is allocated
+#
+# The reason is mandatory — a bare //lint:allow <analyzer> is itself
+# reported. `make lint-help` prints the analyzers and this recipe.
+lint-help:
+	$(GO) run ./cmd/stitchlint -list
+	@echo ""
+	@echo "suppress a finding with: //lint:allow <analyzer> <reason>  (same line or line above; reason required)"
+
+# Full pre-merge gate: vet, static analysis, build, tests, race detector.
 check: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/stitchlint ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
 

@@ -78,6 +78,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("-fault-spec: %v", err)
 	}
+	// A rule on an unregistered site can never fire: catch the typo now
+	// rather than after a clean run that was supposed to be faulty.
+	for _, site := range injector.RuleSites() {
+		if !fault.KnownSite(site) {
+			log.Printf("warning: -fault-spec site %q is not a registered fault site (known sites: %s)",
+				site, strings.Join(fault.Sites(), ", "))
+		}
+	}
 	tiffio.SetInjector(injector)
 
 	opts := stitch.Options{Threads: *threads, Traversal: trav, NPeaks: *npeaks,

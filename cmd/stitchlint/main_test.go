@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolations runs the full multichecker over the known-bad
+// fixture and asserts the exact diagnostics: one per analyzer, correct
+// positions, exit status 1.
+func TestSeededViolations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+
+	want := []string{
+		"bad.go:15:12: [bufferfree] result of gpu.Device.Alloc is never freed or ownership-transferred",
+		"bad.go:26:9: [streamsync] host access of dst after MemcpyD2H at line 25 whose event was discarded: call Wait on the event or Synchronize first",
+		`bad.go:31:16: [faultsite] fault site "gpu.allocz": constant "gpu.allocz" is not a registered site (use a fault.Site* constant or fault.KernelSite; registry: internal/fault/sites.go)`,
+		"bad.go:37:2: [blockinglock] sync.WaitGroup.Wait while holding mu (critical section starts at line 36)",
+	}
+	var got []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		// Diagnostics carry absolute paths; compare from the basename on.
+		if i := strings.Index(line, "bad.go:"); i >= 0 {
+			line = line[i:]
+		}
+		got = append(got, line)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), stdout.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+	if !strings.Contains(stderr.String(), "4 finding(s)") {
+		t.Errorf("stderr summary = %q, want it to report 4 finding(s)", stderr.String())
+	}
+}
+
+// TestAnalyzerSubset restricts the run to one analyzer; only its finding
+// must surface.
+func TestAnalyzerSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "faultsite", "./testdata/src/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[faultsite]") || strings.Contains(out, "[bufferfree]") {
+		t.Errorf("subset run output:\n%s", out)
+	}
+}
+
+// TestTreeClean is the gate the Makefile relies on: the repository's own
+// packages must carry zero findings.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole tree")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("stitchlint over the tree: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range []string{"bufferfree", "streamsync", "faultsite", "blockinglock"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}

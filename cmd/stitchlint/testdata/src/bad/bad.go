@@ -1,0 +1,39 @@
+// Package bad seeds exactly one violation per analyzer. It is the
+// known-bad input for stitchlint's own tests: the multichecker must find
+// all four and exit non-zero.
+package bad
+
+import (
+	"sync"
+
+	"hybridstitch/internal/fault"
+	"hybridstitch/internal/gpu"
+)
+
+// leak allocates from the device pool and drops the buffer.
+func leak(d *gpu.Device) int64 {
+	b, err := d.Alloc(16)
+	if err != nil {
+		return 0
+	}
+	return b.Words()
+}
+
+// race reads a D2H destination without waiting on the copy's event.
+func race(s *gpu.Stream, src *gpu.Buffer) complex128 {
+	dst := make([]complex128, 4)
+	s.MemcpyD2H(dst, src)
+	return dst[0]
+}
+
+// typo hits a fault site that is not in the internal/fault registry.
+func typo(in *fault.Injector) error {
+	return in.Hit("gpu.allocz", "dev")
+}
+
+// sleepy blocks on a WaitGroup while holding the mutex.
+func sleepy(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait()
+	mu.Unlock()
+}

@@ -1,0 +1,223 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the four repo-specific analyzers the stitchlint tool runs. It mirrors
+// the golang.org/x/tools/go/analysis shape — Analyzer, Pass, Diagnostic
+// — but is built on the standard library only (go/ast, go/types, and
+// `go list -export` for dependency export data), because this module
+// vendors nothing.
+//
+// The analyzers encode the invariants the paper's pipelined-GPU design
+// relies on but the compiler cannot check:
+//
+//   - bufferfree:   every device/governor allocation reaches a Free or a
+//     documented ownership transfer on all paths.
+//   - streamsync:   host code never reads a MemcpyD2H destination before
+//     the returned event resolves.
+//   - faultsite:    fault-injection site names come from the registry in
+//     internal/fault, so typos are build-time errors.
+//   - blockinglock: no blocking calls while holding a sync.Mutex.
+//
+// Violations can be suppressed, one line at a time, with a trailing or
+// preceding comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// where the reason is mandatory: a suppression without a rationale is
+// ignored (and stitchlint reports it as malformed).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full stitchlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{BufferFree, StreamSync, FaultSite, BlockingLock}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies each analyzer to each package, filters suppressed
+// diagnostics, and returns the survivors sorted by position. Malformed
+// suppression comments (no reason) are themselves diagnostics, attributed
+// to the pseudo-analyzer "suppression".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		diags = append(diags, malformedSuppressions(pkg)...)
+	}
+	byFile := map[string][]suppression{}
+	for _, pkg := range pkgs {
+		for _, s := range parseSuppressions(pkg) {
+			byFile[s.file] = append(byFile[s.file], s)
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !suppressed(byFile[d.Pos.Filename], d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// suppression is one parsed //lint:allow comment.
+type suppression struct {
+	file     string
+	line     int // line the comment sits on; it covers this line and the next
+	analyzer string
+	reason   string
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseSuppressions extracts every //lint:allow comment in the package.
+func parseSuppressions(pkg *Package) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				s := suppression{file: pos.Filename, line: pos.Line}
+				if len(fields) > 0 {
+					s.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a well-formed //lint:allow
+// on the same line or the line immediately above.
+func suppressed(sups []suppression, d Diagnostic) bool {
+	for _, s := range sups {
+		if s.reason == "" || s.analyzer != d.Analyzer {
+			continue
+		}
+		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// malformedSuppressions flags //lint:allow comments missing the
+// mandatory reason, so a suppression never silently fails to suppress.
+func malformedSuppressions(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range parseSuppressions(pkg) {
+		if s.reason != "" {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "suppression",
+			Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+			Message:  fmt.Sprintf("malformed %s comment: need %q", allowPrefix, allowPrefix+" <analyzer> <reason>"),
+		})
+	}
+	return out
+}

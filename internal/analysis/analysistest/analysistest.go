@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against expectations written in the fixture
+// source — the same contract as golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the repo's own loader.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Each quoted string is a regular expression that must match the message
+// of one diagnostic reported on that line; conversely, every diagnostic
+// must be claimed by an expectation. Fixtures live under
+// internal/analysis/testdata/src/<name> and must type-check (the go tool
+// ignores testdata directories, so they never reach a normal build).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hybridstitch/internal/analysis"
+)
+
+// expectation is one `want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture package at dir (a path relative to the calling
+// test's working directory, e.g. "./testdata/src/bufferfree"), applies
+// the analyzer, and reports mismatches between produced diagnostics and
+// the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.pattern)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation that covers d.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpectations extracts want comments from the fixture.
+func parseExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: want comment with no %q patterns", pos, "...")
+				}
+				for _, q := range quoted {
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Position is re-exported for driver tests that assert exact locations.
+type Position = token.Position

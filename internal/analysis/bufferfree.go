@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BufferFree checks that every device-pool and governor allocation —
+// (*gpu.Device).Alloc, (*gpu.Device).AllocBlocking, and
+// (*memgov.Governor).Alloc — reaches a Free() or a documented ownership
+// transfer. The ownership rules it encodes:
+//
+//   - Calling v.Free() (including in a defer) discharges the obligation.
+//   - Passing v to any function or method (e.g. pool.release(v)),
+//     returning it, storing it into a field, map, slice, channel, or
+//     composite literal, or assigning it to another variable transfers
+//     ownership: the receiver is now responsible.
+//   - A `return` between the allocation and its first Free/transfer leaks
+//     the buffer on that path, unless the return sits under an `if`
+//     guarded by the allocation's own error result (a failed allocation
+//     returns no buffer, so the error path owes nothing).
+//
+// The check is lexical within one function, which is exactly the scope
+// the pool discipline lives at: buffers that cross function boundaries
+// do so through one of the transfer forms above.
+var BufferFree = &Analyzer{
+	Name: "bufferfree",
+	Doc:  "device-pool and governor allocations must be freed or ownership-transferred on all paths",
+	Run:  runBufferFree,
+}
+
+// allocCall reports whether the call allocates a tracked resource and
+// names it for diagnostics.
+func allocCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	c, ok := resolveCallee(info, call)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case c.is(gpuPkg, "Device", "Alloc"), c.is(gpuPkg, "Device", "AllocBlocking"):
+		return "gpu.Device." + c.name, true
+	case c.is(memgovPkg, "Governor", "Alloc"):
+		return "memgov.Governor.Alloc", true
+	}
+	return "", false
+}
+
+// allocSite is one tracked allocation inside a function.
+type allocSite struct {
+	what   string       // e.g. "gpu.Device.Alloc"
+	pos    token.Pos    // position of the call
+	obj    types.Object // variable holding the buffer
+	errObj types.Object // paired error variable, if any
+}
+
+func runBufferFree(pass *Pass) error {
+	for _, fd := range funcBodies(pass.Files) {
+		bufferFreeFunc(pass, fd.Body)
+	}
+	return nil
+}
+
+func bufferFreeFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var sites []*allocSite
+
+	// Pass 1: find allocation sites and immediately-diagnosable misuse
+	// (result discarded).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if what, ok := allocCall(info, call); ok {
+					pass.Reportf(call.Pos(), "result of %s is discarded: the buffer can never be freed", what)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			what, ok := allocCall(info, call)
+			if !ok {
+				return true
+			}
+			site := &allocSite{what: what, pos: call.Pos()}
+			if len(st.Lhs) > 0 {
+				site.obj = identObj(info, st.Lhs[0])
+				if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s is assigned to _: the buffer can never be freed", what)
+					return true
+				}
+			}
+			if len(st.Lhs) > 1 {
+				site.errObj = identObj(info, st.Lhs[1])
+			}
+			if site.obj == nil {
+				// Stored straight into a field/index: ownership transfer
+				// by construction.
+				return true
+			}
+			sites = append(sites, site)
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// Pass 2: for each site, collect discharge events (Free calls and
+	// ownership transfers) and return statements, in lexical order.
+	for _, site := range sites {
+		discharges, returns := collectBufferEvents(pass, body, site)
+		if len(discharges) == 0 {
+			pass.Reportf(site.pos, "result of %s is never freed or ownership-transferred", site.what)
+			continue
+		}
+		sort.Slice(discharges, func(i, j int) bool { return discharges[i] < discharges[j] })
+		firstSafe := discharges[0]
+		for _, ret := range returns {
+			// A return that itself discharges (return b.Free(), return b)
+			// is safe regardless of order.
+			selfSafe := false
+			for _, d := range discharges {
+				if d >= ret.pos && d < ret.end {
+					selfSafe = true
+					break
+				}
+			}
+			if selfSafe {
+				continue
+			}
+			if ret.pos > site.pos && ret.pos < firstSafe && !ret.errGuarded {
+				pass.Reportf(ret.pos, "return leaks the %s result allocated at line %d (no Free or ownership transfer on this path)",
+					site.what, pass.Fset.Position(site.pos).Line)
+			}
+		}
+	}
+}
+
+// retEvent is a return statement relevant to one allocation site.
+type retEvent struct {
+	pos        token.Pos
+	end        token.Pos
+	errGuarded bool // sits under an if whose condition mentions the paired err
+}
+
+// collectBufferEvents walks the body recording, for site's variable, the
+// positions of Free calls and ownership transfers, plus every return
+// statement.
+func collectBufferEvents(pass *Pass, body *ast.BlockStmt, site *allocSite) (discharges []token.Pos, returns []retEvent) {
+	info := pass.TypesInfo
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			ev := retEvent{pos: v.Pos(), end: v.End()}
+			for _, anc := range stack {
+				ifs, ok := anc.(*ast.IfStmt)
+				if ok && condMentions(info, ifs.Cond, site.errObj) {
+					ev.errGuarded = true
+					break
+				}
+			}
+			// Returning the buffer itself is a transfer.
+			for _, res := range v.Results {
+				if usesObj(info, res, site.obj) {
+					discharges = append(discharges, v.Pos())
+				}
+			}
+			returns = append(returns, ev)
+		case *ast.CallExpr:
+			c, resolved := resolveCallee(info, v)
+			// v.Free() discharges; gpu.Buffer/memgov.Allocation share the
+			// method name and that's all we require.
+			if resolved && c.name == "Free" {
+				if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && identObj(info, sel.X) == site.obj {
+					discharges = append(discharges, v.Pos())
+					return true
+				}
+			}
+			// Passing the buffer to any call transfers ownership.
+			for _, arg := range v.Args {
+				if usesObj(info, arg, site.obj) {
+					discharges = append(discharges, v.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			// Appearing on the RHS of any assignment (x = v, t.buf = v,
+			// m[i] = v, u := v) transfers ownership — except to the blank
+			// identifier, which keeps the obligation here.
+			for i, rhs := range v.Rhs {
+				if _, isCall := rhs.(*ast.CallExpr); isCall {
+					continue // calls are handled above (args scanned)
+				}
+				if !usesObj(info, rhs, site.obj) {
+					continue
+				}
+				if len(v.Lhs) == len(v.Rhs) {
+					if id, ok := ast.Unparen(v.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				discharges = append(discharges, v.Pos())
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if usesObj(info, el, site.obj) {
+					discharges = append(discharges, v.Pos())
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(info, v.Value, site.obj) {
+				discharges = append(discharges, v.Pos())
+			}
+		case *ast.UnaryExpr:
+			// Taking the buffer's address aliases it; treat as transfer.
+			if v.Op == token.AND && usesObj(info, v.X, site.obj) {
+				discharges = append(discharges, v.Pos())
+			}
+		}
+		return true
+	})
+	return discharges, returns
+}
+
+// usesObj reports whether the expression mentions obj as a bare
+// identifier (not through a selector base, which would be a read of the
+// buffer's fields rather than of the buffer value).
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[v] == obj
+	case *ast.KeyValueExpr:
+		return usesObj(info, v.Value, obj)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if usesObj(info, el, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}

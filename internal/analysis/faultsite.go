@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// FaultSite checks that every site name passed to
+// (*fault.Injector).Hit belongs to the registry declared in
+// internal/fault (the exported Site* string constants, or a name built
+// with fault.KernelSite). A typo'd site compiles fine today and simply
+// never fires — a dead fault rule discovered only after the unattended
+// run it was supposed to protect. This analyzer turns it into a lint
+// error.
+//
+// Accepted argument forms:
+//
+//   - a constant expression (fault.SiteGPUAlloc, or a literal equal to a
+//     registered name) whose value is in the registry,
+//   - a call to fault.KernelSite(...),
+//   - a local variable whose every assignment in the function is one of
+//     the above (the switch-shaped dispatch in gpu.Stream).
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "fault-injection site names must come from the internal/fault registry",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(pass *Pass) error {
+	// The fault package itself is exempt: its unit tests drive the
+	// injector with synthetic site names to test the machinery, and no
+	// production error points live there.
+	if pass.Pkg.Path() == faultPkg {
+		return nil
+	}
+	registry := faultRegistry(pass.Pkg)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c, ok := resolveCallee(pass.TypesInfo, call)
+			if !ok || !c.is(faultPkg, "Injector", "Hit") || len(call.Args) < 1 {
+				return true
+			}
+			checkSiteArg(pass, registry, f, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSiteArg validates one Hit site argument.
+func checkSiteArg(pass *Pass, registry map[string]bool, file *ast.File, arg ast.Expr) {
+	info := pass.TypesInfo
+	ok, reason := siteExprOK(info, registry, arg)
+	if ok {
+		return
+	}
+	// A local variable is fine if every assignment to it in this file's
+	// enclosing function is itself a valid site expression.
+	if obj := identObj(info, arg); obj != nil {
+		valid, assigns := varAssignmentsOK(info, registry, file, obj)
+		if valid && assigns > 0 {
+			return
+		}
+		if assigns > 0 {
+			pass.Reportf(arg.Pos(), "fault site variable %s has an assignment that is not a registered site (see internal/fault/sites.go)", exprString(pass.Fset, arg))
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(), "fault site %s: %s (use a fault.Site* constant or fault.KernelSite; registry: internal/fault/sites.go)",
+		exprString(pass.Fset, arg), reason)
+}
+
+// siteExprOK reports whether e is an acceptable site expression.
+func siteExprOK(info *types.Info, registry map[string]bool, e ast.Expr) (bool, string) {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		v := constant.StringVal(tv.Value)
+		if registry[v] {
+			return true, ""
+		}
+		return false, "constant " + strconv.Quote(v) + " is not a registered site"
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		c, ok := resolveCallee(info, call)
+		if ok && c.pkgPath == faultPkg && c.recv == "" && c.name == "KernelSite" {
+			return true, ""
+		}
+	}
+	return false, "not a constant"
+}
+
+// varAssignmentsOK scans the file for assignments to obj and validates
+// each RHS. It returns whether all were valid and how many were found.
+func varAssignmentsOK(info *types.Info, registry map[string]bool, file *ast.File, obj types.Object) (bool, int) {
+	valid, count := true, 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+				continue
+			}
+			count++
+			if i >= len(as.Rhs) {
+				valid = false // multi-value assignment; can't validate
+				continue
+			}
+			if ok, _ := siteExprOK(info, registry, as.Rhs[i]); !ok {
+				valid = false
+			}
+		}
+		return true
+	})
+	return valid, count
+}
+
+// faultRegistry collects the registered site values: the exported Site*
+// string constants of internal/fault, found in pkg itself or its import
+// graph.
+func faultRegistry(pkg *types.Package) map[string]bool {
+	fp := findPackage(pkg, faultPkg, map[*types.Package]bool{})
+	out := map[string]bool{}
+	if fp == nil {
+		return out
+	}
+	scope := fp.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Site") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = true
+	}
+	return out
+}
+
+// findPackage locates path in pkg's transitive import graph.
+func findPackage(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if pkg == nil || seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	if pkg.Path() == path {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if found := findPackage(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}

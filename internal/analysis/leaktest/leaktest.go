@@ -1,0 +1,132 @@
+// Package leaktest asserts that tests do not leak goroutines. The GPU
+// device and pipeline layers both run dispatcher goroutines behind their
+// public APIs; a test that forgets Close leaves one parked on a condition
+// variable forever, and under -race a few hundred of those turn the suite
+// flaky. VerifyTestMain fails the package's test binary if any
+// non-runtime goroutine survives the run.
+//
+// The checker snapshots runtime.Stack for all goroutines, filters the
+// runtime and testing machinery, and retries with backoff so goroutines
+// that are mid-exit (a dispatcher between wg.Done and goexit) are not
+// false positives.
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxWait bounds the retry loop: how long a goroutine may take to finish
+// exiting after the code that owned it returned.
+const maxWait = 2 * time.Second
+
+// benign reports whether a goroutine stack block belongs to the runtime
+// or testing machinery rather than code under test.
+func benign(block string) bool {
+	lines := strings.Split(block, "\n")
+	if len(lines) < 2 {
+		return true
+	}
+	// First frame: the function the goroutine is currently in.
+	top := strings.TrimSpace(lines[1])
+	for _, p := range []string{
+		"testing.Main(",
+		"testing.RunTests(",
+		"testing.(*M).",
+		"testing.(*T).",
+		"testing.tRunner(",
+		"testing.runFuzzing(",
+		"testing.runFuzzTests(",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.forcegchelper",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.MHeap_Scavenger",
+		"runtime.ReadTrace",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime/pprof.",
+	} {
+		if strings.HasPrefix(top, p) {
+			return true
+		}
+	}
+	// The main goroutine of the test binary.
+	if strings.Contains(block, "testing.(*M).Run(") || strings.Contains(block, "main.main()") {
+		return true
+	}
+	return false
+}
+
+// leaked returns the stack blocks of goroutines that look like leaks at
+// this instant, excluding the calling goroutine.
+func leaked() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	blocks := strings.Split(string(buf), "\n\n")
+	var out []string
+	for i, b := range blocks {
+		if i == 0 {
+			continue // the goroutine running this checker
+		}
+		if !benign(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// retry polls leaked() with backoff until it is empty or maxWait passes.
+func retry() []string {
+	var last []string
+	delay := 1 * time.Millisecond
+	deadline := time.Now().Add(maxWait)
+	for {
+		last = leaked()
+		if len(last) == 0 || time.Now().After(deadline) {
+			return last
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// VerifyNone fails tb if any goroutine outside the runtime/testing
+// machinery is still alive. Call it at the end of a test (directly or via
+// defer) whose code must not leave background work behind.
+func VerifyNone(tb testing.TB) {
+	tb.Helper()
+	if leaks := retry(); len(leaks) > 0 {
+		tb.Errorf("found %d leaked goroutine(s):\n\n%s", len(leaks), strings.Join(leaks, "\n\n"))
+	}
+}
+
+// VerifyTestMain runs the package's tests and exits non-zero if they
+// leaked goroutines. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaks := retry(); len(leaks) > 0 {
+			fmt.Fprintf(os.Stderr, "leaktest: found %d leaked goroutine(s) after test run:\n\n%s\n",
+				len(leaks), strings.Join(leaks, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,33 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDetectsParkedGoroutine: a goroutine blocked on a channel must show
+// up as a leak while parked, and disappear once released.
+func TestDetectsParkedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+
+	leaks := retry()
+	if len(leaks) == 0 {
+		t.Fatal("parked goroutine not detected")
+	}
+	if !strings.Contains(strings.Join(leaks, "\n"), "leaktest.TestDetectsParkedGoroutine") {
+		t.Errorf("leak report does not name the leaking function:\n%s", strings.Join(leaks, "\n\n"))
+	}
+
+	close(release)
+	VerifyNone(t) // must settle to zero once released
+}
+
+func TestCleanRunHasNoLeaks(t *testing.T) {
+	VerifyNone(t)
+}

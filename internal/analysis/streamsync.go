@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StreamSync checks that host code never reads the destination slice of
+// an asynchronous device-to-host copy ((*gpu.Stream).MemcpyD2H) before
+// the copy's completion event has resolved. A read is considered
+// synchronized when, between the copy and the read, the function:
+//
+//   - calls Wait() on the event returned by the copy (including the
+//     chained form s.MemcpyD2H(dst, buf).Wait()),
+//   - receives from the event's Done() channel, or
+//   - calls Synchronize() on any gpu.Stream or gpu.Device.
+//
+// Discarding the returned event with `_ =` (or ignoring it entirely)
+// and then reading the destination is the classic async-D2H race the
+// paper's pipelined implementation must avoid; this analyzer makes it a
+// lint error. The check is lexical within one function: destinations
+// that escape to other goroutines or functions are out of scope (and
+// should be handed off together with their event).
+var StreamSync = &Analyzer{
+	Name: "streamsync",
+	Doc:  "host reads of MemcpyD2H destinations must wait on the copy's event",
+	Run:  runStreamSync,
+}
+
+// d2hCopy is one MemcpyD2H call found in a function.
+type d2hCopy struct {
+	pos     token.Pos
+	dstObj  types.Object // base variable of the destination slice
+	dstName string
+	evObj   types.Object // event variable, nil if chained or discarded
+	chained bool         // .Wait() called directly on the result
+}
+
+func runStreamSync(pass *Pass) error {
+	for _, fd := range funcBodies(pass.Files) {
+		streamSyncFunc(pass, fd.Body)
+	}
+	return nil
+}
+
+// isD2H reports whether call is (*gpu.Stream).MemcpyD2H.
+func isD2H(info *types.Info, call *ast.CallExpr) bool {
+	c, ok := resolveCallee(info, call)
+	return ok && c.is(gpuPkg, "Stream", "MemcpyD2H")
+}
+
+func streamSyncFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var copies []*d2hCopy
+
+	// Pass 1: locate the copies and how their events are bound.
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isD2H(info, call) || len(call.Args) < 1 {
+			return true
+		}
+		cp := &d2hCopy{pos: call.Pos()}
+		cp.dstObj = baseIdentObj(info, call.Args[0])
+		cp.dstName = exprString(pass.Fset, call.Args[0])
+		if cp.dstObj == nil {
+			return true // destination not a local variable; out of scope
+		}
+		// How is the result used? Walk up one level.
+		if len(stack) > 0 {
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr:
+				// s.MemcpyD2H(...).Wait() or .Done(): synchronized inline.
+				if parent.Sel.Name == "Wait" || parent.Sel.Name == "Done" {
+					cp.chained = true
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range parent.Rhs {
+					if ast.Unparen(rhs) == ast.Expr(call) && i < len(parent.Lhs) {
+						cp.evObj = identObj(info, parent.Lhs[i])
+					}
+				}
+			}
+		}
+		copies = append(copies, cp)
+		return true
+	})
+	if len(copies) == 0 {
+		return
+	}
+
+	for _, cp := range copies {
+		if cp.chained {
+			continue
+		}
+		checkD2HReads(pass, body, cp)
+	}
+}
+
+// checkD2HReads reports host accesses of cp's destination that are not
+// preceded by a synchronization point. Writes into the destination count
+// too: mutating a slice the DMA engine is still filling is the same race.
+func checkD2HReads(pass *Pass, body *ast.BlockStmt, cp *d2hCopy) {
+	info := pass.TypesInfo
+	var syncs []token.Pos    // positions of synchronization events
+	var accesses []token.Pos // positions of destination uses
+	var rebinds []token.Pos  // full reassignments of the destination variable
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			c, ok := resolveCallee(info, v)
+			if !ok {
+				return true
+			}
+			switch {
+			case c.is(gpuPkg, "Event", "Wait"), c.is(gpuPkg, "Event", "Done"):
+				// Only waits on THIS copy's event count (a wait on some
+				// other event proves nothing about this transfer).
+				if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+					if cp.evObj != nil && identObj(info, sel.X) == cp.evObj {
+						syncs = append(syncs, v.Pos())
+					}
+				}
+			case c.is(gpuPkg, "Stream", "Synchronize"), c.is(gpuPkg, "Device", "Synchronize"):
+				syncs = append(syncs, v.Pos())
+			}
+		case *ast.Ident:
+			if info.Uses[v] != cp.dstObj {
+				return true
+			}
+			// Mentions inside a device copy op are the copy itself, not a
+			// host access; a bare `dst = ...` rebinding detaches the
+			// variable from the in-flight transfer.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if call, ok := stack[i].(*ast.CallExpr); ok && isD2H(info, call) {
+					return true
+				}
+				if as, ok := stack[i].(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if ast.Unparen(lhs) == ast.Expr(v) {
+							rebinds = append(rebinds, v.Pos())
+							return true
+						}
+					}
+				}
+			}
+			accesses = append(accesses, v.Pos())
+		}
+		return true
+	})
+
+	between := func(events []token.Pos, pos token.Pos) bool {
+		for _, s := range events {
+			if s > cp.pos && s < pos {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range accesses {
+		if r <= cp.pos || between(syncs, r) || between(rebinds, r) {
+			continue
+		}
+		if cp.evObj == nil {
+			pass.Reportf(r, "host access of %s after MemcpyD2H at line %d whose event was discarded: call Wait on the event or Synchronize first",
+				cp.dstName, pass.Fset.Position(cp.pos).Line)
+		} else {
+			pass.Reportf(r, "host access of %s before Wait on the MemcpyD2H event from line %d",
+				cp.dstName, pass.Fset.Position(cp.pos).Line)
+		}
+	}
+}

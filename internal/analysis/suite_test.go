@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"hybridstitch/internal/analysis"
+	"hybridstitch/internal/analysis/analysistest"
+)
+
+// Each fixture package exercises at least one true positive and one
+// clean case per analyzer; the want comments in the fixtures are the
+// assertions.
+
+func TestBufferFreeFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/bufferfree", analysis.BufferFree)
+}
+
+func TestStreamSyncFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/streamsync", analysis.StreamSync)
+}
+
+func TestFaultSiteFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/faultsite", analysis.FaultSite)
+}
+
+func TestBlockingLockFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/blockinglock", analysis.BlockingLock)
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := analysis.ByName("bufferfree, streamsync")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := analysis.ByName("nope"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("ByName(nope) err = %v, want unknown-analyzer error", err)
+	}
+}
+
+// TestSuppressionRequiresReason: a //lint:allow without a reason must
+// not suppress, and must itself be reported.
+func TestSuppressionRequiresReason(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, "./testdata/src/badallow")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.BufferFree})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sawLeak, sawMalformed bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "bufferfree":
+			sawLeak = true
+		case "suppression":
+			sawMalformed = true
+		}
+	}
+	if !sawLeak {
+		t.Errorf("reason-less //lint:allow suppressed the diagnostic; diagnostics: %v", diags)
+	}
+	if !sawMalformed {
+		t.Errorf("missing malformed-suppression diagnostic; diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,15 @@
+// Package badallow fixes nothing: it exists to prove that a
+// //lint:allow comment without a reason neither suppresses nor passes
+// silently.
+package badallow
+
+import "hybridstitch/internal/gpu"
+
+func leakWithBadSuppression(d *gpu.Device) {
+	//lint:allow bufferfree
+	b, err := d.Alloc(64)
+	if err != nil {
+		return
+	}
+	_ = b.Words()
+}

@@ -1,0 +1,67 @@
+// Package faultsite is the stitchlint fixture for the faultsite
+// analyzer: Injector.Hit site names must come from the internal/fault
+// registry.
+package faultsite
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/fault"
+)
+
+// badTypo is the failure class under guard: a misspelled site that
+// would silently never fire.
+func badTypo(in *fault.Injector) error {
+	return in.Hit("tiffio.raed", "tile_r000_c000") // want "not a registered site"
+}
+
+// badUnregistered names a site nobody instruments.
+func badUnregistered(in *fault.Injector) error {
+	return in.Hit("compose.blend", "row 3") // want "not a registered site"
+}
+
+// badDynamic builds the site at runtime: unverifiable, so rejected.
+func badDynamic(in *fault.Injector, op string) error {
+	return in.Hit(fmt.Sprintf("gpu.%s", op), "x") // want "not a constant"
+}
+
+// badVariable flows an unregistered literal through a local.
+func badVariable(in *fault.Injector, deep bool) error {
+	site := fault.SiteGPUAlloc
+	if deep {
+		site = "gpu.aloc"
+	}
+	return in.Hit(site, "x") // want "assignment that is not a registered site"
+}
+
+// okConstant uses the registry directly.
+func okConstant(in *fault.Injector) error {
+	return in.Hit(fault.SiteTiffRead, "tile_r000_c000")
+}
+
+// okLiteralMatchingRegistry is allowed: the invariant is registry
+// membership, and the literal is verifiably a member.
+func okLiteralMatchingRegistry(in *fault.Injector) error {
+	return in.Hit("gpu.alloc", "GPU0")
+}
+
+// okKernelSite covers dynamically named kernels through the blessed
+// constructor.
+func okKernelSite(in *fault.Injector, kernel string) error {
+	return in.Hit(fault.KernelSite(kernel), "stream0/"+kernel)
+}
+
+// okSwitchVariable is the gpu.Stream dispatch shape: a local assigned
+// only from registered constants and KernelSite.
+func okSwitchVariable(in *fault.Injector, kind int, name string) error {
+	var site string
+	switch kind {
+	case 0:
+		site = fault.SiteGPUCopyH2D
+	case 1:
+		site = fault.SiteGPUCopyD2H
+	default:
+		site = fault.KernelSite(name)
+	}
+	return in.Hit(site, name)
+}

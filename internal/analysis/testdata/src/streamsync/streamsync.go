@@ -1,0 +1,89 @@
+// Package streamsync is the stitchlint fixture for the streamsync
+// analyzer: host code must not touch a MemcpyD2H destination before the
+// copy's event resolves.
+package streamsync
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/gpu"
+)
+
+// raceReadBeforeWait reads the staging slice while the DMA may still be
+// in flight: the event is bound but waited on too late.
+func raceReadBeforeWait(s *gpu.Stream, buf *gpu.Buffer) complex128 {
+	dst := make([]complex128, 64)
+	ev := s.MemcpyD2H(dst, buf)
+	first := dst[0] // want "host access of dst before Wait"
+	_ = ev.Wait()
+	return first
+}
+
+// raceDiscardedEvent throws the completion event away and then reads.
+func raceDiscardedEvent(s *gpu.Stream, buf *gpu.Buffer) {
+	dst := make([]complex128, 64)
+	_ = s.MemcpyD2H(dst, buf)
+	fmt.Println(dst[0]) // want "event was discarded"
+}
+
+// raceWriteBeforeWait mutates the destination mid-flight — the same
+// race from the other side.
+func raceWriteBeforeWait(s *gpu.Stream, buf *gpu.Buffer) {
+	dst := make([]complex128, 64)
+	ev := s.MemcpyD2H(dst, buf)
+	dst[3] = 1 // want "host access of dst before Wait"
+	_ = ev.Wait()
+}
+
+// okChainedWait is the synchronous idiom: wait inline on the returned
+// event.
+func okChainedWait(s *gpu.Stream, buf *gpu.Buffer) (complex128, error) {
+	dst := make([]complex128, 64)
+	if err := s.MemcpyD2H(dst, buf).Wait(); err != nil {
+		return 0, err
+	}
+	return dst[0], nil
+}
+
+// okWaitThenRead waits on the bound event before touching the slice.
+func okWaitThenRead(s *gpu.Stream, buf *gpu.Buffer) (complex128, error) {
+	dst := make([]complex128, 64)
+	ev := s.MemcpyD2H(dst, buf)
+	if err := ev.Wait(); err != nil {
+		return 0, err
+	}
+	return dst[0], nil
+}
+
+// okStreamSynchronize uses a stream-wide barrier instead of the event.
+func okStreamSynchronize(s *gpu.Stream, buf *gpu.Buffer) complex128 {
+	dst := make([]complex128, 64)
+	_ = s.MemcpyD2H(dst, buf)
+	s.Synchronize()
+	return dst[0]
+}
+
+// okDeviceSynchronize uses a device-wide barrier.
+func okDeviceSynchronize(d *gpu.Device, s *gpu.Stream, buf *gpu.Buffer) complex128 {
+	dst := make([]complex128, 64)
+	_ = s.MemcpyD2H(dst, buf)
+	d.Synchronize()
+	return dst[0]
+}
+
+// okDoneSelect drains the completion channel before reading.
+func okDoneSelect(s *gpu.Stream, buf *gpu.Buffer) complex128 {
+	dst := make([]complex128, 64)
+	ev := s.MemcpyD2H(dst, buf)
+	<-ev.Done()
+	return dst[0]
+}
+
+// okRebound re-binds the variable to fresh storage: the in-flight
+// transfer no longer targets what the host reads.
+func okRebound(s *gpu.Stream, buf *gpu.Buffer) complex128 {
+	dst := make([]complex128, 64)
+	_ = s.MemcpyD2H(dst, buf)
+	dst = make([]complex128, 64)
+	return dst[0]
+}

@@ -143,7 +143,7 @@ func (d *Device) Alloc(words int64) (*Buffer, error) {
 	if words <= 0 {
 		return nil, fmt.Errorf("gpu: invalid allocation of %d words", words)
 	}
-	if err := d.cfg.Faults.Hit("gpu.alloc", d.cfg.Name); err != nil {
+	if err := d.cfg.Faults.Hit(fault.SiteGPUAlloc, d.cfg.Name); err != nil {
 		return nil, err
 	}
 	d.memMu.Lock()
@@ -171,7 +171,7 @@ func (d *Device) AllocBlocking(words int64) (*Buffer, error) {
 	if words > d.cfg.MemWords {
 		return nil, fmt.Errorf("%w: request %d exceeds total capacity %d", ErrOutOfMemory, words, d.cfg.MemWords)
 	}
-	if err := d.cfg.Faults.Hit("gpu.alloc", d.cfg.Name); err != nil {
+	if err := d.cfg.Faults.Hit(fault.SiteGPUAlloc, d.cfg.Name); err != nil {
 		return nil, err
 	}
 	d.memMu.Lock()

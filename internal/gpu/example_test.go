@@ -49,12 +49,15 @@ func Example() {
 func ExampleDevice_Alloc() {
 	dev := gpu.New(gpu.Config{MemWords: 100})
 	a, _ := dev.Alloc(80)
-	if _, err := dev.Alloc(40); err != nil {
+	if b, err := dev.Alloc(40); err != nil {
 		fmt.Println("second allocation refused")
+	} else {
+		_ = b.Free()
 	}
 	_ = a.Free()
-	if _, err := dev.Alloc(40); err == nil {
+	if b, err := dev.Alloc(40); err == nil {
 		fmt.Println("fits after free")
+		_ = b.Free()
 	}
 	// Output:
 	// second allocation refused

@@ -1,0 +1,11 @@
+package gpu
+
+import (
+	"testing"
+
+	"hybridstitch/internal/analysis/leaktest"
+)
+
+// TestMain fails the package if any test leaks a goroutine — every
+// stream dispatcher started by a test must be shut down by Close.
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

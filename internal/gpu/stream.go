@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"hybridstitch/internal/fault"
 )
 
 // opKind classifies commands for the profiler and engine arbitration.
@@ -174,8 +176,9 @@ func (s *Stream) execute(cmd *command) {
 // injectFault consults the device's fault injector for this command. The
 // injected error takes the place of the command's own result, so it
 // propagates through events and cross-stream dependencies exactly like a
-// real device failure. Sites: gpu.copy.h2d, gpu.copy.d2h, and
-// gpu.kernel.{fft,ncc,reduce,<name>}; the detail is "stream/op".
+// real device failure. Sites (all from the internal/fault registry):
+// gpu.copy.h2d, gpu.copy.d2h, and gpu.kernel.{fft,ncc,reduce,<name>};
+// the detail is "stream/op".
 func (s *Stream) injectFault(cmd *command) error {
 	in := s.dev.cfg.Faults
 	if in == nil {
@@ -184,19 +187,19 @@ func (s *Stream) injectFault(cmd *command) error {
 	var site string
 	switch cmd.kind {
 	case opH2D:
-		site = "gpu.copy.h2d"
+		site = fault.SiteGPUCopyH2D
 	case opD2H:
-		site = "gpu.copy.d2h"
+		site = fault.SiteGPUCopyD2H
 	default:
 		switch cmd.name {
 		case "fft2d", "ifft2d":
-			site = "gpu.kernel.fft"
+			site = fault.SiteGPUKernelFFT
 		case "ncc":
-			site = "gpu.kernel.ncc"
+			site = fault.SiteGPUKernelNCC
 		case "maxabs":
-			site = "gpu.kernel.reduce"
+			site = fault.SiteGPUKernelReduce
 		default:
-			site = "gpu.kernel." + cmd.name
+			site = fault.KernelSite(cmd.name)
 		}
 	}
 	return in.Hit(site, s.name+"/"+cmd.name)

@@ -1,0 +1,11 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hybridstitch/internal/analysis/leaktest"
+)
+
+// TestMain fails the package if any test leaks a goroutine — stage
+// workers and queue pumps must all have exited when a run completes.
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

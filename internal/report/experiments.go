@@ -237,10 +237,21 @@ func runFig5(o Options) (string, error) {
 	}
 	buf := make([]complex128, 128*96)
 	var below, above time.Duration
+	// The allocations stay live for the whole loop on purpose: crossing
+	// the governor's RAM limit at i == 32 is the paging cliff being
+	// demonstrated. They are released together afterwards.
+	var held []*memgov.Allocation
+	defer func() {
+		for _, a := range held {
+			_ = a.Free()
+		}
+	}()
 	for i := 0; i < 64; i++ {
-		if _, err := gov.Alloc(int64(128 * 96 * 16)); err != nil {
+		a, err := gov.Alloc(int64(128 * 96 * 16))
+		if err != nil {
 			return "", err
 		}
+		held = append(held, a)
 		t0 := time.Now()
 		gov.Touch(int64(128 * 96 * 16))
 		if err := plan.Execute(buf); err != nil {

@@ -65,7 +65,7 @@ func tileDetail(src Source, c tile.Coord) string {
 func (fp faultPlan) readTile(src Source, c tile.Coord) (*tile.Gray16, error) {
 	var img *tile.Gray16
 	err := fp.retry.Do(func() error {
-		if err := fp.inj.Hit("stitch.read", tileDetail(src, c)); err != nil {
+		if err := fp.inj.Hit(fault.SiteStitchRead, tileDetail(src, c)); err != nil {
 			return err
 		}
 		var err error
@@ -83,7 +83,7 @@ func (fp faultPlan) readTile(src Source, c tile.Coord) (*tile.Gray16, error) {
 func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16) ([]complex128, error) {
 	var f []complex128
 	err := fp.retry.Do(func() error {
-		if err := fp.inj.Hit("stitch.fft", detail(c)); err != nil {
+		if err := fp.inj.Hit(fault.SiteStitchFFT, detail(c)); err != nil {
 			return err
 		}
 		var err error
@@ -101,7 +101,7 @@ func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16) ([]com
 func (fp faultPlan) displace(al aligner, p tile.Pair, aImg, bImg *tile.Gray16, aF, bF []complex128) (tile.Displacement, error) {
 	var d tile.Displacement
 	err := fp.retry.Do(func() error {
-		if err := fp.inj.Hit("pciam.ncc", detail(p.Coord)+"/"+p.Dir.String()); err != nil {
+		if err := fp.inj.Hit(fault.SitePCIAMNCC, detail(p.Coord)+"/"+p.Dir.String()); err != nil {
 			return err
 		}
 		var err error

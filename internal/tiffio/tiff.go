@@ -500,7 +500,7 @@ func Encode(w io.Writer, img *tile.Gray16, opts EncodeOpts) error {
 // via SetInjector, the read is an error point: site "tiffio.read",
 // detail = path.
 func ReadFile(path string) (*tile.Gray16, error) {
-	if err := injector.Load().Hit("tiffio.read", path); err != nil {
+	if err := injector.Load().Hit(fault.SiteTiffRead, path); err != nil {
 		return nil, err
 	}
 	f, err := os.Open(path)
