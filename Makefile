@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race lint lint-help check bench experiments fuzz clean
+.PHONY: all build test race test-race lint lint-help check bench benchdiff experiments fuzz clean
 
 all: build test
 
@@ -38,14 +38,26 @@ lint-help:
 	@echo "suppress a finding with: //lint:allow <analyzer> <reason>  (same line or line above; reason required)"
 
 # Full pre-merge gate: vet, static analysis, build, tests, race detector.
+# The obs suite runs race-enabled on its own first: the span ring and the
+# timeline ordering fix are exactly the code whose bugs only the race
+# detector sees.
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/stitchlint ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/obs/ ./internal/gpu/
 	$(GO) test -race ./...
 
+# bench runs every benchmark and converts the output into a dated
+# machine-readable snapshot (BENCH_<date>.json) for benchdiff.
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+	$(GO) run ./cmd/experiments -bench-in bench_output.txt -bench-out BENCH_$$(date +%Y-%m-%d).json
+
+# benchdiff flags >15% ns/op regressions between two snapshots:
+#   make benchdiff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json
+benchdiff:
+	$(GO) run ./cmd/experiments -bench-old $(OLD) -bench-new $(NEW)
 
 # Regenerate every table and figure of the paper (artifacts in results/).
 experiments:
@@ -55,6 +67,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/tiffio/
 	$(GO) test -fuzz FuzzUnmarshalResult -fuzztime 30s ./internal/stitch/
 	$(GO) test -fuzz FuzzDegradedTileRead -fuzztime 30s ./internal/stitch/
+	$(GO) test -fuzz FuzzChromeTrace -fuzztime 30s ./internal/obs/
 
 clean:
 	rm -rf results dataset pyramid_out

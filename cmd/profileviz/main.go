@@ -1,12 +1,15 @@
 // Command profileviz reproduces the paper's profiler views (Figs 7 & 9):
 // it runs the Simple-GPU or Pipelined-GPU implementation on the simulated
-// device with the timeline recorder enabled and renders the per-stream
-// activity rows, utilization, and kernel-gap statistics.
+// device with the observability recorder enabled and renders the
+// per-stream activity rows, utilization, and kernel-gap statistics. It
+// can also render a previously captured Chrome trace (from
+// `stitch -trace-out`) without re-running anything.
 //
 // Usage:
 //
 //	profileviz -impl simple
-//	profileviz -impl pipelined -rows 8 -cols 8
+//	profileviz -impl pipelined -rows 8 -cols 8 -trace run.json
+//	profileviz -in run.json
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 )
 
@@ -33,8 +37,16 @@ func main() {
 		gpus     = flag.Int("gpus", 1, "device count (pipelined only)")
 		width    = flag.Int("width", 110, "timeline width in characters")
 		traceOut = flag.String("trace", "", "also write a Chrome-tracing JSON file (open in chrome://tracing or Perfetto)")
+		inFile   = flag.String("in", "", "render an existing Chrome trace JSON (e.g. from stitch -trace-out) and exit")
 	)
 	flag.Parse()
+
+	if *inFile != "" {
+		if err := viewTrace(*inFile, *width); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var impl stitch.Stitcher
 	switch *implFlag {
@@ -54,17 +66,22 @@ func main() {
 	}
 	src := &stitch.MemorySource{DS: ds, ReadDelay: time.Millisecond}
 
+	// One recorder shared by the stitcher and every device keeps all
+	// spans on a single clock so the combined trace lines up.
+	rec := obs.New()
+	defer rec.Close()
+
 	var devs []*gpu.Device
 	for d := 0; d < *gpus; d++ {
 		dev := gpu.New(gpu.Config{
-			Name: fmt.Sprintf("GPU%d", d), Profile: true,
+			Name: fmt.Sprintf("GPU%d", d), Obs: rec,
 			H2DBytesPerSec: 2e9, D2HBytesPerSec: 2e9,
 		})
 		defer dev.Close()
 		devs = append(devs, dev)
 	}
 
-	res, err := impl.Run(src, stitch.Options{Threads: 4, Devices: devs})
+	res, err := impl.Run(src, stitch.Options{Threads: 4, Devices: devs, Obs: rec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,22 +97,35 @@ func main() {
 		fmt.Printf("kernel-row utilization %.1f%% | kernel gaps >200µs: %d | spans: %d\n\n",
 			100*tl.Utilization("kernel", from, to),
 			tl.GapCount("kernel", 200*time.Microsecond), len(spans))
-		if *traceOut != "" {
-			path := *traceOut
-			if len(devs) > 1 {
-				path = fmt.Sprintf("%s.%s.json", path, dev.Name())
-			}
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := tl.WriteTrace(f, dev.Name()); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("wrote trace to %s\n", path)
-		}
 	}
+	fmt.Print(rec.Summary())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		werr := rec.WriteChromeTrace(f, map[string]string{"impl": impl.Name()})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Printf("\nwrote combined trace to %s\n", *traceOut)
+	}
+}
+
+// viewTrace renders a captured Chrome trace as ASCII timeline rows.
+func viewTrace(path string, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.DecodeChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	fmt.Printf("%s: %d spans\n%s", path, len(spans), obs.RenderTracks(spans, width))
+	return nil
 }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr exposes the default mux
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,6 +27,7 @@ import (
 	"hybridstitch/internal/global"
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tiffio"
 	"hybridstitch/internal/tile"
@@ -58,8 +61,27 @@ func main() {
 		faultSpec = flag.String("fault-spec", "", "fault-injection spec, e.g. \"stitch.read@r003:always;gpu.kernel.fft:nth=5\" (testing)")
 		maxRetry  = flag.Int("max-retries", 2, "re-attempts per faulted operation before degrading")
 		degrade   = flag.Bool("degrade", true, "finish with degraded tiles/pairs on persistent per-tile faults instead of aborting")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON timeline of the run to this file")
+		metricsOu = flag.String("metrics-out", "", "write the metrics snapshot (counters/gauges/histograms) as JSON to this file")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	// One recorder spans all three phases and every GPU device, so spans
+	// share a single clock epoch and land in one timeline.
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOu != "" {
+		rec = obs.New()
+		defer rec.Close()
+		defer func() { writeObs(rec, *traceOut, *metricsOu, *implName) }()
+	}
 
 	src, truthX, truthY, err := openSource(*dir, *synthetic, *tileW, *tileH, *seed)
 	if err != nil {
@@ -91,7 +113,7 @@ func main() {
 	opts := stitch.Options{Threads: *threads, Traversal: trav, NPeaks: *npeaks,
 		FFTVariant: stitch.FFTVariant(*variant), Sockets: *sockets,
 		Faults: injector, MaxRetries: *maxRetry, RetryBackoff: 5 * time.Millisecond,
-		Degrade: *degrade && *implName != "fiji"}
+		Degrade: *degrade && *implName != "fiji", Obs: rec}
 	planner := fft.NewPlanner(fft.Measure)
 	if *wisdom != "" {
 		if blob, err := os.ReadFile(*wisdom); err == nil {
@@ -105,7 +127,7 @@ func main() {
 	var devs []*gpu.Device
 	if *implName == "simple-gpu" || *implName == "pipelined-gpu" {
 		for d := 0; d < *gpus; d++ {
-			dev := gpu.New(gpu.Config{Name: fmt.Sprintf("GPU%d", d), Faults: injector})
+			dev := gpu.New(gpu.Config{Name: fmt.Sprintf("GPU%d", d), Faults: injector, Obs: rec})
 			defer dev.Close()
 			devs = append(devs, dev)
 		}
@@ -152,7 +174,7 @@ func main() {
 	var pl *global.Placement
 	switch *solver {
 	case "mst":
-		pl, err = global.Solve(res, global.Options{RepairOutliers: true})
+		pl, err = global.Solve(res, global.Options{RepairOutliers: true, Obs: rec})
 	case "ls":
 		pl, err = global.SolveLeastSquares(res, global.LSOptions{})
 	default:
@@ -182,7 +204,7 @@ func main() {
 	src = stitch.MaskDegraded(src, res)
 	t0 = time.Now()
 	if *outPNG != "" {
-		img, err := compose.Compose(pl, src, blend)
+		img, err := compose.ComposeObs(rec, pl, src, blend)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -197,7 +219,7 @@ func main() {
 		fmt.Printf("phase 3: wrote %s (%dx%d, %s blend) in %v\n", *outPNG, img.W, img.H, blend, time.Since(t0).Round(time.Millisecond))
 	}
 	if *outTIFF != "" {
-		img, err := compose.Compose(pl, src, blend)
+		img, err := compose.ComposeObs(rec, pl, src, blend)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -215,6 +237,37 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("phase 3: wrote %s (tile outlines)\n", *highlight)
+	}
+}
+
+// writeObs flushes the run's observability outputs. Deferred from main
+// so it runs after the GPU devices close (their timelines share rec).
+func writeObs(rec *obs.Recorder, traceOut, metricsOut, impl string) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Printf("-trace-out: %v", err)
+			return
+		}
+		err = rec.WriteChromeTrace(f, map[string]string{"impl": impl})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Printf("-trace-out: %v", err)
+			return
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	if metricsOut != "" {
+		snap := rec.Snapshot()
+		snap.Label = impl
+		snap.Date = time.Now().Format("2006-01-02")
+		if err := obs.WriteSnapshotFile(metricsOut, snap); err != nil {
+			log.Printf("-metrics-out: %v", err)
+			return
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", metricsOut)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"hybridstitch/internal/global"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tiffio"
 	"hybridstitch/internal/tile"
@@ -48,6 +49,17 @@ func (b Blend) String() string {
 	default:
 		return fmt.Sprintf("Blend(%d)", int(b))
 	}
+}
+
+// ComposeObs runs Compose under a "compose" span on the phase3 track of
+// rec (nil rec composes without recording).
+func ComposeObs(rec *obs.Recorder, pl *global.Placement, src stitch.Source, blend Blend) (*tile.Gray16, error) {
+	w, h := pl.Bounds()
+	sp := rec.StartSpan("phase3", "compose",
+		obs.String("blend", blend.String()),
+		obs.String("size", fmt.Sprintf("%dx%d", w, h)))
+	defer sp.End()
+	return Compose(pl, src, blend)
 }
 
 // Compose assembles the composite image for a placement, streaming tiles

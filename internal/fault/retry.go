@@ -21,6 +21,11 @@ type Retrier struct {
 	MaxBackoff time.Duration
 	// Sleep replaces time.Sleep (test hook). Nil uses time.Sleep.
 	Sleep func(time.Duration)
+	// OnRetry, if set, is called before each re-attempt with the number
+	// of the attempt that just failed (0-based). The observability layer
+	// hangs its retry counter here so every instrumented site counts
+	// retries without threading a recorder through each call.
+	OnRetry func(attempt int)
 }
 
 // Do runs op, retrying failures up to the policy limit. Errors marked
@@ -35,6 +40,9 @@ func (r Retrier) Do(op func() error) error {
 		}
 		if IsPermanent(err) || attempt >= r.MaxRetries {
 			break
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt)
 		}
 		if r.Backoff > 0 {
 			d := r.Backoff << uint(attempt)

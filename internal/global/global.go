@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tile"
 )
@@ -30,6 +31,9 @@ type Options struct {
 	// edge counts as an outlier. Zero derives a robust threshold from
 	// the observed median absolute deviation (5·MAD+3).
 	MaxDeviation int
+	// Obs, when non-nil, records a "solve" span on the phase2 track and
+	// the global.edges.repaired / global.edges.dropped counters.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -68,7 +72,12 @@ func Solve(res *stitch.Result, opts Options) (*Placement, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	sp := opts.Obs.StartSpan("phase2", "solve",
+		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)))
+	defer sp.End()
 	edges, dropped, repaired := collectEdges(res, opts)
+	opts.Obs.Counter("global.edges.repaired").Add(int64(repaired))
+	opts.Obs.Counter("global.edges.dropped").Add(int64(dropped))
 
 	n := g.NumTiles()
 	// Maximum spanning tree by correlation (Kruskal).

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hybridstitch/internal/fault"
+	"hybridstitch/internal/obs"
 )
 
 // ErrOutOfMemory is returned by Alloc when the device pool is exhausted —
@@ -55,6 +56,12 @@ type Config struct {
 	D2HBytesPerSec float64
 	// Profile enables the timeline recorder.
 	Profile bool
+	// Obs, if set, records this device's timeline into a shared
+	// observability recorder (implies Profile): spans land on tracks
+	// "<Name>/<stream>/<kind>" and the device's epoch is aligned to the
+	// recorder's, so GPU and CPU spans share one clock. The caller owns
+	// the recorder's lifecycle.
+	Obs *obs.Recorder
 	// Faults, if set, makes allocations, copies, and kernel launches
 	// error points (sites "gpu.alloc", "gpu.copy.h2d", "gpu.copy.d2h",
 	// "gpu.kernel.<name>"). Nil costs nothing.
@@ -98,6 +105,10 @@ type Device struct {
 	closed   bool
 
 	timeline *Timeline
+
+	// now is the dispatcher clock, a seam so tests can freeze time and
+	// prove span ordering survives timestamp collisions.
+	now func() time.Time
 }
 
 // New creates a device.
@@ -108,9 +119,14 @@ func New(cfg Config) *Device {
 		epoch:     time.Now(),
 		copySem:   make(chan struct{}, cfg.CopyEngines),
 		kernelSem: make(chan struct{}, cfg.KernelSlots),
+		now:       time.Now,
 	}
 	d.memAvail = sync.NewCond(&d.memMu)
-	if cfg.Profile {
+	switch {
+	case cfg.Obs != nil:
+		d.epoch = cfg.Obs.Epoch() // one clock with the rest of the run
+		d.timeline = newTimeline(cfg.Obs, cfg.Name)
+	case cfg.Profile:
 		d.timeline = NewTimeline(d.epoch)
 	}
 	return d
@@ -212,7 +228,8 @@ func (d *Device) MemStats() (used, peak, allocs int64, oomSeen bool) {
 	return d.memUsed, d.memPeak, d.allocs, d.oomSeen
 }
 
-// Timeline returns the profiler timeline (nil unless Config.Profile).
+// Timeline returns the profiler timeline (nil unless Config.Profile or
+// Config.Obs).
 func (d *Device) Timeline() *Timeline { return d.timeline }
 
 // Synchronize blocks until every stream has drained its queue.
@@ -239,4 +256,7 @@ func (d *Device) Close() {
 	for _, s := range streams {
 		s.close()
 	}
+	// An owned timeline recorder (Config.Profile without Config.Obs) has a
+	// flusher goroutine to release; a shared recorder stays with its owner.
+	d.timeline.Close()
 }

@@ -341,6 +341,7 @@ func TestTimelineRecordsAndUtilization(t *testing.T) {
 
 func TestTimelineGapCount(t *testing.T) {
 	tl := NewTimeline(time.Now())
+	defer tl.Close()
 	tl.Record(Span{Stream: "s", Kind: "kernel", Name: "a", Start: 0, End: time.Millisecond})
 	tl.Record(Span{Stream: "s", Kind: "kernel", Name: "b", Start: 10 * time.Millisecond, End: 11 * time.Millisecond})
 	tl.Record(Span{Stream: "s", Kind: "kernel", Name: "c", Start: 11 * time.Millisecond, End: 12 * time.Millisecond})

@@ -153,14 +153,18 @@ func (s *Stream) execute(cmd *command) {
 		sem = s.dev.kernelSem
 	}
 	sem <- struct{}{}
-	start := time.Now()
+	start := s.dev.now()
 	err := s.injectFault(cmd)
 	if err == nil {
 		err = cmd.fn()
 	}
-	end := time.Now()
+	end := s.dev.now()
 	<-sem
 	if tl := s.dev.timeline; tl != nil {
+		// Recording from the dispatcher goroutine hands the obs recorder
+		// this stream's commands in execution order, so the Seq it assigns
+		// under its ring lock preserves per-stream ordering even when the
+		// coarse clock gives concurrent streams identical timestamps.
 		tl.Record(Span{
 			Stream: s.name,
 			Kind:   cmd.kind.String(),
@@ -168,6 +172,7 @@ func (s *Stream) execute(cmd *command) {
 			Start:  start.Sub(s.dev.epoch),
 			End:    end.Sub(s.dev.epoch),
 		})
+		tl.observeOp(cmd.name, end.Sub(start))
 	}
 	cmd.ev.err = err
 	close(cmd.ev.done)

@@ -2,10 +2,12 @@ package gpu
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
-	"sync"
 	"time"
+
+	"hybridstitch/internal/obs"
 )
 
 // Span is one profiled command execution.
@@ -15,38 +17,105 @@ type Span struct {
 	Name   string // fft2d, ncc, maxabs, H2D, ...
 	Start  time.Duration
 	End    time.Duration
+	// Seq is the record-order sequence assigned by the obs recorder under
+	// its ring lock. Dispatchers record in queue order, so per-stream Seq
+	// is strictly increasing — the tie-breaker that keeps concurrent
+	// streams' events correctly ordered when coarse-clock timestamps
+	// collide (timestamps alone were the old out-of-order bug).
+	Seq uint64
 }
 
 // Duration returns the span length.
 func (s Span) Duration() time.Duration { return s.End - s.Start }
 
 // Timeline records command executions, the stand-in for the NVIDIA Visual
-// Profiler traces in the paper's Figs 7 and 9.
+// Profiler traces in the paper's Figs 7 and 9. It is a device-scoped view
+// over an obs.Recorder: each span lands on the track
+// "<device>/<stream>/<kind>" (or "<stream>/<kind>" for a private
+// recorder), so a recorder shared with the stitch layer carries GPU and
+// CPU spans on one clock.
 type Timeline struct {
-	epoch time.Time
-	mu    sync.Mutex
-	spans []Span
+	rec    *obs.Recorder
+	own    bool // recorder created by (and closed with) this timeline
+	epoch  time.Time
+	device string
 }
 
-// NewTimeline creates a recorder with the given epoch.
-func NewTimeline(epoch time.Time) *Timeline { return &Timeline{epoch: epoch} }
+// NewTimeline creates a recorder with the given epoch. The timeline owns
+// its obs recorder; call Close to release its flusher goroutine.
+func NewTimeline(epoch time.Time) *Timeline {
+	return &Timeline{rec: obs.New(), own: true, epoch: epoch}
+}
+
+// newTimeline wraps a shared recorder in a device-scoped view. The caller
+// keeps ownership of the recorder.
+func newTimeline(rec *obs.Recorder, device string) *Timeline {
+	return &Timeline{rec: rec, epoch: rec.Epoch(), device: device}
+}
+
+// Close releases the timeline's recorder if it owns one. Idempotent; a
+// timeline over a shared recorder leaves it untouched.
+func (t *Timeline) Close() {
+	if t == nil || !t.own {
+		return
+	}
+	t.rec.Close()
+}
+
+// trackOf maps a (stream, kind) pair to its recorder track.
+func (t *Timeline) trackOf(stream, kind string) string {
+	if t.device == "" {
+		return stream + "/" + kind
+	}
+	return t.device + "/" + stream + "/" + kind
+}
 
 // Record appends a span.
 func (t *Timeline) Record(s Span) {
 	if s.Name == "sync" {
 		return // synchronization markers are not profiler-visible work
 	}
-	t.mu.Lock()
-	t.spans = append(t.spans, s)
-	t.mu.Unlock()
+	t.rec.RecordComplete(t.trackOf(s.Stream, s.Kind), s.Name, s.Start, s.End)
 }
 
-// Spans returns a copy of all recorded spans ordered by start time.
+// observeOp feeds the per-operation latency histogram ("gpu.op.fft2d",
+// "gpu.op.H2D", ...) shared with the rest of the run's metrics.
+func (t *Timeline) observeOp(name string, d time.Duration) {
+	if t == nil || name == "sync" {
+		return
+	}
+	t.rec.Histogram("gpu.op." + name).ObserveDuration(d)
+}
+
+// Spans returns a copy of this device's recorded spans ordered by start
+// time, with record sequence breaking ties so each stream's events appear
+// in dispatch order.
 func (t *Timeline) Spans() []Span {
-	t.mu.Lock()
-	out := append([]Span(nil), t.spans...)
-	t.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	prefix := ""
+	if t.device != "" {
+		prefix = t.device + "/"
+	}
+	var out []Span
+	for _, cs := range t.rec.Spans() {
+		if !strings.HasPrefix(cs.Track, prefix) {
+			continue
+		}
+		rest := cs.Track[len(prefix):]
+		i := strings.LastIndex(rest, "/")
+		if i < 0 {
+			continue // not a stream/kind track (e.g. a stitch-layer span)
+		}
+		out = append(out, Span{
+			Stream: rest[:i], Kind: rest[i+1:], Name: cs.Name,
+			Start: cs.Start, End: cs.End, Seq: cs.Seq,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
 }
 
@@ -122,61 +191,28 @@ func (t *Timeline) GapCount(kind string, threshold time.Duration) int {
 // bucketed into width columns. It is the textual analogue of the
 // profiler screenshots.
 func (t *Timeline) Render(width int) string {
+	return obs.RenderTracks(t.completedSpans(), width)
+}
+
+// WriteTrace serializes the timeline as Chrome Trace Event JSON. Each
+// (stream, kind) pair becomes a named thread row under one process per
+// device.
+func (t *Timeline) WriteTrace(w io.Writer, deviceName string) error {
+	return obs.EncodeChromeTrace(w, t.completedSpans(), map[string]string{"device": deviceName})
+}
+
+// completedSpans converts this device's spans to obs form with
+// "stream/kind" tracks (device prefix dropped: the exporter names the
+// device in metadata instead).
+func (t *Timeline) completedSpans() []obs.CompletedSpan {
 	spans := t.Spans()
-	if len(spans) == 0 {
-		return "(empty timeline)\n"
-	}
-	if width <= 0 {
-		width = 100
-	}
-	start := spans[0].Start
-	end := spans[0].End
-	for _, s := range spans {
-		if s.End > end {
-			end = s.End
+	out := make([]obs.CompletedSpan, len(spans))
+	for i, s := range spans {
+		out[i] = obs.CompletedSpan{
+			ID: uint64(i + 1), Seq: s.Seq,
+			Track: fmt.Sprintf("%s/%s", s.Stream, s.Kind),
+			Name:  s.Name, Start: s.Start, End: s.End,
 		}
 	}
-	total := end - start
-	if total <= 0 {
-		total = 1
-	}
-	type rowKey struct{ stream, kind string }
-	rows := map[rowKey][]bool{}
-	var order []rowKey
-	for _, s := range spans {
-		k := rowKey{s.Stream, s.Kind}
-		if _, ok := rows[k]; !ok {
-			rows[k] = make([]bool, width)
-			order = append(order, k)
-		}
-		b0 := int(int64(s.Start-start) * int64(width) / int64(total))
-		b1 := int(int64(s.End-start) * int64(width) / int64(total))
-		if b1 >= width {
-			b1 = width - 1
-		}
-		for b := b0; b <= b1; b++ {
-			rows[k][b] = true
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].stream != order[j].stream {
-			return order[i].stream < order[j].stream
-		}
-		return order[i].kind < order[j].kind
-	})
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "timeline %v – %v (%v total, %d spans)\n", start, end, total, len(spans))
-	for _, k := range order {
-		cells := rows[k]
-		fmt.Fprintf(&sb, "%-28s |", k.stream+"/"+k.kind)
-		for _, on := range cells {
-			if on {
-				sb.WriteByte('#')
-			} else {
-				sb.WriteByte(' ')
-			}
-		}
-		sb.WriteString("|\n")
-	}
-	return sb.String()
+	return out
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"hybridstitch/internal/obs"
 )
 
 // Governor models one machine's physical memory.
@@ -30,6 +32,11 @@ type Governor struct {
 	faults         int64
 	stalled        time.Duration
 	sleep          func(time.Duration) // test seam
+
+	// Nil-safe observability hooks (SetObs).
+	cFaults *obs.Counter
+	hStall  *obs.Histogram
+	gLive   *obs.Gauge
 }
 
 // New creates a governor with the given physical capacity in bytes and a
@@ -51,6 +58,18 @@ type Allocation struct {
 	mu    sync.Mutex
 }
 
+// SetObs attaches a metrics recorder: penalized touches increment
+// memgov.faults and observe memgov.stall.seconds, live bytes track the
+// memgov.live_bytes gauge. Call before sharing the governor across
+// goroutines.
+func (g *Governor) SetObs(rec *obs.Recorder) {
+	g.mu.Lock()
+	g.cFaults = rec.Counter("memgov.faults")
+	g.hStall = rec.Histogram("memgov.stall.seconds")
+	g.gLive = rec.Gauge("memgov.live_bytes")
+	g.mu.Unlock()
+}
+
 // Alloc records a reservation of n bytes. Unlike a real OS, the governor
 // never refuses: exceeding physical capacity is exactly the regime under
 // study; it just starts costing.
@@ -63,7 +82,9 @@ func (g *Governor) Alloc(n int64) (*Allocation, error) {
 	if g.live > g.peak {
 		g.peak = g.live
 	}
+	live, gl := g.live, g.gLive
 	g.mu.Unlock()
+	gl.Set(float64(live))
 	return &Allocation{g: g, bytes: n}, nil
 }
 
@@ -77,7 +98,9 @@ func (a *Allocation) Free() error {
 	a.freed = true
 	a.g.mu.Lock()
 	a.g.live -= a.bytes
+	live, gl := a.g.live, a.g.gLive
 	a.g.mu.Unlock()
+	gl.Set(float64(live))
 	return nil
 }
 
@@ -115,7 +138,10 @@ func (g *Governor) Touch(n int64) {
 		g.mu.Lock()
 		g.faults++
 		g.stalled += d
+		c, h := g.cFaults, g.hStall
 		g.mu.Unlock()
+		c.Add(1)
+		h.ObserveDuration(d)
 		g.sleep(d)
 	}
 }

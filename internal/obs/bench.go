@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFFT2D/128x96-8   1234   987654 ns/op   12 B/op   3 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so snapshots taken on machines
+// with different core counts diff cleanly.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// extraMetric matches trailing `value unit` pairs on a benchmark line.
+var extraMetric = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+// ParseGoBench extracts benchmark results from `go test -bench` output
+// into a Snapshot. Non-benchmark lines (PASS, ok, logs) are ignored.
+func ParseGoBench(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{Benchmarks: map[string]BenchEntry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := BenchEntry{NsPerOp: ns, Iters: iters}
+		for _, em := range extraMetric.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
+			}
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[em[2]] = v
+		}
+		snap.Benchmarks[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return snap, fmt.Errorf("obs: reading bench output: %w", err)
+	}
+	return snap, nil
+}
+
+// BenchDelta describes one benchmark's change between two snapshots.
+type BenchDelta struct {
+	Name  string
+	OldNs float64
+	NewNs float64
+}
+
+// Ratio returns new/old ns/op (>1 means slower).
+func (d BenchDelta) Ratio() float64 {
+	if d.OldNs == 0 {
+		return 0
+	}
+	return d.NewNs / d.OldNs
+}
+
+// BenchDiff is the result of comparing two snapshots.
+type BenchDiff struct {
+	Regressions []BenchDelta // slower by more than the threshold
+	Improved    []BenchDelta // faster by more than the threshold
+	Missing     []string     // in old but not new
+	Added       []string     // in new but not old
+}
+
+// DiffBench compares benchmark ns/op between two snapshots. A benchmark
+// is a regression when new/old > 1+threshold (0.15 = the repo's 15%
+// gate), an improvement when new/old < 1-threshold.
+func DiffBench(old, new Snapshot, threshold float64) BenchDiff {
+	var d BenchDiff
+	for _, name := range sortedKeys(old.Benchmarks) {
+		o := old.Benchmarks[name]
+		n, ok := new.Benchmarks[name]
+		if !ok {
+			d.Missing = append(d.Missing, name)
+			continue
+		}
+		delta := BenchDelta{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		switch r := delta.Ratio(); {
+		case r > 1+threshold:
+			d.Regressions = append(d.Regressions, delta)
+		case r < 1-threshold:
+			d.Improved = append(d.Improved, delta)
+		}
+	}
+	for _, name := range sortedKeys(new.Benchmarks) {
+		if _, ok := old.Benchmarks[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+	sort.Strings(d.Missing)
+	sort.Strings(d.Added)
+	return d
+}
+
+// Format renders the diff as a human-readable report.
+func (d BenchDiff) Format() string {
+	var sb strings.Builder
+	for _, r := range d.Regressions {
+		fmt.Fprintf(&sb, "REGRESSION  %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			r.Name, r.OldNs, r.NewNs, (r.Ratio()-1)*100)
+	}
+	for _, r := range d.Improved {
+		fmt.Fprintf(&sb, "improved    %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			r.Name, r.OldNs, r.NewNs, (r.Ratio()-1)*100)
+	}
+	for _, name := range d.Missing {
+		fmt.Fprintf(&sb, "missing     %s\n", name)
+	}
+	for _, name := range d.Added {
+		fmt.Fprintf(&sb, "added       %s\n", name)
+	}
+	if sb.Len() == 0 {
+		sb.WriteString("no significant changes\n")
+	}
+	return sb.String()
+}

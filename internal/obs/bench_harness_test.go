@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchFixtureOld = `goos: linux
+goarch: amd64
+pkg: hybridstitch/internal/fft
+BenchmarkFFT2D/128x96-8         	    1000	   1000000 ns/op	     512 B/op	       4 allocs/op
+BenchmarkNCC/128x96-8           	     500	   2000000 ns/op
+BenchmarkPipelinedGPU-8         	      10	 100000000 ns/op	      42.5 MB/s
+BenchmarkGone-8                 	    3000	    500000 ns/op
+PASS
+ok  	hybridstitch/internal/fft	4.2s
+`
+
+const benchFixtureNew = `BenchmarkFFT2D/128x96-16        	    1000	   1300000 ns/op	     512 B/op	       4 allocs/op
+BenchmarkNCC/128x96-16          	     500	   1500000 ns/op
+BenchmarkPipelinedGPU-16        	      10	 104000000 ns/op	      41.0 MB/s
+BenchmarkFresh-16               	    2000	    700000 ns/op
+`
+
+func TestParseGoBench(t *testing.T) {
+	snap, err := ParseGoBench(strings.NewReader(benchFixtureOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	// GOMAXPROCS suffix stripped.
+	fft, ok := snap.Benchmarks["BenchmarkFFT2D/128x96"]
+	if !ok {
+		t.Fatalf("missing BenchmarkFFT2D/128x96: %+v", snap.Benchmarks)
+	}
+	if fft.NsPerOp != 1000000 || fft.Iters != 1000 {
+		t.Fatalf("fft entry = %+v", fft)
+	}
+	if fft.Extra["B/op"] != 512 || fft.Extra["allocs/op"] != 4 {
+		t.Fatalf("fft extras = %+v", fft.Extra)
+	}
+	if snap.Benchmarks["BenchmarkPipelinedGPU"].Extra["MB/s"] != 42.5 {
+		t.Fatalf("MB/s lost: %+v", snap.Benchmarks["BenchmarkPipelinedGPU"])
+	}
+}
+
+func TestDiffBenchFlagsRegressions(t *testing.T) {
+	old, err := ParseGoBench(strings.NewReader(benchFixtureOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ParseGoBench(strings.NewReader(benchFixtureNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffBench(old, cur, 0.15)
+
+	// FFT2D: 1.0ms -> 1.3ms = +30%, a regression.
+	if len(d.Regressions) != 1 || d.Regressions[0].Name != "BenchmarkFFT2D/128x96" {
+		t.Fatalf("regressions = %+v, want just FFT2D", d.Regressions)
+	}
+	// NCC: 2.0ms -> 1.5ms = -25%, improved.
+	if len(d.Improved) != 1 || d.Improved[0].Name != "BenchmarkNCC/128x96" {
+		t.Fatalf("improved = %+v, want just NCC", d.Improved)
+	}
+	// PipelinedGPU: +4%, inside the 15% gate — unflagged.
+	if len(d.Missing) != 1 || d.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", d.Missing)
+	}
+	if len(d.Added) != 1 || d.Added[0] != "BenchmarkFresh" {
+		t.Fatalf("added = %v", d.Added)
+	}
+	out := d.Format()
+	for _, want := range []string{"REGRESSION", "BenchmarkFFT2D/128x96", "improved", "BenchmarkNCC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffBenchNoChanges(t *testing.T) {
+	snap, err := ParseGoBench(strings.NewReader(benchFixtureOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffBench(snap, snap, 0.15)
+	if len(d.Regressions)+len(d.Improved)+len(d.Missing)+len(d.Added) != 0 {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+	if !strings.Contains(d.Format(), "no significant changes") {
+		t.Fatalf("report = %q", d.Format())
+	}
+}

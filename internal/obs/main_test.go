@@ -1,0 +1,13 @@
+package obs
+
+import (
+	"testing"
+
+	"hybridstitch/internal/analysis/leaktest"
+)
+
+// TestMain fails the package if any test leaks a goroutine — in
+// particular a Recorder flusher left running by a missing Close.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing named count (pool acquisitions,
+// retries, degraded tiles). A nil *Counter is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.metricsMu.Unlock()
+	return c
+}
+
+// CounterValue reads the named counter without creating it.
+func (r *Recorder) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.metricsMu.Lock()
+	c := r.counters[name]
+	r.metricsMu.Unlock()
+	return c.Value()
+}
+
+// Gauge is a named instantaneous value that also tracks its maximum
+// (queue depth, live bytes, buffers in use). A nil *Gauge is a no-op.
+type Gauge struct {
+	mu   sync.Mutex
+	set  bool
+	last float64
+	max  float64
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.last = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+	g.mu.Unlock()
+}
+
+// Value returns the last value set and the maximum seen.
+func (g *Gauge) Value() (last, max float64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.last, g.max
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.metricsMu.Unlock()
+	return g
+}
+
+// histBuckets is the number of exponential histogram buckets: bucket i
+// counts observations in [1µs·2^i, 1µs·2^(i+1)), spanning 1µs…~16s.
+const histBuckets = 24
+
+// histBucket returns the bucket index for an observation in seconds.
+func histBucket(v float64) int {
+	if v <= 1e-6 {
+		return 0
+	}
+	b := int(math.Log2(v / 1e-6))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Histogram aggregates a latency distribution (kernel durations, paging
+// stalls) into exponential buckets plus count/sum/min/max. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[histBucket(v)]++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records one duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Stats returns count, sum, min, and max.
+func (h *Histogram) Stats() (count int64, sum, min, max float64) {
+	if h == nil {
+		return 0, 0, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	r.metricsMu.Unlock()
+	return h
+}

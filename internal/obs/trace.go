@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceEvent is one Chrome Trace Event Format record ("X" = complete
+// event, "M" = metadata). This format is what every trace viewer
+// (chrome://tracing, Perfetto, Speedscope) accepts — the reproduction's
+// stand-in for the NVIDIA Visual Profiler views in the paper's figures.
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"` // microseconds
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the envelope Perfetto accepts.
+type traceFile struct {
+	TraceEvents []TraceEvent      `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// sortSpansBySeq restores record order.
+func sortSpansBySeq(spans []CompletedSpan) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+}
+
+// SortSpans orders spans for display: by start time, then record sequence
+// — the tie-break that keeps one track's events in submission order when
+// coarse clocks collide.
+func SortSpans(spans []CompletedSpan) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Seq < spans[j].Seq
+	})
+}
+
+// EncodeChromeTrace writes spans as Chrome trace_event JSON: one named
+// thread row per track, one "X" complete event per span, attributes in
+// args. Arbitrary span names and attribute values are legal — encoding
+// relies on encoding/json for escaping.
+func EncodeChromeTrace(w io.Writer, spans []CompletedSpan, meta map[string]string) error {
+	rows := map[string]int{}
+	var order []string
+	for _, s := range spans {
+		if _, seen := rows[s.Track]; !seen {
+			rows[s.Track] = 0
+			order = append(order, s.Track)
+		}
+	}
+	sort.Strings(order)
+	for i, tr := range order {
+		rows[tr] = i + 1
+	}
+
+	out := traceFile{Metadata: meta}
+	for _, tr := range order {
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: rows[tr],
+			Args: map[string]string{"name": tr},
+		})
+	}
+	sorted := append([]CompletedSpan(nil), spans...)
+	SortSpans(sorted)
+	for _, s := range sorted {
+		dur := s.Duration().Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-duration events vanish in trace viewers
+		}
+		var args map[string]string
+		if len(s.Attrs) > 0 {
+			args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name: s.Name, Cat: s.Track, Phase: "X",
+			TS: s.Start.Microseconds(), Dur: dur,
+			PID: 1, TID: rows[s.Track], Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteChromeTrace exports every span recorded so far.
+func (r *Recorder) WriteChromeTrace(w io.Writer, meta map[string]string) error {
+	if r == nil {
+		return fmt.Errorf("obs: nil recorder")
+	}
+	return EncodeChromeTrace(w, r.Spans(), meta)
+}
+
+// DecodeChromeTrace parses trace JSON written by EncodeChromeTrace back
+// into spans: "M" thread_name rows restore the track names, "X" events
+// the spans, args the attributes. Hierarchy (Parent) is not preserved by
+// the format. Used by cmd/profileviz to re-render saved traces and by the
+// round-trip tests.
+func DecodeChromeTrace(rd io.Reader) ([]CompletedSpan, error) {
+	var in traceFile
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace: %w", err)
+	}
+	tracks := map[int]string{}
+	for _, e := range in.TraceEvents {
+		if e.Phase == "M" && e.Name == "thread_name" {
+			tracks[e.TID] = e.Args["name"]
+		}
+	}
+	var spans []CompletedSpan
+	var seq uint64
+	for _, e := range in.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		track, ok := tracks[e.TID]
+		if !ok {
+			track = fmt.Sprintf("tid%d", e.TID)
+		}
+		var attrs []Attr
+		if len(e.Args) > 0 {
+			keys := make([]string, 0, len(e.Args))
+			for k := range e.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				attrs = append(attrs, Attr{Key: k, Value: e.Args[k]})
+			}
+		}
+		seq++
+		spans = append(spans, CompletedSpan{
+			ID: seq, Track: track, Name: e.Name, Seq: seq,
+			Start: time.Duration(e.TS) * time.Microsecond,
+			End:   time.Duration(e.TS+e.Dur) * time.Microsecond,
+			Attrs: attrs,
+		})
+	}
+	return spans, nil
+}
+
+// RenderTracks draws an ASCII timeline: one row per track, time bucketed
+// into width columns — the textual analogue of the profiler screenshots,
+// shared by cmd/profileviz and the GPU timeline's Render.
+func RenderTracks(spans []CompletedSpan, width int) string {
+	if len(spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width <= 0 {
+		width = 100
+	}
+	sorted := append([]CompletedSpan(nil), spans...)
+	SortSpans(sorted)
+	start := sorted[0].Start
+	end := sorted[0].End
+	for _, s := range sorted {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	total := end - start
+	if total <= 0 {
+		total = 1
+	}
+	rows := map[string][]bool{}
+	var order []string
+	for _, s := range sorted {
+		if _, ok := rows[s.Track]; !ok {
+			rows[s.Track] = make([]bool, width)
+			order = append(order, s.Track)
+		}
+		b0 := int(int64(s.Start-start) * int64(width) / int64(total))
+		b1 := int(int64(s.End-start) * int64(width) / int64(total))
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			rows[s.Track][b] = true
+		}
+	}
+	sort.Strings(order)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %v – %v (%v total, %d spans)\n", start, end, total, len(sorted))
+	for _, tr := range order {
+		fmt.Fprintf(&sb, "%-28s |", tr)
+		for _, on := range rows[tr] {
+			if on {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// jsonClean mirrors encoding/json's string sanitation: every invalid
+// UTF-8 byte becomes U+FFFD. Round-tripping preserves strings modulo
+// this coercion — JSON text must be valid UTF-8.
+func jsonClean(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			sb.WriteRune(utf8.RuneError)
+		} else {
+			sb.WriteString(s[i : i+size])
+		}
+		i += size
+	}
+	return sb.String()
+}
+
+// FuzzChromeTrace feeds arbitrary span names, track names, and attribute
+// strings through the Chrome-trace encoder and asserts the output is
+// always valid JSON that round-trips through the decoder with names and
+// attributes intact. Spans are built directly (no Recorder) so the fuzz
+// worker spawns no goroutines.
+func FuzzChromeTrace(f *testing.F) {
+	f.Add("run", "stitch", "impl", "simple-cpu", int64(0), int64(1500))
+	f.Add("stage/read", `quote"brace}`, "tile", "r000_c001", int64(-5), int64(0))
+	f.Add("GPU0/copy/memcpyH2D", "H2D", "bytes", "98304", int64(12), int64(12))
+	f.Add("", "", "", "", int64(1<<40), int64(-1))
+	f.Add("unicode/Δt", "späñ\x00name", "k\n", "v\t\\", int64(7), int64(7))
+	f.Fuzz(func(t *testing.T, track, name, ak, av string, startUS, durUS int64) {
+		spans := []CompletedSpan{
+			{ID: 1, Seq: 1, Track: track, Name: name,
+				Start: time.Duration(startUS) * time.Microsecond,
+				End:   time.Duration(startUS+durUS) * time.Microsecond,
+				Attrs: []Attr{{Key: ak, Value: av}}},
+			{ID: 2, Seq: 2, Track: track + "2", Name: name,
+				Start: 0, End: time.Duration(durUS) * time.Microsecond},
+		}
+		var buf bytes.Buffer
+		if err := EncodeChromeTrace(&buf, spans, map[string]string{"device": track}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("invalid JSON for track=%q name=%q attr=%q=%q:\n%s", track, name, ak, av, buf.Bytes())
+		}
+		decoded, err := DecodeChromeTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(decoded) != len(spans) {
+			t.Fatalf("decoded %d spans, want %d", len(decoded), len(spans))
+		}
+		wantName, wantK, wantV := jsonClean(name), jsonClean(ak), jsonClean(av)
+		var sawAttr bool
+		for _, s := range decoded {
+			if s.Name != wantName {
+				t.Fatalf("name %q decoded as %q", name, s.Name)
+			}
+			if s.End < s.Start {
+				t.Fatalf("decoded interval inverted: %+v", s)
+			}
+			for _, a := range s.Attrs {
+				if a.Key == wantK && a.Value == wantV {
+					sawAttr = true
+				}
+			}
+		}
+		if !sawAttr {
+			t.Fatalf("attr %q=%q lost in round trip", ak, av)
+		}
+	})
+}

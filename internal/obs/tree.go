@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalTree renders the recorded spans as a deterministic indented
+// tree, the golden-trace test format. Each line is `name k=v ...`, with
+// ` @track` appended when the span's track differs from its parent's.
+// Siblings (and roots) are sorted content-wise by (track, name, attrs),
+// never by time or ID, so the output is stable across scheduling: two
+// runs that perform the same work produce identical trees even when
+// goroutines interleave differently.
+func (r *Recorder) CanonicalTree() string {
+	if r == nil {
+		return ""
+	}
+	return CanonicalTree(r.Spans())
+}
+
+// CanonicalTree renders a span slice as described on Recorder.CanonicalTree.
+func CanonicalTree(spans []CompletedSpan) string {
+	byID := make(map[uint64]int, len(spans))
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	children := map[uint64][]int{}
+	var roots []int
+	for i, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := byID[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], i)
+				continue
+			}
+			// Dangling parent (dropped by ring overflow): promote to root
+			// rather than losing the subtree.
+		}
+		roots = append(roots, i)
+	}
+	sortKey := func(i int) string {
+		s := spans[i]
+		var sb strings.Builder
+		sb.WriteString(s.Track)
+		sb.WriteByte('\x00')
+		sb.WriteString(s.Name)
+		for _, a := range s.Attrs {
+			sb.WriteByte('\x00')
+			sb.WriteString(a.Key)
+			sb.WriteByte('=')
+			sb.WriteString(a.Value)
+		}
+		return sb.String()
+	}
+	order := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return sortKey(idx[a]) < sortKey(idx[b]) })
+	}
+	order(roots)
+	for _, idx := range children {
+		order(idx)
+	}
+	var sb strings.Builder
+	var render func(i, depth int, parentTrack string)
+	render = func(i, depth int, parentTrack string) {
+		s := spans[i]
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.Name)
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&sb, " %s=%s", a.Key, a.Value)
+		}
+		if s.Track != parentTrack {
+			fmt.Fprintf(&sb, " @%s", s.Track)
+		}
+		sb.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			render(c, depth+1, s.Track)
+		}
+	}
+	for _, i := range roots {
+		render(i, 0, "")
+	}
+	return sb.String()
+}

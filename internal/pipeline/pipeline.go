@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+
+	"hybridstitch/internal/obs"
 )
 
 // Pipeline owns a set of stages (goroutine groups) and the queues between
@@ -16,10 +18,25 @@ type Pipeline struct {
 	failed bool
 	abortC chan struct{}
 	notes  []error
+
+	// cNotes/cAborts are nil-safe no-ops until Observe attaches a
+	// recorder.
+	cNotes  *obs.Counter
+	cAborts *obs.Counter
 }
 
 // New creates an empty pipeline.
 func New() *Pipeline { return &Pipeline{abortC: make(chan struct{})} }
+
+// Observe attaches a metrics recorder: recoverable Notes increment
+// pipeline.notes and fatal failures increment pipeline.aborts. Call
+// before launching stages.
+func (p *Pipeline) Observe(rec *obs.Recorder) {
+	p.mu.Lock()
+	p.cNotes = rec.Counter("pipeline.notes")
+	p.cAborts = rec.Counter("pipeline.aborts")
+	p.mu.Unlock()
+}
 
 // Aborted is closed when any stage fails; stages blocked on resources
 // other than pipeline queues (e.g. a device buffer pool) select on it so
@@ -72,7 +89,9 @@ func (p *Pipeline) Note(err error) {
 	}
 	p.mu.Lock()
 	p.notes = append(p.notes, err)
+	c := p.cNotes
 	p.mu.Unlock()
+	c.Add(1)
 }
 
 // Notes returns the recoverable errors recorded so far, in arrival
@@ -92,6 +111,7 @@ func (p *Pipeline) fail(err error) {
 	}
 	p.failed = true
 	p.err = err
+	p.cAborts.Add(1)
 	close(p.abortC)
 	for _, q := range p.queues {
 		q.Abort()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/tile"
 )
 
@@ -20,13 +21,23 @@ type devicePool struct {
 	ch   chan *gpu.Buffer
 	bufs []*gpu.Buffer
 
+	// Metrics are nil-safe no-ops when no recorder is attached. The pool
+	// is the main blocking-wait site of the GPU variants, so acquires vs
+	// waits exposes how often the paper's fixed-pool constraint actually
+	// throttles the pipeline.
+	acquires *obs.Counter
+	waits    *obs.Counter
+	inUse    *obs.Gauge
+
 	mu   sync.Mutex
 	out  int // buffers currently acquired
 	peak int
 }
 
 // newDevicePool preallocates n transform buffers for grid g on dev.
-func newDevicePool(dev *gpu.Device, g tile.Grid, n int) (*devicePool, error) {
+// When rec is non-nil the pool reports gpu.pool.acquires,
+// gpu.pool.waits, and the gpu.pool.in_use gauge.
+func newDevicePool(dev *gpu.Device, g tile.Grid, n int, rec *obs.Recorder) (*devicePool, error) {
 	minDim := g.Rows
 	if g.Cols < minDim {
 		minDim = g.Cols
@@ -39,7 +50,12 @@ func newDevicePool(dev *gpu.Device, g tile.Grid, n int) (*devicePool, error) {
 		return nil, fmt.Errorf("stitch: pool of %d transforms needs %d words, device %s has %d",
 			n, need, dev.Name(), dev.MemWords())
 	}
-	p := &devicePool{ch: make(chan *gpu.Buffer, n)}
+	p := &devicePool{
+		ch:       make(chan *gpu.Buffer, n),
+		acquires: rec.Counter("gpu.pool.acquires"),
+		waits:    rec.Counter("gpu.pool.waits"),
+		inUse:    rec.Gauge("gpu.pool.in_use"),
+	}
 	for i := 0; i < n; i++ {
 		b, err := dev.Alloc(words)
 		if err != nil {
@@ -54,6 +70,13 @@ func newDevicePool(dev *gpu.Device, g tile.Grid, n int) (*devicePool, error) {
 
 // acquire takes a buffer, blocking until one is available.
 func (p *devicePool) acquire() *gpu.Buffer {
+	select {
+	case b := <-p.ch:
+		p.note(b)
+		return b
+	default:
+	}
+	p.waits.Add(1)
 	b := <-p.ch
 	p.note(b)
 	return b
@@ -62,6 +85,13 @@ func (p *devicePool) acquire() *gpu.Buffer {
 // acquireOr takes a buffer or gives up when abort is closed (pipeline
 // teardown must not hang on a drained pool).
 func (p *devicePool) acquireOr(abort <-chan struct{}) (*gpu.Buffer, error) {
+	select {
+	case b := <-p.ch:
+		p.note(b)
+		return b, nil
+	default:
+	}
+	p.waits.Add(1)
 	select {
 	case b := <-p.ch:
 		p.note(b)
@@ -77,14 +107,19 @@ func (p *devicePool) note(*gpu.Buffer) {
 	if p.out > p.peak {
 		p.peak = p.out
 	}
+	out := p.out
 	p.mu.Unlock()
+	p.acquires.Add(1)
+	p.inUse.Set(float64(out))
 }
 
 // release returns a buffer to the pool.
 func (p *devicePool) release(b *gpu.Buffer) {
 	p.mu.Lock()
 	p.out--
+	out := p.out
 	p.mu.Unlock()
+	p.inUse.Set(float64(out))
 	p.ch <- b
 }
 

@@ -30,6 +30,9 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	}
 	opts = opts.withDefaults(g)
 	res := newResult(g)
+	// The baseline gets only the root span and result-level counters: the
+	// golden/differential harness covers the five paper variants.
+	rootSp := startRun(opts.Obs, "fiji", g)
 	start := time.Now()
 
 	pairs := g.Pairs()
@@ -102,5 +105,6 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	res.TransformsComputed = int(nTransforms)
 	// Per-pair transforms are transient: at most 2 per in-flight pair.
 	res.PeakTransformsLive = 2 * opts.Threads
+	finishRun(opts.Obs, rootSp, res)
 	return res, nil
 }

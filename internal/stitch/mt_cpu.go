@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/tile"
 )
 
@@ -30,6 +31,7 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
+	root := startRun(opts.Obs, "mt-cpu", g)
 	start := time.Now()
 
 	// Per-tile once guards: the first worker to need a tile computes its
@@ -71,16 +73,16 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 				fail(err)
 				return
 			}
-			ensure := func(c tile.Coord) (*tile.Gray16, []complex128, error) {
+			ensure := func(c tile.Coord, psp *obs.Span) (*tile.Gray16, []complex128, error) {
 				i := g.Index(c)
 				onces[i].Do(func() {
-					img, err := fp.readTile(src, c)
+					img, err := fp.readTile(src, c, psp)
 					if err != nil {
 						errs[i] = err
 						return
 					}
 					cache.touch()
-					f, err := fp.transform(al, c, img)
+					f, err := fp.transform(al, c, img, psp)
 					if err != nil {
 						errs[i] = err
 						return
@@ -112,40 +114,42 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 				}
 				return true
 			}
-			for _, p := range part {
-				bImg, bF, err := ensure(p.Coord)
+			doPair := func(p tile.Pair) bool {
+				psp := root.Child("pair", pairAttr(p))
+				defer psp.End()
+				bImg, bF, err := ensure(p.Coord, psp)
 				if err != nil {
-					if !degradeTile(p, p.Coord, err) {
-						return
-					}
-					continue
+					return degradeTile(p, p.Coord, err)
 				}
-				aImg, aF, err := ensure(p.Neighbor())
+				aImg, aF, err := ensure(p.Neighbor(), psp)
 				if err != nil {
-					if !degradeTile(p, p.Neighbor(), err) {
-						return
-					}
-					continue
+					return degradeTile(p, p.Neighbor(), err)
 				}
 				cache.touch()
-				d, err := fp.displace(al, p, aImg, bImg, aF, bF)
+				d, err := fp.displace(al, p, aImg, bImg, aF, bF, psp)
 				if err != nil {
 					if !fp.degrade {
 						fail(err)
-						return
+						return false
 					}
 					ds.pairFailed(p, err)
 					if err := cache.releasePair(p); err != nil {
 						fail(err)
-						return
+						return false
 					}
-					continue
+					return true
 				}
 				mu.Lock()
 				res.setPair(p, d)
 				mu.Unlock()
 				if err := cache.releasePair(p); err != nil {
 					fail(err)
+					return false
+				}
+				return true
+			}
+			for _, p := range part {
+				if !doPair(p) {
 					return
 				}
 			}
@@ -159,5 +163,6 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
+	finishRun(opts.Obs, root, res)
 	return res, nil
 }

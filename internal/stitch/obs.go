@@ -1,0 +1,70 @@
+package stitch
+
+import (
+	"fmt"
+
+	"hybridstitch/internal/obs"
+	"hybridstitch/internal/tile"
+)
+
+// This file is the stitch layer's span/metric taxonomy (DESIGN.md §10).
+// Semantic counters — equal across all five variants for the same input
+// — are distinguished from timing metrics, which legitimately differ:
+// the differential test in obs_integration_test.go pins the former.
+
+// Semantic counter names. CounterPairsAligned, CounterRetries,
+// CounterDegradedTiles, and CounterDegradedPairs are variant-invariant;
+// CounterTilesRead and CounterTransforms additionally depend on the
+// device partitioning (Pipelined-GPU re-reads boundary rows per device
+// band) so they are invariant only at fixed partitioning.
+const (
+	CounterTilesRead     = "stitch.tiles.read"
+	CounterTransforms    = "stitch.transforms"
+	CounterPairsAligned  = "stitch.pairs.aligned"
+	CounterRetries       = "fault.retries"
+	CounterDegradedTiles = "stitch.degraded.tiles"
+	CounterDegradedPairs = "stitch.degraded.pairs"
+)
+
+// tileAttr renders a tile-coordinate span attribute.
+func tileAttr(c tile.Coord) obs.Attr {
+	return obs.String("tile", detail(c))
+}
+
+// pairAttr renders a tile-pair span attribute.
+func pairAttr(p tile.Pair) obs.Attr {
+	return obs.String("pair", p.Dir.String()+"_"+detail(p.Coord))
+}
+
+// startRun opens the per-run root span on the "run" track. Nil-safe.
+func startRun(rec *obs.Recorder, impl string, g tile.Grid) *obs.Span {
+	return rec.StartSpan("run", "stitch",
+		obs.String("impl", impl),
+		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)))
+}
+
+// finishRun ends the root span and publishes the run's result-level
+// metrics: semantic counters derived from the Result (the quantities
+// every variant must agree on), peak live transforms, and per-queue
+// depth/pushes.
+func finishRun(rec *obs.Recorder, root *obs.Span, res *Result) {
+	root.End()
+	if rec == nil || res == nil {
+		return
+	}
+	aligned := 0
+	for _, p := range res.Grid.Pairs() {
+		if _, ok := res.PairDisplacement(p); ok {
+			aligned++
+		}
+	}
+	rec.Counter(CounterPairsAligned).Add(int64(aligned))
+	rec.Counter(CounterTransforms).Add(int64(res.TransformsComputed))
+	rec.Counter(CounterDegradedTiles).Add(int64(len(res.DegradedTiles)))
+	rec.Counter(CounterDegradedPairs).Add(int64(len(res.DegradedPairs)))
+	rec.Gauge("stitch.transforms.peak_live").Set(float64(res.PeakTransformsLive))
+	for _, q := range res.QueueStats {
+		rec.Gauge("queue." + q.Name + ".max_depth").Set(float64(q.MaxDepth))
+		rec.Counter("queue." + q.Name + ".pushes").Add(q.Pushes)
+	}
+}

@@ -56,9 +56,16 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	fp := opts.plan()
 	ds := newDegradedSet(g)
 	var resMu sync.Mutex
+	root := startRun(opts.Obs, "pipelined-cpu", g)
+	// One span per stage, parents of that stage's operation spans: the
+	// pipeline analogue of the paper's per-stage timeline rows.
+	spRead := root.ChildOn("stage/read", "read")
+	spWork := root.ChildOn("stage/work", "work")
+	spBK := root.ChildOn("stage/bk", "bk")
 	start := time.Now()
 
 	p := pipeline.New()
+	p.Observe(opts.Obs)
 	qRead := pipeline.AddQueue[cpuWork](p, "read→work", opts.QueueCap)
 	qWork := pipeline.AddQueue[cpuWork](p, "bk→work", opts.QueueCap)
 	// Every transform completion produces exactly one event; capacity
@@ -77,7 +84,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	coords.Close()
 	pipeline.Connect(p, "read", opts.ReadThreads, coords, qRead,
 		func(c tile.Coord, emit func(cpuWork) error) error {
-			img, err := fp.readTile(src, c)
+			img, err := fp.readTile(src, c, spRead)
 			if err != nil {
 				if !fp.degrade {
 					return err
@@ -204,7 +211,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 			}
 			if !w.isPair {
 				cache.touch()
-				f, err := fp.transform(al, w.coord, w.img)
+				f, err := fp.transform(al, w.coord, w.img, spWork)
 				if err != nil {
 					if !fp.degrade {
 						return err
@@ -223,7 +230,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 				continue
 			}
 			cache.touch()
-			d, err := fp.displace(al, w.pair, w.aImg, w.bImg, w.aF, w.bF)
+			d, err := fp.displace(al, w.pair, w.aImg, w.bImg, w.aF, w.bF, spWork)
 			if err != nil {
 				if !fp.degrade {
 					return err
@@ -244,7 +251,11 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 		}
 	}, nil)
 
-	if err := p.Wait(); err != nil {
+	err := p.Wait()
+	spRead.End()
+	spWork.End()
+	spBK.End()
+	if err != nil {
 		return nil, err
 	}
 	ds.finalize(res)
@@ -258,5 +269,6 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 		pushes, maxDepth := q.Stats()
 		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
 	}
+	finishRun(opts.Obs, root, res)
 	return res, nil
 }

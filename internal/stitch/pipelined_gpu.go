@@ -7,6 +7,7 @@ import (
 
 	"hybridstitch/internal/fft"
 	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/pciam"
 	"hybridstitch/internal/pipeline"
 	"hybridstitch/internal/tile"
@@ -143,9 +144,17 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	fp := opts.plan()
 	ds := newDegradedSet(g)
 	var resMu sync.Mutex
+	root := startRun(opts.Obs, "pipelined-gpu", g)
+	var stageSpans []*obs.Span
+	stageSpan := func(name string) *obs.Span {
+		sp := root.ChildOn("stage/"+name, name)
+		stageSpans = append(stageSpans, sp)
+		return sp
+	}
 	start := time.Now()
 
 	p := pipeline.New()
+	p.Observe(opts.Obs)
 	qCCF := pipeline.AddQueue[ccfTask](p, "disp→ccf", opts.QueueCap)
 	parts := makePartitions(g.Rows, len(opts.Devices))
 	var wgDisp sync.WaitGroup
@@ -193,7 +202,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	for d := range parts {
 		pt := parts[d]
 		dev := opts.Devices[d]
-		pool, err := newDevicePool(dev, g, opts.PoolTransforms)
+		pool, err := newDevicePool(dev, g, opts.PoolTransforms, opts.Obs)
 		if err != nil {
 			return nil, constructionFail(err)
 		}
@@ -263,10 +272,13 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		qPairs := pipeline.AddQueue[gpuPair](p, name("bk→disp"), opts.QueueCap)
 		statQueues = append(statQueues, qRead, qCopied, qBK, qPairs)
 
+		spRead := stageSpan(name("read"))
+		spDisp := stageSpan(name("disp"))
+
 		// Stage 1: readers.
 		pipeline.Connect(p, name("read"), opts.ReadThreads, qCoords, qRead,
 			func(c tile.Coord, emit func(gpuTile) error) error {
-				img, err := fp.readTile(src, c)
+				img, err := fp.readTile(src, c, spRead)
 				if err != nil {
 					if !fp.degrade {
 						return err
@@ -418,11 +430,13 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				// fault — including an upstream copy/FFT error carried by
 				// the pair's sticky events — degrades the pair.
 				var red gpu.Reduction
+				dsp := spDisp.Child("disp", pairAttr(gp.pair))
 				err := fp.retry.Do(func() error {
 					ev := dispStream.NCC(scratch, gp.a.buf, gp.b.buf, int(words), gp.a.ev, gp.b.ev)
 					ev = dispStream.FFT2D(invPlan, scratch, ev)
 					return dispStream.MaxAbs(scratch, int(words), &red, ev).Wait()
 				})
+				dsp.End()
 				if err != nil && !fp.degrade {
 					return err
 				}
@@ -458,6 +472,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	}, nil)
 
 	// Stage 6: CCF workers, shared across GPUs.
+	spCCF := stageSpan("ccf")
 	pciamOpts := opts.pciamOptions()
 	p.Go("ccf", opts.CCFThreads, func(int) error {
 		for {
@@ -465,7 +480,9 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 			if !ok {
 				return nil
 			}
+			csp := spCCF.Child("ccf", pairAttr(t.pair))
 			d := pciam.Resolve(t.aImg, t.bImg, t.peakIdx%g.TileW, t.peakIdx/g.TileW, pciamOpts)
+			csp.End()
 			resMu.Lock()
 			res.setPair(t.pair, d)
 			resMu.Unlock()
@@ -473,6 +490,9 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	}, nil)
 
 	err := p.Wait()
+	for _, sp := range stageSpans {
+		sp.End()
+	}
 	peak := 0
 	for _, pool := range pools {
 		peak += pool.peakInUse()
@@ -491,5 +511,6 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		pushes, maxDepth := q.Stats()
 		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
 	}
+	finishRun(opts.Obs, root, res)
 	return res, nil
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hybridstitch/internal/fault"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/tile"
 )
 
@@ -18,24 +20,55 @@ import (
 // reconnects through nominal displacements), so a degraded phase-1
 // result still places every surviving tile.
 
-// faultPlan is the per-run view of the robustness options.
+// faultPlan is the per-run view of the robustness options, carrying the
+// run's observability recorder so every instrumented site records its
+// span, latency, and retry count in one place.
 type faultPlan struct {
 	inj     *fault.Injector
 	retry   fault.Retrier
 	degrade bool
+	rec     *obs.Recorder
 }
 
 // plan extracts the fault plan from the options.
 func (o Options) plan() faultPlan {
-	return faultPlan{
-		inj: o.Faults,
-		retry: fault.Retrier{
-			MaxRetries: o.MaxRetries,
-			Backoff:    o.RetryBackoff,
-			MaxBackoff: 16 * o.RetryBackoff,
-		},
-		degrade: o.Degrade,
+	retry := fault.Retrier{
+		MaxRetries: o.MaxRetries,
+		Backoff:    o.RetryBackoff,
+		MaxBackoff: 16 * o.RetryBackoff,
 	}
+	if rec := o.Obs; rec != nil {
+		retries := rec.Counter(CounterRetries)
+		retry.OnRetry = func(int) { retries.Add(1) }
+	}
+	return faultPlan{
+		inj:     o.Faults,
+		retry:   retry,
+		degrade: o.Degrade,
+		rec:     o.Obs,
+	}
+}
+
+// op wraps one instrumented operation in a child span of parent, a
+// latency histogram observation, and a success counter. Everything is
+// nil-safe: with no recorder the overhead is a few nil checks.
+func (fp faultPlan) op(parent *obs.Span, name, histogram, counter string, attr obs.Attr, run func() error) error {
+	sp := parent.Child(name, attr)
+	if sp == nil && fp.rec != nil {
+		// Callers without a span hierarchy (Fiji's batch workers) still
+		// get flat spans on a per-operation track.
+		sp = fp.rec.StartSpan("op/"+name, name, attr)
+	}
+	start := time.Now()
+	err := run()
+	sp.End()
+	if fp.rec != nil {
+		fp.rec.Histogram(histogram).ObserveDuration(time.Since(start))
+		if err == nil {
+			fp.rec.Counter(counter).Add(1)
+		}
+	}
+	return err
 }
 
 // detail renders a coordinate as the site-detail string rules match on
@@ -61,16 +94,18 @@ func tileDetail(src Source, c tile.Coord) string {
 }
 
 // readTile reads one tile through the "stitch.read" error point with
-// bounded retry.
-func (fp faultPlan) readTile(src Source, c tile.Coord) (*tile.Gray16, error) {
+// bounded retry, recorded as a "read" span under parent.
+func (fp faultPlan) readTile(src Source, c tile.Coord, parent *obs.Span) (*tile.Gray16, error) {
 	var img *tile.Gray16
-	err := fp.retry.Do(func() error {
-		if err := fp.inj.Hit(fault.SiteStitchRead, tileDetail(src, c)); err != nil {
+	err := fp.op(parent, "read", "stitch.read.seconds", CounterTilesRead, tileAttr(c), func() error {
+		return fp.retry.Do(func() error {
+			if err := fp.inj.Hit(fault.SiteStitchRead, tileDetail(src, c)); err != nil {
+				return err
+			}
+			var err error
+			img, err = src.ReadTile(c)
 			return err
-		}
-		var err error
-		img, err = src.ReadTile(c)
-		return err
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("read tile %v: %w", c, err)
@@ -79,16 +114,18 @@ func (fp faultPlan) readTile(src Source, c tile.Coord) (*tile.Gray16, error) {
 }
 
 // transform computes a forward FFT through the "stitch.fft" error point
-// with bounded retry.
-func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16) ([]complex128, error) {
+// with bounded retry, recorded as an "fft" span under parent.
+func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16, parent *obs.Span) ([]complex128, error) {
 	var f []complex128
-	err := fp.retry.Do(func() error {
-		if err := fp.inj.Hit(fault.SiteStitchFFT, detail(c)); err != nil {
+	err := fp.op(parent, "fft", "stitch.fft.seconds", "stitch.fft.ops", tileAttr(c), func() error {
+		return fp.retry.Do(func() error {
+			if err := fp.inj.Hit(fault.SiteStitchFFT, detail(c)); err != nil {
+				return err
+			}
+			var err error
+			f, err = al.Transform(img)
 			return err
-		}
-		var err error
-		f, err = al.Transform(img)
-		return err
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transform tile %v: %w", c, err)
@@ -97,16 +134,18 @@ func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16) ([]com
 }
 
 // displace computes a pair displacement through the "pciam.ncc" error
-// point with bounded retry.
-func (fp faultPlan) displace(al aligner, p tile.Pair, aImg, bImg *tile.Gray16, aF, bF []complex128) (tile.Displacement, error) {
+// point with bounded retry, recorded as a "disp" span under parent.
+func (fp faultPlan) displace(al aligner, p tile.Pair, aImg, bImg *tile.Gray16, aF, bF []complex128, parent *obs.Span) (tile.Displacement, error) {
 	var d tile.Displacement
-	err := fp.retry.Do(func() error {
-		if err := fp.inj.Hit(fault.SitePCIAMNCC, detail(p.Coord)+"/"+p.Dir.String()); err != nil {
+	err := fp.op(parent, "disp", "stitch.disp.seconds", "stitch.disp.ops", pairAttr(p), func() error {
+		return fp.retry.Do(func() error {
+			if err := fp.inj.Hit(fault.SitePCIAMNCC, detail(p.Coord)+"/"+p.Dir.String()); err != nil {
+				return err
+			}
+			var err error
+			d, err = al.Displace(aImg, bImg, aF, bF)
 			return err
-		}
-		var err error
-		d, err = al.Displace(aImg, bImg, aF, bF)
-		return err
+		})
 	})
 	if err != nil {
 		return d, fmt.Errorf("displace pair %v: %w", p, err)

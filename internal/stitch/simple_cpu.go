@@ -3,6 +3,7 @@ package stitch
 import (
 	"time"
 
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/tile"
 )
 
@@ -29,9 +30,10 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
+	root := startRun(opts.Obs, "simple-cpu", g)
 	start := time.Now()
 
-	ensure := func(c tile.Coord) (*tile.Gray16, []complex128, error) {
+	ensure := func(c tile.Coord, psp *obs.Span) (*tile.Gray16, []complex128, error) {
 		i := g.Index(c)
 		if img, f := cache.get(i); img != nil {
 			return img, f, nil
@@ -42,12 +44,12 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 		if err := ds.tileBad(c); err != nil {
 			return nil, nil, err
 		}
-		img, err := fp.readTile(src, c)
+		img, err := fp.readTile(src, c, psp)
 		if err != nil {
 			return nil, nil, err
 		}
 		cache.touch()
-		f, err := fp.transform(al, c, img)
+		f, err := fp.transform(al, c, img, psp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -66,41 +68,38 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 		return cache.releasePair(p)
 	}
 
-	for _, p := range opts.Traversal.PairOrder(g) {
-		bImg, bF, err := ensure(p.Coord)
+	doPair := func(p tile.Pair) error {
+		psp := root.Child("pair", pairAttr(p))
+		defer psp.End()
+		bImg, bF, err := ensure(p.Coord, psp)
 		if err != nil {
 			if !fp.degrade {
-				return nil, err
+				return err
 			}
-			if err := degradeTile(p, p.Coord, err); err != nil {
-				return nil, err
-			}
-			continue
+			return degradeTile(p, p.Coord, err)
 		}
-		aImg, aF, err := ensure(p.Neighbor())
+		aImg, aF, err := ensure(p.Neighbor(), psp)
 		if err != nil {
 			if !fp.degrade {
-				return nil, err
+				return err
 			}
-			if err := degradeTile(p, p.Neighbor(), err); err != nil {
-				return nil, err
-			}
-			continue
+			return degradeTile(p, p.Neighbor(), err)
 		}
 		cache.touch()
-		d, err := fp.displace(al, p, aImg, bImg, aF, bF)
+		d, err := fp.displace(al, p, aImg, bImg, aF, bF, psp)
 		if err != nil {
 			if !fp.degrade {
-				return nil, err
+				return err
 			}
 			ds.pairFailed(p, err)
-			if err := cache.releasePair(p); err != nil {
-				return nil, err
-			}
-			continue
+			return cache.releasePair(p)
 		}
 		res.setPair(p, d)
-		if err := cache.releasePair(p); err != nil {
+		return cache.releasePair(p)
+	}
+
+	for _, p := range opts.Traversal.PairOrder(g) {
+		if err := doPair(p); err != nil {
 			return nil, err
 		}
 	}
@@ -108,5 +107,6 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
+	finishRun(opts.Obs, root, res)
 	return res, nil
 }

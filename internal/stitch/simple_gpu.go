@@ -6,6 +6,7 @@ import (
 
 	"hybridstitch/internal/fft"
 	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/pciam"
 	"hybridstitch/internal/tile"
 )
@@ -48,7 +49,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	defer stream.Close()
 
 	words := int64(g.TileW) * int64(g.TileH)
-	pool, err := newDevicePool(dev, g, opts.PoolTransforms)
+	pool, err := newDevicePool(dev, g, opts.PoolTransforms, opts.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -77,10 +78,11 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
+	root := startRun(opts.Obs, "simple-gpu", g)
 	start := time.Now()
 
 	pix := make([]float64, words)
-	ensure := func(c tile.Coord) error {
+	ensure := func(c tile.Coord, psp *obs.Span) error {
 		i := g.Index(c)
 		if _, ok := bufs[i]; ok {
 			return nil
@@ -90,7 +92,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		if err := ds.tileBad(c); err != nil {
 			return err
 		}
-		img, err := fp.readTile(src, c)
+		img, err := fp.readTile(src, c, psp)
 		if err != nil {
 			return err
 		}
@@ -106,12 +108,15 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		// Simple-GPU anti-pattern under study. The sequence is idempotent
 		// (same pixels, same buffer), so a transient device fault is
 		// absorbed by replaying it.
-		if err := fp.retry.Do(func() error {
+		usp := psp.Child("upload+fft", tileAttr(c))
+		err = fp.retry.Do(func() error {
 			if err := stream.MemcpyH2DReal(buf, pix).Wait(); err != nil {
 				return err
 			}
 			return stream.FFT2D(fwdPlan, buf).Wait()
-		}); err != nil {
+		})
+		usp.End()
+		if err != nil {
 			// Return the acquired buffer or a later acquire deadlocks on
 			// the drained pool.
 			pool.release(buf)
@@ -155,28 +160,24 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		return cache.releasePair(p)
 	}
 
-	for _, p := range opts.Traversal.PairOrder(g) {
-		if err := ensure(p.Coord); err != nil {
+	doPair := func(p tile.Pair) error {
+		psp := root.Child("pair", pairAttr(p))
+		defer psp.End()
+		if err := ensure(p.Coord, psp); err != nil {
 			if !fp.degrade {
-				return nil, err
+				return err
 			}
 			ds.tileFailed(p.Coord, err)
 			ds.pairFailed(p, pairCause(p, p.Coord, err))
-			if err := settle(p); err != nil {
-				return nil, err
-			}
-			continue
+			return settle(p)
 		}
-		if err := ensure(p.Neighbor()); err != nil {
+		if err := ensure(p.Neighbor(), psp); err != nil {
 			if !fp.degrade {
-				return nil, err
+				return err
 			}
 			ds.tileFailed(p.Neighbor(), err)
 			ds.pairFailed(p, pairCause(p, p.Neighbor(), err))
-			if err := settle(p); err != nil {
-				return nil, err
-			}
-			continue
+			return settle(p)
 		}
 		bi := g.Index(p.Coord)
 		ai := g.Index(p.Neighbor())
@@ -187,7 +188,8 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		// scratch buffer is rewritten from the start, so the whole
 		// sequence replays cleanly on a transient kernel fault.
 		var red gpu.Reduction
-		if err := fp.retry.Do(func() error {
+		dsp := psp.Child("disp", pairAttr(p))
+		err := fp.retry.Do(func() error {
 			if err := stream.NCC(scratch, bufs[ai], bufs[bi], int(words)).Wait(); err != nil {
 				return err
 			}
@@ -195,22 +197,27 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 				return err
 			}
 			return stream.MaxAbs(scratch, int(words), &red).Wait()
-		}); err != nil {
+		})
+		dsp.End()
+		if err != nil {
 			if !fp.degrade {
-				return nil, err
+				return err
 			}
 			ds.pairFailed(p, err)
-			if err := settle(p); err != nil {
-				return nil, err
-			}
-			continue
+			return settle(p)
 		}
 
 		// CCF on the CPU, inline (the gap in the Fig 7 profile).
+		csp := psp.Child("ccf", pairAttr(p))
 		d := pciam.Resolve(aImg, bImg, red.Idx%g.TileW, red.Idx/g.TileW, opts.pciamOptions())
+		csp.End()
 		res.setPair(p, d)
 
-		if err := settle(p); err != nil {
+		return settle(p)
+	}
+
+	for _, p := range opts.Traversal.PairOrder(g) {
+		if err := doPair(p); err != nil {
 			return nil, err
 		}
 	}
@@ -219,5 +226,6 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	res.PeakTransformsLive = peakBufs
 	res.TransformsComputed = transforms
+	finishRun(opts.Obs, root, res)
 	return res, nil
 }

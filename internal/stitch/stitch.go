@@ -28,6 +28,7 @@ import (
 
 	"hybridstitch/internal/fault"
 	"hybridstitch/internal/fft"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
 	"hybridstitch/internal/memgov"
@@ -185,6 +186,14 @@ type Options struct {
 	// result lists the casualties. Phase 2 proceeds on the surviving
 	// displacement graph.
 	Degrade bool
+	// Obs, if set, records spans and metrics for the run into the shared
+	// observability layer: a root "run" span with per-stage and
+	// per-tile-pair children, semantic counters (tiles read, transforms,
+	// pairs aligned, retries, degraded work), queue-depth gauges, and
+	// read/FFT/displace latency histograms. Nil — the default — costs a
+	// nil check per site. Pass the same recorder in gpu.Config.Obs to put
+	// GPU streams on the same clock.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults(g tile.Grid) Options {

@@ -6,6 +6,7 @@ import (
 
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/tile"
 )
 
@@ -64,19 +65,40 @@ func assertSameDisplacements(t *testing.T, ref, got *Result, refName, gotName st
 func TestAllImplementationsAgree(t *testing.T) {
 	// The paper's six implementations execute the same mathematical
 	// operators; on identical input they must produce identical
-	// displacement arrays.
+	// displacement arrays — and, per-implementation recorders attached,
+	// identical semantic observability counters (the execution-strategy-
+	// independent ones; see semanticCounters).
 	src := testDataset(t, 3, 4)
 	devs := testDevices(2)
 	defer closeDevices(devs)
 	opts := Options{Threads: 3, Devices: devs}
 
-	ref := runStitcher(t, &SimpleCPU{}, src, opts)
+	counters := func(s Stitcher) (*Result, map[string]int64) {
+		rec := obs.New()
+		defer rec.Close()
+		o := opts
+		o.Obs = rec
+		res := runStitcher(t, s, src, o)
+		cs := map[string]int64{}
+		for _, name := range semanticCounters {
+			cs[name] = rec.CounterValue(name)
+		}
+		return res, cs
+	}
+
+	ref, refCounters := counters(&SimpleCPU{})
 	for _, s := range Implementations() {
 		if s.Name() == "simple-cpu" {
 			continue
 		}
-		got := runStitcher(t, s, src, opts)
+		got, gotCounters := counters(s)
 		assertSameDisplacements(t, ref, got, "simple-cpu", s.Name())
+		for _, name := range semanticCounters {
+			if gotCounters[name] != refCounters[name] {
+				t.Errorf("%s: counter %s = %d, simple-cpu = %d",
+					s.Name(), name, gotCounters[name], refCounters[name])
+			}
+		}
 	}
 }
 
