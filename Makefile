@@ -48,11 +48,13 @@ check: build
 	$(GO) test -race ./internal/obs/ ./internal/gpu/
 	$(GO) test -race ./...
 
-# bench runs every benchmark and converts the output into a dated
-# machine-readable snapshot (BENCH_<date>.json) for benchdiff.
+# bench runs every benchmark and converts the output into a
+# machine-readable snapshot (BENCH_<tag>.json) for benchdiff. Override
+# BENCH_TAG to keep several snapshots side by side.
+BENCH_TAG ?= pr4
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
-	$(GO) run ./cmd/experiments -bench-in bench_output.txt -bench-out BENCH_$$(date +%Y-%m-%d).json
+	$(GO) run ./cmd/experiments -bench-in bench_output.txt -bench-out BENCH_$(BENCH_TAG).json
 
 # benchdiff flags >15% ns/op regressions between two snapshots:
 #   make benchdiff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json

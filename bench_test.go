@@ -567,6 +567,35 @@ func BenchmarkAblationSockets(b *testing.B) {
 	}
 }
 
+// BenchmarkRealFFTPhase1 is the headline A/B for the r2c path: the full
+// phase-1 computation on an FFT-dominated workload (large tiles, small
+// grid, single thread — transforms dwarf the read and CCF stages),
+// with -real-fft off vs on. The real path halves the forward transform
+// work and runs the inverse on a half spectrum, so the "on" run should
+// beat "off" by well over the 1.25x acceptance floor.
+func BenchmarkRealFFTPhase1(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		variant stitch.FFTVariant
+	}{
+		{"real-fft-off", stitch.VariantComplex},
+		{"real-fft-on", stitch.VariantReal},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			src := benchSource(b, 3, 3, 192, 160)
+			for i := 0; i < b.N; i++ {
+				res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{FFTVariant: bench.variant})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Complete() {
+					b.Fatal("incomplete")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAblationFFTVariants(b *testing.B) {
 	for _, v := range []stitch.FFTVariant{stitch.VariantComplex, stitch.VariantPadded, stitch.VariantReal} {
 		name := string(v)

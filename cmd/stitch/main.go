@@ -46,7 +46,8 @@ func main() {
 		gpus      = flag.Int("gpus", 1, "simulated GPU count (GPU implementations)")
 		travName  = flag.String("traversal", "chained-diagonal", "grid traversal order")
 		npeaks    = flag.Int("npeaks", 1, "correlation peaks to consider per pair (CPU implementations)")
-		variant   = flag.String("fft-variant", "", "FFT path for CPU implementations: \"\" (complex), padded, real")
+		variant   = flag.String("fft-variant", "", "FFT path: \"\" (complex), padded (CPU only), real; overrides -real-fft when set explicitly")
+		realFFT   = flag.Bool("real-fft", true, "use real-to-complex transforms (half spectra, ~half the FFT work); -real-fft=false keeps the baseline complex path")
 		sockets   = flag.Int("sockets", 1, "CPU pipelines (pipelined-cpu; one per socket)")
 		outPNG    = flag.String("out", "", "write the composite image to this PNG")
 		outTIFF   = flag.String("out-tiff", "", "write the composite image to this 16-bit TIFF (tiled layout for large plates)")
@@ -66,6 +67,19 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+
+	// -real-fft is the friendly guard for the r2c path: on by default,
+	// off for A/B comparison against the baseline complex transforms. An
+	// explicit -fft-variant wins (it can also select padded).
+	fftVariant := stitch.VariantComplex
+	if *realFFT {
+		fftVariant = stitch.VariantReal
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fft-variant" {
+			fftVariant = stitch.FFTVariant(*variant)
+		}
+	})
 
 	if *pprofAddr != "" {
 		go func() {
@@ -111,7 +125,7 @@ func main() {
 	tiffio.SetInjector(injector)
 
 	opts := stitch.Options{Threads: *threads, Traversal: trav, NPeaks: *npeaks,
-		FFTVariant: stitch.FFTVariant(*variant), Sockets: *sockets,
+		FFTVariant: fftVariant, Sockets: *sockets,
 		Faults: injector, MaxRetries: *maxRetry, RetryBackoff: 5 * time.Millisecond,
 		Degrade: *degrade && *implName != "fiji", Obs: rec}
 	planner := fft.NewPlanner(fft.Measure)

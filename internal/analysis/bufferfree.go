@@ -8,7 +8,8 @@ import (
 )
 
 // BufferFree checks that every device-pool and governor allocation —
-// (*gpu.Device).Alloc, (*gpu.Device).AllocBlocking, and
+// (*gpu.Device).Alloc, (*gpu.Device).AllocBlocking,
+// (*gpu.Device).AllocSpectrum (the r2c half-spectrum buffers), and
 // (*memgov.Governor).Alloc — reaches a Free() or a documented ownership
 // transfer. The ownership rules it encodes:
 //
@@ -39,7 +40,8 @@ func allocCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	switch {
-	case c.is(gpuPkg, "Device", "Alloc"), c.is(gpuPkg, "Device", "AllocBlocking"):
+	case c.is(gpuPkg, "Device", "Alloc"), c.is(gpuPkg, "Device", "AllocBlocking"),
+		c.is(gpuPkg, "Device", "AllocSpectrum"):
 		return "gpu.Device." + c.name, true
 	case c.is(memgovPkg, "Governor", "Alloc"):
 		return "memgov.Governor.Alloc", true

@@ -31,6 +31,26 @@ func leakEarlyReturn(d *gpu.Device, n int64) error {
 	return b.Free()
 }
 
+// leakSpectrumNeverFreed: half-spectrum (r2c) buffers obey the same pool
+// discipline as full transforms.
+func leakSpectrumNeverFreed(d *gpu.Device) error {
+	b, err := d.AllocSpectrum(96, 128) // want "never freed or ownership-transferred"
+	if err != nil {
+		return err
+	}
+	_ = b.Words()
+	return nil
+}
+
+// okSpectrumFreed is the clean half-spectrum case.
+func okSpectrumFreed(d *gpu.Device) error {
+	b, err := d.AllocSpectrum(96, 128)
+	if err != nil {
+		return err
+	}
+	return b.Free()
+}
+
 // leakDiscarded drops the buffer on the floor at the call site.
 func leakDiscarded(d *gpu.Device) {
 	d.Alloc(64) // want "discarded"

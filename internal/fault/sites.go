@@ -19,6 +19,14 @@ const (
 	SiteTiffRead = "tiffio.read"
 	// SiteGPUAlloc fires on device-pool allocations (detail: device name).
 	SiteGPUAlloc = "gpu.alloc"
+	// SiteGPUAllocSpectrum fires on half-spectrum (r2c) buffer
+	// allocations (detail: device name). These also pass through
+	// SiteGPUAlloc, so generic allocation rules still cover them; this
+	// site lets a spec target the real-FFT path specifically.
+	SiteGPUAllocSpectrum = "gpu.alloc.spectrum"
+	// SiteGPUFreeSpectrum fires when a half-spectrum buffer is freed
+	// (detail: device name). A fault here leaves the buffer allocated.
+	SiteGPUFreeSpectrum = "gpu.free.spectrum"
 	// SiteGPUCopyH2D fires on host→device copies (detail: stream/op).
 	SiteGPUCopyH2D = "gpu.copy.h2d"
 	// SiteGPUCopyD2H fires on device→host copies (detail: stream/op).
@@ -52,6 +60,8 @@ func Sites() []string {
 	return []string{
 		SiteTiffRead,
 		SiteGPUAlloc,
+		SiteGPUAllocSpectrum,
+		SiteGPUFreeSpectrum,
 		SiteGPUCopyH2D,
 		SiteGPUCopyD2H,
 		SiteGPUKernelFFT,

@@ -190,6 +190,12 @@ func (p *Plan) Len() int { return p.n }
 // Dir reports the transform direction.
 func (p *Plan) Dir() Direction { return p.dir }
 
+// Normalized reports whether the plan folds the 1/N factor into inverse
+// transforms (PlanOpts.NormalizeInverse). PlanPool keys on it: a
+// normalized and an unnormalized plan of the same size produce results
+// differing by ×N and must never substitute for one another.
+func (p *Plan) Normalized() bool { return p.norm }
+
 // Strategy reports the algorithm the plan executes ("dft", "radix2",
 // "stockham", "mixed", or "bluestein").
 func (p *Plan) Strategy() string { return p.strat.String() }

@@ -146,6 +146,27 @@ func (pl *Planner) Plan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, er
 	return p, nil
 }
 
+// wisdomFactory is the planFactory that routes a real plan's inner
+// complex plans through the wisdom cache, so the r2c path pays
+// measurement once per (size, direction) like the complex path.
+func (pl *Planner) wisdomFactory(n int, dir Direction) (*Plan, error) {
+	return pl.Plan(n, dir, PlanOpts{})
+}
+
+// RealPlan returns a fresh 1-D real-transform plan whose inner complex
+// plans (the n/2-point packed FFT for even n, the full-size fallback for
+// odd n) are chosen through the wisdom cache.
+func (pl *Planner) RealPlan(n int) (*RealPlan, error) {
+	return newRealPlan(n, pl.wisdomFactory)
+}
+
+// RealPlan2D returns a fresh 2-D real-transform plan for h×w images with
+// the given worker fan-out (≤1 means serial). Row r2c plans and column
+// complex plans all consult the wisdom cache.
+func (pl *Planner) RealPlan2D(h, w, workers int) (*RealPlan2D, error) {
+	return newRealPlan2D(h, w, workers, pl.wisdomFactory)
+}
+
 // strategyFor returns the cached or newly decided strategy name for (n, dir).
 func (pl *Planner) strategyFor(n int, dir Direction) (string, error) {
 	if n <= 0 {

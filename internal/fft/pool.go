@@ -15,11 +15,25 @@ type PlanPool struct {
 	planner *Planner
 	mu      sync.Mutex
 	free    map[poolKey][]*Plan
+	freeR   map[int][]*RealPlan
+	freeR2D map[real2DKey][]*RealPlan2D
 }
 
+// poolKey identifies one free list. It carries the full plan options
+// that change a plan's observable behavior, not just (n, dir): a plan
+// built with PlanOpts.NormalizeInverse divides by n on the inverse, so
+// returning it to a Get caller expecting the unnormalized convention
+// would silently rescale results by 1/n.
 type poolKey struct {
-	n   int
-	dir Direction
+	n    int
+	dir  Direction
+	norm bool
+}
+
+// real2DKey identifies one RealPlan2D free list. Workers is part of the
+// key because it fixes the number of internal per-worker plans.
+type real2DKey struct {
+	h, w, workers int
 }
 
 // maxFreePerKey bounds the retained plans per (size, direction); beyond
@@ -33,12 +47,20 @@ func NewPlanPool(planner *Planner) *PlanPool {
 	if planner == nil {
 		planner = NewPlanner(Estimate)
 	}
-	return &PlanPool{planner: planner, free: make(map[poolKey][]*Plan)}
+	return &PlanPool{
+		planner: planner,
+		free:    make(map[poolKey][]*Plan),
+		freeR:   make(map[int][]*RealPlan),
+		freeR2D: make(map[real2DKey][]*RealPlan2D),
+	}
 }
 
 // Get checks out a plan for length-n transforms in the given direction.
+// The plan follows the package's default conventions (unnormalized
+// inverse); normalized plans live on separate free lists and are never
+// returned here.
 func (pp *PlanPool) Get(n int, dir Direction) (*Plan, error) {
-	key := poolKey{n, dir}
+	key := poolKey{n: n, dir: dir, norm: false}
 	pp.mu.Lock()
 	if lst := pp.free[key]; len(lst) > 0 {
 		p := lst[len(lst)-1]
@@ -51,15 +73,75 @@ func (pp *PlanPool) Get(n int, dir Direction) (*Plan, error) {
 }
 
 // Put returns a plan for reuse. Putting a plan whose size or direction
-// was never Get is allowed; it joins that size's free list.
+// was never Get is allowed; it joins that configuration's free list. A
+// plan built with NormalizeInverse joins a normalized free list that Get
+// never consults, so it cannot poison default-convention callers.
 func (pp *PlanPool) Put(p *Plan) {
 	if p == nil {
 		return
 	}
-	key := poolKey{p.Len(), p.Dir()}
+	key := poolKey{n: p.Len(), dir: p.Dir(), norm: p.Normalized()}
 	pp.mu.Lock()
 	if len(pp.free[key]) < maxFreePerKey {
 		pp.free[key] = append(pp.free[key], p)
+	}
+	pp.mu.Unlock()
+}
+
+// GetReal checks out a 1-D real-transform plan for length n, building it
+// through the pool's planner (wisdom-backed) on a miss.
+func (pp *PlanPool) GetReal(n int) (*RealPlan, error) {
+	pp.mu.Lock()
+	if lst := pp.freeR[n]; len(lst) > 0 {
+		p := lst[len(lst)-1]
+		pp.freeR[n] = lst[:len(lst)-1]
+		pp.mu.Unlock()
+		return p, nil
+	}
+	pp.mu.Unlock()
+	return pp.planner.RealPlan(n)
+}
+
+// PutReal returns a 1-D real plan for reuse.
+func (pp *PlanPool) PutReal(p *RealPlan) {
+	if p == nil {
+		return
+	}
+	n := p.Len()
+	pp.mu.Lock()
+	if len(pp.freeR[n]) < maxFreePerKey {
+		pp.freeR[n] = append(pp.freeR[n], p)
+	}
+	pp.mu.Unlock()
+}
+
+// GetReal2D checks out a 2-D real-transform plan for h×w images whose
+// Forward/Inverse shard across workers goroutines (≤1 means serial).
+func (pp *PlanPool) GetReal2D(h, w, workers int) (*RealPlan2D, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	key := real2DKey{h: h, w: w, workers: workers}
+	pp.mu.Lock()
+	if lst := pp.freeR2D[key]; len(lst) > 0 {
+		p := lst[len(lst)-1]
+		pp.freeR2D[key] = lst[:len(lst)-1]
+		pp.mu.Unlock()
+		return p, nil
+	}
+	pp.mu.Unlock()
+	return pp.planner.RealPlan2D(h, w, workers)
+}
+
+// PutReal2D returns a 2-D real plan for reuse.
+func (pp *PlanPool) PutReal2D(p *RealPlan2D) {
+	if p == nil {
+		return
+	}
+	key := real2DKey{h: p.H(), w: p.W(), workers: p.Workers()}
+	pp.mu.Lock()
+	if len(pp.freeR2D[key]) < maxFreePerKey {
+		pp.freeR2D[key] = append(pp.freeR2D[key], p)
 	}
 	pp.mu.Unlock()
 }

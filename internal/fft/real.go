@@ -28,14 +28,27 @@ type RealPlan struct {
 	buf     []complex128
 }
 
+// planFactory builds the inner complex plans of a real plan. The default
+// factory is NewPlan with default options; the Planner substitutes a
+// wisdom-consulting one.
+type planFactory func(n int, dir Direction) (*Plan, error)
+
+func defaultPlanFactory(n int, dir Direction) (*Plan, error) {
+	return NewPlan(n, dir, PlanOpts{})
+}
+
 // NewRealPlan builds a real-transform plan for length n ≥ 2.
 func NewRealPlan(n int) (*RealPlan, error) {
+	return newRealPlan(n, defaultPlanFactory)
+}
+
+func newRealPlan(n int, mk planFactory) (*RealPlan, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("fft: real plan requires n ≥ 2, got %d", n)
 	}
 	rp := &RealPlan{n: n}
 	if n%2 == 0 {
-		p, err := NewPlan(n/2, Forward, PlanOpts{})
+		p, err := mk(n/2, Forward)
 		if err != nil {
 			return nil, err
 		}
@@ -46,11 +59,11 @@ func NewRealPlan(n int) (*RealPlan, error) {
 		}
 		rp.buf = make([]complex128, n/2)
 	} else {
-		p, err := NewPlan(n, Forward, PlanOpts{})
+		p, err := mk(n, Forward)
 		if err != nil {
 			return nil, err
 		}
-		pi, err := NewPlan(n, Inverse, PlanOpts{})
+		pi, err := mk(n, Inverse)
 		if err != nil {
 			return nil, err
 		}
@@ -187,6 +200,10 @@ func NewRealPlan2D(h, w int) (*RealPlan2D, error) {
 // spectrum columns across `workers` goroutines — the r2c counterpart of
 // Plan2DOpts.Workers.
 func NewRealPlan2DWorkers(h, w, workers int) (*RealPlan2D, error) {
+	return newRealPlan2D(h, w, workers, defaultPlanFactory)
+}
+
+func newRealPlan2D(h, w, workers int, mk planFactory) (*RealPlan2D, error) {
 	if h <= 0 || w < 2 {
 		return nil, fmt.Errorf("fft: invalid real 2-D size %dx%d", h, w)
 	}
@@ -196,15 +213,15 @@ func NewRealPlan2DWorkers(h, w, workers int) (*RealPlan2D, error) {
 	p := &RealPlan2D{w: w, h: h, sw: w/2 + 1, workers: workers,
 		specF: make([]complex128, h*(w/2+1))}
 	for i := 0; i < workers; i++ {
-		rowF, err := NewRealPlan(w)
+		rowF, err := newRealPlan(w, mk)
 		if err != nil {
 			return nil, err
 		}
-		colF, err := NewPlan(h, Forward, PlanOpts{})
+		colF, err := mk(h, Forward)
 		if err != nil {
 			return nil, err
 		}
-		colI, err := NewPlan(h, Inverse, PlanOpts{})
+		colI, err := mk(h, Inverse)
 		if err != nil {
 			return nil, err
 		}
@@ -252,6 +269,15 @@ func (p *RealPlan2D) shard(n int, fn func(worker, index int) error) error {
 
 // SpectrumDims returns the half-spectrum dimensions (rows, cols).
 func (p *RealPlan2D) SpectrumDims() (int, int) { return p.h, p.sw }
+
+// W returns the real image width.
+func (p *RealPlan2D) W() int { return p.w }
+
+// H returns the real image height.
+func (p *RealPlan2D) H() int { return p.h }
+
+// Workers reports the goroutine fan-out Forward/Inverse use.
+func (p *RealPlan2D) Workers() int { return p.workers }
 
 // Forward computes the half spectrum of the real image img (h*w,
 // row-major) into dst (h*(w/2+1), row-major).

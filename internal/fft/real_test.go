@@ -1,0 +1,276 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestPlanPoolNormalizedPlanDoesNotPoisonGets is the regression test for
+// the (n, dir)-only pool keying bug: a Put of a plan built with
+// PlanOpts{NormalizeInverse: true} must never be handed back by Get,
+// whose callers expect the package's unnormalized inverse convention —
+// the poisoned plan would silently rescale results by 1/n.
+func TestPlanPoolNormalizedPlanDoesNotPoisonGets(t *testing.T) {
+	const n = 8
+	pp := NewPlanPool(nil)
+	norm, err := NewPlan(n, Inverse, PlanOpts{NormalizeInverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Put(norm)
+
+	p, err := pp.Get(n, Inverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == norm {
+		t.Fatal("pool returned a NormalizeInverse plan to a default-convention Get")
+	}
+	if p.Normalized() {
+		t.Fatal("pool Get produced a normalized plan")
+	}
+
+	// Behavioral check: forward then pool inverse must carry the ×n
+	// factor, not round-trip to the input.
+	x := randComplex(n, 17)
+	buf := append([]complex128(nil), x...)
+	fwd, err := pp.Get(n, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.Execute(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Execute(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(buf[i]-complex(float64(n), 0)*x[i]) > tolFor(n) {
+			t.Fatalf("sample %d: got %v want %v (unnormalized ×n convention)", i, buf[i], complex(float64(n), 0)*x[i])
+		}
+	}
+
+	// The normalized plan lives on its own free list: repeated Gets keep
+	// missing it.
+	pp.Put(p)
+	again, err := pp.Get(n, Inverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == norm {
+		t.Fatal("normalized plan leaked out of the pool on a second Get")
+	}
+}
+
+// TestPlanPoolRealPlans covers the r2c side of the pool: identity reuse
+// for both 1-D and 2-D real plans, keyed on geometry and worker fan-out.
+func TestPlanPoolRealPlans(t *testing.T) {
+	pp := NewPlanPool(nil)
+	r1, err := pp.GetReal(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.PutReal(r1)
+	r2, err := pp.GetReal(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("pool did not reuse the 1-D real plan")
+	}
+
+	p1, err := pp.GetReal2D(6, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.PutReal2D(p1)
+	p2, err := pp.GetReal2D(6, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("pool did not reuse the 2-D real plan")
+	}
+	// A different worker count is a different internal layout: no reuse.
+	p3, err := pp.GetReal2D(6, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("worker-count confusion in real 2-D pool")
+	}
+	pp.PutReal(nil)
+	pp.PutReal2D(nil) // harmless
+}
+
+// TestPlannerRealPlansUseWisdom checks the Planner's real-plan entry
+// points build working plans and fill the wisdom cache for their inner
+// complex sizes.
+func TestPlannerRealPlansUseWisdom(t *testing.T) {
+	pl := NewPlanner(Measure)
+	rp, err := pl.RealPlan(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 96 {
+		t.Fatalf("RealPlan length %d, want 96", rp.Len())
+	}
+	if pl.WisdomSize() == 0 {
+		t.Error("planner real plan consulted no wisdom")
+	}
+
+	p2, err := pl.RealPlan2D(10, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.H() != 10 || p2.W() != 12 || p2.Workers() != 2 {
+		t.Fatalf("RealPlan2D geometry %dx%d workers %d", p2.H(), p2.W(), p2.Workers())
+	}
+	// Planner-built and default-built plans must agree numerically.
+	img := make([]float64, 10*12)
+	rng := rand.New(rand.NewSource(23))
+	for i := range img {
+		img[i] = rng.Float64()*2 - 1
+	}
+	ref, err := NewRealPlan2D(10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]complex128, 10*(12/2+1))
+	b := make([]complex128, 10*(12/2+1))
+	if err := p2.Forward(a, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Forward(b, img); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(a, b); d > tolFor(10*12) {
+		t.Errorf("planner-built real plan diverges from default by %g", d)
+	}
+}
+
+// TestRealPlanEdgeSizes pins the smallest legal lengths and the odd-n
+// fallback: round trips must reproduce the input under the documented ×n
+// convention, and the forward half spectrum must equal the complex DFT's
+// first n/2+1 bins — for n=2 and n=3 in particular, which no other test
+// covered.
+func TestRealPlanEdgeSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 9, 25, 27, 31} {
+		rng := rand.New(rand.NewSource(int64(n)*3 + 1))
+		x := make([]float64, n)
+		cx := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			cx[i] = complex(x[i], 0)
+		}
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		if err := rp.Forward(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(cx, Forward)
+		for k := range spec {
+			if cmplx.Abs(spec[k]-want[k]) > tolFor(n) {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, k, spec[k], want[k])
+			}
+		}
+		back := make([]float64, n)
+		if err := rp.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]/float64(n)-x[i]) > tolFor(n) {
+				t.Fatalf("n=%d sample %d: round trip %g want %g", n, i, back[i]/float64(n), x[i])
+			}
+		}
+	}
+
+	if _, err := NewRealPlan(1); err == nil {
+		t.Error("NewRealPlan(1) should be rejected")
+	}
+}
+
+// TestRealPlan2DOddSizesRoundTrip exercises the 2-D plan with odd widths
+// (odd-n row fallback) and odd heights, serial and sharded.
+func TestRealPlan2DOddSizesRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ h, w, workers int }{
+		{5, 7, 1}, {5, 7, 3}, {9, 3, 1}, {3, 2, 1}, {7, 13, 2},
+	} {
+		p, err := NewRealPlan2DWorkers(tc.h, tc.w, tc.workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(tc.h*100 + tc.w)))
+		img := make([]float64, tc.h*tc.w)
+		for i := range img {
+			img[i] = rng.Float64()*2 - 1
+		}
+		sh, sw := p.SpectrumDims()
+		spec := make([]complex128, sh*sw)
+		if err := p.Forward(spec, img); err != nil {
+			t.Fatal(err)
+		}
+		back := make([]float64, tc.h*tc.w)
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		scale := float64(tc.h * tc.w)
+		for i := range img {
+			if math.Abs(back[i]/scale-img[i]) > tolFor(tc.h*tc.w) {
+				t.Fatalf("%dx%d workers=%d sample %d: got %g want %g",
+					tc.h, tc.w, tc.workers, i, back[i]/scale, img[i])
+			}
+		}
+	}
+}
+
+// FuzzRealPlanRoundTrip is the property test behind the odd-n
+// verification: for any length ≥ 2 and any input, r2c forward must match
+// the complex DFT's half spectrum and c2r inverse must reproduce the
+// input ×n.
+func FuzzRealPlanRoundTrip(f *testing.F) {
+	f.Add(2, int64(0))
+	f.Add(3, int64(1))
+	f.Add(16, int64(2))
+	f.Add(29, int64(3))
+	f.Add(96, int64(4))
+	f.Add(174, int64(5))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		n = 2 + ((n%199)+199)%199 // clamp to [2, 200]
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		cx := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			cx[i] = complex(x[i], 0)
+		}
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		if err := rp.Forward(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(cx, Forward)
+		for k := range spec {
+			if cmplx.Abs(spec[k]-want[k]) > tolFor(n) {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, k, spec[k], want[k])
+			}
+		}
+		back := make([]float64, n)
+		if err := rp.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]/float64(n)-x[i]) > tolFor(n) {
+				t.Fatalf("n=%d sample %d: round trip %g want %g", n, i, back[i]/float64(n), x[i])
+			}
+		}
+	})
+}

@@ -143,11 +143,12 @@ func (d *Device) MemWords() int64 { return d.cfg.MemWords }
 // and the pipeline treats it as device-resident: host code only touches
 // it through Memcpy operations and kernels.
 type Buffer struct {
-	dev   *Device
-	Data  []complex128
-	words int64
-	freed bool
-	mu    sync.Mutex
+	dev      *Device
+	Data     []complex128
+	words    int64
+	freed    bool
+	spectrum bool // allocated via AllocSpectrum (r2c half-spectrum buffer)
+	mu       sync.Mutex
 }
 
 // Words returns the allocation size.
@@ -177,6 +178,27 @@ func (d *Device) Alloc(words int64) (*Buffer, error) {
 	return &Buffer{dev: d, Data: make([]complex128, words), words: words}, nil
 }
 
+// AllocSpectrum reserves a half-spectrum transform buffer for h×w real
+// tiles: h·(w/2+1) complex128 words, roughly half a full complex
+// transform — the device-memory saving of the r2c path. It is a distinct
+// fault site (gpu.alloc.spectrum) layered on top of the generic
+// gpu.alloc one, so injection specs can target r2c buffers specifically;
+// the buffer's Free passes through gpu.free.spectrum the same way.
+func (d *Device) AllocSpectrum(h, w int) (*Buffer, error) {
+	if h <= 0 || w < 2 {
+		return nil, fmt.Errorf("gpu: invalid spectrum allocation for %dx%d tiles", h, w)
+	}
+	if err := d.cfg.Faults.Hit(fault.SiteGPUAllocSpectrum, d.cfg.Name); err != nil {
+		return nil, err
+	}
+	b, err := d.Alloc(int64(h) * int64(w/2+1))
+	if err != nil {
+		return nil, err
+	}
+	b.spectrum = true
+	return b, nil
+}
+
 // AllocBlocking reserves words of device memory, waiting for frees if the
 // pool is currently full. It fails immediately if the request can never
 // fit.
@@ -203,12 +225,19 @@ func (d *Device) AllocBlocking(words int64) (*Buffer, error) {
 	return &Buffer{dev: d, Data: make([]complex128, words), words: words}, nil
 }
 
-// Free returns a buffer to the pool. Double frees are rejected.
+// Free returns a buffer to the pool. Double frees are rejected. For
+// half-spectrum buffers the free itself is an error point
+// (gpu.free.spectrum): an injected fault leaves the buffer allocated.
 func (b *Buffer) Free() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.freed {
 		return fmt.Errorf("gpu: double free of %d-word buffer", b.words)
+	}
+	if b.spectrum {
+		if err := b.dev.cfg.Faults.Hit(fault.SiteGPUFreeSpectrum, b.dev.cfg.Name); err != nil {
+			return err
+		}
 	}
 	b.freed = true
 	d := b.dev

@@ -33,6 +33,74 @@ func (s *Stream) FFT2D(plan *fft.Plan2D, buf *Buffer, after ...*Event) *Event {
 	}, after...)
 }
 
+// packedWords is the device footprint of n float64 values packed two per
+// complex128 word. For a w×h tile it never exceeds the h×(w/2+1)
+// half-spectrum footprint, so one spectrum-sized buffer serves both the
+// packed pixel upload and the in-place transform result.
+func packedWords(n int) int { return (n + 1) / 2 }
+
+// packReals stores src two values per word: word j = (src[2j], src[2j+1]).
+func packReals(dst []complex128, src []float64) {
+	n := len(src)
+	for j := 0; j < n/2; j++ {
+		dst[j] = complex(src[2*j], src[2*j+1])
+	}
+	if n%2 == 1 {
+		dst[n/2] = complex(src[n-1], 0)
+	}
+}
+
+// unpackReals is the inverse of packReals for n = len(dst) values.
+func unpackReals(dst []float64, src []complex128) {
+	n := len(dst)
+	for j := 0; j < n/2; j++ {
+		v := src[j]
+		dst[2*j] = real(v)
+		dst[2*j+1] = imag(v)
+	}
+	if n%2 == 1 {
+		dst[n-1] = real(src[n/2])
+	}
+}
+
+// RealFFT2D executes the forward r2c transform in place on a device
+// buffer holding packed real pixels (MemcpyH2DPackedReal layout): on
+// completion the buffer's first h×(w/2+1) words hold the half spectrum.
+// The same per-plan concurrency rule as FFT2D applies: one stream per
+// plan.
+func (s *Stream) RealFFT2D(plan *fft.RealPlan2D, buf *Buffer, after ...*Event) *Event {
+	return s.Launch("rfft2d", func() error {
+		sh, sw := plan.SpectrumDims()
+		n := plan.H() * plan.W()
+		if int64(sh*sw) > buf.Words() || int64(packedWords(n)) > buf.Words() {
+			return fmt.Errorf("gpu: rfft2d plan %dx%d exceeds buffer of %d words", plan.H(), plan.W(), buf.Words())
+		}
+		img := make([]float64, n)
+		unpackReals(img, buf.Data)
+		return plan.Forward(buf.Data[:sh*sw], img)
+	}, after...)
+}
+
+// RealIFFT2D executes the inverse c2r transform in place: the buffer's
+// first h×(w/2+1) words hold a half spectrum going in and the packed
+// real surface (⌈wh/2⌉ words, unnormalized ×wh like the complex path)
+// coming out.
+func (s *Stream) RealIFFT2D(plan *fft.RealPlan2D, buf *Buffer, after ...*Event) *Event {
+	return s.Launch("irfft2d", func() error {
+		sh, sw := plan.SpectrumDims()
+		n := plan.H() * plan.W()
+		if int64(sh*sw) > buf.Words() || int64(packedWords(n)) > buf.Words() {
+			return fmt.Errorf("gpu: irfft2d plan %dx%d exceeds buffer of %d words", plan.H(), plan.W(), buf.Words())
+		}
+		img := make([]float64, n)
+		if err := plan.Inverse(img, buf.Data[:sh*sw]); err != nil {
+			return err
+		}
+		packReals(buf.Data, img)
+		return nil
+	}, after...)
+}
+
 // NCC computes the element-wise normalized conjugate multiplication
 // dst = fa·conj(fb)/|fa·conj(fb)| on device buffers (the custom CUDA
 // kernel of the Simple-GPU implementation). dst may alias fa or fb.
@@ -63,6 +131,24 @@ func (s *Stream) MaxAbs(src *Buffer, n int, out *Reduction, after ...*Event) *Ev
 			return fmt.Errorf("gpu: maxabs over %d words exceeds buffer of %d", n, src.Words())
 		}
 		idx, mag := pciam.MaxAbs(src.Data[:n])
+		out.Idx = idx
+		out.Mag = mag
+		return nil
+	}, after...)
+}
+
+// MaxAbsReal is the MaxAbs reduction over a packed real surface (the
+// RealIFFT2D output layout): n real values occupying packedWords(n)
+// device words. Idx is the index into the real surface. Tie-breaking
+// matches the complex kernel: first strictly-greater value wins.
+func (s *Stream) MaxAbsReal(src *Buffer, n int, out *Reduction, after ...*Event) *Event {
+	return s.Launch("maxabs", func() error {
+		if int64(packedWords(n)) > src.Words() {
+			return fmt.Errorf("gpu: maxabs over %d packed reals exceeds buffer of %d words", n, src.Words())
+		}
+		vals := make([]float64, n)
+		unpackReals(vals, src.Data)
+		idx, mag := pciam.MaxAbsReal(vals)
 		out.Idx = idx
 		out.Mag = mag
 		return nil

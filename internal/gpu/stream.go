@@ -197,7 +197,7 @@ func (s *Stream) injectFault(cmd *command) error {
 		site = fault.SiteGPUCopyD2H
 	default:
 		switch cmd.name {
-		case "fft2d", "ifft2d":
+		case "fft2d", "ifft2d", "rfft2d", "irfft2d":
 			site = fault.SiteGPUKernelFFT
 		case "ncc":
 			site = fault.SiteGPUKernelNCC
@@ -257,6 +257,23 @@ func (s *Stream) MemcpyH2DReal(dst *Buffer, src []float64, after ...*Event) *Eve
 		for i, v := range src {
 			dst.Data[i] = complex(v, 0)
 		}
+		return nil
+	})
+}
+
+// MemcpyH2DPackedReal copies float64 host pixels into the device buffer
+// packed two per complex128 word — the upload format of the r2c path. A
+// w×h tile occupies ⌈wh/2⌉ words instead of wh, so the same bytes cross
+// the bus but the tile holds half the device words, and the in-place
+// r2c transform needs only the h×(w/2+1) half spectrum that fits in the
+// same halved buffer.
+func (s *Stream) MemcpyH2DPackedReal(dst *Buffer, src []float64, after ...*Event) *Event {
+	return s.enqueue(opH2D, "H2D", after, func() error {
+		if packedWords(len(src)) > len(dst.Data) {
+			return fmt.Errorf("gpu: packed H2D copy of %d reals into %d-word buffer", len(src), len(dst.Data))
+		}
+		s.bandwidthDelay(len(src)*8, s.dev.cfg.H2DBytesPerSec)
+		packReals(dst.Data, src)
 		return nil
 	})
 }

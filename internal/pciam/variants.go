@@ -151,7 +151,11 @@ func NewRealAligner(w, h int, opts Options) (*RealAligner, error) {
 		return nil, fmt.Errorf("pciam: invalid tile size %dx%d", w, h)
 	}
 	opts = opts.withDefaults()
-	fwd, err := fft.NewRealPlan2DWorkers(h, w, opts.FFTWorkers)
+	pl := opts.Planner
+	if pl == nil {
+		pl = fft.NewPlanner(fft.Estimate)
+	}
+	fwd, err := pl.RealPlan2D(h, w, opts.FFTWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -220,16 +224,24 @@ func (al *RealAligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, erro
 	return al.Displace(a, b, fa, fb)
 }
 
+// MaxAbsReal is MaxAbs over a real correlation surface — the reduction
+// the r2c GPU kernel runs on the c2r inverse output. First-seen index
+// wins ties, matching the complex kernel.
+func MaxAbsReal(data []float64) (int, float64) {
+	bi, bm := 0, -1.0
+	for i, v := range data {
+		if m := math.Abs(v); m > bm {
+			bm = m
+			bi = i
+		}
+	}
+	return bi, bm
+}
+
 // topPeaksReal is TopPeaks over a real surface.
 func topPeaksReal(data []float64, w, h, k int) []Peak {
 	if k <= 1 {
-		bi, bm := 0, math.Inf(-1)
-		for i, v := range data {
-			if m := math.Abs(v); m > bm {
-				bm = m
-				bi = i
-			}
-		}
+		bi, bm := MaxAbsReal(data)
 		return []Peak{{X: bi % w, Y: bi / w, Mag: bm}}
 	}
 	cx := make([]complex128, len(data))

@@ -3,12 +3,14 @@ package stitch
 import (
 	"fmt"
 
+	"hybridstitch/internal/fft"
 	"hybridstitch/internal/pciam"
 	"hybridstitch/internal/tile"
 )
 
-// FFTVariant selects the per-pair transform path for the CPU
-// implementations (the GPU pipelines use the baseline complex path).
+// FFTVariant selects the per-pair transform path. The CPU
+// implementations support all three; the GPU pipelines support the
+// baseline complex path and the real-to-complex path.
 type FFTVariant string
 
 const (
@@ -21,6 +23,23 @@ const (
 	// (paper §VI.A future work).
 	VariantReal FFTVariant = "real"
 )
+
+// transformWords is the per-tile transform footprint in complex128
+// words: the full w×h spectrum for the complex path, the padded fast
+// size for the padded path, and the h×(w/2+1) half spectrum — roughly
+// half — for the real path. Host-cache and device-pool accounting both
+// derive from it, so the r2c saving shows up in memgov pressure and GPU
+// pool capacity alike.
+func (v FFTVariant) transformWords(g tile.Grid) int64 {
+	switch v {
+	case VariantPadded:
+		return int64(fft.NextFastLength(g.TileH)) * int64(fft.NextFastLength(g.TileW))
+	case VariantReal:
+		return int64(g.TileH) * int64(g.TileW/2+1)
+	default:
+		return int64(g.TileH) * int64(g.TileW)
+	}
+}
 
 // aligner is the per-worker alignment engine; all three pciam variants
 // satisfy it.

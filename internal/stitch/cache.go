@@ -8,11 +8,12 @@ import (
 	"hybridstitch/internal/tile"
 )
 
-// transformBytes is the memory footprint of one tile transform:
-// complex128 per pixel (the paper: "each transform takes up nearly 22 MB"
-// for 1392×1040 tiles).
-func transformBytes(g tile.Grid) int64 {
-	return int64(g.TileW) * int64(g.TileH) * 16
+// transformBytes is the memory footprint of one tile transform under the
+// given FFT variant: 16 bytes per spectrum word (the paper: "each
+// transform takes up nearly 22 MB" for 1392×1040 complex transforms; the
+// r2c half spectrum is roughly half that).
+func transformBytes(g tile.Grid, v FFTVariant) int64 {
+	return v.transformWords(g) * 16
 }
 
 // refCounter tracks, per tile, how many pairs still need it. When a
@@ -62,9 +63,10 @@ type cacheEntry struct {
 // tracking, and optional memory-governor accounting of transform bytes.
 // Safe for concurrent use.
 type hostCache struct {
-	g   tile.Grid
-	rc  *refCounter
-	gov *memgov.Governor
+	g       tile.Grid
+	variant FFTVariant
+	rc      *refCounter
+	gov     *memgov.Governor
 
 	mu       sync.Mutex
 	data     map[int]cacheEntry
@@ -74,13 +76,14 @@ type hostCache struct {
 	computed int
 }
 
-func newHostCache(g tile.Grid, gov *memgov.Governor) *hostCache {
+func newHostCache(g tile.Grid, gov *memgov.Governor, v FFTVariant) *hostCache {
 	return &hostCache{
-		g:      g,
-		rc:     newRefCounter(g),
-		gov:    gov,
-		data:   make(map[int]cacheEntry),
-		allocs: make(map[int]*memgov.Allocation),
+		g:       g,
+		variant: v,
+		rc:      newRefCounter(g),
+		gov:     gov,
+		data:    make(map[int]cacheEntry),
+		allocs:  make(map[int]*memgov.Allocation),
 	}
 }
 
@@ -90,7 +93,7 @@ func newHostCache(g tile.Grid, gov *memgov.Governor) *hostCache {
 func (c *hostCache) put(i int, img *tile.Gray16, f []complex128) error {
 	var alloc *memgov.Allocation
 	if c.gov != nil && f != nil {
-		a, err := c.gov.Alloc(transformBytes(c.g))
+		a, err := c.gov.Alloc(transformBytes(c.g, c.variant))
 		if err != nil {
 			return err
 		}
@@ -168,6 +171,6 @@ func (c *hostCache) stats() (live, peak, computed int) {
 // the CPU (an FFT execution or an NCC pass).
 func (c *hostCache) touch() {
 	if c.gov != nil {
-		c.gov.Touch(transformBytes(c.g))
+		c.gov.Touch(transformBytes(c.g, c.variant))
 	}
 }

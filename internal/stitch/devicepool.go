@@ -34,10 +34,13 @@ type devicePool struct {
 	peak int
 }
 
-// newDevicePool preallocates n transform buffers for grid g on dev.
-// When rec is non-nil the pool reports gpu.pool.acquires,
-// gpu.pool.waits, and the gpu.pool.in_use gauge.
-func newDevicePool(dev *gpu.Device, g tile.Grid, n int, rec *obs.Recorder) (*devicePool, error) {
+// newDevicePool preallocates n transform buffers for grid g on dev,
+// sized for the given FFT variant: full w×h words for the complex path,
+// h×(w/2+1) half-spectrum buffers (via AllocSpectrum, a distinct fault
+// site) for the real path — so the r2c saving roughly doubles how many
+// transforms one card can pool. When rec is non-nil the pool reports
+// gpu.pool.acquires, gpu.pool.waits, and the gpu.pool.in_use gauge.
+func newDevicePool(dev *gpu.Device, g tile.Grid, n int, variant FFTVariant, rec *obs.Recorder) (*devicePool, error) {
 	minDim := g.Rows
 	if g.Cols < minDim {
 		minDim = g.Cols
@@ -45,7 +48,7 @@ func newDevicePool(dev *gpu.Device, g tile.Grid, n int, rec *obs.Recorder) (*dev
 	if n <= minDim {
 		return nil, fmt.Errorf("stitch: pool of %d transforms does not exceed smallest grid dimension %d (paper's minimum-pool constraint)", n, minDim)
 	}
-	words := int64(g.TileW) * int64(g.TileH)
+	words := variant.transformWords(g)
 	if need := int64(n) * words; need > dev.MemWords() {
 		return nil, fmt.Errorf("stitch: pool of %d transforms needs %d words, device %s has %d",
 			n, need, dev.Name(), dev.MemWords())
@@ -56,8 +59,14 @@ func newDevicePool(dev *gpu.Device, g tile.Grid, n int, rec *obs.Recorder) (*dev
 		waits:    rec.Counter("gpu.pool.waits"),
 		inUse:    rec.Gauge("gpu.pool.in_use"),
 	}
+	alloc := func() (*gpu.Buffer, error) {
+		if variant == VariantReal {
+			return dev.AllocSpectrum(g.TileH, g.TileW)
+		}
+		return dev.Alloc(words)
+	}
 	for i := 0; i < n; i++ {
-		b, err := dev.Alloc(words)
+		b, err := alloc()
 		if err != nil {
 			p.drain()
 			return nil, err

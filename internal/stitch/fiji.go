@@ -32,7 +32,7 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	// The baseline gets only the root span and result-level counters: the
 	// golden/differential harness covers the five paper variants.
-	rootSp := startRun(opts.Obs, "fiji", g)
+	rootSp := startRun(opts, "fiji", g)
 	start := time.Now()
 
 	pairs := g.Pairs()
@@ -81,7 +81,7 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 					return
 				}
 				if opts.Governor != nil {
-					opts.Governor.Touch(2 * transformBytes(g))
+					opts.Governor.Touch(2 * transformBytes(g, VariantComplex))
 				}
 				d, err := al.DisplaceTiles(aImg, bImg)
 				if err != nil {
@@ -105,6 +105,6 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	res.TransformsComputed = int(nTransforms)
 	// Per-pair transforms are transient: at most 2 per in-flight pair.
 	res.PeakTransformsLive = 2 * opts.Threads
-	finishRun(opts.Obs, rootSp, res)
+	finishRun(opts, rootSp, res)
 	return res, nil
 }

@@ -27,11 +27,11 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	}
 	opts = opts.withDefaults(g)
 	threads := opts.Threads
-	cache := newHostCache(g, opts.Governor)
+	cache := newHostCache(g, opts.Governor, opts.FFTVariant)
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root := startRun(opts.Obs, "mt-cpu", g)
+	root := startRun(opts, "mt-cpu", g)
 	start := time.Now()
 
 	// Per-tile once guards: the first worker to need a tile computes its
@@ -163,6 +163,6 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
-	finishRun(opts.Obs, root, res)
+	finishRun(opts, root, res)
 	return res, nil
 }

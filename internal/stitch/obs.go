@@ -37,19 +37,31 @@ func pairAttr(p tile.Pair) obs.Attr {
 }
 
 // startRun opens the per-run root span on the "run" track. Nil-safe.
-func startRun(rec *obs.Recorder, impl string, g tile.Grid) *obs.Span {
-	return rec.StartSpan("run", "stitch",
+// Non-baseline FFT variants are tagged with an "fft" attribute; the
+// baseline complex path keeps the historical attribute set so golden
+// trace trees recorded before the variant existed stay valid.
+func startRun(opts Options, impl string, g tile.Grid) *obs.Span {
+	attrs := []obs.Attr{
 		obs.String("impl", impl),
-		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)))
+		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)),
+	}
+	if opts.FFTVariant != VariantComplex {
+		attrs = append(attrs, obs.String("fft", string(opts.FFTVariant)))
+	}
+	return opts.Obs.StartSpan("run", "stitch", attrs...)
 }
 
 // finishRun ends the root span and publishes the run's result-level
 // metrics: semantic counters derived from the Result (the quantities
 // every variant must agree on), peak live transforms, and per-queue
-// depth/pushes.
-func finishRun(rec *obs.Recorder, root *obs.Span, res *Result) {
+// depth/pushes. Per-socket sub-runs (Options.subRun) end their span but
+// emit no counters: runSockets publishes one set from the merged,
+// boundary-deduplicated Result, so a tile degraded in two adjacent row
+// bands is counted once, not once per band.
+func finishRun(opts Options, root *obs.Span, res *Result) {
 	root.End()
-	if rec == nil || res == nil {
+	rec := opts.Obs
+	if rec == nil || res == nil || opts.subRun {
 		return
 	}
 	aligned := 0
@@ -63,6 +75,7 @@ func finishRun(rec *obs.Recorder, root *obs.Span, res *Result) {
 	rec.Counter(CounterDegradedTiles).Add(int64(len(res.DegradedTiles)))
 	rec.Counter(CounterDegradedPairs).Add(int64(len(res.DegradedPairs)))
 	rec.Gauge("stitch.transforms.peak_live").Set(float64(res.PeakTransformsLive))
+	rec.Gauge("stitch.transform.words").Set(float64(opts.FFTVariant.transformWords(res.Grid)))
 	for _, q := range res.QueueStats {
 		rec.Gauge("queue." + q.Name + ".max_depth").Set(float64(q.MaxDepth))
 		rec.Counter("queue." + q.Name + ".pushes").Add(q.Pushes)

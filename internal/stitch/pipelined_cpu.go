@@ -51,12 +51,12 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 		return runSockets(src, opts)
 	}
 	opts = opts.withDefaults(g)
-	cache := newHostCache(g, opts.Governor)
+	cache := newHostCache(g, opts.Governor, opts.FFTVariant)
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
 	var resMu sync.Mutex
-	root := startRun(opts.Obs, "pipelined-cpu", g)
+	root := startRun(opts, "pipelined-cpu", g)
 	// One span per stage, parents of that stage's operation spans: the
 	// pipeline analogue of the paper's per-stage timeline rows.
 	spRead := root.ChildOn("stage/read", "read")
@@ -269,6 +269,6 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 		pushes, maxDepth := q.Stats()
 		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
 	}
-	finishRun(opts.Obs, root, res)
+	finishRun(opts, root, res)
 	return res, nil
 }

@@ -135,16 +135,20 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	if opts.NPeaks > 1 {
 		return nil, fmt.Errorf("stitch: GPU implementations support NPeaks=1 only (max-reduction kernel)")
 	}
-	if opts.FFTVariant != VariantComplex {
-		return nil, fmt.Errorf("stitch: GPU implementations support the baseline complex FFT variant only")
+	if opts.FFTVariant == VariantPadded {
+		return nil, fmt.Errorf("stitch: GPU implementations support the complex and real FFT variants only")
 	}
+	realFFT := opts.FFTVariant == VariantReal
 
-	words := int64(g.TileW) * int64(g.TileH)
+	pixels := int64(g.TileW) * int64(g.TileH)
+	// words is the per-tile device footprint: the full complex spectrum,
+	// or the h×(w/2+1) half spectrum of the r2c path.
+	words := opts.FFTVariant.transformWords(g)
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
 	var resMu sync.Mutex
-	root := startRun(opts.Obs, "pipelined-gpu", g)
+	root := startRun(opts, "pipelined-gpu", g)
 	var stageSpans []*obs.Span
 	stageSpan := func(name string) *obs.Span {
 		sp := root.ChildOn("stage/"+name, name)
@@ -202,12 +206,18 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	for d := range parts {
 		pt := parts[d]
 		dev := opts.Devices[d]
-		pool, err := newDevicePool(dev, g, opts.PoolTransforms, opts.Obs)
+		pool, err := newDevicePool(dev, g, opts.PoolTransforms, opts.FFTVariant, opts.Obs)
 		if err != nil {
 			return nil, constructionFail(err)
 		}
 		pools[d] = pool
-		scratch, err := dev.Alloc(words) // displacement-stage NCC buffer
+		// Displacement-stage NCC buffer (half spectrum in the real path).
+		var scratch *gpu.Buffer
+		if realFFT {
+			scratch, err = dev.AllocSpectrum(g.TileH, g.TileW)
+		} else {
+			scratch, err = dev.Alloc(words)
+		}
 		if err != nil {
 			return nil, constructionFail(err)
 		}
@@ -221,6 +231,11 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		// (Fermi cuFFT serialization), Hyper-Q configurations use more.
 		fftStreams := make([]*gpu.Stream, opts.FFTStreams)
 		fwdPlans := make([]*fft.Plan2D, opts.FFTStreams)
+		// Real plans carry internal scratch, so each stream that issues
+		// them needs its own instance (the cuFFT one-plan-per-stream rule):
+		// one per forward FFT stream plus one for the disp stream's
+		// inverse.
+		fwdRealPlans := make([]*fft.RealPlan2D, opts.FFTStreams)
 		for w := range fftStreams {
 			st, err := dev.NewStream(fmt.Sprintf("fft%d", w))
 			if err != nil {
@@ -228,6 +243,14 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 			}
 			streams = append(streams, st)
 			fftStreams[w] = st
+			if realFFT {
+				plan, err := opts.Planner.RealPlan2D(g.TileH, g.TileW, 1)
+				if err != nil {
+					return nil, constructionFail(err)
+				}
+				fwdRealPlans[w] = plan
+				continue
+			}
 			plan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
 			if err != nil {
 				return nil, constructionFail(err)
@@ -240,7 +263,13 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		}
 		streams = append(streams, copyStream, dispStream)
 
-		invPlan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+		var invPlan *fft.Plan2D
+		var invRealPlan *fft.RealPlan2D
+		if realFFT {
+			invRealPlan, err = opts.Planner.RealPlan2D(g.TileH, g.TileW, 1)
+		} else {
+			invPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+		}
 		if err != nil {
 			return nil, constructionFail(err)
 		}
@@ -300,11 +329,15 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 					return err
 				}
 				t.buf = buf
-				pix := make([]float64, words)
+				pix := make([]float64, pixels)
 				if err := t.img.ToFloat(pix); err != nil {
 					return err
 				}
-				t.ev = copyStream.MemcpyH2DReal(t.buf, pix)
+				if realFFT {
+					t.ev = copyStream.MemcpyH2DPackedReal(t.buf, pix)
+				} else {
+					t.ev = copyStream.MemcpyH2DReal(t.buf, pix)
+				}
 				return emit(t)
 			})
 
@@ -327,7 +360,11 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 					}
 					continue
 				}
-				t.ev = st.FFT2D(plan, t.buf, t.ev)
+				if realFFT {
+					t.ev = st.RealFFT2D(fwdRealPlans[w], t.buf, t.ev)
+				} else {
+					t.ev = st.FFT2D(plan, t.buf, t.ev)
+				}
 				tMu.Lock()
 				transformsTotal++
 				tMu.Unlock()
@@ -432,7 +469,15 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				var red gpu.Reduction
 				dsp := spDisp.Child("disp", pairAttr(gp.pair))
 				err := fp.retry.Do(func() error {
+					// In the real path the NCC covers the half spectrum
+					// only (Hermitian symmetry supplies the mirror bins)
+					// and the c2r inverse hands the reduction a packed
+					// real surface.
 					ev := dispStream.NCC(scratch, gp.a.buf, gp.b.buf, int(words), gp.a.ev, gp.b.ev)
+					if realFFT {
+						ev = dispStream.RealIFFT2D(invRealPlan, scratch, ev)
+						return dispStream.MaxAbsReal(scratch, int(pixels), &red, ev).Wait()
+					}
 					ev = dispStream.FFT2D(invPlan, scratch, ev)
 					return dispStream.MaxAbs(scratch, int(words), &red, ev).Wait()
 				})
@@ -511,6 +556,6 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		pushes, maxDepth := q.Stats()
 		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
 	}
-	finishRun(opts.Obs, root, res)
+	finishRun(opts, root, res)
 	return res, nil
 }

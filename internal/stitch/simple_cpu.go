@@ -26,11 +26,11 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache := newHostCache(g, opts.Governor)
+	cache := newHostCache(g, opts.Governor, opts.FFTVariant)
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root := startRun(opts.Obs, "simple-cpu", g)
+	root := startRun(opts, "simple-cpu", g)
 	start := time.Now()
 
 	ensure := func(c tile.Coord, psp *obs.Span) (*tile.Gray16, []complex128, error) {
@@ -107,6 +107,6 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
-	finishRun(opts.Obs, root, res)
+	finishRun(opts, root, res)
 	return res, nil
 }

@@ -38,9 +38,10 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	if opts.NPeaks > 1 {
 		return nil, fmt.Errorf("stitch: GPU implementations support NPeaks=1 only (max-reduction kernel)")
 	}
-	if opts.FFTVariant != VariantComplex {
-		return nil, fmt.Errorf("stitch: GPU implementations support the baseline complex FFT variant only")
+	if opts.FFTVariant == VariantPadded {
+		return nil, fmt.Errorf("stitch: GPU implementations support the complex and real FFT variants only")
 	}
+	realFFT := opts.FFTVariant == VariantReal
 	dev := opts.Devices[0]
 	stream, err := dev.NewStream("default")
 	if err != nil {
@@ -48,29 +49,50 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	}
 	defer stream.Close()
 
-	words := int64(g.TileW) * int64(g.TileH)
-	pool, err := newDevicePool(dev, g, opts.PoolTransforms, opts.Obs)
+	pixels := int64(g.TileW) * int64(g.TileH)
+	// words is the per-tile device footprint: the full complex spectrum,
+	// or the h×(w/2+1) half spectrum of the r2c path — the same halving
+	// applies to the NCC and reduction kernels' traffic below.
+	words := opts.FFTVariant.transformWords(g)
+	pool, err := newDevicePool(dev, g, opts.PoolTransforms, opts.FFTVariant, opts.Obs)
 	if err != nil {
 		return nil, err
 	}
 	defer pool.drain()
 	// One scratch buffer for the NCC/inverse product.
-	scratch, err := dev.Alloc(words)
+	allocScratch := func() (*gpu.Buffer, error) {
+		if realFFT {
+			return dev.AllocSpectrum(g.TileH, g.TileW)
+		}
+		return dev.Alloc(words)
+	}
+	scratch, err := allocScratch()
 	if err != nil {
 		return nil, err
 	}
 	defer func() { _ = scratch.Free() }()
 
-	fwdPlan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
-	if err != nil {
-		return nil, err
-	}
-	invPlan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
-	if err != nil {
-		return nil, err
+	// The single stream serializes every kernel, so one real plan (with
+	// its internal scratch) is safe to share between forward and inverse.
+	var fwdPlan, invPlan *fft.Plan2D
+	var realPlan *fft.RealPlan2D
+	if realFFT {
+		realPlan, err = opts.Planner.RealPlan2D(g.TileH, g.TileW, 1)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		fwdPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
+		if err != nil {
+			return nil, err
+		}
+		invPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	cache := newHostCache(g, opts.Governor) // host images for the CCF step
+	cache := newHostCache(g, opts.Governor, opts.FFTVariant) // host images for the CCF step
 	bufs := make(map[int]*gpu.Buffer)
 	devRC := newRefCounter(g)
 	liveBufs, peakBufs := 0, 0
@@ -78,10 +100,10 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root := startRun(opts.Obs, "simple-gpu", g)
+	root := startRun(opts, "simple-gpu", g)
 	start := time.Now()
 
-	pix := make([]float64, words)
+	pix := make([]float64, pixels)
 	ensure := func(c tile.Coord, psp *obs.Span) error {
 		i := g.Index(c)
 		if _, ok := bufs[i]; ok {
@@ -110,6 +132,14 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		// absorbed by replaying it.
 		usp := psp.Child("upload+fft", tileAttr(c))
 		err = fp.retry.Do(func() error {
+			if realFFT {
+				// Packed upload into the half-sized buffer, then the
+				// in-place r2c transform.
+				if err := stream.MemcpyH2DPackedReal(buf, pix).Wait(); err != nil {
+					return err
+				}
+				return stream.RealFFT2D(realPlan, buf).Wait()
+			}
 			if err := stream.MemcpyH2DReal(buf, pix).Wait(); err != nil {
 				return err
 			}
@@ -190,8 +220,17 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		var red gpu.Reduction
 		dsp := psp.Child("disp", pairAttr(p))
 		err := fp.retry.Do(func() error {
+			// The NCC runs over the half spectrum in the real path —
+			// Hermitian symmetry supplies the mirrored bins — and the c2r
+			// inverse hands the reduction a real surface.
 			if err := stream.NCC(scratch, bufs[ai], bufs[bi], int(words)).Wait(); err != nil {
 				return err
+			}
+			if realFFT {
+				if err := stream.RealIFFT2D(realPlan, scratch).Wait(); err != nil {
+					return err
+				}
+				return stream.MaxAbsReal(scratch, int(pixels), &red).Wait()
 			}
 			if err := stream.FFT2D(invPlan, scratch).Wait(); err != nil {
 				return err
@@ -226,6 +265,6 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	res.PeakTransformsLive = peakBufs
 	res.TransformsComputed = transforms
-	finishRun(opts.Obs, root, res)
+	finishRun(opts, root, res)
 	return res, nil
 }

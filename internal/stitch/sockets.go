@@ -46,6 +46,8 @@ func runSockets(src Source, opts Options) (*Result, error) {
 	}
 	parts := makePartitions(g.Rows, sockets)
 	res := newResult(g)
+	root := startRun(opts, "pipelined-cpu", g)
+	defer root.End() // idempotent; covers the error returns below
 	start := time.Now()
 
 	perSocket := opts
@@ -54,6 +56,12 @@ func runSockets(src Source, opts Options) (*Result, error) {
 	if perSocket.Threads < 1 {
 		perSocket.Threads = 1
 	}
+	// Band sub-runs must not publish result-level counters: a tile on a
+	// band boundary is read — and, under injected faults, degraded — by
+	// both adjacent bands, so summing per-band counters double-counts it.
+	// The merged Result below is deduplicated to owner rows; counters come
+	// from it alone, via finishRun on this (non-sub) run.
+	perSocket.subRun = true
 
 	type socketOut struct {
 		part partition
@@ -126,5 +134,6 @@ func runSockets(src Source, opts Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	res.TransformsComputed = transforms
 	res.PeakTransformsLive = peak
+	finishRun(opts, root, res)
 	return res, nil
 }

@@ -152,10 +152,10 @@ type Options struct {
 	// QueueCap bounds the inter-stage queues; 0 picks 4× the stage
 	// worker count.
 	QueueCap int
-	// FFTVariant selects the transform path for the CPU
-	// implementations: baseline complex, padded, or real-to-complex
-	// (the paper's §VI.A future-work optimizations). GPU
-	// implementations support the baseline only.
+	// FFTVariant selects the transform path: baseline complex, padded,
+	// or real-to-complex (the paper's §VI.A future-work optimizations).
+	// CPU implementations support all three; the GPU implementations
+	// support complex and real (padded is CPU-only).
 	FFTVariant FFTVariant
 	// Sockets runs one independent CPU pipeline per (simulated) CPU
 	// socket in Pipelined-CPU, each over a row band with its own
@@ -194,6 +194,12 @@ type Options struct {
 	// nil check per site. Pass the same recorder in gpu.Config.Obs to put
 	// GPU streams on the same clock.
 	Obs *obs.Recorder
+
+	// subRun marks a per-socket band sub-run launched by runSockets: the
+	// sub-run records its own span tree but suppresses result-level
+	// counter emission, which runSockets performs once from the merged
+	// Result so boundary-row casualties are not double-counted.
+	subRun bool
 }
 
 func (o Options) withDefaults(g tile.Grid) Options {

@@ -46,13 +46,20 @@ func TestUnknownVariantRejected(t *testing.T) {
 	}
 }
 
-func TestGPURejectsVariants(t *testing.T) {
+func TestGPUVariantSupport(t *testing.T) {
 	src := testDataset(t, 2, 2)
 	devs := testDevices(1)
 	defer closeDevices(devs)
 	for _, impl := range []Stitcher{&SimpleGPU{}, &PipelinedGPU{}} {
-		if _, err := impl.Run(src, Options{Devices: devs, FFTVariant: VariantReal}); err == nil {
-			t.Errorf("%s should reject FFT variants", impl.Name())
+		if _, err := impl.Run(src, Options{Devices: devs, FFTVariant: VariantPadded}); err == nil {
+			t.Errorf("%s should reject the padded FFT variant", impl.Name())
+		}
+		res, err := impl.Run(src, Options{Devices: devs, FFTVariant: VariantReal})
+		if err != nil {
+			t.Fatalf("%s real variant: %v", impl.Name(), err)
+		}
+		if !res.Complete() {
+			t.Errorf("%s real variant incomplete", impl.Name())
 		}
 	}
 }
