@@ -51,13 +51,16 @@ check: build
 # bench runs every benchmark and converts the output into a
 # machine-readable snapshot (BENCH_<tag>.json) for benchdiff. Override
 # BENCH_TAG to keep several snapshots side by side.
-BENCH_TAG ?= pr4
+BENCH_TAG ?= pr5
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) run ./cmd/experiments -bench-in bench_output.txt -bench-out BENCH_$(BENCH_TAG).json
 
 # benchdiff flags >15% ns/op regressions between two snapshots:
 #   make benchdiff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json
+# The defaults gate the current PR's snapshot against the previous one.
+OLD ?= BENCH_pr4.json
+NEW ?= BENCH_pr5.json
 benchdiff:
 	$(GO) run ./cmd/experiments -bench-old $(OLD) -bench-new $(NEW)
 

@@ -15,6 +15,9 @@
 //   - faultsite:    fault-injection site names come from the registry in
 //     internal/fault, so typos are build-time errors.
 //   - blockinglock: no blocking calls while holding a sync.Mutex.
+//   - hotpath:      functions marked //stitchlint:hotpath (the phase-1
+//     steady-state pair loop) never call make; scratch comes from
+//     constructor-sized arenas and plan-held buffers.
 //
 // Violations can be suppressed, one line at a time, with a trailing or
 // preceding comment of the form
@@ -78,7 +81,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full stitchlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{BufferFree, StreamSync, FaultSite, BlockingLock}
+	return []*Analyzer{BufferFree, StreamSync, FaultSite, BlockingLock, HotPath}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" = all).

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPath checks that functions marked with the //stitchlint:hotpath
+// directive do not call make. The marked functions are the steady-state
+// per-pair loop of phase 1 — Displace and the FFT passes under it —
+// whose contract (pinned by the AllocsPerRun tests) is zero heap
+// allocations per pair after warm-up. Scratch must come from the
+// per-aligner arenas or plan-held buffers, both sized in constructors,
+// which are simply not marked.
+//
+// The check is lexical: closures inside a marked function are covered
+// (they run on the hot path), and a marked function's callees are
+// checked only if they carry the directive themselves. Amortized growth
+// sites (arena scratch that grows once and then stabilizes) use the
+// standard suppression:
+//
+//	//lint:allow hotpath <reason>
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //stitchlint:hotpath must not call make; use arena or plan-held scratch",
+	Run:  runHotPath,
+}
+
+const hotPathDirective = "//stitchlint:hotpath"
+
+// hasHotPathDirective reports whether the function's doc comment carries
+// the directive.
+func hasHotPathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotPathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(pass *Pass) error {
+	for _, fd := range funcBodies(pass.Files) {
+		if !hasHotPathDirective(fd) {
+			continue
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "make" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"make in hot-path function %s: the steady-state pair loop must not allocate (size scratch in a constructor)", name)
+			return true
+		})
+	}
+	return nil
+}

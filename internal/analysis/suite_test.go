@@ -28,10 +28,14 @@ func TestBlockingLockFixture(t *testing.T) {
 	analysistest.Run(t, "./testdata/src/blockinglock", analysis.BlockingLock)
 }
 
+func TestHotPathFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/hotpath", analysis.HotPath)
+}
+
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	two, err := analysis.ByName("bufferfree, streamsync")
 	if err != nil || len(two) != 2 {

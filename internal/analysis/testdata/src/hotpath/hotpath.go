@@ -1,0 +1,67 @@
+// Package hotpath is the stitchlint fixture for the hotpath analyzer:
+// functions carrying the //stitchlint:hotpath directive must not call
+// make.
+package hotpath
+
+type arena struct {
+	work []complex128
+}
+
+// newArena is a constructor: unmarked, so its makes are fine.
+func newArena(n int) *arena {
+	return &arena{work: make([]complex128, n)}
+}
+
+// badDisplace allocates scratch per pair on the hot path.
+//
+//stitchlint:hotpath
+func badDisplace(ar *arena, n int) []complex128 {
+	buf := make([]complex128, n) // want "make in hot-path function badDisplace"
+	copy(buf, ar.work)
+	return buf
+}
+
+// badClosure hides the allocation inside a closure — still the hot path.
+//
+//stitchlint:hotpath
+func badClosure(n int) func() []byte {
+	return func() []byte {
+		return make([]byte, n) // want "make in hot-path function badClosure"
+	}
+}
+
+// goodDisplace reuses arena scratch: nothing to report.
+//
+//stitchlint:hotpath
+func goodDisplace(ar *arena) complex128 {
+	var sum complex128
+	for _, v := range ar.work {
+		sum += v
+	}
+	return sum
+}
+
+// allowedGrowth documents amortized warm-up growth with the standard
+// suppression.
+//
+//stitchlint:hotpath
+func allowedGrowth(ar *arena, n int) {
+	if cap(ar.work) < n {
+		ar.work = make([]complex128, n) //lint:allow hotpath amortized warm-up growth
+	}
+	ar.work = ar.work[:n]
+}
+
+// unmarked functions may allocate freely.
+func unmarked(n int) []int {
+	return make([]int, n)
+}
+
+// userMake is a local function named make-alike; calling it is fine even
+// on the hot path (only the builtin is flagged).
+func mk(n int) []int { return nil }
+
+//stitchlint:hotpath
+func usesLocalFunc(n int) []int {
+	return mk(n)
+}

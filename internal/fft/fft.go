@@ -102,9 +102,8 @@ type Plan struct {
 	sh *stockhamState
 
 	// scratch holds the strided-read copy of the input for the
-	// mixed-radix recursion; combuf is the per-fuse temporary.
+	// mixed-radix recursion (the combines themselves run in place).
 	scratch []complex128
-	combuf  []complex128
 }
 
 // PlanOpts adjusts plan construction.
@@ -169,6 +168,7 @@ func (p *Plan) init() {
 	switch p.strat {
 	case stratDFT:
 		p.twiddle = twiddleTable(p.n, p.dir)
+		p.scratch = make([]complex128, p.n)
 	case stratRadix2:
 		p.twiddle = twiddleTable(p.n, p.dir)
 	case stratStockham:
@@ -178,7 +178,6 @@ func (p *Plan) init() {
 		p.factors = factorize(p.n)
 		p.twiddle = twiddleTable(p.n, p.dir)
 		p.scratch = make([]complex128, p.n)
-		p.combuf = make([]complex128, p.n)
 	case stratBluestein:
 		p.bs = newBluestein(p.n, p.dir)
 	}
@@ -201,13 +200,15 @@ func (p *Plan) Normalized() bool { return p.norm }
 func (p *Plan) Strategy() string { return p.strat.String() }
 
 // Execute transforms x in place. len(x) must equal Plan.Len.
+//
+//stitchlint:hotpath
 func (p *Plan) Execute(x []complex128) error {
 	if len(x) != p.n {
 		return fmt.Errorf("fft: plan length %d, input length %d", p.n, len(x))
 	}
 	switch p.strat {
 	case stratDFT:
-		dftDirect(x, p.twiddle)
+		dftDirect(x, p.twiddle, p.scratch)
 	case stratRadix2:
 		radix2InPlace(x, p.twiddle)
 	case stratStockham:
@@ -241,13 +242,14 @@ func twiddleTable(n int, dir Direction) []complex128 {
 }
 
 // dftDirect computes the DFT by definition using a precomputed twiddle
-// table. Only used for very small n where it beats recursion overhead.
-func dftDirect(x []complex128, tw []complex128) {
+// table and plan-held scratch (the hot paths run allocation-free at
+// steady state). Only used for very small n where it beats recursion
+// overhead.
+func dftDirect(x []complex128, tw, out []complex128) {
 	n := len(x)
 	if n == 1 {
 		return
 	}
-	out := make([]complex128, n)
 	for k := 0; k < n; k++ {
 		var acc complex128
 		idx := 0

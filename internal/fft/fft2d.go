@@ -7,10 +7,15 @@ import (
 
 // Plan2D executes two-dimensional transforms of h×w complex images stored
 // in row-major order. The transform is separable: length-w FFTs over each
-// row followed by length-h FFTs over each column. A Plan2D is NOT safe for
-// concurrent use by multiple goroutines on the same call; use one Plan2D
-// per goroutine or the Workers option, which shards rows/columns
-// internally across worker-local plans.
+// row followed by length-h FFTs over each column. The column pass runs
+// through a blocked transpose (see transpose.go): the image is transposed
+// into plan-held scratch, the column FFTs run over contiguous rows, and
+// the result is transposed back — the strided gather of the seed
+// implementation survives behind SetBlockedTranspose(false) for
+// differential testing. A Plan2D is NOT safe for concurrent use by
+// multiple goroutines on the same call; use one Plan2D per goroutine or
+// the Workers option, which shards rows/columns internally across
+// worker-local plans.
 type Plan2D struct {
 	w, h    int
 	dir     Direction
@@ -19,7 +24,8 @@ type Plan2D struct {
 
 	rowPlans []*Plan // one per worker
 	colPlans []*Plan
-	colBufs  [][]complex128 // per-worker column gather buffers
+	colBufs  [][]complex128 // per-worker column gather buffers (legacy path)
+	tbuf     []complex128   // w×h transpose scratch, held for the plan's life
 }
 
 // Plan2DOpts adjusts 2-D plan construction.
@@ -42,7 +48,8 @@ func NewPlan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers}
+	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers,
+		tbuf: make([]complex128, w*h)}
 	for i := 0; i < workers; i++ {
 		rp, err := NewPlan(w, dir, PlanOpts{ForceStrategy: opts.ForceStrategy})
 		if err != nil {
@@ -70,34 +77,91 @@ func (p *Plan2D) Dir() Direction { return p.dir }
 
 // Execute transforms data (len h*w, row-major) in place.
 func (p *Plan2D) Execute(data []complex128) error {
+	return p.execute(data, nil)
+}
+
+// ExecuteFill transforms data in place like Execute, but produces the
+// input on the fly: fill(dst, r) writes row r into dst (length w)
+// immediately before that row's FFT runs, so the source values never
+// make a separate full-size pass through memory. This is the fusion
+// point for pciam's normalized conjugate multiply: the NCC row is still
+// cache-hot when the row FFT consumes it. fill may be called
+// concurrently from different workers for distinct rows.
+//
+//stitchlint:hotpath
+func (p *Plan2D) ExecuteFill(data []complex128, fill func(dst []complex128, r int)) error {
+	if fill == nil {
+		return fmt.Errorf("fft: ExecuteFill requires a fill function")
+	}
+	return p.execute(data, fill)
+}
+
+//stitchlint:hotpath
+func (p *Plan2D) execute(data []complex128, fill func([]complex128, int)) error {
 	if len(data) != p.w*p.h {
 		return fmt.Errorf("fft: plan is %dx%d (%d elements), input has %d", p.h, p.w, p.h*p.w, len(data))
 	}
 	if p.workers == 1 {
-		return p.executeSerial(data)
+		return p.executeSerial(data, fill)
 	}
-	return p.executeParallel(data)
+	return p.executeParallel(data, fill)
 }
 
-func (p *Plan2D) executeSerial(data []complex128) error {
-	rp, cp, buf := p.rowPlans[0], p.colPlans[0], p.colBufs[0]
+//stitchlint:hotpath
+func (p *Plan2D) executeSerial(data []complex128, fill func([]complex128, int)) error {
+	rp, cp := p.rowPlans[0], p.colPlans[0]
 	for r := 0; r < p.h; r++ {
-		if err := rp.Execute(data[r*p.w : (r+1)*p.w]); err != nil {
+		row := data[r*p.w : (r+1)*p.w]
+		if fill != nil {
+			fill(row, r)
+		}
+		if err := rp.Execute(row); err != nil {
 			return err
 		}
 	}
-	for c := 0; c < p.w; c++ {
-		gatherCol(buf, data, c, p.w, p.h)
-		if err := cp.Execute(buf); err != nil {
-			return err
-		}
-		scatterCol(data, buf, c, p.w, p.h)
+	if err := p.columnPass(data, 0, p.w, cp, p.colBufs[0]); err != nil {
+		return err
+	}
+	if BlockedTransposeEnabled() {
+		transposeRange(data, p.tbuf, p.w, p.h, 0, p.h)
 	}
 	p.normalize(data)
 	return nil
 }
 
-func (p *Plan2D) executeParallel(data []complex128) error {
+// columnPass runs the length-h FFTs for columns [c0, c1). On the blocked
+// path the results are left in the transposed scratch p.tbuf; the caller
+// transposes back once every column slab is done. The legacy path
+// scatters each column straight back into data.
+//
+//stitchlint:hotpath
+func (p *Plan2D) columnPass(data []complex128, c0, c1 int, cp *Plan, buf []complex128) error {
+	if !BlockedTransposeEnabled() {
+		for c := c0; c < c1; c++ {
+			gatherCol(buf, data, c, p.w, p.h)
+			if err := cp.Execute(buf); err != nil {
+				return err
+			}
+			scatterCol(data, buf, c, p.w, p.h)
+		}
+		return nil
+	}
+	transposeRange(p.tbuf, data, p.h, p.w, c0, c1)
+	for c := c0; c < c1; c++ {
+		if err := cp.Execute(p.tbuf[c*p.h : (c+1)*p.h]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slabRange splits [0, n) into the worker's contiguous share.
+func slabRange(n, workers, wk int) (lo, hi int) {
+	return n * wk / workers, n * (wk + 1) / workers
+}
+
+//stitchlint:hotpath
+func (p *Plan2D) executeParallel(data []complex128, fill func([]complex128, int)) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -118,7 +182,11 @@ func (p *Plan2D) executeParallel(data []complex128) error {
 			defer wg.Done()
 			rp := p.rowPlans[wk]
 			for r := wk; r < p.h; r += p.workers {
-				if err := rp.Execute(data[r*p.w : (r+1)*p.w]); err != nil {
+				row := data[r*p.w : (r+1)*p.w]
+				if fill != nil {
+					fill(row, r)
+				}
+				if err := rp.Execute(row); err != nil {
 					record(err)
 					return
 				}
@@ -129,30 +197,37 @@ func (p *Plan2D) executeParallel(data []complex128) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	// Column pass.
+	// Column pass: each worker owns a contiguous column slab, so the
+	// blocked transposes write disjoint regions of the shared scratch.
 	wg.Add(p.workers)
 	for wk := 0; wk < p.workers; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			cp, buf := p.colPlans[wk], p.colBufs[wk]
-			for c := wk; c < p.w; c += p.workers {
-				gatherCol(buf, data, c, p.w, p.h)
-				if err := cp.Execute(buf); err != nil {
-					record(err)
-					return
-				}
-				scatterCol(data, buf, c, p.w, p.h)
-			}
+			lo, hi := slabRange(p.w, p.workers, wk)
+			record(p.columnPass(data, lo, hi, p.colPlans[wk], p.colBufs[wk]))
 		}(wk)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
+	}
+	if BlockedTransposeEnabled() {
+		// Transpose back, sharded over the destination's row slabs.
+		wg.Add(p.workers)
+		for wk := 0; wk < p.workers; wk++ {
+			go func(wk int) {
+				defer wg.Done()
+				lo, hi := slabRange(p.h, p.workers, wk)
+				transposeRange(data, p.tbuf, p.w, p.h, lo, hi)
+			}(wk)
+		}
+		wg.Wait()
 	}
 	p.normalize(data)
 	return nil
 }
 
+//stitchlint:hotpath
 func (p *Plan2D) normalize(data []complex128) {
 	if !p.norm || p.dir != Inverse {
 		return
@@ -163,6 +238,7 @@ func (p *Plan2D) normalize(data []complex128) {
 	}
 }
 
+//stitchlint:hotpath
 func gatherCol(dst, data []complex128, c, w, h int) {
 	idx := c
 	for r := 0; r < h; r++ {
@@ -171,6 +247,7 @@ func gatherCol(dst, data []complex128, c, w, h int) {
 	}
 }
 
+//stitchlint:hotpath
 func scatterCol(data, src []complex128, c, w, h int) {
 	idx := c
 	for r := 0; r < h; r++ {

@@ -129,7 +129,8 @@ func (pl *Planner) Plan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, er
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers}
+	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers,
+		tbuf: make([]complex128, w*h)}
 	for i := 0; i < workers; i++ {
 		rp, err := NewPlan(w, dir, PlanOpts{ForceStrategy: sw})
 		if err != nil {

@@ -86,3 +86,35 @@ func TestPlannerConcurrent(t *testing.T) {
 		t.Errorf("wisdom size %d, want 5", pl.WisdomSize())
 	}
 }
+
+// BenchmarkPlanPoolContention measures the pool's mutex under parallel
+// Get/Put from GOMAXPROCS goroutines — the access pattern of per-pair
+// aligner checkout in the stitching workers. The free lists are
+// pre-warmed so every Get is a hit and the benchmark isolates
+// lock-handoff cost rather than plan construction.
+func BenchmarkPlanPoolContention(b *testing.B) {
+	pp := NewPlanPool(nil)
+	const n = 256
+	warm := make([]*Plan, 16)
+	for i := range warm {
+		p, err := pp.Get(n, Forward)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm[i] = p
+	}
+	for _, p := range warm {
+		pp.Put(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p, err := pp.Get(n, Forward)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp.Put(p)
+		}
+	})
+}

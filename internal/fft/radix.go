@@ -54,7 +54,14 @@ func (p *Plan) mixedRadix(x []complex128) {
 // ctRec computes the DFT of the n elements src[0], src[stride],
 // src[2*stride], ... into dst[0..n). fi indexes p.factors for the radix to
 // peel at this level. src is never written; dst sub-blocks are combined in
-// place using p.combuf as temporary storage.
+// place.
+//
+// The combines work without scratch: for a fixed q, butterfly s reads
+// exactly the positions {dst[j*m+q] : j} it later overwrites as
+// {dst[q+s*m] : s} — the same index set — and every read lands in locals
+// before the first write, so no copy of dst is needed.
+//
+//stitchlint:hotpath
 func (p *Plan) ctRec(dst, src []complex128, n, stride, fi int) {
 	if n == 1 {
 		dst[0] = src[0]
@@ -72,63 +79,71 @@ func (p *Plan) ctRec(dst, src []complex128, n, stride, fi int) {
 	unit := p.n / n
 	switch r {
 	case 2:
-		combine2(dst, p.combuf, m, p.twiddle, unit)
+		combine2(dst, m, p.twiddle, unit)
 	case 3:
-		combine3(dst, p.combuf, m, p.twiddle, unit)
+		combine3(dst, m, p.twiddle, unit)
 	case 4:
-		combine4(dst, p.combuf, m, p.twiddle, unit)
+		combine4(dst, m, p.twiddle, unit)
 	case 5:
-		combine5(dst, p.combuf, m, p.twiddle, unit)
+		combine5(dst, m, p.twiddle, unit)
 	default:
-		combineGeneric(dst, p.combuf, n, m, r, p.twiddle, unit)
+		combineGeneric(dst, n, m, r, p.twiddle, unit)
 	}
 }
 
+// The twiddle indices j·q·unit in the combines never wrap: with
+// n = r·m and unit = full/n, the largest is
+// (r-1)(m-1)·unit < (r-1)·m·unit = full·(r-1)/r < full — so the per-
+// element index arithmetic below is plain accumulation, no modulo.
+
 // combine2 fuses two length-m sub-transforms held in dst into one
-// length-2m transform, using tmp as scratch.
-func combine2(dst, tmp []complex128, m int, tw []complex128, unit int) {
-	copy(tmp[:2*m], dst[:2*m])
-	y0 := tmp[:m]
-	y1 := tmp[m : 2*m]
+// length-2m transform, in place.
+//
+//stitchlint:hotpath
+func combine2(dst []complex128, m int, tw []complex128, unit int) {
 	idx := 0
 	for q := 0; q < m; q++ {
-		t := y1[q] * tw[idx]
-		dst[q] = y0[q] + t
-		dst[q+m] = y0[q] - t
+		a := dst[q]
+		t := dst[q+m] * tw[idx]
+		dst[q] = a + t
+		dst[q+m] = a - t
 		idx += unit
 	}
 }
 
 // combine3 is the radix-3 butterfly.
-func combine3(dst, tmp []complex128, m int, tw []complex128, unit int) {
-	n := 3 * m
+//
+//stitchlint:hotpath
+func combine3(dst []complex128, m int, tw []complex128, unit int) {
 	full := len(tw)
-	copy(tmp[:n], dst[:n])
-	y0, y1, y2 := tmp[:m], tmp[m:2*m], tmp[2*m:n]
 	w1 := tw[(m*unit)%full]   // ω₃
 	w2 := tw[(2*m*unit)%full] // ω₃²
 	w4 := tw[(4*m*unit)%full] // ω₃⁴ = ω₃
+	idx1, idx2 := 0, 0
 	for q := 0; q < m; q++ {
-		t1 := y1[q] * tw[(q*unit)%full]
-		t2 := y2[q] * tw[(2*q*unit)%full]
-		dst[q] = y0[q] + t1 + t2
-		dst[q+m] = y0[q] + t1*w1 + t2*w2
-		dst[q+2*m] = y0[q] + t1*w2 + t2*w4
+		t0 := dst[q]
+		t1 := dst[q+m] * tw[idx1]
+		t2 := dst[q+2*m] * tw[idx2]
+		dst[q] = t0 + t1 + t2
+		dst[q+m] = t0 + t1*w1 + t2*w2
+		dst[q+2*m] = t0 + t1*w2 + t2*w4
+		idx1 += unit
+		idx2 += 2 * unit
 	}
 }
 
 // combine4 is the radix-4 butterfly (two radix-2 levels fused).
-func combine4(dst, tmp []complex128, m int, tw []complex128, unit int) {
-	n := 4 * m
+//
+//stitchlint:hotpath
+func combine4(dst []complex128, m int, tw []complex128, unit int) {
 	full := len(tw)
-	copy(tmp[:n], dst[:n])
-	y0, y1, y2, y3 := tmp[:m], tmp[m:2*m], tmp[2*m:3*m], tmp[3*m:n]
 	rot := tw[(m*unit)%full] // exp(∓2πi/4) = ∓i depending on direction
+	idx1, idx2, idx3 := 0, 0, 0
 	for q := 0; q < m; q++ {
-		t0 := y0[q]
-		t1 := y1[q] * tw[(q*unit)%full]
-		t2 := y2[q] * tw[(2*q*unit)%full]
-		t3 := y3[q] * tw[(3*q*unit)%full]
+		t0 := dst[q]
+		t1 := dst[q+m] * tw[idx1]
+		t2 := dst[q+2*m] * tw[idx2]
+		t3 := dst[q+3*m] * tw[idx3]
 		a := t0 + t2
 		b := t0 - t2
 		c := t1 + t3
@@ -137,24 +152,28 @@ func combine4(dst, tmp []complex128, m int, tw []complex128, unit int) {
 		dst[q+m] = b + d
 		dst[q+2*m] = a - c
 		dst[q+3*m] = b - d
+		idx1 += unit
+		idx2 += 2 * unit
+		idx3 += 3 * unit
 	}
 }
 
 // combine5 is the radix-5 butterfly.
-func combine5(dst, tmp []complex128, m int, tw []complex128, unit int) {
-	n := 5 * m
+//
+//stitchlint:hotpath
+func combine5(dst []complex128, m int, tw []complex128, unit int) {
 	full := len(tw)
-	copy(tmp[:n], dst[:n])
-	y := [5][]complex128{tmp[:m], tmp[m : 2*m], tmp[2*m : 3*m], tmp[3*m : 4*m], tmp[4*m : n]}
 	var w [5]complex128 // fifth roots of unity in transform direction
 	for j := range w {
 		w[j] = tw[(j*m*unit)%full]
 	}
+	var idx [5]int
 	for q := 0; q < m; q++ {
 		var t [5]complex128
-		t[0] = y[0][q]
+		t[0] = dst[q]
 		for j := 1; j < 5; j++ {
-			t[j] = y[j][q] * tw[(j*q*unit)%full]
+			t[j] = dst[q+j*m] * tw[idx[j]]
+			idx[j] += j * unit
 		}
 		for s := 0; s < 5; s++ {
 			acc := t[0]
@@ -168,13 +187,17 @@ func combine5(dst, tmp []complex128, m int, tw []complex128, unit int) {
 
 // combineGeneric is the O(r²·m) butterfly for arbitrary prime radix
 // r ≤ maxDirectPrime, with n = r*m.
-func combineGeneric(dst, tmp []complex128, n, m, r int, tw []complex128, unit int) {
+//
+//stitchlint:hotpath
+func combineGeneric(dst []complex128, n, m, r int, tw []complex128, unit int) {
 	full := len(tw)
-	copy(tmp[:n], dst[:n])
+	var jidx [maxDirectPrime]int
 	for q := 0; q < m; q++ {
 		var t [maxDirectPrime]complex128
-		for j := 0; j < r; j++ {
-			t[j] = tmp[j*m+q] * tw[(j*q*unit)%full]
+		t[0] = dst[q]
+		for j := 1; j < r; j++ {
+			t[j] = dst[j*m+q] * tw[jidx[j]]
+			jidx[j] += j * unit
 		}
 		for s := 0; s < r; s++ {
 			acc := t[0]

@@ -82,6 +82,8 @@ func (rp *RealPlan) SpectrumLen() int { return rp.n/2 + 1 }
 
 // Forward computes the half spectrum X[0..n/2] of the real input x into
 // dst, which must have length SpectrumLen.
+//
+//stitchlint:hotpath
 func (rp *RealPlan) Forward(dst []complex128, x []float64) error {
 	if len(x) != rp.n {
 		return fmt.Errorf("fft: real plan length %d, input length %d", rp.n, len(x))
@@ -124,6 +126,8 @@ func (rp *RealPlan) Forward(dst []complex128, x []float64) error {
 // Inverse reconstructs the real signal x (length n) from the half
 // spectrum spec (length SpectrumLen). The result is unnormalized: like the
 // complex plans, it carries a factor of n relative to the original input.
+//
+//stitchlint:hotpath
 func (rp *RealPlan) Inverse(x []float64, spec []complex128) error {
 	if len(x) != rp.n {
 		return fmt.Errorf("fft: real plan length %d, output length %d", rp.n, len(x))
@@ -178,8 +182,10 @@ func (rp *RealPlan) Inverse(x []float64, spec []complex128) error {
 
 // RealPlan2D computes forward real-to-complex 2-D transforms of h×w
 // row-major real images, producing the half spectrum with rows of length
-// w/2+1 (h rows). Inverse reconstructs the real image. Not safe for
-// concurrent use.
+// w/2+1 (h rows). Inverse reconstructs the real image. Like Plan2D, the
+// spectrum column passes run through a blocked transpose into plan-held
+// scratch (the seed gather path remains behind SetBlockedTranspose).
+// Not safe for concurrent use.
 type RealPlan2D struct {
 	w, h    int
 	sw      int // spectrum row width = w/2+1
@@ -189,6 +195,24 @@ type RealPlan2D struct {
 	colI    []*Plan
 	cbuf    [][]complex128
 	specF   []complex128 // scratch spectrum for inverse
+	tbuf    []complex128 // sw×h transpose scratch for the column passes
+
+	// Pending-pass operands. The shard/slab bodies below are bound once
+	// at construction and read their per-call operands from these fields;
+	// building them as literals inside Forward/Inverse would heap-allocate
+	// a closure per pass (the parallel branch makes them escape), which
+	// the zero-allocation steady state cannot afford.
+	opImg   []float64
+	opSpec  []complex128
+	opPlans []*Plan
+	opFill  func(dst []complex128, r int)
+
+	fnRowFwd   func(wk, r int) error
+	fnRowInv   func(wk, r int) error
+	fnFill     func(wk, r int) error
+	fnColShard func(wk, c int) error
+	fnColSlab  func(wk, lo, hi int) error
+	fnColBack  func(wk, lo, hi int) error
 }
 
 // NewRealPlan2D builds a serial 2-D real-transform plan.
@@ -211,7 +235,8 @@ func newRealPlan2D(h, w, workers int, mk planFactory) (*RealPlan2D, error) {
 		workers = 1
 	}
 	p := &RealPlan2D{w: w, h: h, sw: w/2 + 1, workers: workers,
-		specF: make([]complex128, h*(w/2+1))}
+		specF: make([]complex128, h*(w/2+1)),
+		tbuf:  make([]complex128, h*(w/2+1))}
 	for i := 0; i < workers; i++ {
 		rowF, err := newRealPlan(w, mk)
 		if err != nil {
@@ -229,6 +254,37 @@ func newRealPlan2D(h, w, workers int, mk planFactory) (*RealPlan2D, error) {
 		p.colF = append(p.colF, colF)
 		p.colI = append(p.colI, colI)
 		p.cbuf = append(p.cbuf, make([]complex128, h))
+	}
+	p.fnRowFwd = func(wk, r int) error {
+		return p.rowF[wk].Forward(p.opSpec[r*p.sw:(r+1)*p.sw], p.opImg[r*p.w:(r+1)*p.w])
+	}
+	p.fnRowInv = func(wk, r int) error {
+		return p.rowF[wk].Inverse(p.opImg[r*p.w:(r+1)*p.w], p.specF[r*p.sw:(r+1)*p.sw])
+	}
+	p.fnFill = func(wk, r int) error {
+		p.opFill(p.specF[r*p.sw:(r+1)*p.sw], r)
+		return nil
+	}
+	p.fnColShard = func(wk, c int) error {
+		gatherCol(p.cbuf[wk], p.opSpec, c, p.sw, p.h)
+		if err := p.opPlans[wk].Execute(p.cbuf[wk]); err != nil {
+			return err
+		}
+		scatterCol(p.opSpec, p.cbuf[wk], c, p.sw, p.h)
+		return nil
+	}
+	p.fnColSlab = func(wk, lo, hi int) error {
+		transposeRange(p.tbuf, p.opSpec, p.h, p.sw, lo, hi)
+		for c := lo; c < hi; c++ {
+			if err := p.opPlans[wk].Execute(p.tbuf[c*p.h : (c+1)*p.h]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p.fnColBack = func(wk, lo, hi int) error {
+		transposeRange(p.opSpec, p.tbuf, p.sw, p.h, lo, hi)
+		return nil
 	}
 	return p, nil
 }
@@ -267,6 +323,53 @@ func (p *RealPlan2D) shard(n int, fn func(worker, index int) error) error {
 	return nil
 }
 
+// slab runs fn(worker, lo, hi) over contiguous shares of [0, n), one per
+// worker — the slab counterpart of shard, used by the blocked-transpose
+// column passes so each worker transposes and transforms a disjoint
+// column range.
+func (p *RealPlan2D) slab(n int, fn func(worker, lo, hi int) error) error {
+	if p.workers == 1 {
+		return fn(0, 0, n)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p.workers)
+	for wk := 0; wk < p.workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			lo, hi := slabRange(n, p.workers, wk)
+			errs[wk] = fn(wk, lo, hi)
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// columnPass runs length-h FFTs over every spectrum column of the h×sw
+// matrix spec in place, using cp to select the per-worker forward or
+// inverse plans.
+//
+//stitchlint:hotpath
+func (p *RealPlan2D) columnPass(spec []complex128, plans []*Plan) error {
+	p.opSpec, p.opPlans = spec, plans
+	var err error
+	if !BlockedTransposeEnabled() {
+		err = p.shard(p.sw, p.fnColShard)
+	} else {
+		err = p.slab(p.sw, p.fnColSlab)
+		if err == nil {
+			err = p.slab(p.h, p.fnColBack)
+		}
+	}
+	p.opSpec, p.opPlans = nil, nil
+	return err
+}
+
 // SpectrumDims returns the half-spectrum dimensions (rows, cols).
 func (p *RealPlan2D) SpectrumDims() (int, int) { return p.h, p.sw }
 
@@ -281,6 +384,8 @@ func (p *RealPlan2D) Workers() int { return p.workers }
 
 // Forward computes the half spectrum of the real image img (h*w,
 // row-major) into dst (h*(w/2+1), row-major).
+//
+//stitchlint:hotpath
 func (p *RealPlan2D) Forward(dst []complex128, img []float64) error {
 	if len(img) != p.h*p.w {
 		return fmt.Errorf("fft: image is %d elements, want %d", len(img), p.h*p.w)
@@ -288,23 +393,19 @@ func (p *RealPlan2D) Forward(dst []complex128, img []float64) error {
 	if len(dst) != p.h*p.sw {
 		return fmt.Errorf("fft: spectrum is %d elements, want %d", len(dst), p.h*p.sw)
 	}
-	if err := p.shard(p.h, func(wk, r int) error {
-		return p.rowF[wk].Forward(dst[r*p.sw:(r+1)*p.sw], img[r*p.w:(r+1)*p.w])
-	}); err != nil {
+	p.opImg, p.opSpec = img, dst
+	err := p.shard(p.h, p.fnRowFwd)
+	p.opImg, p.opSpec = nil, nil
+	if err != nil {
 		return err
 	}
-	return p.shard(p.sw, func(wk, c int) error {
-		gatherCol(p.cbuf[wk], dst, c, p.sw, p.h)
-		if err := p.colF[wk].Execute(p.cbuf[wk]); err != nil {
-			return err
-		}
-		scatterCol(dst, p.cbuf[wk], c, p.sw, p.h)
-		return nil
-	})
+	return p.columnPass(dst, p.colF)
 }
 
 // Inverse reconstructs the real image from the half spectrum. The result
 // carries the unnormalized factor w·h, matching the complex 2-D plans.
+//
+//stitchlint:hotpath
 func (p *RealPlan2D) Inverse(img []float64, spec []complex128) error {
 	if len(img) != p.h*p.w {
 		return fmt.Errorf("fft: image is %d elements, want %d", len(img), p.h*p.w)
@@ -312,23 +413,48 @@ func (p *RealPlan2D) Inverse(img []float64, spec []complex128) error {
 	if len(spec) != p.h*p.sw {
 		return fmt.Errorf("fft: spectrum is %d elements, want %d", len(spec), p.h*p.sw)
 	}
-	work := p.specF
-	copy(work, spec)
-	// Undo the column pass with unnormalized inverse FFTs, then each row
-	// through the 1-D c2r inverse. Unnormalized convention: colI gives
-	// ×h, rowF.Inverse gives ×w — the product is the advertised w·h
-	// factor, so no scaling here.
-	if err := p.shard(p.sw, func(wk, c int) error {
-		gatherCol(p.cbuf[wk], work, c, p.sw, p.h)
-		if err := p.colI[wk].Execute(p.cbuf[wk]); err != nil {
-			return err
-		}
-		scatterCol(work, p.cbuf[wk], c, p.sw, p.h)
-		return nil
-	}); err != nil {
+	copy(p.specF, spec)
+	return p.inverseStaged(img)
+}
+
+// InverseFill reconstructs the real image like Inverse, but produces the
+// spectrum on the fly: fill(dst, r) writes spectrum row r (length
+// SpectrumDims cols) into dst. The fill IS the inverse's staging write —
+// it replaces the spectrum copy Inverse performs — so a caller fusing an
+// element-wise operation (pciam's normalized conjugate multiply) into
+// fill never materializes its result as a separate full-size pass. fill
+// may be called concurrently from different workers for distinct rows.
+//
+//stitchlint:hotpath
+func (p *RealPlan2D) InverseFill(img []float64, fill func(dst []complex128, r int)) error {
+	if len(img) != p.h*p.w {
+		return fmt.Errorf("fft: image is %d elements, want %d", len(img), p.h*p.w)
+	}
+	if fill == nil {
+		return fmt.Errorf("fft: InverseFill requires a fill function")
+	}
+	p.opFill = fill
+	err := p.shard(p.h, p.fnFill)
+	p.opFill = nil
+	if err != nil {
 		return err
 	}
-	return p.shard(p.h, func(wk, r int) error {
-		return p.rowF[wk].Inverse(img[r*p.w:(r+1)*p.w], work[r*p.sw:(r+1)*p.sw])
-	})
+	return p.inverseStaged(img)
+}
+
+// inverseStaged finishes the inverse from the staged spectrum in specF:
+// the column pass with unnormalized inverse FFTs, then each row through
+// the 1-D c2r inverse. Unnormalized convention: colI gives ×h,
+// rowF.Inverse gives ×w — the product is the advertised w·h factor, so
+// no scaling here.
+//
+//stitchlint:hotpath
+func (p *RealPlan2D) inverseStaged(img []float64) error {
+	if err := p.columnPass(p.specF, p.colI); err != nil {
+		return err
+	}
+	p.opImg = img
+	err := p.shard(p.h, p.fnRowInv)
+	p.opImg = nil
+	return err
 }

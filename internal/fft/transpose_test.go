@@ -1,0 +1,207 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// withLegacyColumnPass runs fn with the blocked transpose disabled (the
+// seed gather/scatter path) and restores the default afterwards.
+func withLegacyColumnPass(t *testing.T, fn func()) {
+	t.Helper()
+	SetBlockedTranspose(false)
+	defer SetBlockedTranspose(true)
+	fn()
+}
+
+// transposeSizes covers the shapes the blocked path must agree on with
+// the seed path bit-for-bit: odd, prime, power-of-two, mixed, and sizes
+// straddling the block edge.
+var transposeSizes = []struct{ h, w int }{
+	{9, 15},  // odd × odd
+	{13, 17}, // prime × prime
+	{7, 31},  // prime, wider than one block
+	{16, 16}, // power of two, exactly one block
+	{8, 64},  // power of two, several blocks
+	{33, 18}, // one past the block edge × mixed radix
+	{48, 40}, // mixed radix, multi-block
+}
+
+// TestBlockedTransposeBitIdentical pins the tentpole invariant: the
+// blocked-transpose column pass produces bit-identical spectra to the
+// seed strided gather, for both directions and worker counts.
+func TestBlockedTransposeBitIdentical(t *testing.T) {
+	for _, sz := range transposeSizes {
+		for _, workers := range []int{1, 3} {
+			for _, dir := range []Direction{Forward, Inverse} {
+				src := randComplex(sz.h*sz.w, int64(sz.h*1000+sz.w))
+				p, err := NewPlan2D(sz.h, sz.w, dir, Plan2DOpts{Workers: workers})
+				if err != nil {
+					t.Fatalf("NewPlan2D(%d,%d): %v", sz.h, sz.w, err)
+				}
+				blocked := append([]complex128(nil), src...)
+				if err := p.Execute(blocked); err != nil {
+					t.Fatalf("blocked Execute: %v", err)
+				}
+				legacy := append([]complex128(nil), src...)
+				withLegacyColumnPass(t, func() {
+					if err := p.Execute(legacy); err != nil {
+						t.Fatalf("legacy Execute: %v", err)
+					}
+				})
+				for i := range blocked {
+					if blocked[i] != legacy[i] {
+						t.Fatalf("%dx%d dir=%v workers=%d: element %d differs: blocked=%v legacy=%v",
+							sz.h, sz.w, dir, workers, i, blocked[i], legacy[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRealPlan2DBlockedTransposeBitIdentical is the r2c counterpart:
+// Forward spectra and Inverse reconstructions must match the seed path
+// exactly.
+func TestRealPlan2DBlockedTransposeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sz := range transposeSizes {
+		for _, workers := range []int{1, 3} {
+			p, err := NewRealPlan2DWorkers(sz.h, sz.w, workers)
+			if err != nil {
+				t.Fatalf("NewRealPlan2DWorkers(%d,%d): %v", sz.h, sz.w, err)
+			}
+			img := make([]float64, sz.h*sz.w)
+			for i := range img {
+				img[i] = rng.NormFloat64()
+			}
+			sh, sw := p.SpectrumDims()
+			specBlocked := make([]complex128, sh*sw)
+			if err := p.Forward(specBlocked, img); err != nil {
+				t.Fatalf("blocked Forward: %v", err)
+			}
+			specLegacy := make([]complex128, sh*sw)
+			withLegacyColumnPass(t, func() {
+				if err := p.Forward(specLegacy, img); err != nil {
+					t.Fatalf("legacy Forward: %v", err)
+				}
+			})
+			for i := range specBlocked {
+				if specBlocked[i] != specLegacy[i] {
+					t.Fatalf("%dx%d workers=%d: forward spectrum bin %d differs", sz.h, sz.w, workers, i)
+				}
+			}
+			recBlocked := make([]float64, sz.h*sz.w)
+			if err := p.Inverse(recBlocked, specBlocked); err != nil {
+				t.Fatalf("blocked Inverse: %v", err)
+			}
+			recLegacy := make([]float64, sz.h*sz.w)
+			withLegacyColumnPass(t, func() {
+				if err := p.Inverse(recLegacy, specLegacy); err != nil {
+					t.Fatalf("legacy Inverse: %v", err)
+				}
+			})
+			for i := range recBlocked {
+				if recBlocked[i] != recLegacy[i] {
+					t.Fatalf("%dx%d workers=%d: inverse sample %d differs", sz.h, sz.w, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteFillMatchesSeparatePass checks the fused row-fill entry
+// point against filling the buffer up front and calling Execute.
+func TestExecuteFillMatchesSeparatePass(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		h, w := 12, 20
+		src := randComplex(h*w, 42)
+		p, err := NewPlan2D(h, w, Inverse, Plan2DOpts{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate := append([]complex128(nil), src...)
+		if err := p.Execute(separate); err != nil {
+			t.Fatal(err)
+		}
+		fused := make([]complex128, h*w)
+		err = p.ExecuteFill(fused, func(dst []complex128, r int) {
+			copy(dst, src[r*w:(r+1)*w])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fused {
+			if fused[i] != separate[i] {
+				t.Fatalf("workers=%d: element %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestInverseFillMatchesInverse checks the r2c fused staging entry point
+// against the copy-then-Inverse path.
+func TestInverseFillMatchesInverse(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		h, w := 10, 24
+		p, err := NewRealPlan2DWorkers(h, w, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, sw := p.SpectrumDims()
+		// A valid half spectrum: forward-transform a random image.
+		rng := rand.New(rand.NewSource(9))
+		img := make([]float64, h*w)
+		for i := range img {
+			img[i] = rng.NormFloat64()
+		}
+		spec := make([]complex128, sh*sw)
+		if err := p.Forward(spec, img); err != nil {
+			t.Fatal(err)
+		}
+		separate := make([]float64, h*w)
+		if err := p.Inverse(separate, spec); err != nil {
+			t.Fatal(err)
+		}
+		fused := make([]float64, h*w)
+		err = p.InverseFill(fused, func(dst []complex128, r int) {
+			copy(dst, spec[r*sw:(r+1)*sw])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fused {
+			if fused[i] != separate[i] {
+				t.Fatalf("workers=%d: sample %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestTransposeBlocksCounter checks that blocked executions advance the
+// process-wide block counter and legacy executions do not.
+func TestTransposeBlocksCounter(t *testing.T) {
+	p, err := NewPlan2D(32, 32, Forward, Plan2DOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randComplex(32*32, 3)
+	before := TransposeBlocks()
+	if err := p.Execute(data); err != nil {
+		t.Fatal(err)
+	}
+	after := TransposeBlocks()
+	// 32×32 with a 16-element block edge: 2×2 blocks per transpose, two
+	// transposes (in and back) per execute.
+	if want := before + 8; after != want {
+		t.Fatalf("TransposeBlocks after blocked execute = %d, want %d", after, want)
+	}
+	withLegacyColumnPass(t, func() {
+		if err := p.Execute(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := TransposeBlocks(); got != after {
+		t.Fatalf("legacy execute moved TransposeBlocks from %d to %d", after, got)
+	}
+}

@@ -75,7 +75,7 @@ func (s *Stream) RealFFT2D(plan *fft.RealPlan2D, buf *Buffer, after ...*Event) *
 		if int64(sh*sw) > buf.Words() || int64(packedWords(n)) > buf.Words() {
 			return fmt.Errorf("gpu: rfft2d plan %dx%d exceeds buffer of %d words", plan.H(), plan.W(), buf.Words())
 		}
-		img := make([]float64, n)
+		img := s.realsScratch(n)
 		unpackReals(img, buf.Data)
 		return plan.Forward(buf.Data[:sh*sw], img)
 	}, after...)
@@ -92,7 +92,7 @@ func (s *Stream) RealIFFT2D(plan *fft.RealPlan2D, buf *Buffer, after ...*Event) 
 		if int64(sh*sw) > buf.Words() || int64(packedWords(n)) > buf.Words() {
 			return fmt.Errorf("gpu: irfft2d plan %dx%d exceeds buffer of %d words", plan.H(), plan.W(), buf.Words())
 		}
-		img := make([]float64, n)
+		img := s.realsScratch(n)
 		if err := plan.Inverse(img, buf.Data[:sh*sw]); err != nil {
 			return err
 		}
@@ -146,13 +146,79 @@ func (s *Stream) MaxAbsReal(src *Buffer, n int, out *Reduction, after ...*Event)
 		if int64(packedWords(n)) > src.Words() {
 			return fmt.Errorf("gpu: maxabs over %d packed reals exceeds buffer of %d words", n, src.Words())
 		}
-		vals := make([]float64, n)
+		vals := s.realsScratch(n)
 		unpackReals(vals, src.Data)
 		idx, mag := pciam.MaxAbsReal(vals)
 		out.Idx = idx
 		out.Mag = mag
 		return nil
 	}, after...)
+}
+
+// FusedNCCInverseMax runs the whole displacement tail — normalized
+// conjugate multiply, inverse 2-D FFT, max-abs reduction — as ONE kernel
+// launch instead of three, writing the correlation surface into dst and
+// the peak into out. The NCC rows feed the inverse's row pass directly
+// (fft.ExecuteFill), so the NCC spectrum never materializes as a separate
+// full-size pass; the result is bit-identical to the NCC → IFFT2D →
+// MaxAbs sequence. Fault injection maps the fused launch to the
+// gpu.kernel.ncc site.
+func (s *Stream) FusedNCCInverseMax(plan *fft.Plan2D, dst, fa, fb *Buffer, out *Reduction, after ...*Event) *Event {
+	return s.Launch("ncc+ifft2d+maxabs", func() error {
+		n := plan.W() * plan.H()
+		if int64(n) > dst.Words() || int64(n) > fa.Words() || int64(n) > fb.Words() {
+			return fmt.Errorf("gpu: fused ncc over %d words exceeds a buffer", n)
+		}
+		w := plan.W()
+		err := plan.ExecuteFill(dst.Data[:n], func(row []complex128, r int) {
+			o := r * w
+			pciam.NCCSpectrum(row, fa.Data[o:o+w], fb.Data[o:o+w])
+		})
+		if err != nil {
+			return err
+		}
+		idx, mag := pciam.MaxAbs(dst.Data[:n])
+		out.Idx = idx
+		out.Mag = mag
+		s.countFused()
+		return nil
+	}, after...)
+}
+
+// FusedNCCInverseMaxReal is the r2c counterpart of FusedNCCInverseMax:
+// half-spectrum NCC, inverse c2r transform, and real max reduction in one
+// launch. The correlation surface lives only in stream scratch — it is
+// never packed back into a device buffer, skipping the pack/unpack round
+// trip of the three-launch sequence (lossless, so displacements stay
+// bit-identical).
+func (s *Stream) FusedNCCInverseMaxReal(plan *fft.RealPlan2D, fa, fb *Buffer, out *Reduction, after ...*Event) *Event {
+	return s.Launch("ncc+irfft2d+maxabs", func() error {
+		sh, sw := plan.SpectrumDims()
+		if int64(sh*sw) > fa.Words() || int64(sh*sw) > fb.Words() {
+			return fmt.Errorf("gpu: fused ncc over %d half-spectrum words exceeds a buffer", sh*sw)
+		}
+		img := s.realsScratch(plan.H() * plan.W())
+		err := plan.InverseFill(img, func(row []complex128, r int) {
+			o := r * sw
+			pciam.NCCSpectrum(row, fa.Data[o:o+sw], fb.Data[o:o+sw])
+		})
+		if err != nil {
+			return err
+		}
+		idx, mag := pciam.MaxAbsReal(img)
+		out.Idx = idx
+		out.Mag = mag
+		s.countFused()
+		return nil
+	}, after...)
+}
+
+// countFused advances the gpu.launch.fused obs counter when a recorder is
+// attached.
+func (s *Stream) countFused() {
+	if rec := s.dev.cfg.Obs; rec != nil {
+		rec.Counter("gpu.launch.fused").Add(1)
+	}
 }
 
 // Scale multiplies a device buffer by a real constant (used by tests and

@@ -72,6 +72,21 @@ type Stream struct {
 	closed bool
 	idle   bool
 	wg     sync.WaitGroup
+
+	// realScratch stages unpacked real surfaces for the r2c kernels.
+	// Commands run one at a time on the dispatcher goroutine, so lazy
+	// growth here is race-free; after the first launch of a given size the
+	// kernels stop allocating per pair.
+	realScratch []float64
+}
+
+// realsScratch returns the stream's real staging buffer grown to at least
+// n values. Call only from inside a kernel fn (dispatcher goroutine).
+func (s *Stream) realsScratch(n int) []float64 {
+	if cap(s.realScratch) < n {
+		s.realScratch = make([]float64, n)
+	}
+	return s.realScratch[:n]
 }
 
 // NewStream creates a stream and starts its dispatcher.
@@ -199,7 +214,10 @@ func (s *Stream) injectFault(cmd *command) error {
 		switch cmd.name {
 		case "fft2d", "ifft2d", "rfft2d", "irfft2d":
 			site = fault.SiteGPUKernelFFT
-		case "ncc":
+		case "ncc", "ncc+ifft2d+maxabs", "ncc+irfft2d+maxabs":
+			// The fused disp kernels inject at the NCC site so existing
+			// fault plans (and the degraded-pair tests) keep firing when
+			// fusion replaces the three-launch sequence.
 			site = fault.SiteGPUKernelNCC
 		case "maxabs":
 			site = fault.SiteGPUKernelReduce

@@ -1,0 +1,176 @@
+package pciam
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the per-aligner scratch arenas and the aligner
+// pools behind the zero-allocation steady state: after one warm-up pair,
+// Displace on any CPU aligner performs no heap allocations (pinned by
+// the AllocsPerRun tests in alloc_test.go). An arena owns every
+// per-pair scratch buffer — the NCC/correlogram spectrum, the real
+// correlation surface, pixel staging, and the peak-candidate slices —
+// and is checked out of a sync.Pool keyed by tile dimensions, so
+// repeated aligner construction (one aligner per worker per run) reuses
+// warm memory instead of re-allocating it.
+//
+// Two levels recycle:
+//
+//   - arenas: checked out in New*Aligner, returned by (*Aligner).Close
+//     (and its variant counterparts);
+//   - whole aligners (plans included): Get*Aligner/Put*Aligner, which
+//     the stitch layer uses per worker.
+//
+// Both levels count their pool hits into the process-wide reuse counter
+// exported as ArenaReuse; the stitch layer publishes the per-run delta
+// as the obs counter pciam.arena.reuse (this package deliberately does
+// not import obs).
+
+// arenaKey identifies one arena free list: the aligner kind plus the
+// tile dimensions that size every buffer.
+type arenaKey struct {
+	kind string // "complex", "padded", or "real"
+	w, h int
+}
+
+var (
+	arenaPools      sync.Map // arenaKey → *sync.Pool
+	arenaReuseCount atomic.Int64
+)
+
+// ArenaReuse returns the process-wide count of scratch checkouts served
+// from a pool (arena or whole-aligner) rather than fresh allocation.
+func ArenaReuse() int64 { return arenaReuseCount.Load() }
+
+// arena is the per-aligner scratch block. work is the complex spectrum
+// scratch (full spectrum for the complex/padded aligners, half spectrum
+// for the real aligner); corr and pix are the real aligner's correlation
+// surface and pixel staging; peaks, cands, and cx back the peak search.
+// cands and cx start nil and grow on first NPeaks>1 use.
+type arena struct {
+	work  []complex128
+	corr  []float64
+	pix   []float64
+	peaks []Peak
+	cands []peakCand
+	cx    []complex128
+}
+
+// checkoutArena gets an arena for the given aligner kind and tile size,
+// reusing a pooled one when available. cwords sizes work; fwords, when
+// positive, sizes corr and pix.
+func checkoutArena(kind string, w, h, cwords, fwords int) *arena {
+	pv, _ := arenaPools.LoadOrStore(arenaKey{kind: kind, w: w, h: h}, &sync.Pool{})
+	if v := pv.(*sync.Pool).Get(); v != nil {
+		arenaReuseCount.Add(1)
+		return v.(*arena)
+	}
+	ar := &arena{work: make([]complex128, cwords), peaks: make([]Peak, 0, 4)}
+	if fwords > 0 {
+		ar.corr = make([]float64, fwords)
+		ar.pix = make([]float64, fwords)
+	}
+	return ar
+}
+
+// releaseArena returns an arena to its free list.
+func releaseArena(kind string, w, h int, ar *arena) {
+	if ar == nil {
+		return
+	}
+	pv, _ := arenaPools.LoadOrStore(arenaKey{kind: kind, w: w, h: h}, &sync.Pool{})
+	pv.(*sync.Pool).Put(ar)
+}
+
+// alignerKey identifies one aligner free list: kind, tile size, and
+// every option that changes an aligner's observable behavior. The
+// Planner is deliberately excluded — it only steers FFT strategy
+// selection, and all strategies produce the same displacements (the
+// cross-variant equivalence tests pin this) — so runs that build a
+// fresh estimate-mode planner per run still share aligners.
+type alignerKey struct {
+	kind          string
+	w, h          int
+	nPeaks        int
+	positiveOnly  bool
+	minOverlapPx  int
+	window        bool
+	fftWorkers    int
+	disableFusion bool
+}
+
+var alignerPools sync.Map // alignerKey → *sync.Pool
+
+func makeAlignerKey(kind string, w, h int, opts Options) alignerKey {
+	opts = opts.withDefaults()
+	return alignerKey{
+		kind: kind, w: w, h: h,
+		nPeaks:        opts.NPeaks,
+		positiveOnly:  opts.PositiveOnly,
+		minOverlapPx:  opts.MinOverlapPx,
+		window:        opts.Window,
+		fftWorkers:    opts.FFTWorkers,
+		disableFusion: opts.DisableFusion,
+	}
+}
+
+func alignerPool(key alignerKey) *sync.Pool {
+	pv, _ := alignerPools.LoadOrStore(key, &sync.Pool{})
+	return pv.(*sync.Pool)
+}
+
+// GetAligner checks out a pooled complex aligner for w×h tiles,
+// constructing one through NewAligner on a miss. Return it with
+// PutAligner when the worker is done; do not Close an aligner that will
+// be Put back.
+func GetAligner(w, h int, opts Options) (*Aligner, error) {
+	if v := alignerPool(makeAlignerKey("complex", w, h, opts)).Get(); v != nil {
+		arenaReuseCount.Add(1)
+		return v.(*Aligner), nil
+	}
+	return NewAligner(w, h, opts)
+}
+
+// PutAligner returns a complex aligner for reuse by a later GetAligner
+// with the same dimensions and options.
+func PutAligner(al *Aligner) {
+	if al == nil || al.ar == nil {
+		return
+	}
+	alignerPool(makeAlignerKey("complex", al.w, al.h, al.opts)).Put(al)
+}
+
+// GetPaddedAligner is GetAligner for the padded variant.
+func GetPaddedAligner(w, h int, opts Options) (*PaddedAligner, error) {
+	if v := alignerPool(makeAlignerKey("padded", w, h, opts)).Get(); v != nil {
+		arenaReuseCount.Add(1)
+		return v.(*PaddedAligner), nil
+	}
+	return NewPaddedAligner(w, h, opts)
+}
+
+// PutPaddedAligner returns a padded aligner for reuse.
+func PutPaddedAligner(al *PaddedAligner) {
+	if al == nil || al.ar == nil {
+		return
+	}
+	alignerPool(makeAlignerKey("padded", al.w, al.h, al.opts)).Put(al)
+}
+
+// GetRealAligner is GetAligner for the real-to-complex variant.
+func GetRealAligner(w, h int, opts Options) (*RealAligner, error) {
+	if v := alignerPool(makeAlignerKey("real", w, h, opts)).Get(); v != nil {
+		arenaReuseCount.Add(1)
+		return v.(*RealAligner), nil
+	}
+	return NewRealAligner(w, h, opts)
+}
+
+// PutRealAligner returns a real aligner for reuse.
+func PutRealAligner(al *RealAligner) {
+	if al == nil || al.ar == nil {
+		return
+	}
+	alignerPool(makeAlignerKey("real", al.w, al.h, al.opts)).Put(al)
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// Planner supplies FFT wisdom; nil uses a private estimate-mode
 	// planner.
 	Planner *fft.Planner
+	// DisableFusion computes the NCC spectrum as its own full-size pass
+	// before the inverse transform (the seed behavior) instead of fusing
+	// it into the inverse's first pass. Results are bit-identical either
+	// way; the toggle exists for the differential tests and as a
+	// rollback escape hatch.
+	DisableFusion bool
 }
 
 // withDefaults normalizes zero values.
@@ -84,8 +90,15 @@ type Aligner struct {
 	opts   Options
 	fwd    *fft.Plan2D
 	inv    *fft.Plan2D
-	work   []complex128
-	window []float64 // nil unless Options.Window
+	ar     *arena
+	work   []complex128 // aliases ar.work
+	window []float64    // nil unless Options.Window
+
+	// fa/fb hold the pending pair's transforms for the fused NCC fill;
+	// fill is built once at construction so the per-pair path closes
+	// over nothing (zero steady-state allocations).
+	fa, fb []complex128
+	fill   func(dst []complex128, r int)
 }
 
 // NewAligner builds an aligner for w×h tiles.
@@ -106,11 +119,28 @@ func NewAligner(w, h int, opts Options) (*Aligner, error) {
 	if err != nil {
 		return nil, err
 	}
-	al := &Aligner{w: w, h: h, opts: opts, fwd: fwd, inv: inv, work: make([]complex128, w*h)}
+	ar := checkoutArena("complex", w, h, w*h, 0)
+	al := &Aligner{w: w, h: h, opts: opts, fwd: fwd, inv: inv, ar: ar, work: ar.work}
+	al.fill = func(dst []complex128, r int) {
+		o := r * al.w
+		NCCSpectrum(dst, al.fa[o:o+al.w], al.fb[o:o+al.w])
+	}
 	if opts.Window {
 		al.window = hannWindow(w, h)
 	}
 	return al, nil
+}
+
+// Close returns the aligner's scratch arena to the pool. Use it for
+// aligners that will not be recycled whole through PutAligner; the
+// aligner must not be used afterwards.
+func (al *Aligner) Close() {
+	if al.ar == nil {
+		return
+	}
+	releaseArena("complex", al.w, al.h, al.ar)
+	al.ar = nil
+	al.work = nil
 }
 
 // hannWindow builds the separable 2-D Hann taper.
@@ -165,16 +195,31 @@ func (al *Aligner) Transform(t *tile.Gray16) ([]complex128, error) {
 // west neighbor and b the tile; for a north pair, a is the north neighbor
 // and b the tile — so the returned displacement is positive ≈ the tile
 // stride along the primary axis.
+//
+//stitchlint:hotpath
 func (al *Aligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displacement, error) {
 	n := al.w * al.h
 	if len(fa) != n || len(fb) != n {
 		return tile.Displacement{}, fmt.Errorf("pciam: transform length %d/%d, want %d", len(fa), len(fb), n)
 	}
-	NCCSpectrum(al.work, fa, fb)
-	if err := al.inv.Execute(al.work); err != nil {
-		return tile.Displacement{}, err
+	if al.opts.DisableFusion {
+		NCCSpectrum(al.work, fa, fb)
+		if err := al.inv.Execute(al.work); err != nil {
+			return tile.Displacement{}, err
+		}
+	} else {
+		// Fused path: the NCC row is computed immediately before the
+		// inverse's row FFT consumes it, so the spectrum never makes a
+		// separate full-size pass through memory.
+		al.fa, al.fb = fa, fb
+		err := al.inv.ExecuteFill(al.work, al.fill)
+		al.fa, al.fb = nil, nil
+		if err != nil {
+			return tile.Displacement{}, err
+		}
 	}
-	peaks := TopPeaks(al.work, al.w, al.h, al.opts.NPeaks)
+	al.ar.peaks, al.ar.cands = topPeaksInto(al.ar.peaks, al.ar.cands, al.work, al.w, al.h, al.opts.NPeaks)
+	peaks := al.ar.peaks
 	best := tile.Displacement{Corr: math.Inf(-1)}
 	for _, p := range peaks {
 		d := al.ResolvePeak(a, b, p.X, p.Y)
@@ -211,6 +256,8 @@ func (al *Aligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
 //
 // (paper Fig 2 lines 4–5). Zero-magnitude products map to 0 rather than
 // NaN. dst may alias fa or fb.
+//
+//stitchlint:hotpath
 func NCCSpectrum(dst, fa, fb []complex128) {
 	for i := range dst {
 		p := fa[i] * cmplx.Conj(fb[i])
@@ -219,7 +266,12 @@ func NCCSpectrum(dst, fa, fb []complex128) {
 			dst[i] = 0
 			continue
 		}
-		dst[i] = p / complex(m, 0)
+		// Scale by the reciprocal instead of dividing: the full complex
+		// division runtime call costs ~4x a multiply and the divisor is
+		// real and positive, so only the magnitude rounding differs (≤1
+		// ulp per component).
+		s := 1 / m
+		dst[i] = complex(real(p)*s, imag(p)*s)
 	}
 }
 
@@ -232,6 +284,8 @@ type Peak struct {
 // MaxAbs reduces data to the index and magnitude of its largest absolute
 // value (paper Fig 2 line 7; the GPU version of this is the max-reduction
 // kernel).
+//
+//stitchlint:hotpath
 func MaxAbs(data []complex128) (int, float64) {
 	bi, bm := 0, -1.0
 	for i, v := range data {
@@ -253,28 +307,45 @@ func MaxAbs(data []complex128) (int, float64) {
 // the candidates are distinct displacement hypotheses rather than one
 // blurred maximum.
 func TopPeaks(data []complex128, w, h, k int) []Peak {
+	peaks, _ := topPeaksInto(nil, nil, data, w, h, k)
+	return peaks
+}
+
+// peakCand is one sortable candidate of the k>1 peak search.
+type peakCand struct {
+	idx int
+	mag float64
+}
+
+// topPeaksInto is TopPeaks writing into caller-supplied scratch (the
+// aligner arenas) so the k=1 steady state allocates nothing. The k>1
+// path still pays sort.Slice's internal allocation; NPeaks=1 is the
+// paper's configuration and the one the zero-allocation guarantee
+// covers.
+//
+//stitchlint:hotpath
+func topPeaksInto(peaks []Peak, cands []peakCand, data []complex128, w, h, k int) ([]Peak, []peakCand) {
+	peaks = peaks[:0]
 	if k <= 1 {
 		i, m := MaxAbs(data)
-		return []Peak{{X: i % w, Y: i / w, Mag: m}}
+		return append(peaks, Peak{X: i % w, Y: i / w, Mag: m}), cands
 	}
-	type cand struct {
-		idx int
-		mag float64
+	if cap(cands) < len(data) {
+		cands = make([]peakCand, len(data)) //lint:allow hotpath arena scratch growth, amortized after warm-up
 	}
-	cands := make([]cand, len(data))
+	cands = cands[:len(data)]
 	for i, v := range data {
-		cands[i] = cand{idx: i, mag: cmplx.Abs(v)}
+		cands[i] = peakCand{idx: i, mag: cmplx.Abs(v)}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].mag > cands[j].mag })
-	var out []Peak
 	const sep = 2
 	for _, c := range cands {
-		if len(out) == k {
+		if len(peaks) == k {
 			break
 		}
 		x, y := c.idx%w, c.idx/w
 		ok := true
-		for _, p := range out {
+		for _, p := range peaks {
 			dx := wrapDist(x, p.X, w)
 			dy := wrapDist(y, p.Y, h)
 			if dx <= sep && dy <= sep {
@@ -283,10 +354,10 @@ func TopPeaks(data []complex128, w, h, k int) []Peak {
 			}
 		}
 		if ok {
-			out = append(out, Peak{X: x, Y: y, Mag: c.mag})
+			peaks = append(peaks, Peak{X: x, Y: y, Mag: c.mag})
 		}
 	}
-	return out
+	return peaks, cands
 }
 
 // wrapDist is the circular distance between coordinates on a ring of
@@ -305,6 +376,8 @@ func wrapDist(a, b, n int) int {
 // ResolvePeak scores the candidate interpretations of a correlation peak
 // with cross-correlation factors over the hypothesized overlap regions
 // and returns the winner (paper Fig 2 lines 8–12, the CCF1..4 step).
+//
+//stitchlint:hotpath
 func (al *Aligner) ResolvePeak(a, b *tile.Gray16, px, py int) tile.Displacement {
 	return Resolve(a, b, px, py, al.opts)
 }
@@ -313,14 +386,17 @@ func (al *Aligner) ResolvePeak(a, b *tile.Gray16, px, py int) tile.Displacement 
 // only the tile pixels and the peak, which is why the hybrid pipeline can
 // run it on dedicated CPU threads (stage 6 of the paper's Fig 8) with
 // just the scalar max-reduction result copied back from the GPU.
+//
+//stitchlint:hotpath
 func Resolve(a, b *tile.Gray16, px, py int, opts Options) tile.Displacement {
 	opts = opts.withDefaults()
 	w, h := a.W, a.H
-	xs := candidateOffsets(px, w, opts.PositiveOnly)
-	ys := candidateOffsets(py, h, opts.PositiveOnly)
+	xs, nx := candidateOffsets(px, w, opts.PositiveOnly)
+	ys, ny := candidateOffsets(py, h, opts.PositiveOnly)
 	best := tile.Displacement{X: px, Y: py, Corr: math.Inf(-1)}
-	for _, dx := range xs {
-		for _, dy := range ys {
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			dx, dy := xs[i], ys[j]
 			c := ccfRegion(a, b, dx, dy, opts.MinOverlapPx)
 			if c > best.Corr {
 				best = tile.Displacement{X: dx, Y: dy, Corr: c}
@@ -334,28 +410,31 @@ func Resolve(a, b *tile.Gray16, px, py int, opts Options) tile.Displacement {
 }
 
 // candidateOffsets lists the congruent interpretations of a peak
-// coordinate. Signed mode: {p, p-n}. Positive-only (paper pseudocode):
+// coordinate into a fixed-size array (the per-pair hot path allocates
+// nothing). Signed mode: {p, p-n}. Positive-only (paper pseudocode):
 // {p, n-p}, both treated as rightward/downward shifts.
-func candidateOffsets(p, n int, positiveOnly bool) []int {
-	if positiveOnly {
-		if p == 0 {
-			return []int{0}
-		}
-		return []int{p, n - p}
-	}
+//
+//stitchlint:hotpath
+func candidateOffsets(p, n int, positiveOnly bool) ([2]int, int) {
 	if p == 0 {
-		return []int{0}
+		return [2]int{0, 0}, 1
 	}
-	return []int{p, p - n}
+	if positiveOnly {
+		return [2]int{p, n - p}, 2
+	}
+	return [2]int{p, p - n}, 2
 }
 
 // ccf evaluates the normalized cross correlation of the overlap implied
 // by placing b's origin at signed offset (dx, dy) in a's frame (the
 // paper's Fig 3 ccf(), fused via tile.NCCRegion).
+//
+//stitchlint:hotpath
 func (al *Aligner) ccf(a, b *tile.Gray16, dx, dy int) float64 {
 	return ccfRegion(a, b, dx, dy, al.opts.MinOverlapPx)
 }
 
+//stitchlint:hotpath
 func ccfRegion(a, b *tile.Gray16, dx, dy, minOverlap int) float64 {
 	ax, ay, bx, by, ow, oh, ok := OverlapRegions(a.W, a.H, dx, dy)
 	if !ok || ow < minOverlap || oh < minOverlap {

@@ -31,7 +31,11 @@ type PaddedAligner struct {
 	opts   Options
 	fwd    *fft.Plan2D
 	inv    *fft.Plan2D
-	work   []complex128
+	ar     *arena
+	work   []complex128 // aliases ar.work
+
+	fa, fb []complex128
+	fill   func(dst []complex128, r int)
 }
 
 // NewPaddedAligner builds a padded aligner for w×h tiles.
@@ -54,10 +58,27 @@ func NewPaddedAligner(w, h int, opts Options) (*PaddedAligner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PaddedAligner{
+	ar := checkoutArena("padded", w, h, pw*ph, 0)
+	al := &PaddedAligner{
 		w: w, h: h, pw: pw, ph: ph, opts: opts,
-		fwd: fwd, inv: inv, work: make([]complex128, pw*ph),
-	}, nil
+		fwd: fwd, inv: inv, ar: ar, work: ar.work,
+	}
+	al.fill = func(dst []complex128, r int) {
+		o := r * al.pw
+		NCCSpectrum(dst, al.fa[o:o+al.pw], al.fb[o:o+al.pw])
+	}
+	return al, nil
+}
+
+// Close returns the aligner's scratch arena to the pool; see
+// (*Aligner).Close.
+func (al *PaddedAligner) Close() {
+	if al.ar == nil {
+		return
+	}
+	releaseArena("padded", al.w, al.h, al.ar)
+	al.ar = nil
+	al.work = nil
 }
 
 // PaddedDims reports the fast transform size in use.
@@ -86,22 +107,36 @@ func (al *PaddedAligner) Transform(t *tile.Gray16) ([]complex128, error) {
 // to a signed displacement directly, but the CCF pass over candidate
 // interpretations is retained for confidence scoring and noise
 // robustness.
+//
+//stitchlint:hotpath
 func (al *PaddedAligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displacement, error) {
 	n := al.pw * al.ph
 	if len(fa) != n || len(fb) != n {
 		return tile.Displacement{}, fmt.Errorf("pciam: padded transform length %d/%d, want %d", len(fa), len(fb), n)
 	}
-	NCCSpectrum(al.work, fa, fb)
-	if err := al.inv.Execute(al.work); err != nil {
-		return tile.Displacement{}, err
+	if al.opts.DisableFusion {
+		NCCSpectrum(al.work, fa, fb)
+		if err := al.inv.Execute(al.work); err != nil {
+			return tile.Displacement{}, err
+		}
+	} else {
+		al.fa, al.fb = fa, fb
+		err := al.inv.ExecuteFill(al.work, al.fill)
+		al.fa, al.fb = nil, nil
+		if err != nil {
+			return tile.Displacement{}, err
+		}
 	}
-	peaks := TopPeaks(al.work, al.pw, al.ph, al.opts.NPeaks)
+	al.ar.peaks, al.ar.cands = topPeaksInto(al.ar.peaks, al.ar.cands, al.work, al.pw, al.ph, al.opts.NPeaks)
 	best := tile.Displacement{Corr: math.Inf(-1)}
-	for _, p := range peaks {
+	for _, p := range al.ar.peaks {
 		// Candidates in the PADDED frame: px or px-pw; the overlap test
 		// still runs against the original tile dimensions.
-		for _, dx := range candidateOffsets(p.X, al.pw, al.opts.PositiveOnly) {
-			for _, dy := range candidateOffsets(p.Y, al.ph, al.opts.PositiveOnly) {
+		xs, nx := candidateOffsets(p.X, al.pw, al.opts.PositiveOnly)
+		ys, ny := candidateOffsets(p.Y, al.ph, al.opts.PositiveOnly)
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				dx, dy := xs[i], ys[j]
 				if dx <= -al.w || dx >= al.w || dy <= -al.h || dy >= al.h {
 					continue
 				}
@@ -140,9 +175,13 @@ type RealAligner struct {
 	sw   int // spectrum width = w/2+1
 	opts Options
 	fwd  *fft.RealPlan2D
-	spec []complex128 // NCC half-spectrum scratch
-	corr []float64    // real correlation surface
-	pix  []float64
+	ar   *arena
+	spec []complex128 // NCC half-spectrum scratch (aliases ar.work)
+	corr []float64    // real correlation surface (aliases ar.corr)
+	pix  []float64    // aliases ar.pix
+
+	fa, fb []complex128
+	fill   func(dst []complex128, r int)
 }
 
 // NewRealAligner builds a real-transform aligner for w×h tiles.
@@ -160,12 +199,27 @@ func NewRealAligner(w, h int, opts Options) (*RealAligner, error) {
 		return nil, err
 	}
 	sh, sw := fwd.SpectrumDims()
-	return &RealAligner{
-		w: w, h: h, sw: sw, opts: opts, fwd: fwd,
-		spec: make([]complex128, sh*sw),
-		corr: make([]float64, w*h),
-		pix:  make([]float64, w*h),
-	}, nil
+	ar := checkoutArena("real", w, h, sh*sw, w*h)
+	al := &RealAligner{
+		w: w, h: h, sw: sw, opts: opts, fwd: fwd, ar: ar,
+		spec: ar.work, corr: ar.corr, pix: ar.pix,
+	}
+	al.fill = func(dst []complex128, r int) {
+		o := r * al.sw
+		NCCSpectrum(dst, al.fa[o:o+al.sw], al.fb[o:o+al.sw])
+	}
+	return al, nil
+}
+
+// Close returns the aligner's scratch arena to the pool; see
+// (*Aligner).Close.
+func (al *RealAligner) Close() {
+	if al.ar == nil {
+		return
+	}
+	releaseArena("real", al.w, al.h, al.ar)
+	al.ar = nil
+	al.spec, al.corr, al.pix = nil, nil, nil
 }
 
 // Transform computes the half-spectrum forward transform of a tile —
@@ -188,16 +242,29 @@ func (al *RealAligner) Transform(t *tile.Gray16) ([]complex128, error) {
 // spectra. The NCC runs over the half spectrum only; by conjugate
 // symmetry the missing bins contribute the mirrored phases, so the
 // inverse c2r transform reconstructs the full real correlation surface.
+//
+//stitchlint:hotpath
 func (al *RealAligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displacement, error) {
 	n := al.h * al.sw
 	if len(fa) != n || len(fb) != n {
 		return tile.Displacement{}, fmt.Errorf("pciam: half-spectrum length %d/%d, want %d", len(fa), len(fb), n)
 	}
-	NCCSpectrum(al.spec, fa, fb)
-	if err := al.fwd.Inverse(al.corr, al.spec); err != nil {
-		return tile.Displacement{}, err
+	if al.opts.DisableFusion {
+		NCCSpectrum(al.spec, fa, fb)
+		if err := al.fwd.Inverse(al.corr, al.spec); err != nil {
+			return tile.Displacement{}, err
+		}
+	} else {
+		// Fused path: the NCC row is the inverse's own staging write, so
+		// the half-spectrum product never makes a separate pass.
+		al.fa, al.fb = fa, fb
+		err := al.fwd.InverseFill(al.corr, al.fill)
+		al.fa, al.fb = nil, nil
+		if err != nil {
+			return tile.Displacement{}, err
+		}
 	}
-	peaks := topPeaksReal(al.corr, al.w, al.h, al.opts.NPeaks)
+	peaks := al.topPeaks()
 	best := tile.Displacement{Corr: math.Inf(-1)}
 	for _, p := range peaks {
 		d := Resolve(a, b, p.X, p.Y, al.opts)
@@ -227,6 +294,8 @@ func (al *RealAligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, erro
 // MaxAbsReal is MaxAbs over a real correlation surface — the reduction
 // the r2c GPU kernel runs on the c2r inverse output. First-seen index
 // wins ties, matching the complex kernel.
+//
+//stitchlint:hotpath
 func MaxAbsReal(data []float64) (int, float64) {
 	bi, bm := 0, -1.0
 	for i, v := range data {
@@ -249,6 +318,28 @@ func topPeaksReal(data []float64, w, h, k int) []Peak {
 		cx[i] = complex(v, 0)
 	}
 	return TopPeaks(cx, w, h, k)
+}
+
+// topPeaks is topPeaksReal writing through the aligner's arena so the
+// k=1 steady state allocates nothing.
+//
+//stitchlint:hotpath
+func (al *RealAligner) topPeaks() []Peak {
+	k := al.opts.NPeaks
+	if k <= 1 {
+		bi, bm := MaxAbsReal(al.corr)
+		al.ar.peaks = append(al.ar.peaks[:0], Peak{X: bi % al.w, Y: bi / al.w, Mag: bm})
+		return al.ar.peaks
+	}
+	if cap(al.ar.cx) < len(al.corr) {
+		al.ar.cx = make([]complex128, len(al.corr)) //lint:allow hotpath arena scratch growth, amortized after warm-up
+	}
+	cx := al.ar.cx[:len(al.corr)]
+	for i, v := range al.corr {
+		cx[i] = complex(v, 0)
+	}
+	al.ar.peaks, al.ar.cands = topPeaksInto(al.ar.peaks, al.ar.cands, cx, al.w, al.h, k)
+	return al.ar.peaks
 }
 
 // SubpixelPeak refines an integer correlation peak to subpixel precision

@@ -68,3 +68,33 @@ func newAligner(g tile.Grid, opts Options) (aligner, error) {
 		return nil, fmt.Errorf("stitch: unknown FFT variant %q", opts.FFTVariant)
 	}
 }
+
+// acquireAligner checks an aligner (plans and scratch arena included) out
+// of the pciam pools, so per-run and per-worker aligner construction
+// reuses warm memory across runs instead of re-allocating plans and
+// buffers every time. Pair with releaseAligner when the worker is done.
+func acquireAligner(g tile.Grid, opts Options) (aligner, error) {
+	po := opts.pciamOptions()
+	switch opts.FFTVariant {
+	case VariantComplex:
+		return pciam.GetAligner(g.TileW, g.TileH, po)
+	case VariantPadded:
+		return pciam.GetPaddedAligner(g.TileW, g.TileH, po)
+	case VariantReal:
+		return pciam.GetRealAligner(g.TileW, g.TileH, po)
+	default:
+		return nil, fmt.Errorf("stitch: unknown FFT variant %q", opts.FFTVariant)
+	}
+}
+
+// releaseAligner returns an acquired aligner to its pool. Safe on nil.
+func releaseAligner(al aligner) {
+	switch a := al.(type) {
+	case *pciam.Aligner:
+		pciam.PutAligner(a)
+	case *pciam.PaddedAligner:
+		pciam.PutPaddedAligner(a)
+	case *pciam.RealAligner:
+		pciam.PutRealAligner(a)
+	}
+}

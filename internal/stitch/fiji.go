@@ -32,7 +32,7 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	// The baseline gets only the root span and result-level counters: the
 	// golden/differential harness covers the five paper variants.
-	rootSp := startRun(opts, "fiji", g)
+	rootSp, base := startRun(opts, "fiji", g)
 	start := time.Now()
 
 	pairs := g.Pairs()
@@ -62,11 +62,12 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			al, err := pciam.NewAligner(g.TileW, g.TileH, opts.pciamOptions())
+			al, err := pciam.GetAligner(g.TileW, g.TileH, opts.pciamOptions())
 			if err != nil {
 				fail(err)
 				return
 			}
+			defer pciam.PutAligner(al)
 			for p := range next {
 				// Re-read and re-transform both tiles: the no-reuse
 				// architecture under study.
@@ -105,6 +106,6 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	res.TransformsComputed = int(nTransforms)
 	// Per-pair transforms are transient: at most 2 per in-flight pair.
 	res.PeakTransformsLive = 2 * opts.Threads
-	finishRun(opts, rootSp, res)
+	finishRun(opts, rootSp, base, res)
 	return res, nil
 }

@@ -1,0 +1,93 @@
+package stitch
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridstitch/internal/fft"
+)
+
+// assertBitIdenticalDisplacements is the strict (exact ==) form of
+// assertSameDisplacements: the hot-path rewrites promise bit-identical
+// output, not merely output within tolerance.
+func assertBitIdenticalDisplacements(t *testing.T, ref, got *Result, refName, gotName string) {
+	t.Helper()
+	for _, p := range ref.Grid.Pairs() {
+		dr, _ := ref.PairDisplacement(p)
+		dg, ok := got.PairDisplacement(p)
+		if !ok {
+			t.Fatalf("%s missing pair %v", gotName, p)
+		}
+		if dr.X != dg.X || dr.Y != dg.Y || dr.Corr != dg.Corr {
+			t.Errorf("pair %v %s: %s=(%d,%d,%v) %s=(%d,%d,%v)",
+				p.Coord, p.Dir, refName, dr.X, dr.Y, dr.Corr, gotName, dg.X, dg.Y, dg.Corr)
+		}
+	}
+}
+
+// TestHotPathTogglesBitIdentical is the differential suite for the
+// zero-allocation hot path: for the complex and real FFT variants, all
+// five implementations run under every combination of the two hot-path
+// toggles — blocked transpose on/off and fused NCC on/off — and every
+// displacement must equal the seed configuration (both off, Simple-CPU)
+// exactly. This is what licenses shipping the new path enabled by
+// default.
+func TestHotPathTogglesBitIdentical(t *testing.T) {
+	src := testDataset(t, 3, 3)
+	defer fft.SetBlockedTranspose(true)
+
+	for _, variant := range []FFTVariant{VariantComplex, VariantReal} {
+		variant := variant
+		name := "complex"
+		if variant == VariantReal {
+			name = "real"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Seed reference: legacy gather column pass, unfused NCC.
+			fft.SetBlockedTranspose(false)
+			ref := runStitcher(t, &SimpleCPU{}, src, Options{FFTVariant: variant, DisableFusedNCC: true})
+			fft.SetBlockedTranspose(true)
+
+			for _, impl := range degradableVariants() {
+				for _, blocked := range []bool{true, false} {
+					for _, fused := range []bool{true, false} {
+						label := fmt.Sprintf("%s/blocked=%v/fused=%v", impl.Name(), blocked, fused)
+						fft.SetBlockedTranspose(blocked)
+						devs := testDevices(2)
+						res := runStitcher(t, impl, src, Options{
+							Threads: 3, Devices: devs,
+							FFTVariant:      variant,
+							DisableFusedNCC: !fused,
+						})
+						closeDevices(devs)
+						fft.SetBlockedTranspose(true)
+						assertBitIdenticalDisplacements(t, ref, res, "seed", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPaddedHotPathBitIdentical covers the CPU-only padded variant's hot
+// path with the same toggle matrix on the sequential implementation.
+func TestPaddedHotPathBitIdentical(t *testing.T) {
+	src := testDataset(t, 3, 3)
+	defer fft.SetBlockedTranspose(true)
+
+	fft.SetBlockedTranspose(false)
+	ref := runStitcher(t, &SimpleCPU{}, src, Options{FFTVariant: VariantPadded, DisableFusedNCC: true})
+	fft.SetBlockedTranspose(true)
+
+	for _, blocked := range []bool{true, false} {
+		for _, fused := range []bool{true, false} {
+			fft.SetBlockedTranspose(blocked)
+			res := runStitcher(t, &SimpleCPU{}, src, Options{
+				Threads: 2, FFTVariant: VariantPadded, DisableFusedNCC: !fused,
+			})
+			fft.SetBlockedTranspose(true)
+			assertBitIdenticalDisplacements(t, ref, res, "seed",
+				fmt.Sprintf("padded/blocked=%v/fused=%v", blocked, fused))
+		}
+	}
+}

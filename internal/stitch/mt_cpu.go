@@ -31,7 +31,7 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root := startRun(opts, "mt-cpu", g)
+	root, base := startRun(opts, "mt-cpu", g)
 	start := time.Now()
 
 	// Per-tile once guards: the first worker to need a tile computes its
@@ -68,11 +68,12 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(part []tile.Pair) {
 			defer wg.Done()
-			al, err := newAligner(g, opts)
+			al, err := acquireAligner(g, opts)
 			if err != nil {
 				fail(err)
 				return
 			}
+			defer releaseAligner(al)
 			ensure := func(c tile.Coord, psp *obs.Span) (*tile.Gray16, []complex128, error) {
 				i := g.Index(c)
 				onces[i].Do(func() {
@@ -163,6 +164,6 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
-	finishRun(opts, root, res)
+	finishRun(opts, root, base, res)
 	return res, nil
 }

@@ -3,7 +3,9 @@ package stitch
 import (
 	"fmt"
 
+	"hybridstitch/internal/fft"
 	"hybridstitch/internal/obs"
+	"hybridstitch/internal/pciam"
 	"hybridstitch/internal/tile"
 )
 
@@ -36,11 +38,20 @@ func pairAttr(p tile.Pair) obs.Attr {
 	return obs.String("pair", p.Dir.String()+"_"+detail(p.Coord))
 }
 
+// runBaselines snapshots the process-wide hot-path counters at run start
+// so finishRun can publish this run's deltas: fft and pciam deliberately
+// do not import obs, exposing package atomics instead, and the stitch
+// layer bridges them into the recorder here.
+type runBaselines struct {
+	transposeBlocks int64
+	arenaReuse      int64
+}
+
 // startRun opens the per-run root span on the "run" track. Nil-safe.
 // Non-baseline FFT variants are tagged with an "fft" attribute; the
 // baseline complex path keeps the historical attribute set so golden
 // trace trees recorded before the variant existed stay valid.
-func startRun(opts Options, impl string, g tile.Grid) *obs.Span {
+func startRun(opts Options, impl string, g tile.Grid) (*obs.Span, runBaselines) {
 	attrs := []obs.Attr{
 		obs.String("impl", impl),
 		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)),
@@ -48,7 +59,11 @@ func startRun(opts Options, impl string, g tile.Grid) *obs.Span {
 	if opts.FFTVariant != VariantComplex {
 		attrs = append(attrs, obs.String("fft", string(opts.FFTVariant)))
 	}
-	return opts.Obs.StartSpan("run", "stitch", attrs...)
+	base := runBaselines{
+		transposeBlocks: fft.TransposeBlocks(),
+		arenaReuse:      pciam.ArenaReuse(),
+	}
+	return opts.Obs.StartSpan("run", "stitch", attrs...), base
 }
 
 // finishRun ends the root span and publishes the run's result-level
@@ -58,12 +73,18 @@ func startRun(opts Options, impl string, g tile.Grid) *obs.Span {
 // emit no counters: runSockets publishes one set from the merged,
 // boundary-deduplicated Result, so a tile degraded in two adjacent row
 // bands is counted once, not once per band.
-func finishRun(opts Options, root *obs.Span, res *Result) {
+func finishRun(opts Options, root *obs.Span, base runBaselines, res *Result) {
 	root.End()
 	rec := opts.Obs
 	if rec == nil || res == nil || opts.subRun {
 		return
 	}
+	// Hot-path deltas. Concurrent runs sharing the process counters can
+	// bleed into each other's deltas; the counters are throughput
+	// telemetry, not semantic invariants, so that imprecision is accepted
+	// (runs in tests and the CLI are sequential).
+	rec.Counter("fft.transpose.blocks").Add(fft.TransposeBlocks() - base.transposeBlocks)
+	rec.Counter("pciam.arena.reuse").Add(pciam.ArenaReuse() - base.arenaReuse)
 	aligned := 0
 	for _, p := range res.Grid.Pairs() {
 		if _, ok := res.PairDisplacement(p); ok {

@@ -56,7 +56,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	fp := opts.plan()
 	ds := newDegradedSet(g)
 	var resMu sync.Mutex
-	root := startRun(opts, "pipelined-cpu", g)
+	root, base := startRun(opts, "pipelined-cpu", g)
 	// One span per stage, parents of that stage's operation spans: the
 	// pipeline analogue of the paper's per-stage timeline rows.
 	spRead := root.ChildOn("stage/read", "read")
@@ -200,10 +200,11 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 
 	// Stage 2: fft/displacement workers.
 	p.Go("fft+disp", opts.Threads, func(worker int) error {
-		al, err := newAligner(g, opts)
+		al, err := acquireAligner(g, opts)
 		if err != nil {
 			return err
 		}
+		defer releaseAligner(al)
 		for {
 			w, ok := qWork.Pop()
 			if !ok {
@@ -269,6 +270,6 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 		pushes, maxDepth := q.Stats()
 		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
 	}
-	finishRun(opts, root, res)
+	finishRun(opts, root, base, res)
 	return res, nil
 }

@@ -148,7 +148,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	fp := opts.plan()
 	ds := newDegradedSet(g)
 	var resMu sync.Mutex
-	root := startRun(opts, "pipelined-gpu", g)
+	root, base := startRun(opts, "pipelined-gpu", g)
 	var stageSpans []*obs.Span
 	stageSpan := func(name string) *obs.Span {
 		sp := root.ChildOn("stage/"+name, name)
@@ -317,8 +317,18 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				return emit(gpuTile{coord: c, img: img})
 			})
 
-		// Stage 2: copier — one thread, async H2D on its own stream.
-		// Casualty markers pass through without consuming a pool buffer.
+		// Stage 2: copier — one thread, async H2D on its own stream. The
+		// float staging buffers are hoisted out of the per-tile loop: a
+		// two-slot ring (two allocations per partition instead of one per
+		// tile) lets copy k+1 stage while copy k is still reading its slot
+		// — the copier only fences when it laps the ring, two copies back,
+		// which by then has long resolved, preserving the copy/compute
+		// overlap the trace tests pin. Copy errors still ride each tile's
+		// own sticky event. Casualty markers pass through without
+		// consuming a pool buffer.
+		copierPix := [2][]float64{make([]float64, pixels), make([]float64, pixels)}
+		var copierPending [2]*gpu.Event
+		copierSlot := 0
 		pipeline.Connect(p, name("copier"), 1, qRead, qCopied,
 			func(t gpuTile, emit func(gpuTile) error) error {
 				if t.failed != nil {
@@ -329,7 +339,12 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 					return err
 				}
 				t.buf = buf
-				pix := make([]float64, pixels)
+				slot := copierSlot
+				copierSlot = 1 - copierSlot
+				if ev := copierPending[slot]; ev != nil {
+					_ = ev.Wait()
+				}
+				pix := copierPix[slot]
 				if err := t.img.ToFloat(pix); err != nil {
 					return err
 				}
@@ -338,6 +353,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				} else {
 					t.ev = copyStream.MemcpyH2DReal(t.buf, pix)
 				}
+				copierPending[slot] = t.ev
 				return emit(t)
 			})
 
@@ -472,7 +488,14 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 					// In the real path the NCC covers the half spectrum
 					// only (Hermitian symmetry supplies the mirror bins)
 					// and the c2r inverse hands the reduction a packed
-					// real surface.
+					// real surface. One fused launch per pair unless
+					// DisableFusedNCC restores the seed's three.
+					if !opts.DisableFusedNCC {
+						if realFFT {
+							return dispStream.FusedNCCInverseMaxReal(invRealPlan, gp.a.buf, gp.b.buf, &red, gp.a.ev, gp.b.ev).Wait()
+						}
+						return dispStream.FusedNCCInverseMax(invPlan, scratch, gp.a.buf, gp.b.buf, &red, gp.a.ev, gp.b.ev).Wait()
+					}
 					ev := dispStream.NCC(scratch, gp.a.buf, gp.b.buf, int(words), gp.a.ev, gp.b.ev)
 					if realFFT {
 						ev = dispStream.RealIFFT2D(invRealPlan, scratch, ev)
@@ -556,6 +579,6 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		pushes, maxDepth := q.Stats()
 		res.QueueStats = append(res.QueueStats, QueueStat{Name: q.Name(), Cap: q.Cap(), Pushes: pushes, MaxDepth: maxDepth})
 	}
-	finishRun(opts, root, res)
+	finishRun(opts, root, base, res)
 	return res, nil
 }

@@ -22,15 +22,16 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults(g)
-	al, err := newAligner(g, opts)
+	al, err := acquireAligner(g, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer releaseAligner(al)
 	cache := newHostCache(g, opts.Governor, opts.FFTVariant)
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root := startRun(opts, "simple-cpu", g)
+	root, base := startRun(opts, "simple-cpu", g)
 	start := time.Now()
 
 	ensure := func(c tile.Coord, psp *obs.Span) (*tile.Gray16, []complex128, error) {
@@ -107,6 +108,6 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	ds.finalize(res)
 	res.Elapsed = time.Since(start)
 	_, res.PeakTransformsLive, res.TransformsComputed = cache.stats()
-	finishRun(opts, root, res)
+	finishRun(opts, root, base, res)
 	return res, nil
 }

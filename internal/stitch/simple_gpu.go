@@ -100,7 +100,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root := startRun(opts, "simple-gpu", g)
+	root, base := startRun(opts, "simple-gpu", g)
 	start := time.Now()
 
 	pix := make([]float64, pixels)
@@ -214,15 +214,23 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		aImg, _ := cache.get(ai)
 		bImg, _ := cache.get(bi)
 
-		// NCC → inverse FFT → max reduction, each synchronous. The
-		// scratch buffer is rewritten from the start, so the whole
-		// sequence replays cleanly on a transient kernel fault.
+		// The displacement tail — NCC, inverse FFT, max reduction — is one
+		// fused launch per pair (gpu.launch.fused); DisableFusedNCC keeps
+		// the seed's three synchronous launches. Either way the operands
+		// are rewritten from the start, so the sequence replays cleanly on
+		// a transient kernel fault.
 		var red gpu.Reduction
 		dsp := psp.Child("disp", pairAttr(p))
 		err := fp.retry.Do(func() error {
 			// The NCC runs over the half spectrum in the real path —
 			// Hermitian symmetry supplies the mirrored bins — and the c2r
 			// inverse hands the reduction a real surface.
+			if !opts.DisableFusedNCC {
+				if realFFT {
+					return stream.FusedNCCInverseMaxReal(realPlan, bufs[ai], bufs[bi], &red).Wait()
+				}
+				return stream.FusedNCCInverseMax(invPlan, scratch, bufs[ai], bufs[bi], &red).Wait()
+			}
 			if err := stream.NCC(scratch, bufs[ai], bufs[bi], int(words)).Wait(); err != nil {
 				return err
 			}
@@ -265,6 +273,6 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	res.PeakTransformsLive = peakBufs
 	res.TransformsComputed = transforms
-	finishRun(opts, root, res)
+	finishRun(opts, root, base, res)
 	return res, nil
 }

@@ -46,7 +46,7 @@ func runSockets(src Source, opts Options) (*Result, error) {
 	}
 	parts := makePartitions(g.Rows, sockets)
 	res := newResult(g)
-	root := startRun(opts, "pipelined-cpu", g)
+	root, base := startRun(opts, "pipelined-cpu", g)
 	defer root.End() // idempotent; covers the error returns below
 	start := time.Now()
 
@@ -134,6 +134,6 @@ func runSockets(src Source, opts Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	res.TransformsComputed = transforms
 	res.PeakTransformsLive = peak
-	finishRun(opts, root, res)
+	finishRun(opts, root, base, res)
 	return res, nil
 }

@@ -186,6 +186,12 @@ type Options struct {
 	// result lists the casualties. Phase 2 proceeds on the surviving
 	// displacement graph.
 	Degrade bool
+	// DisableFusedNCC reverts the per-pair displacement tail to the seed
+	// behavior: a separate NCC pass before the inverse FFT on CPU, and
+	// the three-launch NCC → inverse → reduce sequence on GPU. The fused
+	// and unfused paths are bit-identical (the differential test pins
+	// this); the toggle exists for that test and for perf triage.
+	DisableFusedNCC bool
 	// Obs, if set, records spans and metrics for the run into the shared
 	// observability layer: a root "run" span with per-stage and
 	// per-tile-pair children, semantic counters (tiles read, transforms,
@@ -233,7 +239,12 @@ func (o Options) withDefaults(g tile.Grid) Options {
 
 // pciamOptions builds the per-pair aligner configuration.
 func (o Options) pciamOptions() pciam.Options {
-	return pciam.Options{NPeaks: o.NPeaks, PositiveOnly: o.PositiveOnly, Planner: o.Planner}
+	return pciam.Options{
+		NPeaks:        o.NPeaks,
+		PositiveOnly:  o.PositiveOnly,
+		Planner:       o.Planner,
+		DisableFusion: o.DisableFusedNCC,
+	}
 }
 
 // Result is the phase-1 output: the two displacement arrays of the
