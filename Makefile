@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race lint lint-help check bench benchdiff experiments fuzz clean
+.PHONY: all build test race test-race lint lint-help check bench benchdiff acc accdiff experiments fuzz clean
 
 all: build test
 
@@ -46,6 +46,7 @@ check: build
 	$(GO) run ./cmd/stitchlint ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/ ./internal/gpu/
+	$(GO) test -race -short ./internal/accuracy/ ./internal/imagegen/
 	$(GO) test -race ./...
 
 # bench runs every benchmark and converts the output into a
@@ -63,6 +64,24 @@ OLD ?= BENCH_pr4.json
 NEW ?= BENCH_pr5.json
 benchdiff:
 	$(GO) run ./cmd/experiments -bench-old $(OLD) -bench-new $(NEW)
+
+# acc is the accuracy counterpart of bench: it runs every named
+# adversarial scenario through the full confidence-weighted pipeline,
+# fails if any scenario misses its documented threshold (see
+# EXPERIMENTS.md "Accuracy methodology"), and writes the scores to
+# ACC_<tag>.json for accdiff.
+ACC_TAG ?= pr6
+acc:
+	$(GO) run ./cmd/experiments -acc-out ACC_$(ACC_TAG).json
+
+# accdiff flags accuracy regressions between two snapshots (RMS up more
+# than 15% + 0.1 px, or the within-1-px fraction down more than 0.02):
+#   make accdiff OLD=ACC_pr6.json NEW=ACC_pr7.json
+# Target-specific OLD/NEW defaults keep it independent of benchdiff's.
+accdiff: OLD = ACC_pr6.json
+accdiff: NEW = ACC_pr6.json
+accdiff:
+	$(GO) run ./cmd/experiments -acc-old $(OLD) -acc-new $(NEW)
 
 # Regenerate every table and figure of the paper (artifacts in results/).
 experiments:

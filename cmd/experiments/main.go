@@ -16,6 +16,15 @@
 //	experiments -exp table2
 //	go test -bench . ./... | experiments -bench-in - -bench-out BENCH_$(date +%F).json
 //	experiments -bench-old BENCH_old.json -bench-new BENCH_new.json
+//
+// And as the accuracy-regression harness: -acc-out runs every named
+// adversarial scenario through the full pipeline into an ACC_*.json
+// snapshot (failing if any scenario misses its documented threshold),
+// and -acc-old/-acc-new diff two snapshots, flagging accuracy
+// regressions with a nonzero exit:
+//
+//	experiments -acc-out ACC_$(date +%F).json
+//	experiments -acc-old ACC_old.json -acc-new ACC_new.json
 package main
 
 import (
@@ -47,11 +56,21 @@ func main() {
 		benchOut = flag.String("bench-out", "", "write the parsed benchmark snapshot to this JSON file (with -bench-in)")
 		benchOld = flag.String("bench-old", "", "baseline benchmark snapshot JSON to diff against")
 		benchNew = flag.String("bench-new", "", "candidate benchmark snapshot JSON to diff (with -bench-old)")
+		accOut   = flag.String("acc-out", "", "run the accuracy scenarios and write the snapshot to this JSON file")
+		accOld   = flag.String("acc-old", "", "baseline accuracy snapshot JSON to diff against")
+		accNew   = flag.String("acc-new", "", "candidate accuracy snapshot JSON to diff (with -acc-old)")
 	)
 	flag.Parse()
 
 	if *benchIn != "" || *benchOld != "" {
 		if err := runBench(*benchIn, *benchOut, *benchOld, *benchNew); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *accOut != "" || *accOld != "" {
+		if err := runAcc(*accOut, *seed, *quick, *accOld, *accNew); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,217 @@
+// Package accuracy scores full-pipeline stitching runs against imagegen
+// ground truth and snapshots the scores as the ACC_<tag>.json regression
+// artifact — the accuracy counterpart of the obs benchmark harness. Where
+// `make bench`/`benchdiff` gate speed, `make acc`/`accdiff` gate
+// placement correctness: each named imagegen.Scenario runs through phase
+// 1, the confidence-gated refine fallback, and the correlation-weighted
+// IRLS global solve, and the resulting metrics (RMS placement error,
+// within-1-px fractions, pairs rescued) are compared against documented
+// per-scenario thresholds and against the previous snapshot.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/stitch"
+)
+
+// PipelineOptions configures one scored pipeline run.
+type PipelineOptions struct {
+	// Threads is the phase-1 worker count; 0 picks 4.
+	Threads int
+	// Unweighted switches the global solve to the plain least-squares
+	// baseline (every edge weight 1, no IRLS) — the arm the differential
+	// test proves worse on adversarial plates.
+	Unweighted bool
+	// NoRefine skips the global.RefineResult fallback pass, leaving raw
+	// phase-1 displacements for the solver. The differential test uses
+	// this to isolate the solver's contribution.
+	NoRefine bool
+	// RefineMinCorr is the confidence below which a pair is re-searched
+	// from the stage-model prediction; 0 picks 0.5.
+	RefineMinCorr float64
+	// RefineRadius bounds the fallback search; 0 picks 6.
+	RefineRadius int
+	// RefineModelDeviation re-searches confident pairs whose
+	// displacement deviates from the stage-model prediction by more
+	// than this many pixels (see global.RefineOptions.MaxModelDeviation);
+	// 0 picks RefineRadius, negative disables the trigger.
+	RefineModelDeviation int
+}
+
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Threads < 1 {
+		o.Threads = 4
+	}
+	if o.RefineMinCorr == 0 {
+		o.RefineMinCorr = 0.5
+	}
+	if o.RefineRadius == 0 {
+		o.RefineRadius = 6
+	}
+	if o.RefineModelDeviation == 0 {
+		o.RefineModelDeviation = o.RefineRadius
+	} else if o.RefineModelDeviation < 0 {
+		o.RefineModelDeviation = 0
+	}
+	return o
+}
+
+// Metrics is one scenario's scored outcome — the row of the ACC snapshot.
+type Metrics struct {
+	Scenario    string `json:"scenario,omitempty"`
+	Adversarial bool   `json:"adversarial,omitempty"`
+	// Pairs is the grid's pair count; PairsWithin1 counts final pair
+	// displacements within 1 px of ground truth on both axes.
+	Pairs        int `json:"pairs"`
+	PairsWithin1 int `json:"pairs_within_1px"`
+	// PairsRescued counts pairs the refine fallback replaced with a
+	// better stage-model-seeded CCF search result.
+	PairsRescued int `json:"pairs_rescued"`
+	// PlacementRMS is the root-mean-square per-tile position error in
+	// pixels after the global solve, with the translation null space
+	// removed by the median per-axis offset.
+	PlacementRMS float64 `json:"placement_rms_px"`
+	// TilesWithin1Frac is the fraction of tiles placed within 1 px of
+	// ground truth on both axes; PlacementMax is the worst tile's error.
+	TilesWithin1Frac float64 `json:"tiles_within_1px_frac"`
+	PlacementMax     float64 `json:"placement_max_px"`
+}
+
+// Outcome bundles a run's metrics with the intermediate artifacts, so
+// tests can inspect the displacement set behind a score.
+type Outcome struct {
+	Metrics   Metrics
+	Result    *stitch.Result
+	Placement *global.Placement
+}
+
+// RunDataset runs the full accuracy pipeline over a generated dataset:
+// phase 1 (Pipelined-CPU), the confidence-gated refine fallback, and the
+// global least-squares solve, then scores the outcome against the
+// dataset's ground truth.
+func RunDataset(ds *imagegen.Dataset, opts PipelineOptions) (*Outcome, error) {
+	opts = opts.withDefaults()
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: opts.Threads})
+	if err != nil {
+		return nil, fmt.Errorf("accuracy: phase 1: %w", err)
+	}
+	return solveAndScore(ds, src, res, opts)
+}
+
+// RunScenario generates the scenario at the given seed and runs it.
+func RunScenario(sc imagegen.Scenario, seed int64, opts PipelineOptions) (*Outcome, error) {
+	ds, err := sc.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	out, err := RunDataset(ds, opts)
+	if err != nil {
+		return nil, fmt.Errorf("accuracy: scenario %q: %w", sc.Name, err)
+	}
+	out.Metrics.Scenario = sc.Name
+	out.Metrics.Adversarial = sc.Adversarial
+	return out, nil
+}
+
+// solveAndScore finishes a run from a phase-1 result. It mutates res if
+// the refine pass is enabled (matching production use, where the fallback
+// repairs the displacement set in place).
+func solveAndScore(ds *imagegen.Dataset, src stitch.Source, res *stitch.Result, opts PipelineOptions) (*Outcome, error) {
+	rescued := 0
+	if !opts.NoRefine {
+		var err error
+		rescued, err = global.RefineResult(res, src, global.RefineOptions{
+			MinCorr:           opts.RefineMinCorr,
+			Radius:            opts.RefineRadius,
+			MaxModelDeviation: opts.RefineModelDeviation,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("accuracy: refine fallback: %w", err)
+		}
+	}
+	pl, err := global.SolveLeastSquares(res, global.LSOptions{Unweighted: opts.Unweighted})
+	if err != nil {
+		return nil, fmt.Errorf("accuracy: global solve: %w", err)
+	}
+	m := Score(ds, res, pl)
+	m.PairsRescued = rescued
+	return &Outcome{Metrics: m, Result: res, Placement: pl}, nil
+}
+
+// Score computes the accuracy metrics of a phase-1 result and a
+// placement against the dataset's ground truth.
+func Score(ds *imagegen.Dataset, res *stitch.Result, pl *global.Placement) Metrics {
+	var m Metrics
+	m.PairsWithin1, m.Pairs = ScorePairs(ds, res)
+	m.PlacementRMS, m.TilesWithin1Frac, m.PlacementMax = ScorePlacement(ds, pl)
+	return m
+}
+
+// ScorePairs counts pair displacements within 1 px of ground truth on
+// both axes.
+func ScorePairs(ds *imagegen.Dataset, res *stitch.Result) (within1, total int) {
+	for _, p := range res.Grid.Pairs() {
+		total++
+		got, ok := res.PairDisplacement(p)
+		if !ok {
+			continue
+		}
+		want := ds.TrueDisplacement(p)
+		if absInt(got.X-want.X) <= 1 && absInt(got.Y-want.Y) <= 1 {
+			within1++
+		}
+	}
+	return within1, total
+}
+
+// ScorePlacement compares a placement against ground truth. The global
+// solve only determines positions up to a translation, so the comparison
+// first removes the median per-axis offset — a robust registration that a
+// few misplaced tiles cannot drag, unlike the min-corner normalization.
+func ScorePlacement(ds *imagegen.Dataset, pl *global.Placement) (rms, within1Frac, maxErr float64) {
+	n := len(pl.X)
+	if n == 0 || n != len(ds.TruthX) {
+		return math.NaN(), 0, math.NaN()
+	}
+	offX := make([]int, n)
+	offY := make([]int, n)
+	for i := 0; i < n; i++ {
+		offX[i] = pl.X[i] - ds.TruthX[i]
+		offY[i] = pl.Y[i] - ds.TruthY[i]
+	}
+	medX, medY := medianInt(offX), medianInt(offY)
+	var sum float64
+	within := 0
+	for i := 0; i < n; i++ {
+		dx := float64(offX[i] - medX)
+		dy := float64(offY[i] - medY)
+		e2 := dx*dx + dy*dy
+		sum += e2
+		if e := math.Sqrt(e2); e > maxErr {
+			maxErr = e
+		}
+		if math.Abs(dx) <= 1 && math.Abs(dy) <= 1 {
+			within++
+		}
+	}
+	return math.Sqrt(sum / float64(n)), float64(within) / float64(n), maxErr
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[len(s)/2]
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,160 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"hybridstitch/internal/global"
+	"hybridstitch/internal/imagegen"
+)
+
+// Standard accuracy workload: the grid the ACC snapshots and documented
+// thresholds are defined on.
+const (
+	stdRows, stdCols   = 5, 6
+	stdTileW, stdTileH = 128, 96
+	stdSeed            = 1
+)
+
+// TestDifferentialWeightedVsUnweighted is the harness' reason to exist:
+// it proves the confidence-weighted solve beats the plain least-squares
+// baseline exactly where it is supposed to, and nowhere else.
+//
+// On every adversarial scenario the raw (no-refine) arms isolate the
+// solver's contribution, and the weighted solve must score strictly
+// lower placement RMS — the wrong pairs carry low correlations, and
+// downweighting them is the whole point. On the nominal plate the full
+// weighted and unweighted pipelines must produce bit-identical
+// placements: robustness machinery may not perturb a plate that needs
+// no rescuing.
+func TestDifferentialWeightedVsUnweighted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload differential; run without -short")
+	}
+	for _, sc := range imagegen.Scenarios(stdRows, stdCols, stdTileW, stdTileH) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if !sc.Adversarial {
+				weighted, err := RunScenario(sc, stdSeed, PipelineOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				unweighted, err := RunScenario(sc, stdSeed, PipelineOptions{Unweighted: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range weighted.Placement.X {
+					if weighted.Placement.X[i] != unweighted.Placement.X[i] ||
+						weighted.Placement.Y[i] != unweighted.Placement.Y[i] {
+						t.Fatalf("tile %d: weighted placement (%d,%d) differs from unweighted (%d,%d) on a nominal plate",
+							i, weighted.Placement.X[i], weighted.Placement.Y[i],
+							unweighted.Placement.X[i], unweighted.Placement.Y[i])
+					}
+				}
+				if weighted.Metrics.PlacementRMS > 0.5 {
+					t.Errorf("nominal weighted RMS %.3f px; want near zero", weighted.Metrics.PlacementRMS)
+				}
+				return
+			}
+			weighted, err := RunScenario(sc, stdSeed, PipelineOptions{NoRefine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			unweighted, err := RunScenario(sc, stdSeed, PipelineOptions{NoRefine: true, Unweighted: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, u := weighted.Metrics.PlacementRMS, unweighted.Metrics.PlacementRMS
+			if !(w < u) {
+				t.Errorf("weighted RMS %.3f px not strictly below unweighted %.3f px", w, u)
+			}
+			t.Logf("raw solve RMS: weighted %.3f px, unweighted %.3f px", w, u)
+		})
+	}
+}
+
+// TestSnapshotMeetsThresholds gates the committed ACC snapshot's
+// contract: the standard workload must meet every documented
+// per-scenario floor through the full weighted pipeline.
+func TestSnapshotMeetsThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload snapshot; run without -short")
+	}
+	snap, err := BuildSnapshot(SnapshotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range CheckThresholds(snap, DefaultThresholds()) {
+		t.Errorf("threshold violation: %s", v)
+	}
+	for name, m := range snap.Scenarios {
+		t.Logf("%-20s pairs %d/%d rescued %d rms %.3f frac %.3f max %.3f",
+			name, m.PairsWithin1, m.Pairs, m.PairsRescued,
+			m.PlacementRMS, m.TilesWithin1Frac, m.PlacementMax)
+	}
+}
+
+// TestQuickScenarios is the fast subset `make check` runs race-enabled:
+// every scenario generates and survives the full weighted pipeline on a
+// small grid, and the nominal plate still places perfectly there.
+func TestQuickScenarios(t *testing.T) {
+	for _, sc := range imagegen.Scenarios(3, 3, 96, 64) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			out, err := RunScenario(sc, stdSeed, PipelineOptions{Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := out.Metrics
+			if m.Pairs != 12 {
+				t.Errorf("pairs = %d, want 12 on a 3x3 grid", m.Pairs)
+			}
+			if math.IsNaN(m.PlacementRMS) || math.IsNaN(m.PlacementMax) {
+				t.Error("placement score is NaN")
+			}
+			if m.Scenario != sc.Name || m.Adversarial != sc.Adversarial {
+				t.Errorf("metrics identity %q/%v, want %q/%v", m.Scenario, m.Adversarial, sc.Name, sc.Adversarial)
+			}
+			if !sc.Adversarial && m.TilesWithin1Frac != 1 {
+				t.Errorf("nominal tiles within 1 px = %.3f, want 1", m.TilesWithin1Frac)
+			}
+		})
+	}
+}
+
+// TestScorePlacement pins the median-offset registration: a pure
+// translation scores zero, and a single outlier tile cannot drag the
+// registration the way a mean or min-corner normalization would.
+func TestScorePlacement(t *testing.T) {
+	ds := &imagegen.Dataset{
+		TruthX: []int{0, 100, 0, 100, 0},
+		TruthY: []int{0, 0, 80, 80, 160},
+	}
+	shifted := &global.Placement{
+		X: []int{7, 107, 7, 107, 7},
+		Y: []int{-3, -3, 77, 77, 157},
+	}
+	rms, frac, maxErr := ScorePlacement(ds, shifted)
+	if rms != 0 || frac != 1 || maxErr != 0 {
+		t.Errorf("pure translation: rms=%v frac=%v max=%v, want all-perfect", rms, frac, maxErr)
+	}
+
+	outlier := &global.Placement{
+		X: []int{0, 100, 0, 100, 50},
+		Y: []int{0, 0, 80, 80, 160},
+	}
+	rms, frac, maxErr = ScorePlacement(ds, outlier)
+	if maxErr != 50 {
+		t.Errorf("outlier max error = %v, want 50 (median registration must not shift)", maxErr)
+	}
+	if want := math.Sqrt(50 * 50 / 5.0); math.Abs(rms-want) > 1e-9 {
+		t.Errorf("outlier rms = %v, want %v", rms, want)
+	}
+	if frac != 0.8 {
+		t.Errorf("outlier within-1 frac = %v, want 0.8", frac)
+	}
+
+	if rms, _, _ := ScorePlacement(ds, &global.Placement{}); !math.IsNaN(rms) {
+		t.Errorf("mismatched lengths: rms = %v, want NaN", rms)
+	}
+}

@@ -1,0 +1,256 @@
+package accuracy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hybridstitch/internal/imagegen"
+)
+
+// Snapshot is the machine-readable accuracy export — the ACC_<tag>.json
+// artifact the regression harness diffs between commits, mirroring the
+// obs.Snapshot the bench harness writes. Generation and the whole
+// pipeline are deterministic for a fixed (grid, seed), so two snapshots
+// taken from the same source tree are identical; the diff slack exists
+// for cross-architecture floating-point drift, not run-to-run noise.
+type Snapshot struct {
+	Label string `json:"label,omitempty"`
+	Date  string `json:"date,omitempty"`
+	// Grid documents the workload ("5x6 128x96") and Seed the dataset
+	// seed, so a diff across different workloads is flagged instead of
+	// silently comparing incomparable numbers.
+	Grid      string             `json:"grid"`
+	Seed      int64              `json:"seed"`
+	Scenarios map[string]Metrics `json:"scenarios"`
+}
+
+// SnapshotConfig sets the snapshot workload.
+type SnapshotConfig struct {
+	// Rows, Cols, TileW, TileH shape the scenario grids; zero values
+	// pick the standard accuracy workload, 5×6 tiles of 128×96 px.
+	Rows, Cols, TileW, TileH int
+	// Seed is the dataset seed (0 picks 1).
+	Seed int64
+	// Threads is the phase-1 worker count passed through to the runs.
+	Threads int
+}
+
+func (c SnapshotConfig) withDefaults() SnapshotConfig {
+	if c.Rows == 0 {
+		c.Rows = 5
+	}
+	if c.Cols == 0 {
+		c.Cols = 6
+	}
+	if c.TileW == 0 {
+		c.TileW = 128
+	}
+	if c.TileH == 0 {
+		c.TileH = 96
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BuildSnapshot runs every named scenario through the full
+// confidence-weighted pipeline and collects the scores.
+func BuildSnapshot(cfg SnapshotConfig) (Snapshot, error) {
+	cfg = cfg.withDefaults()
+	snap := Snapshot{
+		Grid:      fmt.Sprintf("%dx%d %dx%d", cfg.Rows, cfg.Cols, cfg.TileW, cfg.TileH),
+		Seed:      cfg.Seed,
+		Scenarios: map[string]Metrics{},
+	}
+	for _, sc := range imagegen.Scenarios(cfg.Rows, cfg.Cols, cfg.TileW, cfg.TileH) {
+		out, err := RunScenario(sc, cfg.Seed, PipelineOptions{Threads: cfg.Threads})
+		if err != nil {
+			return snap, err
+		}
+		snap.Scenarios[sc.Name] = out.Metrics
+	}
+	return snap, nil
+}
+
+// WriteSnapshotFile writes the snapshot as indented JSON.
+func WriteSnapshotFile(path string, s Snapshot) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadSnapshot reads a snapshot written by WriteSnapshotFile.
+func LoadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("accuracy: parsing snapshot %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Threshold is the documented floor a scenario must meet for the
+// snapshot to be accepted at all (independent of any baseline diff).
+type Threshold struct {
+	// MaxRMS is the largest acceptable placement RMS in pixels.
+	MaxRMS float64 `json:"max_rms_px"`
+	// MinTilesWithin1 is the smallest acceptable fraction of tiles
+	// placed within 1 px of ground truth.
+	MinTilesWithin1 float64 `json:"min_tiles_within_1px_frac"`
+}
+
+// DefaultThresholds returns the per-scenario acceptance floors
+// documented in EXPERIMENTS.md ("Accuracy methodology"). Nominal plates
+// must place essentially every tile exactly; adversarial plates are
+// allowed the residual error of rescued pairs but must stay sub-pixel
+// RMS on the standard workload.
+func DefaultThresholds() map[string]Threshold {
+	return map[string]Threshold{
+		"nominal":           {MaxRMS: 0.5, MinTilesWithin1: 1.0},
+		"near-blank":        {MaxRMS: 1.5, MinTilesWithin1: 0.9},
+		"illum-gradient":    {MaxRMS: 1.0, MinTilesWithin1: 0.9},
+		"periodic":          {MaxRMS: 0.75, MinTilesWithin1: 0.95},
+		"drift-low-overlap": {MaxRMS: 0.75, MinTilesWithin1: 0.95},
+	}
+}
+
+// CheckThresholds returns one violation message per scenario that misses
+// its documented floor, and flags scenarios with no documented threshold
+// (every named scenario must gate something).
+func CheckThresholds(s Snapshot, ths map[string]Threshold) []string {
+	var out []string
+	for _, name := range sortedScenarioNames(s.Scenarios) {
+		m := s.Scenarios[name]
+		th, ok := ths[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: no documented threshold", name))
+			continue
+		}
+		if m.PlacementRMS > th.MaxRMS {
+			out = append(out, fmt.Sprintf("%s: placement RMS %.3f px exceeds threshold %.3f", name, m.PlacementRMS, th.MaxRMS))
+		}
+		if m.TilesWithin1Frac < th.MinTilesWithin1 {
+			out = append(out, fmt.Sprintf("%s: tiles within 1 px %.3f below threshold %.3f", name, m.TilesWithin1Frac, th.MinTilesWithin1))
+		}
+	}
+	return out
+}
+
+// Diff tolerances: an RMS increase beyond 15% plus a 0.1 px absolute
+// floor, or a within-1-px fraction drop beyond 2 points, is a
+// regression — the accuracy analogue of benchdiff's 15% ns/op gate. The
+// absolute floor keeps near-zero baselines from flagging noise-level
+// drift (0.00 → 0.05 px is not a regression).
+const (
+	rmsRelSlack  = 0.15
+	rmsAbsSlack  = 0.1
+	fracAbsSlack = 0.02
+)
+
+// Delta describes one scenario's change between two snapshots.
+type Delta struct {
+	Scenario string
+	OldRMS   float64
+	NewRMS   float64
+	OldFrac  float64
+	NewFrac  float64
+}
+
+// AccDiff is the result of comparing two snapshots.
+type AccDiff struct {
+	Regressions []Delta  // worse beyond the slack
+	Improved    []Delta  // better beyond the slack
+	Missing     []string // in old but not new: a scenario was dropped
+	Added       []string // in new but not old
+	// GridMismatch is set when the two snapshots score different
+	// workloads; their numbers are not comparable and the diff fails.
+	GridMismatch string
+}
+
+// Failed reports whether the diff should gate (nonzero exit): any
+// regression, any dropped scenario, or a workload mismatch.
+func (d AccDiff) Failed() bool {
+	return len(d.Regressions) > 0 || len(d.Missing) > 0 || d.GridMismatch != ""
+}
+
+// Diff compares per-scenario accuracy between two snapshots.
+func Diff(old, new Snapshot) AccDiff {
+	var d AccDiff
+	if old.Grid != new.Grid || old.Seed != new.Seed {
+		d.GridMismatch = fmt.Sprintf("old is %q seed %d, new is %q seed %d",
+			old.Grid, old.Seed, new.Grid, new.Seed)
+		return d
+	}
+	for _, name := range sortedScenarioNames(old.Scenarios) {
+		o := old.Scenarios[name]
+		n, ok := new.Scenarios[name]
+		if !ok {
+			d.Missing = append(d.Missing, name)
+			continue
+		}
+		delta := Delta{Scenario: name,
+			OldRMS: o.PlacementRMS, NewRMS: n.PlacementRMS,
+			OldFrac: o.TilesWithin1Frac, NewFrac: n.TilesWithin1Frac}
+		worse := n.PlacementRMS > o.PlacementRMS*(1+rmsRelSlack)+rmsAbsSlack ||
+			n.TilesWithin1Frac < o.TilesWithin1Frac-fracAbsSlack
+		better := n.PlacementRMS < o.PlacementRMS*(1-rmsRelSlack)-rmsAbsSlack ||
+			n.TilesWithin1Frac > o.TilesWithin1Frac+fracAbsSlack
+		switch {
+		case worse:
+			d.Regressions = append(d.Regressions, delta)
+		case better:
+			d.Improved = append(d.Improved, delta)
+		}
+	}
+	for _, name := range sortedScenarioNames(new.Scenarios) {
+		if _, ok := old.Scenarios[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+	return d
+}
+
+// Format renders the diff as a human-readable report.
+func (d AccDiff) Format() string {
+	var sb strings.Builder
+	if d.GridMismatch != "" {
+		fmt.Fprintf(&sb, "INCOMPARABLE  %s\n", d.GridMismatch)
+		return sb.String()
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(&sb, "REGRESSION  %-20s rms %.3f -> %.3f px, within-1px %.3f -> %.3f\n",
+			r.Scenario, r.OldRMS, r.NewRMS, r.OldFrac, r.NewFrac)
+	}
+	for _, r := range d.Improved {
+		fmt.Fprintf(&sb, "improved    %-20s rms %.3f -> %.3f px, within-1px %.3f -> %.3f\n",
+			r.Scenario, r.OldRMS, r.NewRMS, r.OldFrac, r.NewFrac)
+	}
+	for _, name := range d.Missing {
+		fmt.Fprintf(&sb, "missing     %s\n", name)
+	}
+	for _, name := range d.Added {
+		fmt.Fprintf(&sb, "added       %s\n", name)
+	}
+	if sb.Len() == 0 {
+		sb.WriteString("no significant accuracy changes\n")
+	}
+	return sb.String()
+}
+
+func sortedScenarioNames(m map[string]Metrics) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,158 @@
+package accuracy
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		Label: "test",
+		Grid:  "5x6 128x96",
+		Seed:  1,
+		Scenarios: map[string]Metrics{
+			"nominal":  {Pairs: 49, PairsWithin1: 49, PlacementRMS: 0, TilesWithin1Frac: 1},
+			"periodic": {Pairs: 49, PairsWithin1: 45, PairsRescued: 29, PlacementRMS: 0.4, TilesWithin1Frac: 1, Adversarial: true},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ACC_test.json")
+	want := sampleSnapshot()
+	if err := WriteSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != want.Grid || got.Seed != want.Seed || len(got.Scenarios) != len(want.Scenarios) {
+		t.Fatalf("round trip mismatch: got %+v", got)
+	}
+	if got.Scenarios["periodic"] != want.Scenarios["periodic"] {
+		t.Errorf("periodic metrics round trip: got %+v", got.Scenarios["periodic"])
+	}
+
+	if _, err := LoadSnapshot(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing snapshot should fail")
+	}
+}
+
+func TestCheckThresholds(t *testing.T) {
+	snap := sampleSnapshot()
+	ths := map[string]Threshold{
+		"nominal":  {MaxRMS: 0.5, MinTilesWithin1: 1},
+		"periodic": {MaxRMS: 0.75, MinTilesWithin1: 0.95},
+	}
+	if v := CheckThresholds(snap, ths); len(v) != 0 {
+		t.Fatalf("clean snapshot flagged: %v", v)
+	}
+
+	bad := sampleSnapshot()
+	m := bad.Scenarios["periodic"]
+	m.PlacementRMS = 2.0
+	m.TilesWithin1Frac = 0.5
+	bad.Scenarios["periodic"] = m
+	v := CheckThresholds(bad, ths)
+	if len(v) != 2 {
+		t.Fatalf("want RMS and fraction violations, got %v", v)
+	}
+
+	undocumented := sampleSnapshot()
+	undocumented.Scenarios["mystery"] = Metrics{}
+	v = CheckThresholds(undocumented, ths)
+	if len(v) != 1 || !strings.Contains(v[0], "no documented threshold") {
+		t.Fatalf("undocumented scenario not flagged: %v", v)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := sampleSnapshot()
+
+	t.Run("no-change", func(t *testing.T) {
+		d := Diff(old, sampleSnapshot())
+		if d.Failed() {
+			t.Fatalf("identical snapshots failed: %s", d.Format())
+		}
+		if !strings.Contains(d.Format(), "no significant") {
+			t.Errorf("format: %q", d.Format())
+		}
+	})
+
+	t.Run("within-slack", func(t *testing.T) {
+		next := sampleSnapshot()
+		m := next.Scenarios["periodic"]
+		m.PlacementRMS = 0.5 // 0.4*1.15+0.1 = 0.56 > 0.5
+		next.Scenarios["periodic"] = m
+		if d := Diff(old, next); d.Failed() {
+			t.Fatalf("in-slack drift failed: %s", d.Format())
+		}
+	})
+
+	t.Run("rms-regression", func(t *testing.T) {
+		next := sampleSnapshot()
+		m := next.Scenarios["periodic"]
+		m.PlacementRMS = 0.6
+		next.Scenarios["periodic"] = m
+		d := Diff(old, next)
+		if !d.Failed() || len(d.Regressions) != 1 || d.Regressions[0].Scenario != "periodic" {
+			t.Fatalf("rms regression not flagged: %s", d.Format())
+		}
+		if !strings.Contains(d.Format(), "REGRESSION") {
+			t.Errorf("format: %q", d.Format())
+		}
+	})
+
+	t.Run("frac-regression", func(t *testing.T) {
+		next := sampleSnapshot()
+		m := next.Scenarios["nominal"]
+		m.TilesWithin1Frac = 0.9
+		next.Scenarios["nominal"] = m
+		if d := Diff(old, next); !d.Failed() || len(d.Regressions) != 1 {
+			t.Fatalf("fraction regression not flagged: %s", d.Format())
+		}
+	})
+
+	t.Run("improvement", func(t *testing.T) {
+		next := sampleSnapshot()
+		m := next.Scenarios["periodic"]
+		m.PlacementRMS = 0.1
+		next.Scenarios["periodic"] = m
+		d := Diff(old, next)
+		if d.Failed() || len(d.Improved) != 1 {
+			t.Fatalf("improvement misclassified: %s", d.Format())
+		}
+	})
+
+	t.Run("dropped-scenario", func(t *testing.T) {
+		next := sampleSnapshot()
+		delete(next.Scenarios, "periodic")
+		d := Diff(old, next)
+		if !d.Failed() || len(d.Missing) != 1 || d.Missing[0] != "periodic" {
+			t.Fatalf("dropped scenario not flagged: %s", d.Format())
+		}
+	})
+
+	t.Run("added-scenario", func(t *testing.T) {
+		next := sampleSnapshot()
+		next.Scenarios["fresh"] = Metrics{}
+		d := Diff(old, next)
+		if d.Failed() || len(d.Added) != 1 {
+			t.Fatalf("added scenario misclassified: %s", d.Format())
+		}
+	})
+
+	t.Run("workload-mismatch", func(t *testing.T) {
+		next := sampleSnapshot()
+		next.Seed = 2
+		d := Diff(old, next)
+		if !d.Failed() || d.GridMismatch == "" {
+			t.Fatal("seed mismatch must fail the diff")
+		}
+		if !strings.Contains(d.Format(), "INCOMPARABLE") {
+			t.Errorf("format: %q", d.Format())
+		}
+	})
+}

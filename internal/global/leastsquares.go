@@ -41,9 +41,19 @@ type LSOptions struct {
 	// ResidualScale is the Cauchy scale c in w ← w/(1+(r/c)²); 0 picks
 	// 2 px.
 	ResidualScale float64
+	// Unweighted ignores per-edge confidence entirely: every surviving
+	// measured edge gets weight 1 and no IRLS reweighting runs (Rounds
+	// is forced to 1). This is the plain least-squares baseline the
+	// accuracy harness differentials the weighted solve against — on
+	// adversarial plates it lets one confidently-wrong displacement drag
+	// whole rows of tiles. Production callers leave it false.
+	Unweighted bool
 }
 
 func (o LSOptions) withDefaults(n int) LSOptions {
+	if o.Unweighted {
+		o.Rounds = 1
+	}
 	if o.MinCorr == 0 {
 		o.MinCorr = 0.3
 	}
@@ -96,11 +106,15 @@ func SolveLeastSquares(res *stitch.Result, opts LSOptions) (*Placement, error) {
 			northDX = append(northDX, d.X)
 			northDY = append(northDY, d.Y)
 		}
+		w := math.Max(d.Corr, 1e-3)
+		if opts.Unweighted {
+			w = 1
+		}
 		edges = append(edges, lsEdge{
 			from: g.Index(p.Neighbor()),
 			to:   g.Index(p.Coord),
 			dx:   d.X, dy: d.Y,
-			w: math.Max(d.Corr, 1e-3),
+			w: w,
 		})
 	}
 	// Stage-model prior: every pair also gets a weak edge at the median

@@ -153,3 +153,40 @@ func TestLeastSquaresIRLSDefusesConfidentOutlier(t *testing.T) {
 		t.Errorf("plain LS RMS %.2f vs robust %.2f: expected the outlier to hurt", plainRMS, rms)
 	}
 }
+
+func TestLeastSquaresUnweightedBaseline(t *testing.T) {
+	// A wrong low-confidence edge (corr 0.31, just above the MinCorr
+	// cut): the confidence weighting marginalizes it, the unweighted
+	// baseline gives it the same say as every good measurement. Both
+	// arms run a single round so the comparison isolates the
+	// correlation weights from IRLS.
+	res, ds := syntheticResult(t, 4, 4, 61)
+	g := res.Grid
+	p := tile.Pair{Coord: tile.Coord{Row: 2, Col: 2}, Dir: tile.West}
+	res.West[g.Index(p.Coord)] = tile.Displacement{X: -300, Y: 200, Corr: 0.31}
+
+	weighted, err := SolveLeastSquares(res, LSOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted, err := SolveLeastSquares(res, LSOptions{Unweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wRMS, _ := RMSError(weighted, ds.TruthX, ds.TruthY)
+	uRMS, _ := RMSError(unweighted, ds.TruthX, ds.TruthY)
+	if !(wRMS < uRMS) {
+		t.Errorf("weighted RMS %.2f not below unweighted %.2f with a low-confidence outlier", wRMS, uRMS)
+	}
+
+	// On clean data the baseline still solves the system fine — it is a
+	// valid solver, just not a robust one.
+	clean, cleanDS := syntheticResult(t, 3, 4, 67)
+	pl, err := SolveLeastSquares(clean, LSOptions{Unweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms, _ := RMSError(pl, cleanDS.TruthX, cleanDS.TruthY); rms > 0.51 {
+		t.Errorf("unweighted solve on clean input RMS %.2f", rms)
+	}
+}

@@ -17,6 +17,15 @@ type RefineOptions struct {
 	// of (2R+1)²) but only reliable when the stage model is within
 	// ~2 px: fine texture puts local maxima on the CCF surface.
 	Greedy bool
+	// MaxModelDeviation, when > 0, additionally re-searches pairs whose
+	// displacement deviates from the stage-model prediction by more than
+	// this many pixels on either axis even when their correlation is
+	// high — the prediction-seeded refinement of robust stitching.
+	// Periodic textures and illumination fixed patterns produce
+	// confidently-wrong peaks; a displacement the fitted stage model
+	// calls geometrically impossible is replaced by the best
+	// positive-correlation displacement near the prediction.
+	MaxModelDeviation int
 }
 
 func (o RefineOptions) withDefaults() RefineOptions {
@@ -47,7 +56,20 @@ func RefineResult(res *stitch.Result, src stitch.Source, opts RefineOptions) (in
 	po := pciam.Options{}
 	for _, p := range g.Pairs() {
 		d, ok := res.PairDisplacement(p)
-		if ok && d.Corr >= opts.MinCorr {
+		start := sm.Predict(p)
+		if (p.Dir == tile.West && sm.ConfidentWest == 0) ||
+			(p.Dir == tile.North && sm.ConfidentNorth == 0) {
+			start = g.NominalDisplacement(p.Dir)
+		}
+		// Two triggers: low confidence (the classic featureless-overlap
+		// repair) and, optionally, geometric implausibility — a
+		// confident displacement the stage model puts more than
+		// MaxModelDeviation px from its prediction (aliased periodic
+		// peak, illumination fixed-pattern lock).
+		lowConf := !ok || d.Corr < opts.MinCorr
+		implausible := ok && !lowConf && opts.MaxModelDeviation > 0 &&
+			(absInt(d.X-start.X) > opts.MaxModelDeviation || absInt(d.Y-start.Y) > opts.MaxModelDeviation)
+		if !lowConf && !implausible {
 			continue
 		}
 		a, err := src.ReadTile(p.Neighbor())
@@ -58,27 +80,36 @@ func RefineResult(res *stitch.Result, src stitch.Source, opts RefineOptions) (in
 		if err != nil {
 			return refined, err
 		}
-		start := sm.Predict(p)
-		if (p.Dir == tile.West && sm.ConfidentWest == 0) ||
-			(p.Dir == tile.North && sm.ConfidentNorth == 0) {
-			start = g.NominalDisplacement(p.Dir)
-		}
 		var nd tile.Displacement
 		if opts.Greedy {
 			nd = pciam.Refine(a, b, start, opts.Radius, 0, po)
 		} else {
 			nd = pciam.ExhaustiveRefine(a, b, start, opts.Radius, po)
 		}
-		// Keep the original if the search found nothing better than the
-		// measurement (possible when the measurement was low-confidence
-		// but correct).
-		if ok && d.Corr >= nd.Corr {
+		if implausible {
+			// The measurement is geometrically impossible: any positive
+			// correlation near the prediction beats it, regardless of
+			// how confident the impossible peak was.
+			if nd.Corr <= 0 {
+				continue
+			}
+		} else if ok && d.Corr >= nd.Corr {
+			// Keep the original if the search found nothing better than
+			// the measurement (possible when the measurement was
+			// low-confidence but correct).
 			continue
 		}
 		setPair(res, p, nd)
 		refined++
 	}
 	return refined, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // setPair mirrors the private Result helper for use from this package.

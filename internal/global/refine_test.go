@@ -92,9 +92,49 @@ func TestRefineResultKeepsBetterOriginal(t *testing.T) {
 	}
 }
 
-func absInt(x int) int {
-	if x < 0 {
-		return -x
+
+func TestRefineResultModelDeviationTrigger(t *testing.T) {
+	// A confidently-WRONG pair: high correlation, displacement the stage
+	// model calls geometrically impossible (the aliased-periodic-peak
+	// signature). The classic low-confidence trigger never fires on it;
+	// only MaxModelDeviation re-searches it from the prediction.
+	p := imagegen.DefaultParams(3, 3, 128, 96)
+	ds, err := imagegen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return x
+	src := &stitch.MemorySource{DS: ds}
+	res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := tile.Pair{Coord: tile.Coord{Row: 1, Col: 1}, Dir: tile.West}
+	truth := ds.TrueDisplacement(pr)
+	wrong := tile.Displacement{X: truth.X - 20, Y: truth.Y, Corr: 0.95}
+
+	// Trigger disabled (the zero value): the confident lie survives.
+	setPair(res, pr, wrong)
+	if n, err := RefineResult(res, src, RefineOptions{}); err != nil || n != 0 {
+		t.Fatalf("refined %d pairs (err %v) with the trigger disabled, want 0", n, err)
+	}
+	if got, _ := res.PairDisplacement(pr); got != wrong {
+		t.Fatalf("pair rewritten to %+v with the trigger disabled", got)
+	}
+
+	// Trigger armed (10 px: above the ~2·jitter deviation honest pairs
+	// can show, far below the 20 px lie): the pair is re-searched from
+	// the stage-model prediction and lands on the truth.
+	if n, err := RefineResult(res, src, RefineOptions{MaxModelDeviation: 10, Radius: 25}); err != nil || n != 1 {
+		t.Fatalf("refined %d pairs (err %v), want exactly the implausible one", n, err)
+	}
+	got, _ := res.PairDisplacement(pr)
+	if absInt(got.X-truth.X) > 1 || absInt(got.Y-truth.Y) > 1 {
+		t.Errorf("re-searched displacement (%d,%d) not at truth (%d,%d)", got.X, got.Y, truth.X, truth.Y)
+	}
+
+	// A plausible confident pair (within the deviation budget) must be
+	// left untouched even with the trigger armed.
+	if n, err := RefineResult(res, src, RefineOptions{MaxModelDeviation: 10}); err != nil || n != 0 {
+		t.Errorf("refined %d pairs (err %v) on a repaired result, want 0", n, err)
+	}
 }

@@ -47,8 +47,35 @@ type Params struct {
 	// horizontal stride grows by ThermalDrift pixels per row (rows are
 	// scanned in time order), so west-pair displacements become
 	// row-dependent — the systematic error a constant (median) stage
-	// model cannot capture and a linear fit can.
+	// model cannot capture and a linear fit can. Negative values model
+	// contraction; the magnitude is bounded by the overlap either way.
 	ThermalDrift float64
+
+	// TextureDim fades the shared plate texture (value-noise background
+	// and fine micro-texture): 0 keeps the full texture, 1 renders a
+	// flat background. Values near 1 reproduce the adversarial
+	// near-blank plate whose overlap regions carry almost no signal for
+	// phase correlation to lock onto.
+	TextureDim float64
+
+	// IllumGradient applies a camera-fixed horizontal gain ramp per
+	// tile: pixel gain runs linearly from 1−IllumGradient at the left
+	// edge to 1+IllumGradient at the right edge. Because the ramp is
+	// fixed to the camera rather than the plate, the two tiles of a pair
+	// see their shared overlap pixels under different illumination — a
+	// fixed-pattern deviation the normalized aligner must tolerate.
+	// Valid range [0, 0.9].
+	IllumGradient float64
+
+	// PeriodicAmp adds a plate-level periodic texture (two orthogonal
+	// sinusoids) of this amplitude in 16-bit counts. Over sparse plates
+	// the pattern aliases the correlation surface: displacements
+	// congruent modulo PeriodPx produce near-identical peaks, the
+	// classic repeating-texture failure of phase correlation.
+	PeriodicAmp float64
+	// PeriodPx is the period of that texture in pixels; required ≥ 4
+	// when PeriodicAmp > 0 (shorter periods vanish into sensor noise).
+	PeriodPx float64
 
 	// Seed makes generation reproducible.
 	Seed int64
@@ -112,23 +139,71 @@ func GenerateWithPlate(p Params) (*Dataset, error) {
 	return generate(p, true)
 }
 
-func generate(p Params, keepPlate bool) (*Dataset, error) {
+// strides returns the nominal column and row strides in pixels.
+func (p Params) strides() (strideX, strideY int) {
+	return int(float64(p.Grid.TileW) * (1 - p.Grid.OverlapX)),
+		int(float64(p.Grid.TileH) * (1 - p.Grid.OverlapY))
+}
+
+// maxDrift returns the worst-case accumulated per-row drift in pixels.
+func (p Params) maxDrift() int {
+	return int(math.Ceil(math.Abs(p.ThermalDrift) * float64(p.Grid.Rows-1)))
+}
+
+// Validate rejects parameter combinations that would silently generate a
+// degenerate plate — tiles that drift or jitter out of overlap, negative
+// noise or density, illumination that inverts the image — with an error
+// naming the offending field. Generate calls it; scenario authors should
+// call it up front so a bad configuration fails at definition time, not
+// after a plate has been rendered.
+func (p Params) Validate() error {
 	if err := p.Grid.Validate(); err != nil {
+		return err
+	}
+	g := p.Grid
+	strideX, strideY := p.strides()
+	if strideX <= 0 || strideY <= 0 {
+		return fmt.Errorf("imagegen: overlap (%g, %g) leaves non-positive stride (%d, %d)", g.OverlapX, g.OverlapY, strideX, strideY)
+	}
+	if p.MaxJitter < 0 {
+		return fmt.Errorf("imagegen: negative jitter %d", p.MaxJitter)
+	}
+	if p.ColonyDensity < 0 {
+		return fmt.Errorf("imagegen: negative colony density %g", p.ColonyDensity)
+	}
+	if p.NoiseAmp < 0 {
+		return fmt.Errorf("imagegen: negative noise amplitude %g", p.NoiseAmp)
+	}
+	if p.TextureDim < 0 || p.TextureDim > 1 {
+		return fmt.Errorf("imagegen: texture dim %g outside [0, 1]", p.TextureDim)
+	}
+	if p.IllumGradient < 0 || p.IllumGradient > 0.9 {
+		return fmt.Errorf("imagegen: illumination gradient %g outside [0, 0.9] (beyond 0.9 the gain crosses zero)", p.IllumGradient)
+	}
+	if p.PeriodicAmp < 0 {
+		return fmt.Errorf("imagegen: negative periodic amplitude %g", p.PeriodicAmp)
+	}
+	if p.PeriodicAmp > 0 && p.PeriodPx < 4 {
+		return fmt.Errorf("imagegen: period %g px too short for amplitude %g (need ≥ 4 px)", p.PeriodPx, p.PeriodicAmp)
+	}
+	maxDrift := p.maxDrift()
+	if p.ThermalDrift < 0 && strideX-maxDrift <= 0 {
+		return fmt.Errorf("imagegen: thermal drift %g collapses the column stride by row %d (stride %d, accumulated drift %d)",
+			p.ThermalDrift, g.Rows-1, strideX, maxDrift)
+	}
+	if ox, oy := g.TileW-strideX, g.TileH-strideY; p.MaxJitter*2+maxDrift >= ox || p.MaxJitter*2 >= oy {
+		return fmt.Errorf("imagegen: jitter %d + accumulated drift %d leave no usable overlap (have %d×%d px)", p.MaxJitter, maxDrift, ox, oy)
+	}
+	return nil
+}
+
+func generate(p Params, keepPlate bool) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	g := p.Grid
-	strideX := int(float64(g.TileW) * (1 - g.OverlapX))
-	strideY := int(float64(g.TileH) * (1 - g.OverlapY))
-	if strideX <= 0 || strideY <= 0 {
-		return nil, fmt.Errorf("imagegen: overlap leaves non-positive stride (%d, %d)", strideX, strideY)
-	}
-	if p.MaxJitter < 0 {
-		return nil, fmt.Errorf("imagegen: negative jitter %d", p.MaxJitter)
-	}
-	maxDrift := int(math.Ceil(math.Abs(p.ThermalDrift) * float64(g.Rows-1)))
-	if ox, oy := g.TileW-strideX, g.TileH-strideY; p.MaxJitter*2+maxDrift >= ox || p.MaxJitter*2 >= oy {
-		return nil, fmt.Errorf("imagegen: jitter %d + drift %d too large for overlap (%d, %d)", p.MaxJitter, maxDrift, ox, oy)
-	}
+	strideX, strideY := p.strides()
+	maxDrift := p.maxDrift()
 
 	// Plate dimensions with a jitter margin on every side, plus room
 	// for thermal drift at the last row (the +maxDrift slack also covers
@@ -184,10 +259,17 @@ func renderPlate(w, h int, p Params, rng *rand.Rand) *tile.Gray16 {
 	n1 := newValueNoise(rng, 64)
 	n2 := newValueNoise(rng, 17)
 	base := 6000.0
+	// TextureDim fades every shared texture octave toward the flat base
+	// level; the rng is still consumed identically so TextureDim=0 stays
+	// bit-identical to the pre-knob generator.
+	tex := 1 - p.TextureDim
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			fine := (rng.Float64() + rng.Float64() - 1) * 500
-			v := base + 1800*n1.at(float64(x), float64(y)) + 600*n2.at(float64(x), float64(y)) + fine
+			v := base + tex*(1800*n1.at(float64(x), float64(y))+600*n2.at(float64(x), float64(y))+fine)
+			if p.PeriodicAmp > 0 {
+				v += p.PeriodicAmp * 0.5 * (math.Sin(2*math.Pi*float64(x)/p.PeriodPx) + math.Sin(2*math.Pi*float64(y)/p.PeriodPx))
+			}
 			plate.Set(x, y, clamp16(v))
 		}
 	}
@@ -252,6 +334,14 @@ func drawCell(img *tile.Gray16, cx, cy, r, aspect, amp float64, rng *rand.Rand) 
 // noise. These differ between tiles even in shared overlap regions, which
 // is exactly why the stitcher normalizes correlation.
 func postProcess(t *tile.Gray16, p Params, rng *rand.Rand) {
+	if p.IllumGradient > 0 {
+		for y := 0; y < t.H; y++ {
+			for x := 0; x < t.W; x++ {
+				gain := 1 + p.IllumGradient*(2*float64(x)/float64(t.W-1)-1)
+				t.Set(x, y, clamp16(float64(t.At(x, y))*gain))
+			}
+		}
+	}
 	if p.Vignetting {
 		cx, cy := float64(t.W)/2, float64(t.H)/2
 		maxR2 := cx*cx + cy*cy

@@ -1,6 +1,7 @@
 package imagegen
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -126,6 +127,60 @@ func TestGenerateErrors(t *testing.T) {
 	p.MaxJitter = -1
 	if _, err := Generate(p); err == nil {
 		t.Error("negative jitter should fail")
+	}
+}
+
+// TestValidateRejections drives every Validate guard with the parameter
+// combination it exists to catch, checking that the error both fires and
+// names the offending field.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Params)
+		wantSub string
+	}{
+		{"zero rows", func(p *Params) { p.Grid.Rows = 0 }, ""},
+		{"overlap collapses stride", func(p *Params) { p.Grid.OverlapX = 0.999 }, "stride"},
+		{"negative jitter", func(p *Params) { p.MaxJitter = -1 }, "jitter"},
+		{"negative colony density", func(p *Params) { p.ColonyDensity = -0.5 }, "density"},
+		{"negative noise amplitude", func(p *Params) { p.NoiseAmp = -1 }, "noise"},
+		{"texture dim below range", func(p *Params) { p.TextureDim = -0.1 }, "texture dim"},
+		{"texture dim above range", func(p *Params) { p.TextureDim = 1.5 }, "texture dim"},
+		{"negative illumination gradient", func(p *Params) { p.IllumGradient = -0.2 }, "illumination gradient"},
+		{"illumination gradient inverts gain", func(p *Params) { p.IllumGradient = 0.95 }, "illumination gradient"},
+		{"negative periodic amplitude", func(p *Params) { p.PeriodicAmp = -100 }, "periodic amplitude"},
+		{"period shorter than 4 px", func(p *Params) { p.PeriodicAmp = 5000; p.PeriodPx = 2 }, "period"},
+		{"contraction collapses stride", func(p *Params) { p.ThermalDrift = -30 }, "collapses"},
+		{"drift eats the overlap", func(p *Params) { p.ThermalDrift = 5.5 }, "no usable overlap"},
+		{"jitter eats the overlap", func(p *Params) { p.MaxJitter = 13 }, "no usable overlap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams(5, 4, 128, 96)
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", p)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending field (want %q)", err, tc.wantSub)
+			}
+			if _, err := Generate(p); err == nil {
+				t.Fatal("Generate accepted parameters Validate rejects")
+			}
+		})
+	}
+
+	// The guards must not reject the configurations the suite depends on.
+	if err := DefaultParams(5, 4, 128, 96).Validate(); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+	edge := DefaultParams(5, 4, 128, 96)
+	edge.ThermalDrift = -2 // contraction within bounds
+	edge.TextureDim = 1
+	edge.IllumGradient = 0.9
+	if err := edge.Validate(); err != nil {
+		t.Errorf("boundary values rejected: %v", err)
 	}
 }
 

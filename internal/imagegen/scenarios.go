@@ -1,0 +1,120 @@
+package imagegen
+
+import "fmt"
+
+// Scenario is one named plate configuration with exact per-pair ground
+// truth — the accuracy harness' unit of work, the way a benchmark
+// function is the bench harness'. Adversarial scenarios are built so raw
+// phase correlation gets some pairs wrong; the pipeline passes them only
+// when the confidence-weighted machinery (refine fallback, IRLS solve)
+// survives what the per-pair aligner could not.
+type Scenario struct {
+	Name string
+	// Description states the failure mode the scenario stresses.
+	Description string
+	// Adversarial marks configurations designed to defeat raw phase
+	// correlation; the nominal scenarios instead gate that robustness
+	// machinery stays bit-identical where nothing needs rescuing.
+	Adversarial bool
+	// Params is the generator configuration, grid included. Callers set
+	// Params.Seed before generating.
+	Params Params
+}
+
+// Generate renders the scenario's dataset at the given seed.
+func (sc Scenario) Generate(seed int64) (*Dataset, error) {
+	p := sc.Params
+	p.Seed = seed
+	ds, err := Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("imagegen: scenario %q: %w", sc.Name, err)
+	}
+	return ds, nil
+}
+
+// Scenarios returns the named accuracy scenarios at the given grid
+// shape. Every configuration is validated at construction, so a bad
+// parameter combination fails here — at definition time — rather than
+// deep inside a harness run. Tiles should be at least ≈96×64 px for the
+// adversarial settings to leave a usable overlap.
+func Scenarios(rows, cols, tw, th int) []Scenario {
+	scs := []Scenario{
+		{
+			Name:        "nominal",
+			Description: "feature-rich plate; every pair resolvable by phase correlation alone",
+			Params:      DefaultParams(rows, cols, tw, th),
+		},
+		{
+			Name:        "near-blank",
+			Description: "early-experiment plate: sparse colonies, shared texture faded to 40%, sensor noise rivaling it in the overlaps",
+			Adversarial: true,
+			Params: func() Params {
+				p := DefaultParams(rows, cols, tw, th)
+				p.ColonyDensity = 0.8
+				p.TextureDim = 0.6
+				p.NoiseAmp = 80
+				return p
+			}(),
+		},
+		{
+			Name:        "illum-gradient",
+			Description: "camera-fixed ±35% illumination ramp: shared overlap pixels differ between the pair's tiles",
+			Adversarial: true,
+			Params: func() Params {
+				p := DefaultParams(rows, cols, tw, th)
+				p.IllumGradient = 0.35
+				return p
+			}(),
+		},
+		{
+			Name:        "periodic",
+			Description: "repeating 16 px texture over a sparse plate: correlation peaks alias modulo the period",
+			Adversarial: true,
+			Params: func() Params {
+				p := DefaultParams(rows, cols, tw, th)
+				p.ColonyDensity = 0.6
+				p.TextureDim = 0.9
+				p.PeriodicAmp = 9000
+				p.PeriodPx = 16
+				p.NoiseAmp = 60
+				return p
+			}(),
+		},
+		{
+			Name:        "drift-low-overlap",
+			Description: "aggressive thermal drift at reduced overlap: row-dependent strides on thin, sparse overlap regions",
+			Adversarial: true,
+			Params: func() Params {
+				p := DefaultParams(rows, cols, tw, th)
+				p.Grid.OverlapX = 0.15
+				p.Grid.OverlapY = 0.15
+				p.MaxJitter = 2
+				p.ThermalDrift = 0.5
+				p.ColonyDensity = 4
+				p.TextureDim = 0.5
+				p.NoiseAmp = 60
+				return p
+			}(),
+		},
+	}
+	for _, sc := range scs {
+		if err := sc.Params.Validate(); err != nil {
+			// A scenario that cannot generate is a programming error in
+			// this table, not a runtime condition.
+			panic(fmt.Sprintf("imagegen: scenario %q invalid: %v", sc.Name, err))
+		}
+	}
+	return scs
+}
+
+// ScenarioByName finds a scenario in Scenarios(rows, cols, tw, th).
+func ScenarioByName(name string, rows, cols, tw, th int) (Scenario, error) {
+	var names []string
+	for _, sc := range Scenarios(rows, cols, tw, th) {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("imagegen: unknown scenario %q (have %v)", name, names)
+}

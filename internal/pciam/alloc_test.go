@@ -88,6 +88,9 @@ func TestRealDisplaceZeroAllocs(t *testing.T) {
 // counter: a Closed arena feeds the next constructor, and a Put aligner
 // feeds the next Get.
 func TestAlignerPoolReuse(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops items under the race detector; reuse is unobservable")
+	}
 	const w, h = 20, 14
 	before := ArenaReuse()
 	al1, err := NewAligner(w, h, Options{})

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pciam
+
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package pciam
+
+// Under the race detector sync.Pool deliberately drops a fraction of
+// Put items to shake out lifetime bugs, so pool-retention tests cannot
+// assert reuse there.
+const raceDetectorEnabled = true

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"hybridstitch/internal/accuracy"
 	"hybridstitch/internal/compose"
 	"hybridstitch/internal/fft"
 	"hybridstitch/internal/global"
@@ -70,6 +71,7 @@ func All() []Experiment {
 		{"traversal", "§IV — traversal order vs peak transform memory", runTraversal},
 		{"laptop", "§VI — 3-year-old-laptop validation", runLaptop},
 		{"accuracy", "extension — stitching accuracy vs ground truth", runAccuracy},
+		{"adversarial", "extension — adversarial plates: weighted vs unweighted survival", runAdversarial},
 		{"ablation-fft", "§VI.A — padding & real-to-complex FFT ablation", runAblationFFT},
 		{"ablation-ccf", "design — CCF placement (CPU vs GPU) ablation", runAblationCCF},
 		{"ablation-pool", "design — GPU buffer pool size ablation", runAblationPool},
@@ -573,6 +575,42 @@ func runAccuracy(o Options) (string, error) {
 			return "", err
 		}
 		tbl.Add(density, fmt.Sprintf("%d/%d", good, p.Grid.NumPairs()), fmt.Sprintf("%.2f", rms), pl.Repaired)
+	}
+	return tbl.String(), nil
+}
+
+func runAdversarial(o Options) (string, error) {
+	o = o.withDefaults()
+	// Always the standard accuracy workload: the scenarios (and their
+	// documented thresholds) are tuned for it, and a full run costs only
+	// a few seconds — a shrunken grid would just misrepresent them.
+	rows, cols, tw, th := 5, 6, 128, 96
+	tbl := Table{
+		Title: "Adversarial plates (extension): full weighted pipeline, and raw solver arms isolating confidence weighting",
+		Headers: []string{"Scenario", "Pairs ±1 px", "Rescued", "RMS (px)", "±1 px frac",
+			"raw wRMS", "raw uRMS"},
+	}
+	for _, sc := range imagegen.Scenarios(rows, cols, tw, th) {
+		full, err := accuracy.RunScenario(sc, o.Seed, accuracy.PipelineOptions{Threads: 4})
+		if err != nil {
+			return "", err
+		}
+		rawW, err := accuracy.RunScenario(sc, o.Seed, accuracy.PipelineOptions{Threads: 4, NoRefine: true})
+		if err != nil {
+			return "", err
+		}
+		rawU, err := accuracy.RunScenario(sc, o.Seed, accuracy.PipelineOptions{Threads: 4, NoRefine: true, Unweighted: true})
+		if err != nil {
+			return "", err
+		}
+		m := full.Metrics
+		tbl.Add(sc.Name,
+			fmt.Sprintf("%d/%d", m.PairsWithin1, m.Pairs),
+			m.PairsRescued,
+			fmt.Sprintf("%.2f", m.PlacementRMS),
+			fmt.Sprintf("%.2f", m.TilesWithin1Frac),
+			fmt.Sprintf("%.2f", rawW.Metrics.PlacementRMS),
+			fmt.Sprintf("%.2f", rawU.Metrics.PlacementRMS))
 	}
 	return tbl.String(), nil
 }

@@ -1,0 +1,93 @@
+package stitch
+
+import (
+	"math"
+	"testing"
+
+	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/tile"
+)
+
+// TestBlankPairDegradesGracefully pins the fully-blank-pair contract:
+// two constant tiles give phase correlation no peak and the CCF no
+// variance, so the pair resolves to the sentinel displacement
+// {0, 0, Corr: -1} — "no usable peak" — without panicking, without
+// aborting the run, and WITHOUT entering the degraded lists, which are
+// reserved for I/O and kernel faults. Blank content is a data property,
+// not a fault; the global solve handles it through the confidence
+// weighting instead.
+func TestBlankPairDegradesGracefully(t *testing.T) {
+	g := tile.Grid{Rows: 1, Cols: 2, TileW: 64, TileH: 48, OverlapX: 0.2, OverlapY: 0.2}
+	blank := func() *tile.Gray16 {
+		tl := tile.NewGray16(g.TileW, g.TileH)
+		for i := range tl.Pix {
+			tl.Pix[i] = 6000
+		}
+		return tl
+	}
+	ds := &imagegen.Dataset{
+		Params: imagegen.Params{Grid: g},
+		Tiles:  []*tile.Gray16{blank(), blank()},
+		TruthX: []int{0, 51},
+		TruthY: []int{0, 0},
+	}
+	src := &MemorySource{DS: ds}
+
+	for _, mode := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"SimpleCPU", func() (*Result, error) { return (&SimpleCPU{}).Run(src, Options{}) }},
+		{"PipelinedCPU", func() (*Result, error) { return (&PipelinedCPU{}).Run(src, Options{Threads: 2}) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			res, err := mode.run()
+			if err != nil {
+				t.Fatalf("blank pair aborted the run: %v", err)
+			}
+			p := tile.Pair{Coord: tile.Coord{Row: 0, Col: 1}, Dir: tile.West}
+			d, ok := res.PairDisplacement(p)
+			if !ok {
+				t.Fatal("blank pair has no displacement at all")
+			}
+			if d.X != 0 || d.Y != 0 || d.Corr != -1 {
+				t.Errorf("blank pair displacement %+v, want {0 0 -1}", d)
+			}
+			if res.Degraded() {
+				t.Errorf("blank content must not degrade the run: tiles=%v pairs=%v",
+					res.DegradedTiles, res.DegradedPairs)
+			}
+		})
+	}
+}
+
+// TestNearBlankPlateCompletes runs the near-blank adversarial scenario
+// through phase 1 end to end: sparse, dim plates may produce wrong or
+// sentinel displacements, but never NaNs, never out-of-range
+// correlations, and never a degraded run.
+func TestNearBlankPlateCompletes(t *testing.T) {
+	sc, err := imagegen.ScenarioByName("near-blank", 2, 3, 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sc.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&PipelinedCPU{}).Run(&MemorySource{DS: ds}, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded() {
+		t.Errorf("near-blank content degraded the run: %v", res.DegradedPairs)
+	}
+	for _, p := range res.Grid.Pairs() {
+		d, ok := res.PairDisplacement(p)
+		if !ok {
+			continue
+		}
+		if math.IsNaN(d.Corr) || d.Corr < -1 || d.Corr > 1 {
+			t.Errorf("pair %v correlation %v outside [-1, 1]", p, d.Corr)
+		}
+	}
+}

@@ -72,6 +72,36 @@ func FuzzDegradedTileRead(f *testing.F) {
 	}
 	f.Add(wrongSize.Bytes())
 
+	// Adversarial-content seeds: valid TIFFs of the right geometry whose
+	// pixels stress the aligner rather than the decoder. A near-blank
+	// (constant) victim exercises the no-usable-peak fallback; a periodic
+	// one exercises the aliased-correlation path. Both must stay clean
+	// runs — content is never a fault.
+	blank := tile.NewGray16(64, 48)
+	for i := range blank.Pix {
+		blank.Pix[i] = 6000
+	}
+	var blankBuf bytes.Buffer
+	if err := tiffio.Encode(&blankBuf, blank, tiffio.EncodeOpts{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blankBuf.Bytes())
+	periodic := tile.NewGray16(64, 48)
+	for y := 0; y < periodic.H; y++ {
+		for x := 0; x < periodic.W; x++ {
+			if (x/8+y/8)%2 == 0 {
+				periodic.Set(x, y, 20000)
+			} else {
+				periodic.Set(x, y, 4000)
+			}
+		}
+	}
+	var periodicBuf bytes.Buffer
+	if err := tiffio.Encode(&periodicBuf, periodic, tiffio.EncodeOpts{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(periodicBuf.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := WriteDataset(dir, ds); err != nil {
