@@ -2,13 +2,45 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hybridstitch/internal/analysis"
 )
 
+// seededWant is the exact diagnostic list for the known-bad fixture: one
+// violation per seeded analyzer, in position order.
+var seededWant = []string{
+	"bad.go:18:12: [pairguard] result of gpu.Device.Alloc is never freed or ownership-transferred",
+	"bad.go:29:9: [streamsync] host access of dst after MemcpyD2H at line 28 whose event was discarded: call Wait on the event or Synchronize first",
+	`bad.go:34:16: [faultsite] fault site "gpu.allocz": constant "gpu.allocz" is not a registered site (use a fault.Site* constant or fault.KernelSite; registry: internal/fault/sites.go)`,
+	"bad.go:40:2: [blockinglock] sync.WaitGroup.Wait while holding mu (critical section starts at line 39)",
+	"bad.go:61:2: [lockorder] call to bad.guarded.bump while holding bad.guarded.mu: the callee (transitively) locks bad.guarded.mu — self-deadlock",
+	`bad.go:66:14: [obsnames] obs name literal "bad.bogus.count" is not in the internal/obs names registry — add it to internal/obs/names.go or use the existing constant`,
+}
+
+// trimToBasename cuts each output line down to the bad.go-relative form
+// so the absolute load path does not leak into expectations.
+func trimToBasename(out string) []string {
+	var got []string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			continue
+		}
+		if i := strings.Index(line, "bad.go:"); i >= 0 {
+			line = line[i:]
+		}
+		got = append(got, line)
+	}
+	return got
+}
+
 // TestSeededViolations runs the full multichecker over the known-bad
-// fixture and asserts the exact diagnostics: one per analyzer, correct
-// positions, exit status 1.
+// fixture and asserts the exact diagnostics: one per seeded analyzer,
+// correct positions, exit status 1.
 func TestSeededViolations(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"./testdata/src/bad"}, &stdout, &stderr)
@@ -16,30 +48,17 @@ func TestSeededViolations(t *testing.T) {
 		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 
-	want := []string{
-		"bad.go:15:12: [bufferfree] result of gpu.Device.Alloc is never freed or ownership-transferred",
-		"bad.go:26:9: [streamsync] host access of dst after MemcpyD2H at line 25 whose event was discarded: call Wait on the event or Synchronize first",
-		`bad.go:31:16: [faultsite] fault site "gpu.allocz": constant "gpu.allocz" is not a registered site (use a fault.Site* constant or fault.KernelSite; registry: internal/fault/sites.go)`,
-		"bad.go:37:2: [blockinglock] sync.WaitGroup.Wait while holding mu (critical section starts at line 36)",
+	got := trimToBasename(stdout.String())
+	if len(got) != len(seededWant) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(seededWant), stdout.String())
 	}
-	var got []string
-	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
-		// Diagnostics carry absolute paths; compare from the basename on.
-		if i := strings.Index(line, "bad.go:"); i >= 0 {
-			line = line[i:]
-		}
-		got = append(got, line)
-	}
-	if len(got) != len(want) {
-		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), stdout.String())
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("diagnostic %d:\n got %q\nwant %q", i, got[i], want[i])
+	for i := range seededWant {
+		if got[i] != seededWant[i] {
+			t.Errorf("diagnostic %d:\n got %q\nwant %q", i, got[i], seededWant[i])
 		}
 	}
-	if !strings.Contains(stderr.String(), "4 finding(s)") {
-		t.Errorf("stderr summary = %q, want it to report 4 finding(s)", stderr.String())
+	if !strings.Contains(stderr.String(), "6 finding(s)") {
+		t.Errorf("stderr summary = %q, want it to report 6 finding(s)", stderr.String())
 	}
 }
 
@@ -52,19 +71,108 @@ func TestAnalyzerSubset(t *testing.T) {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
-	if !strings.Contains(out, "[faultsite]") || strings.Contains(out, "[bufferfree]") {
+	if !strings.Contains(out, "[faultsite]") || strings.Contains(out, "[pairguard]") {
 		t.Errorf("subset run output:\n%s", out)
 	}
 }
 
+// TestJSONOutput checks the -json report shape against the same fixture.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./testdata/src/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var rep analysis.JSONReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Tool != "stitchlint" || rep.Version != "1" {
+		t.Errorf("report header = %q/%q, want stitchlint/1", rep.Tool, rep.Version)
+	}
+	if len(rep.Findings) != len(seededWant) {
+		t.Fatalf("JSON findings = %d, want %d:\n%s", len(rep.Findings), len(seededWant), stdout.String())
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "pairguard" || f.Line != 18 || f.Column != 12 ||
+		!strings.HasSuffix(f.File, "bad.go") ||
+		f.Message != "result of gpu.Device.Alloc is never freed or ownership-transferred" {
+		t.Errorf("finding[0] = %+v", f)
+	}
+}
+
+// TestBaselineRoundTrip exercises the debt workflow end to end:
+// -update-baseline captures the seeded findings, a gated run against the
+// captured baseline passes, and deleting a seed makes its entry stale
+// (warned, but not an error).
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "-update-baseline", "./testdata/src/bad"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-update-baseline exit = %d\n%s", code, stderr.String())
+	}
+	b, err := analysis.ReadBaseline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != len(seededWant) {
+		t.Fatalf("baseline entries = %d, want %d", len(b.Entries), len(seededWant))
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./testdata/src/bad"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if out := strings.TrimSpace(stdout.String()); out != "" {
+		t.Errorf("baselined run printed findings:\n%s", out)
+	}
+
+	// An entry whose findings no longer occur must be reported stale
+	// without failing the gate.
+	b.Entries = append(b.Entries, analysis.BaselineEntry{
+		Analyzer: "pairguard", File: "paid-off.go",
+		Message: "result of gpu.Device.Alloc is never freed or ownership-transferred",
+		Count:   1, Reason: "debt that has since been paid",
+	})
+	if err := analysis.WriteBaseline(base, b); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./testdata/src/bad"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("stale-entry run exit = %d, want 0\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry") {
+		t.Errorf("stderr missing stale-entry warning:\n%s", stderr.String())
+	}
+}
+
+// TestBaselineRejectsMissingReason pins that reasonless debt cannot load.
+func TestBaselineRejectsMissingReason(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	raw := `{"entries":[{"analyzer":"pairguard","file":"x.go","message":"m","count":1}]}`
+	if err := os.WriteFile(base, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "./testdata/src/bad"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("reasonless baseline exit = %d, want 2\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no reason") {
+		t.Errorf("stderr = %q, want a no-reason load error", stderr.String())
+	}
+}
+
 // TestTreeClean is the gate the Makefile relies on: the repository's own
-// packages must carry zero findings.
+// packages must carry zero findings beyond the committed baseline.
 func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole tree")
 	}
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr)
+	code := run([]string{"-C", "../..", "-baseline", "lint-baseline.json", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("stitchlint over the tree: exit %d\n%s%s", code, stdout.String(), stderr.String())
 	}
@@ -75,7 +183,7 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, name := range []string{"bufferfree", "streamsync", "faultsite", "blockinglock"} {
+	for _, name := range []string{"pairguard", "streamsync", "faultsite", "blockinglock", "lockorder", "obsnames", "hotpath"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}

@@ -1,6 +1,7 @@
-// Package bad seeds exactly one violation per analyzer. It is the
-// known-bad input for stitchlint's own tests: the multichecker must find
-// all four and exit non-zero.
+// Package bad seeds exactly one violation per flow-insensitive analyzer
+// plus the pairing, lock-order, and obs-name checks. It is the known-bad
+// input for stitchlint's own tests: the multichecker must find all six
+// and exit non-zero.
 package bad
 
 import (
@@ -8,9 +9,11 @@ import (
 
 	"hybridstitch/internal/fault"
 	"hybridstitch/internal/gpu"
+	"hybridstitch/internal/obs"
 )
 
-// leak allocates from the device pool and drops the buffer.
+// leak allocates from the device pool and drops the buffer: calling a
+// method on it is not a transfer, so the obligation is never met.
 func leak(d *gpu.Device) int64 {
 	b, err := d.Alloc(16)
 	if err != nil {
@@ -36,4 +39,29 @@ func sleepy(mu *sync.Mutex, wg *sync.WaitGroup) {
 	mu.Lock()
 	wg.Wait()
 	mu.Unlock()
+}
+
+// guarded owns a mutex that double re-locks through a nested call.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// double calls bump with guarded.mu already held: non-reentrant
+// self-deadlock.
+func (g *guarded) double() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bump()
+}
+
+// misnamed records a counter whose name is in no registry.
+func misnamed(rec *obs.Recorder) {
+	rec.Counter("bad.bogus.count").Add(1)
 }

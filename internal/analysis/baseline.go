@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// A Baseline is the committed inventory of accepted findings
+// (lint-baseline.json at the repo root). The lint gate fails only on
+// findings NOT in the baseline, so a new analyzer can land with its
+// existing debt recorded and paid down over time, while regressions
+// fail immediately. Every entry carries a mandatory reason — a baseline
+// without rationale is just a mute button.
+//
+// Matching is deliberately position-insensitive: entries key on
+// (analyzer, file, normalized message) with a count, not on line
+// numbers, so unrelated edits that shift a file do not churn the
+// baseline. Messages are normalized by rewriting "line <n>" references
+// to "line N" for the same reason.
+type Baseline struct {
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry accepts Count findings with this analyzer, file, and
+// normalized message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // repo-relative, slash-separated
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+var lineRefRE = regexp.MustCompile(`\bline \d+\b`)
+
+// normalizeMessage rewrites intra-message line references so baseline
+// entries survive unrelated edits above the finding.
+func normalizeMessage(msg string) string {
+	return lineRefRE.ReplaceAllString(msg, "line N")
+}
+
+// baselineKey is the identity a diagnostic is matched under.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// relFile renders a diagnostic's filename repo-relative for baseline
+// keys and JSON output.
+func relFile(root, filename string) string {
+	if root != "" {
+		if r, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(r) {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error, so the flag can point at a path that does not
+// exist yet. Entries with a zero count or an empty reason are rejected:
+// the reason is the whole point of baselining over suppressing.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) has count %d, want >= 1", path, i, e.Analyzer, e.File, e.Count)
+		}
+		if e.Reason == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) has no reason; baselined findings must say why they are accepted", path, i, e.Analyzer, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// Filter splits diags into fresh findings (not covered by the baseline;
+// these fail the gate) and reports stale entries (baseline debt that no
+// longer exists and should be deleted). Each entry's count is consumed
+// by matching diagnostics in position order.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh []Diagnostic, stale []BaselineEntry) {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, relFile(root, d.Pos.Filename), normalizeMessage(d.Message)}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if remaining[k] > 0 {
+			left := e.Count
+			if remaining[k] < left {
+				left = remaining[k]
+			}
+			remaining[k] -= left
+			st := e
+			st.Count = left
+			stale = append(stale, st)
+		}
+	}
+	return fresh, stale
+}
+
+// NewBaseline builds a baseline accepting exactly the given diagnostics,
+// collapsing duplicates into counts. The caller supplies the reason
+// applied to the generated entries (stitchlint -update-baseline uses a
+// placeholder the author is expected to rewrite per entry).
+func NewBaseline(diags []Diagnostic, root, reason string) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, relFile(root, d.Pos.Filename), normalizeMessage(d.Message)}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	b := &Baseline{Comment: "Accepted stitchlint findings. Every entry needs a reason; delete entries as the debt is paid."}
+	for _, k := range keys {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message,
+			Count: counts[k], Reason: reason,
+		})
+	}
+	return b
+}
+
+// WriteBaseline writes b as deterministic, diff-friendly JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// JSONReport is the machine-readable (SARIF-lite) output of a lint run:
+// one result per surviving diagnostic, with repo-relative paths.
+type JSONReport struct {
+	Version  string       `json:"version"`
+	Tool     string       `json:"tool"`
+	Findings []JSONResult `json:"findings"`
+}
+
+// JSONResult is one finding in a JSONReport.
+type JSONResult struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// NewJSONReport renders diagnostics for -json output.
+func NewJSONReport(diags []Diagnostic, root string) *JSONReport {
+	rep := &JSONReport{Version: "1", Tool: "stitchlint", Findings: []JSONResult{}}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, JSONResult{
+			Analyzer: d.Analyzer,
+			File:     relFile(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ObsNames enforces that every span, track, counter, gauge, and
+// histogram name handed to the obs layer is a constant from the
+// internal/obs names registry (names.go). Dashboards, golden span-tree
+// tests, and the chrome-trace consumers all key on these strings; a
+// literal typed at a call site can drift from all three without any
+// compiler or test noticing. The rules:
+//
+//   - A name argument must resolve to a string constant whose value is
+//     declared in the obs package scope — either the obs constant itself
+//     or a same-value alias (stitch re-exports several counter names).
+//   - Concatenated names ("gpu.op." + name, QueuePrefix + q.Name + ...)
+//     are judged by their leftmost leaf: registry prefix constants make
+//     the dynamic remainder legitimate.
+//   - Names forwarded through a parameter (faultPlan.op passes its name,
+//     histogram, and counter parameters through to the recorder) shift
+//     the obligation to the forwarding function's call sites, computed
+//     as an intra-package fixpoint.
+//
+// _test.go files are exempt: tests exercise the recorder with throwaway
+// names by design.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "span/track/metric names passed to internal/obs must be registry constants from internal/obs/names.go",
+	Run:  runObsNames,
+}
+
+// obsNameArgs maps obs API methods to the argument indexes that carry
+// registry names.
+func obsNameArgs(c callee) []int {
+	if c.pkgPath != obsPkg {
+		return nil
+	}
+	switch {
+	case c.recv == "Recorder" && c.name == "StartSpan",
+		c.recv == "Span" && c.name == "ChildOn":
+		return []int{0, 1} // track, name
+	case c.recv == "Recorder" && (c.name == "Counter" || c.name == "Gauge" ||
+		c.name == "Histogram" || c.name == "CounterValue"),
+		c.recv == "Span" && c.name == "Child":
+		return []int{0}
+	}
+	return nil
+}
+
+// nameParam identifies one parameter position of one function that must
+// receive a registry name.
+type nameParam struct {
+	fn  *types.Func
+	idx int
+}
+
+func runObsNames(pass *Pass) error {
+	// The registry: every string constant in the obs package scope. The
+	// scope comes from the callee's own *types.Func, so packages that
+	// reach a Recorder through another package's field still resolve it.
+	var registry map[string]bool
+	loadRegistry := func(obs *types.Package) {
+		if registry != nil {
+			return
+		}
+		registry = map[string]bool{}
+		scope := obs.Scope()
+		for _, nm := range scope.Names() {
+			if c, ok := scope.Lookup(nm).(*types.Const); ok {
+				if c.Val().Kind() == constant.String {
+					registry[constant.StringVal(c.Val())] = true
+				}
+			}
+		}
+	}
+
+	// Parameter-object → (function, index) for every function declared in
+	// this package, so forwarded names can be traced to their sources.
+	paramOf := map[types.Object]nameParam{}
+	declIdx := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			declIdx[fn] = true
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				paramOf[sig.Params().At(i)] = nameParam{fn: fn, idx: i}
+			}
+		}
+	}
+
+	type pending struct {
+		pos  ast.Expr
+		kind string // "literal" or "constant"
+		text string
+	}
+	// judge inspects one name argument. It reports a violation, defers to
+	// the fixpoint (returning the parameter it forwards), or accepts.
+	var judge func(e ast.Expr) (*nameParam, *pending)
+	judge = func(e ast.Expr) (*nameParam, *pending) {
+		e = ast.Unparen(e)
+		switch v := e.(type) {
+		case *ast.BinaryExpr:
+			// Leftmost-leaf rule: a registry prefix sanctions the rest.
+			return judge(v.X)
+		case *ast.BasicLit:
+			return nil, &pending{pos: e, kind: "literal", text: v.Value}
+		case *ast.Ident, *ast.SelectorExpr:
+			var obj types.Object
+			if id, ok := v.(*ast.Ident); ok {
+				obj = pass.TypesInfo.Uses[id]
+			} else {
+				obj = pass.TypesInfo.Uses[v.(*ast.SelectorExpr).Sel]
+			}
+			switch o := obj.(type) {
+			case *types.Const:
+				if o.Val().Kind() != constant.String {
+					return nil, nil
+				}
+				if registry[constant.StringVal(o.Val())] {
+					return nil, nil
+				}
+				return nil, &pending{pos: e, kind: "constant",
+					text: o.Name() + " = " + o.Val().ExactString()}
+			case *types.Var:
+				if np, ok := paramOf[o]; ok {
+					return &np, nil
+				}
+			}
+		}
+		// Dynamic names (locals, call results) are beyond static judgment;
+		// the registry rule is enforced where the string is born.
+		return nil, nil
+	}
+
+	// Name positions that must be satisfied: the obs API itself, plus the
+	// package's own forwarding functions, discovered iteratively. Each
+	// fixpoint round may revisit call sites, so violations collect into a
+	// position-keyed map and report once after convergence.
+	tracked := map[nameParam]bool{}
+	violations := map[ast.Expr]*pending{}
+	testFile := func(e ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(e.Pos()).Filename, "_test.go")
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || testFile(call) {
+					return true
+				}
+				var idxs []int
+				if c, okc := resolveCallee(pass.TypesInfo, call); okc {
+					idxs = obsNameArgs(c)
+					if len(idxs) > 0 {
+						fn, _ := pass.TypesInfo.Uses[calleeIdent(call)].(*types.Func)
+						if fn != nil && fn.Pkg() != nil {
+							loadRegistry(fn.Pkg())
+						}
+					}
+				}
+				if len(idxs) == 0 {
+					// A call to one of this package's own forwarding funcs?
+					if fn, okf := resolveCalleeObj(pass.TypesInfo, call); okf && declIdx[fn] {
+						for np := range tracked {
+							if np.fn == fn {
+								idxs = append(idxs, np.idx)
+							}
+						}
+					}
+				}
+				for _, i := range idxs {
+					if i >= len(call.Args) {
+						continue
+					}
+					np, p := judge(call.Args[i])
+					if p != nil && registry != nil {
+						violations[p.pos] = p
+					}
+					if np != nil && !tracked[*np] {
+						tracked[*np] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, p := range violations {
+		pass.Reportf(p.pos.Pos(),
+			"obs name %s %s is not in the internal/obs names registry — add it to internal/obs/names.go or use the existing constant",
+			p.kind, p.text)
+	}
+	return nil
+}
+
+// calleeIdent returns the identifier naming the called function or
+// method, for package-of-callee resolution.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.Ident:
+		return fun
+	}
+	return nil
+}

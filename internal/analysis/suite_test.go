@@ -12,8 +12,16 @@ import (
 // clean case per analyzer; the want comments in the fixtures are the
 // assertions.
 
-func TestBufferFreeFixture(t *testing.T) {
-	analysistest.Run(t, "./testdata/src/bufferfree", analysis.BufferFree)
+func TestPairGuardFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/pairguard", analysis.PairGuard)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/lockorder", analysis.LockOrder)
+}
+
+func TestObsNamesFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/obsnames", analysis.ObsNames)
 }
 
 func TestStreamSyncFixture(t *testing.T) {
@@ -34,10 +42,10 @@ func TestHotPathFixture(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
 	}
-	two, err := analysis.ByName("bufferfree, streamsync")
+	two, err := analysis.ByName("pairguard, streamsync")
 	if err != nil || len(two) != 2 {
 		t.Fatalf("ByName subset = %d analyzers, err %v; want 2, nil", len(two), err)
 	}
@@ -53,14 +61,14 @@ func TestSuppressionRequiresReason(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.BufferFree})
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.PairGuard})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var sawLeak, sawMalformed bool
 	for _, d := range diags {
 		switch d.Analyzer {
-		case "bufferfree":
+		case "pairguard":
 			sawLeak = true
 		case "suppression":
 			sawMalformed = true

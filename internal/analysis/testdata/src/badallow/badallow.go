@@ -6,7 +6,7 @@ package badallow
 import "hybridstitch/internal/gpu"
 
 func leakWithBadSuppression(d *gpu.Device) {
-	//lint:allow bufferfree
+	//lint:allow pairguard
 	b, err := d.Alloc(64)
 	if err != nil {
 		return

@@ -1,0 +1,73 @@
+// Package obsnames is the stitchlint fixture for the obs-name registry
+// analysis: every span/track/metric name handed to internal/obs must be
+// a constant from internal/obs/names.go (or a same-value alias, or a
+// registry prefix for concatenated names).
+package obsnames
+
+import "hybridstitch/internal/obs"
+
+// aliasRead re-exports a registry value, as internal/stitch does for its
+// public counter names — same value, still registry-backed.
+const aliasRead = obs.SpanRead
+
+// rogueName compiles fine but belongs to no dashboard or golden trace.
+const rogueName = "obsnames.rogue.gauge"
+
+func bad(rec *obs.Recorder) {
+	sp := rec.StartSpan("run", "obsnames-bogus") // want "obs name literal \"run\"" "obs name literal \"obsnames-bogus\""
+	defer sp.End()
+	rec.Counter("obsnames.bogus.count").Add(1) // want "obs name literal \"obsnames.bogus.count\""
+	rec.Gauge(rogueName).Set(1)                // want "obs name constant rogueName"
+}
+
+func good(rec *obs.Recorder) {
+	sp := rec.StartSpan(obs.TrackRun, obs.SpanStitch)
+	defer sp.End()
+	child := sp.Child(obs.SpanPair)
+	child.End()
+	rec.Counter(obs.CounterTilesRead).Add(1)
+	rec.Histogram(obs.HistReadSeconds).Observe(0.1)
+	rec.Gauge(aliasRead).Set(1)
+}
+
+// goodPrefix: concatenated names are judged by their leftmost leaf, so a
+// registry prefix legitimizes a dynamic remainder.
+func goodPrefix(rec *obs.Recorder, op string) {
+	rec.Histogram(obs.HistGPUOpPrefix + op).Observe(0.2)
+	rec.Counter(obs.QueuePrefix + op + obs.QueuePushesSuffix).Add(1)
+}
+
+// badPrefix: a literal prefix is exactly the drift the registry exists
+// to prevent.
+func badPrefix(rec *obs.Recorder, op string) {
+	rec.Histogram("gpu.op." + op).Observe(0.2) // want "obs name literal \"gpu.op.\""
+}
+
+// record forwards its parameter to the recorder: the obligation shifts
+// to record's call sites.
+func record(rec *obs.Recorder, name string) {
+	rec.Counter(name).Add(1)
+}
+
+func callers(rec *obs.Recorder) {
+	record(rec, obs.CounterPairsAligned)
+	record(rec, "obsnames.forwarded") // want "obs name literal \"obsnames.forwarded\""
+}
+
+// recordDeep forwards through two levels; the fixpoint follows.
+func recordDeep(rec *obs.Recorder, name string) {
+	record(rec, name)
+}
+
+func deepCallers(rec *obs.Recorder) {
+	recordDeep(rec, obs.CounterRetries)
+	recordDeep(rec, "obsnames.deep") // want "obs name literal \"obsnames.deep\""
+}
+
+// dynamic names built locally are beyond static judgment: the registry
+// rule is enforced where strings are born, not where they flow.
+func goodDynamic(rec *obs.Recorder, names []string) {
+	for _, n := range names {
+		rec.Counter(n).Add(1)
+	}
+}

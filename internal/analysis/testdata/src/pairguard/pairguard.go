@@ -1,7 +1,9 @@
-// Package bufferfree is the stitchlint fixture for the bufferfree
-// analyzer: device-pool and governor allocations must reach a Free or an
-// ownership transfer on every path.
-package bufferfree
+// Package pairguard is the stitchlint fixture for the pairguard
+// analyzer: acquired resources (device buffers, governor allocations,
+// spans, pooled aligners) must reach their release or an ownership
+// transfer on every path. delta.go holds the cases the old syntactic
+// bufferfree check could not see.
+package pairguard
 
 import (
 	"hybridstitch/internal/gpu"
@@ -147,7 +149,7 @@ func okSentOnChannel(d *gpu.Device, ch chan *gpu.Buffer) error {
 
 // okSuppressed documents an intentional leak with the mandatory reason.
 func okSuppressed(d *gpu.Device) {
-	//lint:allow bufferfree fixture exercises the suppression path
+	//lint:allow pairguard fixture exercises the suppression path
 	b, err := d.Alloc(64)
 	if err != nil {
 		return

@@ -147,6 +147,11 @@ func condMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
 	return found
 }
 
+// usesObj reports whether the expression subtree mentions obj.
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	return condMentions(info, e, obj)
+}
+
 // funcBodies yields every function body in the files: declarations and
 // top-level function literals each count once. Nested literals are
 // visited as part of their enclosing body (lexical containment is what
@@ -167,6 +172,8 @@ const (
 	gpuPkg    = "hybridstitch/internal/gpu"
 	memgovPkg = "hybridstitch/internal/memgov"
 	faultPkg  = "hybridstitch/internal/fault"
+	obsPkg    = "hybridstitch/internal/obs"
+	pciamPkg  = "hybridstitch/internal/pciam"
 	syncPkg   = "sync"
 	timePkg   = "time"
 )

@@ -55,7 +55,7 @@ func (b Blend) String() string {
 // rec (nil rec composes without recording).
 func ComposeObs(rec *obs.Recorder, pl *global.Placement, src stitch.Source, blend Blend) (*tile.Gray16, error) {
 	w, h := pl.Bounds()
-	sp := rec.StartSpan("phase3", "compose",
+	sp := rec.StartSpan(obs.TrackPhase3, obs.SpanCompose,
 		obs.String("blend", blend.String()),
 		obs.String("size", fmt.Sprintf("%dx%d", w, h)))
 	defer sp.End()

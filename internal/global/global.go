@@ -72,12 +72,12 @@ func Solve(res *stitch.Result, opts Options) (*Placement, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	sp := opts.Obs.StartSpan("phase2", "solve",
+	sp := opts.Obs.StartSpan(obs.TrackPhase2, obs.SpanSolve,
 		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)))
 	defer sp.End()
 	edges, dropped, repaired := collectEdges(res, opts)
-	opts.Obs.Counter("global.edges.repaired").Add(int64(repaired))
-	opts.Obs.Counter("global.edges.dropped").Add(int64(dropped))
+	opts.Obs.Counter(obs.CounterEdgesRepaired).Add(int64(repaired))
+	opts.Obs.Counter(obs.CounterEdgesDropped).Add(int64(dropped))
 
 	n := g.NumTiles()
 	// Maximum spanning tree by correlation (Kruskal).

@@ -20,7 +20,7 @@ func TestAllocFreeAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	//lint:allow bufferfree allocation must fail with ErrOutOfMemory; nothing is allocated
+	//lint:allow pairguard allocation must fail with ErrOutOfMemory; nothing is allocated
 	if _, err := d.Alloc(50); !errors.Is(err, ErrOutOfMemory) {
 		t.Fatalf("overcommit allowed: %v", err)
 	}
@@ -45,7 +45,7 @@ func TestAllocFreeAccounting(t *testing.T) {
 	if used != 0 {
 		t.Errorf("used = %d after frees", used)
 	}
-	//lint:allow bufferfree zero-word allocation must fail; nothing is allocated
+	//lint:allow pairguard zero-word allocation must fail; nothing is allocated
 	if _, err := d.Alloc(0); err == nil {
 		t.Error("zero alloc should fail")
 	}
@@ -76,7 +76,7 @@ func TestAllocBlockingWaitsForFree(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("AllocBlocking never resumed")
 	}
-	//lint:allow bufferfree over-capacity request must fail fast; nothing is allocated
+	//lint:allow pairguard over-capacity request must fail fast; nothing is allocated
 	if _, err := d.AllocBlocking(101); !errors.Is(err, ErrOutOfMemory) {
 		t.Error("impossible request must fail fast")
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hybridstitch/internal/fft"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/pciam"
 )
 
@@ -217,7 +218,7 @@ func (s *Stream) FusedNCCInverseMaxReal(plan *fft.RealPlan2D, fa, fb *Buffer, ou
 // attached.
 func (s *Stream) countFused() {
 	if rec := s.dev.cfg.Obs; rec != nil {
-		rec.Counter("gpu.launch.fused").Add(1)
+		rec.Counter(obs.CounterGPULaunchFused).Add(1)
 	}
 }
 

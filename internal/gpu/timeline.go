@@ -84,7 +84,7 @@ func (t *Timeline) observeOp(name string, d time.Duration) {
 	if t == nil || name == "sync" {
 		return
 	}
-	t.rec.Histogram("gpu.op." + name).ObserveDuration(d)
+	t.rec.Histogram(obs.HistGPUOpPrefix + name).ObserveDuration(d)
 }
 
 // Spans returns a copy of this device's recorded spans ordered by start

@@ -64,9 +64,9 @@ type Allocation struct {
 // goroutines.
 func (g *Governor) SetObs(rec *obs.Recorder) {
 	g.mu.Lock()
-	g.cFaults = rec.Counter("memgov.faults")
-	g.hStall = rec.Histogram("memgov.stall.seconds")
-	g.gLive = rec.Gauge("memgov.live_bytes")
+	g.cFaults = rec.Counter(obs.CounterMemgovFaults)
+	g.hStall = rec.Histogram(obs.HistMemgovStallSeconds)
+	g.gLive = rec.Gauge(obs.GaugeMemgovLiveBytes)
 	g.mu.Unlock()
 }
 

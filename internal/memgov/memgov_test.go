@@ -78,7 +78,7 @@ func TestCliffShape(t *testing.T) {
 
 func TestAllocErrorsAndDoubleFree(t *testing.T) {
 	g := New(100, 0)
-	//lint:allow bufferfree negative allocation must fail; nothing is allocated
+	//lint:allow pairguard negative allocation must fail; nothing is allocated
 	if _, err := g.Alloc(-1); err == nil {
 		t.Error("negative alloc should fail")
 	}

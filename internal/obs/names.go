@@ -1,0 +1,118 @@
+package obs
+
+// This file is the central registry of every span, track, and metric
+// name the repo records. Telemetry names are an API: the profile
+// viewers group by track, the golden span-tree tests match span names,
+// the benchmark snapshots key on counter names, and any service surface
+// (dashboards, alerts) built on top will hardcode them. A name that
+// drifts — "stitch.pair.aligned" in one variant, "stitch.pairs.aligned"
+// in another — silently splits one series into two.
+//
+// The stitchlint `obsnames` analyzer enforces the registry statically:
+// every name argument to StartSpan/Child/ChildOn/RecordComplete and to
+// Counter/Gauge/Histogram must be (or be prefixed by, for the dynamic
+// families) a constant declared in this package. Add the constant here
+// first; the literal at the call site is a lint error.
+
+// Track names: the display rows of the Chrome-trace/ASCII timelines.
+// Per-device and per-stage tracks ("GPU0/copy/memcpyH2D", "stage/read")
+// are composed by the gpu simulator and pipeline from their own
+// structure and carry the span name constants below.
+const (
+	// TrackRun hosts the per-run root span.
+	TrackRun = "run"
+	// TrackPhase2 and TrackPhase3 host the global-solve and compose
+	// phases.
+	TrackPhase2 = "phase2"
+	TrackPhase3 = "phase3"
+	// TrackOpPrefix prefixes the flat per-operation tracks used by
+	// callers without a span hierarchy (Fiji's batch workers):
+	// "op/read", "op/fft", "op/disp".
+	TrackOpPrefix = "op/"
+	// TrackStagePrefix prefixes the pipelined variants' per-stage tracks:
+	// "stage/read", "stage/work", "stage/bk", "stage/disp0", ...
+	TrackStagePrefix = "stage/"
+)
+
+// Span names.
+const (
+	// SpanStitch is the per-run root span on TrackRun.
+	SpanStitch = "stitch"
+	// SpanSolve and SpanCompose are the phase-2 and phase-3 roots.
+	SpanSolve   = "solve"
+	SpanCompose = "compose"
+	// SpanPair wraps one pair's full alignment (read through CCF).
+	SpanPair = "pair"
+	// SpanRead, SpanFFT, and SpanDisp are the instrumented fault-point
+	// operations (tile read, forward transform, displacement).
+	SpanRead = "read"
+	SpanFFT  = "fft"
+	SpanDisp = "disp"
+	// SpanCCF is the CCF ambiguity-resolution stage.
+	SpanCCF = "ccf"
+	// SpanWork and SpanBK are the pipelined-CPU stage spans (the fused
+	// FFT/displacement worker pool and the bookkeeping stage).
+	SpanWork = "work"
+	SpanBK   = "bk"
+	// SpanUploadFFT is Simple-GPU's combined H2D upload + forward FFT.
+	SpanUploadFFT = "upload+fft"
+)
+
+// Semantic counters: equal across all five variants for the same input
+// at fixed device partitioning (the differential tests pin this).
+const (
+	CounterTilesRead     = "stitch.tiles.read"
+	CounterTransforms    = "stitch.transforms"
+	CounterPairsAligned  = "stitch.pairs.aligned"
+	CounterRetries       = "fault.retries"
+	CounterDegradedTiles = "stitch.degraded.tiles"
+	CounterDegradedPairs = "stitch.degraded.pairs"
+)
+
+// Throughput and success counters.
+const (
+	CounterFFTOps          = "stitch.fft.ops"
+	CounterDispOps         = "stitch.disp.ops"
+	CounterEdgesRepaired   = "global.edges.repaired"
+	CounterEdgesDropped    = "global.edges.dropped"
+	CounterMemgovFaults    = "memgov.faults"
+	CounterPipelineNotes   = "pipeline.notes"
+	CounterPipelineAborts  = "pipeline.aborts"
+	CounterGPULaunchFused  = "gpu.launch.fused"
+	CounterTransposeBlocks = "fft.transpose.blocks"
+	CounterArenaReuse      = "pciam.arena.reuse"
+	CounterPoolAcquires    = "gpu.pool.acquires"
+	CounterPoolWaits       = "gpu.pool.waits"
+)
+
+// Gauges.
+const (
+	GaugeMemgovLiveBytes    = "memgov.live_bytes"
+	GaugePoolInUse          = "gpu.pool.in_use"
+	GaugeTransformsPeakLive = "stitch.transforms.peak_live"
+	GaugeTransformWords     = "stitch.transform.words"
+)
+
+// Latency histograms.
+const (
+	HistMemgovStallSeconds = "memgov.stall.seconds"
+	HistReadSeconds        = "stitch.read.seconds"
+	HistFFTSeconds         = "stitch.fft.seconds"
+	HistDispSeconds        = "stitch.disp.seconds"
+)
+
+// Dynamic-name prefixes and suffixes: families whose full name embeds a
+// runtime component (a GPU op name, a queue name). The obsnames
+// analyzer requires the leading operand of a composed name to be one of
+// these constants.
+const (
+	// HistGPUOpPrefix prefixes per-op GPU latency histograms:
+	// "gpu.op.fft2d", "gpu.op.memcpyH2D", ...
+	HistGPUOpPrefix = "gpu.op."
+	// QueuePrefix, QueueMaxDepthSuffix, and QueuePushesSuffix compose
+	// the per-queue depth/throughput series: "queue.<name>.max_depth",
+	// "queue.<name>.pushes".
+	QueuePrefix         = "queue."
+	QueueMaxDepthSuffix = ".max_depth"
+	QueuePushesSuffix   = ".pushes"
+)

@@ -86,11 +86,10 @@ func TestRealDisplaceZeroAllocs(t *testing.T) {
 
 // TestAlignerPoolReuse checks both recycling levels advance the reuse
 // counter: a Closed arena feeds the next constructor, and a Put aligner
-// feeds the next Get.
+// feeds the next Get. The deterministic pool seam keeps retention
+// observable under the race detector, where sync.Pool drops Put items.
 func TestAlignerPoolReuse(t *testing.T) {
-	if raceDetectorEnabled {
-		t.Skip("sync.Pool drops items under the race detector; reuse is unobservable")
-	}
+	useDeterministicPools(t)
 	const w, h = 20, 14
 	before := ArenaReuse()
 	al1, err := NewAligner(w, h, Options{})
@@ -120,4 +119,5 @@ func TestAlignerPoolReuse(t *testing.T) {
 	if got := ArenaReuse(); got <= mid {
 		t.Fatalf("aligner reuse counter did not advance after Put + Get: %d -> %d", mid, got)
 	}
+	PutAligner(al4)
 }

@@ -27,6 +27,33 @@ import (
 // as the obs counter pciam.arena.reuse (this package deliberately does
 // not import obs).
 
+// pool is the free-list seam behind both recycling levels. Production
+// uses sync.Pool. Tests swap newPool for a deterministic
+// retain-everything list so retention stays observable under the race
+// detector, where sync.Pool deliberately drops a fraction of Put items
+// to shake out lifetime bugs.
+type pool interface {
+	Get() any
+	Put(x any)
+}
+
+// newPool builds one free list. Replace it (and call resetPoolsForTest)
+// to change the pooling discipline; tests own the only other
+// implementation.
+var newPool = func() pool { return syncPool{p: new(sync.Pool)} }
+
+type syncPool struct{ p *sync.Pool }
+
+func (s syncPool) Get() any  { return s.p.Get() }
+func (s syncPool) Put(x any) { s.p.Put(x) }
+
+// resetPoolsForTest empties both pool maps so a swapped newPool takes
+// effect for every key. Test-only; not safe concurrently with checkouts.
+func resetPoolsForTest() {
+	arenaPools.Range(func(k, _ any) bool { arenaPools.Delete(k); return true })
+	alignerPools.Range(func(k, _ any) bool { alignerPools.Delete(k); return true })
+}
+
 // arenaKey identifies one arena free list: the aligner kind plus the
 // tile dimensions that size every buffer.
 type arenaKey struct {
@@ -35,7 +62,7 @@ type arenaKey struct {
 }
 
 var (
-	arenaPools      sync.Map // arenaKey → *sync.Pool
+	arenaPools      sync.Map // arenaKey → pool
 	arenaReuseCount atomic.Int64
 )
 
@@ -61,8 +88,8 @@ type arena struct {
 // reusing a pooled one when available. cwords sizes work; fwords, when
 // positive, sizes corr and pix.
 func checkoutArena(kind string, w, h, cwords, fwords int) *arena {
-	pv, _ := arenaPools.LoadOrStore(arenaKey{kind: kind, w: w, h: h}, &sync.Pool{})
-	if v := pv.(*sync.Pool).Get(); v != nil {
+	pv, _ := arenaPools.LoadOrStore(arenaKey{kind: kind, w: w, h: h}, newPool())
+	if v := pv.(pool).Get(); v != nil {
 		arenaReuseCount.Add(1)
 		return v.(*arena)
 	}
@@ -79,8 +106,8 @@ func releaseArena(kind string, w, h int, ar *arena) {
 	if ar == nil {
 		return
 	}
-	pv, _ := arenaPools.LoadOrStore(arenaKey{kind: kind, w: w, h: h}, &sync.Pool{})
-	pv.(*sync.Pool).Put(ar)
+	pv, _ := arenaPools.LoadOrStore(arenaKey{kind: kind, w: w, h: h}, newPool())
+	pv.(pool).Put(ar)
 }
 
 // alignerKey identifies one aligner free list: kind, tile size, and
@@ -100,7 +127,7 @@ type alignerKey struct {
 	disableFusion bool
 }
 
-var alignerPools sync.Map // alignerKey → *sync.Pool
+var alignerPools sync.Map // alignerKey → pool
 
 func makeAlignerKey(kind string, w, h int, opts Options) alignerKey {
 	opts = opts.withDefaults()
@@ -115,9 +142,9 @@ func makeAlignerKey(kind string, w, h int, opts Options) alignerKey {
 	}
 }
 
-func alignerPool(key alignerKey) *sync.Pool {
-	pv, _ := alignerPools.LoadOrStore(key, &sync.Pool{})
-	return pv.(*sync.Pool)
+func alignerPool(key alignerKey) pool {
+	pv, _ := alignerPools.LoadOrStore(key, newPool())
+	return pv.(pool)
 }
 
 // GetAligner checks out a pooled complex aligner for w×h tiles,

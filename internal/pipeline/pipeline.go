@@ -33,8 +33,8 @@ func New() *Pipeline { return &Pipeline{abortC: make(chan struct{})} }
 // before launching stages.
 func (p *Pipeline) Observe(rec *obs.Recorder) {
 	p.mu.Lock()
-	p.cNotes = rec.Counter("pipeline.notes")
-	p.cAborts = rec.Counter("pipeline.aborts")
+	p.cNotes = rec.Counter(obs.CounterPipelineNotes)
+	p.cAborts = rec.Counter(obs.CounterPipelineAborts)
 	p.mu.Unlock()
 }
 

@@ -55,9 +55,9 @@ func newDevicePool(dev *gpu.Device, g tile.Grid, n int, variant FFTVariant, rec 
 	}
 	p := &devicePool{
 		ch:       make(chan *gpu.Buffer, n),
-		acquires: rec.Counter("gpu.pool.acquires"),
-		waits:    rec.Counter("gpu.pool.waits"),
-		inUse:    rec.Gauge("gpu.pool.in_use"),
+		acquires: rec.Counter(obs.CounterPoolAcquires),
+		waits:    rec.Counter(obs.CounterPoolWaits),
+		inUse:    rec.Gauge(obs.GaugePoolInUse),
 	}
 	alloc := func() (*gpu.Buffer, error) {
 		if variant == VariantReal {

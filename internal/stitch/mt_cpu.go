@@ -116,7 +116,7 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 				return true
 			}
 			doPair := func(p tile.Pair) bool {
-				psp := root.Child("pair", pairAttr(p))
+				psp := root.Child(obs.SpanPair, pairAttr(p))
 				defer psp.End()
 				bImg, bF, err := ensure(p.Coord, psp)
 				if err != nil {

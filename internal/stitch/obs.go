@@ -14,18 +14,20 @@ import (
 // — are distinguished from timing metrics, which legitimately differ:
 // the differential test in obs_integration_test.go pins the former.
 
-// Semantic counter names. CounterPairsAligned, CounterRetries,
-// CounterDegradedTiles, and CounterDegradedPairs are variant-invariant;
-// CounterTilesRead and CounterTransforms additionally depend on the
-// device partitioning (Pipelined-GPU re-reads boundary rows per device
-// band) so they are invariant only at fixed partitioning.
+// Semantic counter names, re-exported from the central registry in
+// internal/obs/names.go (DESIGN.md §10). CounterPairsAligned,
+// CounterRetries, CounterDegradedTiles, and CounterDegradedPairs are
+// variant-invariant; CounterTilesRead and CounterTransforms additionally
+// depend on the device partitioning (Pipelined-GPU re-reads boundary
+// rows per device band) so they are invariant only at fixed
+// partitioning.
 const (
-	CounterTilesRead     = "stitch.tiles.read"
-	CounterTransforms    = "stitch.transforms"
-	CounterPairsAligned  = "stitch.pairs.aligned"
-	CounterRetries       = "fault.retries"
-	CounterDegradedTiles = "stitch.degraded.tiles"
-	CounterDegradedPairs = "stitch.degraded.pairs"
+	CounterTilesRead     = obs.CounterTilesRead
+	CounterTransforms    = obs.CounterTransforms
+	CounterPairsAligned  = obs.CounterPairsAligned
+	CounterRetries       = obs.CounterRetries
+	CounterDegradedTiles = obs.CounterDegradedTiles
+	CounterDegradedPairs = obs.CounterDegradedPairs
 )
 
 // tileAttr renders a tile-coordinate span attribute.
@@ -63,7 +65,7 @@ func startRun(opts Options, impl string, g tile.Grid) (*obs.Span, runBaselines) 
 		transposeBlocks: fft.TransposeBlocks(),
 		arenaReuse:      pciam.ArenaReuse(),
 	}
-	return opts.Obs.StartSpan("run", "stitch", attrs...), base
+	return opts.Obs.StartSpan(obs.TrackRun, obs.SpanStitch, attrs...), base
 }
 
 // finishRun ends the root span and publishes the run's result-level
@@ -83,8 +85,8 @@ func finishRun(opts Options, root *obs.Span, base runBaselines, res *Result) {
 	// bleed into each other's deltas; the counters are throughput
 	// telemetry, not semantic invariants, so that imprecision is accepted
 	// (runs in tests and the CLI are sequential).
-	rec.Counter("fft.transpose.blocks").Add(fft.TransposeBlocks() - base.transposeBlocks)
-	rec.Counter("pciam.arena.reuse").Add(pciam.ArenaReuse() - base.arenaReuse)
+	rec.Counter(obs.CounterTransposeBlocks).Add(fft.TransposeBlocks() - base.transposeBlocks)
+	rec.Counter(obs.CounterArenaReuse).Add(pciam.ArenaReuse() - base.arenaReuse)
 	aligned := 0
 	for _, p := range res.Grid.Pairs() {
 		if _, ok := res.PairDisplacement(p); ok {
@@ -95,10 +97,10 @@ func finishRun(opts Options, root *obs.Span, base runBaselines, res *Result) {
 	rec.Counter(CounterTransforms).Add(int64(res.TransformsComputed))
 	rec.Counter(CounterDegradedTiles).Add(int64(len(res.DegradedTiles)))
 	rec.Counter(CounterDegradedPairs).Add(int64(len(res.DegradedPairs)))
-	rec.Gauge("stitch.transforms.peak_live").Set(float64(res.PeakTransformsLive))
-	rec.Gauge("stitch.transform.words").Set(float64(opts.FFTVariant.transformWords(res.Grid)))
+	rec.Gauge(obs.GaugeTransformsPeakLive).Set(float64(res.PeakTransformsLive))
+	rec.Gauge(obs.GaugeTransformWords).Set(float64(opts.FFTVariant.transformWords(res.Grid)))
 	for _, q := range res.QueueStats {
-		rec.Gauge("queue." + q.Name + ".max_depth").Set(float64(q.MaxDepth))
-		rec.Counter("queue." + q.Name + ".pushes").Add(q.Pushes)
+		rec.Gauge(obs.QueuePrefix + q.Name + obs.QueueMaxDepthSuffix).Set(float64(q.MaxDepth))
+		rec.Counter(obs.QueuePrefix + q.Name + obs.QueuePushesSuffix).Add(q.Pushes)
 	}
 }

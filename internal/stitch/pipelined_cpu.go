@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/pipeline"
 	"hybridstitch/internal/tile"
 )
@@ -58,10 +59,15 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	var resMu sync.Mutex
 	root, base := startRun(opts, "pipelined-cpu", g)
 	// One span per stage, parents of that stage's operation spans: the
-	// pipeline analogue of the paper's per-stage timeline rows.
-	spRead := root.ChildOn("stage/read", "read")
-	spWork := root.ChildOn("stage/work", "work")
-	spBK := root.ChildOn("stage/bk", "bk")
+	// pipeline analogue of the paper's per-stage timeline rows. The
+	// explicit Ends below stamp the stage completion times; End is
+	// idempotent, so the defers only matter on early-error returns.
+	spRead := root.ChildOn(obs.TrackStagePrefix+obs.SpanRead, obs.SpanRead)
+	defer spRead.End()
+	spWork := root.ChildOn(obs.TrackStagePrefix+obs.SpanWork, obs.SpanWork)
+	defer spWork.End()
+	spBK := root.ChildOn(obs.TrackStagePrefix+obs.SpanBK, obs.SpanBK)
+	defer spBK.End()
 	start := time.Now()
 
 	p := pipeline.New()

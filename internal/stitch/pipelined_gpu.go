@@ -151,7 +151,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 	root, base := startRun(opts, "pipelined-gpu", g)
 	var stageSpans []*obs.Span
 	stageSpan := func(name string) *obs.Span {
-		sp := root.ChildOn("stage/"+name, name)
+		sp := root.ChildOn(obs.TrackStagePrefix+name, name)
 		stageSpans = append(stageSpans, sp)
 		return sp
 	}
@@ -483,7 +483,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 				// fault — including an upstream copy/FFT error carried by
 				// the pair's sticky events — degrades the pair.
 				var red gpu.Reduction
-				dsp := spDisp.Child("disp", pairAttr(gp.pair))
+				dsp := spDisp.Child(obs.SpanDisp, pairAttr(gp.pair))
 				err := fp.retry.Do(func() error {
 					// In the real path the NCC covers the half spectrum
 					// only (Hermitian symmetry supplies the mirror bins)
@@ -548,7 +548,7 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 			if !ok {
 				return nil
 			}
-			csp := spCCF.Child("ccf", pairAttr(t.pair))
+			csp := spCCF.Child(obs.SpanCCF, pairAttr(t.pair))
 			d := pciam.Resolve(t.aImg, t.bImg, t.peakIdx%g.TileW, t.peakIdx/g.TileW, pciamOpts)
 			csp.End()
 			resMu.Lock()

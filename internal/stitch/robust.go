@@ -57,7 +57,7 @@ func (fp faultPlan) op(parent *obs.Span, name, histogram, counter string, attr o
 	if sp == nil && fp.rec != nil {
 		// Callers without a span hierarchy (Fiji's batch workers) still
 		// get flat spans on a per-operation track.
-		sp = fp.rec.StartSpan("op/"+name, name, attr)
+		sp = fp.rec.StartSpan(obs.TrackOpPrefix+name, name, attr)
 	}
 	start := time.Now()
 	err := run()
@@ -97,7 +97,7 @@ func tileDetail(src Source, c tile.Coord) string {
 // bounded retry, recorded as a "read" span under parent.
 func (fp faultPlan) readTile(src Source, c tile.Coord, parent *obs.Span) (*tile.Gray16, error) {
 	var img *tile.Gray16
-	err := fp.op(parent, "read", "stitch.read.seconds", CounterTilesRead, tileAttr(c), func() error {
+	err := fp.op(parent, obs.SpanRead, obs.HistReadSeconds, CounterTilesRead, tileAttr(c), func() error {
 		return fp.retry.Do(func() error {
 			if err := fp.inj.Hit(fault.SiteStitchRead, tileDetail(src, c)); err != nil {
 				return err
@@ -117,7 +117,7 @@ func (fp faultPlan) readTile(src Source, c tile.Coord, parent *obs.Span) (*tile.
 // with bounded retry, recorded as an "fft" span under parent.
 func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16, parent *obs.Span) ([]complex128, error) {
 	var f []complex128
-	err := fp.op(parent, "fft", "stitch.fft.seconds", "stitch.fft.ops", tileAttr(c), func() error {
+	err := fp.op(parent, obs.SpanFFT, obs.HistFFTSeconds, obs.CounterFFTOps, tileAttr(c), func() error {
 		return fp.retry.Do(func() error {
 			if err := fp.inj.Hit(fault.SiteStitchFFT, detail(c)); err != nil {
 				return err
@@ -137,7 +137,7 @@ func (fp faultPlan) transform(al aligner, c tile.Coord, img *tile.Gray16, parent
 // point with bounded retry, recorded as a "disp" span under parent.
 func (fp faultPlan) displace(al aligner, p tile.Pair, aImg, bImg *tile.Gray16, aF, bF []complex128, parent *obs.Span) (tile.Displacement, error) {
 	var d tile.Displacement
-	err := fp.op(parent, "disp", "stitch.disp.seconds", "stitch.disp.ops", pairAttr(p), func() error {
+	err := fp.op(parent, obs.SpanDisp, obs.HistDispSeconds, obs.CounterDispOps, pairAttr(p), func() error {
 		return fp.retry.Do(func() error {
 			if err := fp.inj.Hit(fault.SitePCIAMNCC, detail(p.Coord)+"/"+p.Dir.String()); err != nil {
 				return err

@@ -70,7 +70,7 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	}
 
 	doPair := func(p tile.Pair) error {
-		psp := root.Child("pair", pairAttr(p))
+		psp := root.Child(obs.SpanPair, pairAttr(p))
 		defer psp.End()
 		bImg, bF, err := ensure(p.Coord, psp)
 		if err != nil {

@@ -130,7 +130,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		// Simple-GPU anti-pattern under study. The sequence is idempotent
 		// (same pixels, same buffer), so a transient device fault is
 		// absorbed by replaying it.
-		usp := psp.Child("upload+fft", tileAttr(c))
+		usp := psp.Child(obs.SpanUploadFFT, tileAttr(c))
 		err = fp.retry.Do(func() error {
 			if realFFT {
 				// Packed upload into the half-sized buffer, then the
@@ -191,7 +191,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	}
 
 	doPair := func(p tile.Pair) error {
-		psp := root.Child("pair", pairAttr(p))
+		psp := root.Child(obs.SpanPair, pairAttr(p))
 		defer psp.End()
 		if err := ensure(p.Coord, psp); err != nil {
 			if !fp.degrade {
@@ -220,7 +220,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		// are rewritten from the start, so the sequence replays cleanly on
 		// a transient kernel fault.
 		var red gpu.Reduction
-		dsp := psp.Child("disp", pairAttr(p))
+		dsp := psp.Child(obs.SpanDisp, pairAttr(p))
 		err := fp.retry.Do(func() error {
 			// The NCC runs over the half spectrum in the real path —
 			// Hermitian symmetry supplies the mirrored bins — and the c2r
@@ -255,7 +255,7 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 		}
 
 		// CCF on the CPU, inline (the gap in the Fig 7 profile).
-		csp := psp.Child("ccf", pairAttr(p))
+		csp := psp.Child(obs.SpanCCF, pairAttr(p))
 		d := pciam.Resolve(aImg, bImg, red.Idx%g.TileW, red.Idx/g.TileW, opts.pciamOptions())
 		csp.End()
 		res.setPair(p, d)
