@@ -596,6 +596,36 @@ func BenchmarkRealFFTPhase1(b *testing.B) {
 	}
 }
 
+// BenchmarkRealFFTPhase1SmallGrid is the pair-starved configuration the
+// intra-transform split path targets: a 1×2 grid has one pair, so
+// pair-level parallelism cannot use the machine no matter how many
+// threads are configured, and the only remaining parallelism is inside
+// each transform (plus batching the pair's two forward FFTs into shared
+// passes). Large tiles keep the workload FFT-dominated. ExecAuto is the
+// shipped default, so this measures what users actually get.
+func BenchmarkRealFFTPhase1SmallGrid(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		variant stitch.FFTVariant
+	}{
+		{"real-fft-off", stitch.VariantComplex},
+		{"real-fft-on", stitch.VariantReal},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			src := benchSource(b, 1, 2, 384, 320)
+			for i := 0; i < b.N; i++ {
+				res, err := (&stitch.SimpleCPU{}).Run(src, stitch.Options{FFTVariant: bench.variant})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Complete() {
+					b.Fatal("incomplete")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAblationFFTVariants(b *testing.B) {
 	for _, v := range []stitch.FFTVariant{stitch.VariantComplex, stitch.VariantPadded, stitch.VariantReal} {
 		name := string(v)

@@ -1,0 +1,85 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the 1-D kernels and the 2-D plans at the tile
+// sizes the phase-1 benchmarks use (192×160 tiles: 96-point packed row
+// halves, 160-point columns, 192-point complex rows). These isolate the
+// transform core from the stitch pipeline, so kernel changes can be
+// measured without plate-generation noise.
+
+func benchInput(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return x
+}
+
+func BenchmarkPlan1D(b *testing.B) {
+	for _, n := range []int{96, 160, 192, 256} {
+		b.Run(itoa(n), func(b *testing.B) {
+			p, err := NewPlan(n, Forward, PlanOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := benchInput(n, int64(n))
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRealPlan2D(b *testing.B) {
+	const h, w = 160, 192
+	p, err := NewRealPlan2D(h, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := make([]float64, h*w)
+	rng := rand.New(rand.NewSource(7))
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	spec := make([]complex128, h*p.sw)
+	b.Run("forward", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Forward(spec, img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inverse", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Inverse(img, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// itoa avoids strconv in this file's tiny needs.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

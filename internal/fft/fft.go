@@ -93,8 +93,18 @@ type Plan struct {
 	norm  bool // divide by n on inverse
 
 	// mixed-radix state
-	factors []int        // prime factorization of n, ascending
+	factors []int        // factorization of n: 2·2 pairs merged to 4, else ascending primes
 	twiddle []complex128 // exp(∓2πi k/n) for k in [0, n)
+
+	// Leaf roots for the specialized bottom kernels of the mixed-radix
+	// recursion: the radix-3/4/5 roots of unity in transform direction,
+	// read from the twiddle table once at plan time so the leaves never
+	// index-divide. Only the entries whose radix appears in factors are
+	// populated.
+	lr3 [2]complex128 // ω₃, ω₃²
+	lr4 complex128    // ω₄ = ∓i
+	lr5 [4]complex128 // ω₅ … ω₅⁴
+	lr8 [3]complex128 // ω₈, ω₈², ω₈³
 
 	// bluestein state
 	bs *bluesteinState
@@ -175,9 +185,26 @@ func (p *Plan) init() {
 		p.twiddle = twiddleTable(p.n, p.dir)
 		p.sh = newStockham(p.n)
 	case stratMixed:
-		p.factors = factorize(p.n)
+		p.factors = mergePow2Radices(factorize(p.n))
 		p.twiddle = twiddleTable(p.n, p.dir)
 		p.scratch = make([]complex128, p.n)
+		for _, f := range p.factors {
+			switch f {
+			case 3:
+				p.lr3[0] = p.twiddle[p.n/3]
+				p.lr3[1] = p.twiddle[2*p.n/3]
+			case 4:
+				p.lr4 = p.twiddle[p.n/4]
+			case 5:
+				for j := 1; j <= 4; j++ {
+					p.lr5[j-1] = p.twiddle[j*p.n/5]
+				}
+			case 8:
+				for j := 1; j <= 3; j++ {
+					p.lr8[j-1] = p.twiddle[j*p.n/8]
+				}
+			}
+		}
 	case stratBluestein:
 		p.bs = newBluestein(p.n, p.dir)
 	}
@@ -286,6 +313,40 @@ func factorize(n int) []int {
 		fs = append(fs, n)
 	}
 	return fs
+}
+
+// mergePow2Radices regroups the run of 2s leading an ascending prime
+// factorization into radix-8 and radix-4 steps, so the mixed-radix
+// recursion runs a third (or half) as many fuse passes over the
+// power-of-two portion — combine8/combine4 do the work of three/two
+// combine2 levels in one sweep of dst. With k twos the grouping is
+// ⌊k/3⌋ eights plus the remainder as fours (a remainder of one 2 trades
+// an 8 for two 4s; only k=1 keeps a radix-2 step). Rewrites in place.
+func mergePow2Radices(fs []int) []int {
+	k := 0
+	for k < len(fs) && fs[k] == 2 {
+		k++
+	}
+	if k < 2 {
+		return fs
+	}
+	eights, fours := k/3, 0
+	switch k % 3 {
+	case 1:
+		eights--
+		fours = 2
+	case 2:
+		fours = 1
+	}
+	out := fs[:0]
+	for i := 0; i < eights; i++ {
+		out = append(out, 8)
+	}
+	for i := 0; i < fours; i++ {
+		out = append(out, 4)
+	}
+	out = append(out, fs[k:]...)
+	return out
 }
 
 // maxPrimeFactor returns the largest prime factor of n (n ≥ 1); 1 for n=1.

@@ -11,36 +11,73 @@ import (
 // through a blocked transpose (see transpose.go): the image is transposed
 // into plan-held scratch, the column FFTs run over contiguous rows, and
 // the result is transposed back — the strided gather of the seed
-// implementation survives behind SetBlockedTranspose(false) for
-// differential testing. A Plan2D is NOT safe for concurrent use by
-// multiple goroutines on the same call; use one Plan2D per goroutine or
-// the Workers option, which shards rows/columns internally across
-// worker-local plans.
+// implementation survives behind Plan2DOpts.LegacyGather for differential
+// testing. A Plan2D is NOT safe for concurrent use by multiple goroutines
+// on the same call; use one Plan2D per goroutine, the Workers option
+// (which shards rows/columns across dedicated goroutines), or the Exec
+// option (which opportunistically splits a single call's passes across
+// idle pool workers).
 type Plan2D struct {
 	w, h    int
 	dir     Direction
 	norm    bool
 	workers int
 
-	rowPlans []*Plan // one per worker
+	exec         ExecStrategy // resolved: ExecSerial or ExecSplit
+	batch        bool         // ExecuteBatch uses shared multi-tile passes
+	pool         *WorkerPool
+	legacyGather bool
+	nslots       int // len(rowPlans); split legs use disjoint slot ranges
+
+	rowPlans []*Plan // one per worker/slot
 	colPlans []*Plan
-	colBufs  [][]complex128 // per-worker column gather buffers (legacy path)
+	colBufs  [][]complex128 // per-slot column gather buffers (legacy path)
 	tbuf     []complex128   // w×h transpose scratch, held for the plan's life
+
+	// Split-pass spans, precomputed so the hot path does no division.
+	rowSpan, colSpan, backSpan int
 }
+
+// maxSplitSlots caps how many per-slot plan/scratch sets a split-capable
+// plan builds. Eight covers any machine this system targets without the
+// plan footprint growing with GOMAXPROCS.
+const maxSplitSlots = 8
 
 // Plan2DOpts adjusts 2-D plan construction.
 type Plan2DOpts struct {
 	// NormalizeInverse folds the 1/(w·h) factor into inverse transforms.
 	NormalizeInverse bool
 	// Workers is the number of goroutines Execute may use; 0 or 1 means
-	// serial execution.
+	// serial execution. Workers > 1 is the legacy dedicated-goroutine
+	// fan-out and disables the Exec split path.
 	Workers int
 	// ForceStrategy pins the 1-D strategy (tests, planner measure mode).
 	ForceStrategy string
+	// Exec selects how a single Execute call uses the machine: the zero
+	// value ExecAuto measures serial vs split at plan time (trivially
+	// serial when Pool has no budget), ExecSerial pins the
+	// zero-allocation single-goroutine path, ExecSplit pins the
+	// recursive pool-fed split.
+	Exec ExecStrategy
+	// Pool supplies the helper-goroutine budget for the split path; nil
+	// means SharedPool().
+	Pool *WorkerPool
+	// LegacyGather routes column passes through the seed's strided
+	// gather/scatter instead of the blocked transpose.
+	LegacyGather bool
 }
 
 // NewPlan2D builds a plan for h-row × w-column transforms.
 func NewPlan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, error) {
+	return newPlan2D(h, w, dir, opts,
+		func() (*Plan, error) { return NewPlan(w, dir, PlanOpts{ForceStrategy: opts.ForceStrategy}) },
+		func() (*Plan, error) { return NewPlan(h, dir, PlanOpts{ForceStrategy: opts.ForceStrategy}) })
+}
+
+// newPlan2D is the shared constructor body; mkW and mkH build the
+// per-slot row (length-w) and column (length-h) 1-D plans, letting the
+// Planner substitute wisdom-backed factories with per-axis strategies.
+func newPlan2D(h, w int, dir Direction, opts Plan2DOpts, mkW, mkH func() (*Plan, error)) (*Plan2D, error) {
 	if h <= 0 || w <= 0 {
 		return nil, fmt.Errorf("fft: invalid 2-D transform size %dx%d", h, w)
 	}
@@ -48,14 +85,43 @@ func NewPlan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = SharedPool()
+	}
 	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers,
+		pool: pool, legacyGather: opts.LegacyGather,
 		tbuf: make([]complex128, w*h)}
-	for i := 0; i < workers; i++ {
-		rp, err := NewPlan(w, dir, PlanOpts{ForceStrategy: opts.ForceStrategy})
+	p.rowSpan = spanAtLeast1(splitMinWork / w)
+	p.colSpan = spanAtLeast1(splitMinWork / h)
+	p.backSpan = p.rowSpan
+
+	slots := workers
+	autoTrivial := false
+	if workers > 1 {
+		p.exec = ExecSerial // Workers fan-out owns the parallelism
+	} else {
+		p.exec = opts.Exec
+		if p.exec == ExecAuto && (pool.Cap() == 0 || w*h < autotuneFloor) {
+			p.exec = ExecSerial
+			autoTrivial = true
+		}
+		if p.exec != ExecSerial {
+			if s := pool.Cap() + 1; s > 1 {
+				if s > maxSplitSlots {
+					s = maxSplitSlots
+				}
+				slots = s
+			}
+		}
+	}
+
+	for i := 0; i < slots; i++ {
+		rp, err := mkW()
 		if err != nil {
 			return nil, err
 		}
-		cp, err := NewPlan(h, dir, PlanOpts{ForceStrategy: opts.ForceStrategy})
+		cp, err := mkH()
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +129,67 @@ func NewPlan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, error) {
 		p.colPlans = append(p.colPlans, cp)
 		p.colBufs = append(p.colBufs, make([]complex128, h))
 	}
+	p.nslots = slots
+
+	switch {
+	case autoTrivial:
+		countChoice(autoChoice{exec: ExecSerial})
+	case p.exec == ExecAuto:
+		p.resolveAuto()
+	}
 	return p, nil
+}
+
+func spanAtLeast1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// resolveAuto times the serial, split, and batched shapes on scratch data
+// and commits the plan to the fastest (cached per size/direction/budget).
+func (p *Plan2D) resolveAuto() {
+	kind := "c2c-forward"
+	if p.dir == Inverse {
+		kind = "c2c-inverse"
+	}
+	if p.legacyGather {
+		kind += "+legacy"
+	}
+	key := autoKey{kind: kind, h: p.h, w: p.w, budget: p.pool.Cap()}
+
+	var tmp, tmpB []complex128
+	mkTmp := func() []complex128 {
+		t := make([]complex128, p.w*p.h)
+		for i := range t {
+			t[i] = complex(float64(i%97)-48, float64(i%31)-15)
+		}
+		return t
+	}
+	c := autotune(key,
+		func() error {
+			if tmp == nil {
+				tmp = mkTmp()
+			}
+			return p.executeSerial(tmp, nil)
+		},
+		func() error {
+			if tmp == nil {
+				tmp = mkTmp()
+			}
+			return p.executeSplit(tmp, nil)
+		},
+		func() error {
+			if tmp == nil {
+				tmp = mkTmp()
+			}
+			if tmpB == nil {
+				tmpB = mkTmp()
+			}
+			return p.executeBatch([][]complex128{tmp, tmpB})
+		})
+	p.exec, p.batch = c.exec, c.batch
 }
 
 // W returns the row length (width).
@@ -74,6 +200,12 @@ func (p *Plan2D) H() int { return p.h }
 
 // Dir reports the transform direction.
 func (p *Plan2D) Dir() Direction { return p.dir }
+
+// Exec reports the resolved execution strategy (never ExecAuto).
+func (p *Plan2D) Exec() ExecStrategy { return p.exec }
+
+// Batched reports whether ExecuteBatch uses shared multi-tile passes.
+func (p *Plan2D) Batched() bool { return p.batch }
 
 // Execute transforms data (len h*w, row-major) in place.
 func (p *Plan2D) Execute(data []complex128) error {
@@ -96,15 +228,42 @@ func (p *Plan2D) ExecuteFill(data []complex128, fill func(dst []complex128, r in
 	return p.execute(data, fill)
 }
 
+// ExecuteBatch transforms every tile of datas (each len h*w, row-major)
+// in place. When the plan's autotuner chose batching, the row FFTs of
+// all tiles run as ONE pass over a virtual row space — one planner
+// dispatch, twiddles and split bookkeeping amortized across tiles —
+// followed by per-tile column passes sharing the plan's transpose
+// scratch. Otherwise each tile goes through Execute in sequence.
+func (p *Plan2D) ExecuteBatch(datas [][]complex128) error {
+	for _, d := range datas {
+		if len(d) != p.w*p.h {
+			return fmt.Errorf("fft: plan is %dx%d (%d elements), batch tile has %d", p.h, p.w, p.h*p.w, len(d))
+		}
+	}
+	if len(datas) < 2 || !p.batch || p.workers > 1 {
+		for _, d := range datas {
+			if err := p.execute(d, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	batchedExecCount.Add(1)
+	return p.executeBatch(datas)
+}
+
 //stitchlint:hotpath
 func (p *Plan2D) execute(data []complex128, fill func([]complex128, int)) error {
 	if len(data) != p.w*p.h {
 		return fmt.Errorf("fft: plan is %dx%d (%d elements), input has %d", p.h, p.w, p.h*p.w, len(data))
 	}
-	if p.workers == 1 {
-		return p.executeSerial(data, fill)
+	if p.workers > 1 {
+		return p.executeParallel(data, fill)
 	}
-	return p.executeParallel(data, fill)
+	if p.exec == ExecSplit {
+		return p.executeSplit(data, fill)
+	}
+	return p.executeSerial(data, fill)
 }
 
 //stitchlint:hotpath
@@ -122,10 +281,99 @@ func (p *Plan2D) executeSerial(data []complex128, fill func([]complex128, int)) 
 	if err := p.columnPass(data, 0, p.w, cp, p.colBufs[0]); err != nil {
 		return err
 	}
-	if BlockedTransposeEnabled() {
+	if !p.legacyGather {
 		transposeRange(data, p.tbuf, p.w, p.h, 0, p.h)
 	}
 	p.normalize(data)
+	return nil
+}
+
+// executeSplit runs the same three passes as executeSerial, but each pass
+// recursively halves its index range across the plan's pool (gnark
+// asyncFFT shape). Every leg owns a disjoint slot range, so per-slot
+// plans and gather buffers need no locking, and the arithmetic per
+// row/column is identical to the serial path — results are bit-identical.
+func (p *Plan2D) executeSplit(data []complex128, fill func([]complex128, int)) error {
+	err := splitRange(p.pool, 0, p.nslots, 0, p.h, p.rowSpan, func(slot, lo, hi int) error {
+		rp := p.rowPlans[slot]
+		for r := lo; r < hi; r++ {
+			row := data[r*p.w : (r+1)*p.w]
+			if fill != nil {
+				fill(row, r)
+			}
+			if err := rp.Execute(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	err = splitRange(p.pool, 0, p.nslots, 0, p.w, p.colSpan, func(slot, lo, hi int) error {
+		return p.columnPass(data, lo, hi, p.colPlans[slot], p.colBufs[slot])
+	})
+	if err != nil {
+		return err
+	}
+	if !p.legacyGather {
+		err = splitRange(p.pool, 0, p.nslots, 0, p.h, p.backSpan, func(_, lo, hi int) error {
+			transposeRange(data, p.tbuf, p.w, p.h, lo, hi)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	p.normalize(data)
+	return nil
+}
+
+// executeBatch is the shared-pass body behind ExecuteBatch: one row pass
+// over the concatenated virtual row space of every tile, then per-tile
+// column passes reusing the plan's transpose scratch.
+func (p *Plan2D) executeBatch(datas [][]complex128) error {
+	n := p.h * len(datas)
+	rowOne := func(slot, vr int) error {
+		t, r := vr/p.h, vr%p.h
+		return p.rowPlans[slot].Execute(datas[t][r*p.w : (r+1)*p.w])
+	}
+	var err error
+	if p.exec == ExecSplit {
+		err = splitRange(p.pool, 0, p.nslots, 0, n, p.rowSpan, func(slot, lo, hi int) error {
+			for vr := lo; vr < hi; vr++ {
+				if e := rowOne(slot, vr); e != nil {
+					return e
+				}
+			}
+			return nil
+		})
+	} else {
+		for vr := 0; vr < n; vr++ {
+			if err = rowOne(0, vr); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, data := range datas {
+		if p.exec == ExecSplit {
+			err = splitRange(p.pool, 0, p.nslots, 0, p.w, p.colSpan, func(slot, lo, hi int) error {
+				return p.columnPass(data, lo, hi, p.colPlans[slot], p.colBufs[slot])
+			})
+		} else {
+			err = p.columnPass(data, 0, p.w, p.colPlans[0], p.colBufs[0])
+		}
+		if err != nil {
+			return err
+		}
+		if !p.legacyGather {
+			transposeRange(data, p.tbuf, p.w, p.h, 0, p.h)
+		}
+		p.normalize(data)
+	}
 	return nil
 }
 
@@ -136,7 +384,7 @@ func (p *Plan2D) executeSerial(data []complex128, fill func([]complex128, int)) 
 //
 //stitchlint:hotpath
 func (p *Plan2D) columnPass(data []complex128, c0, c1 int, cp *Plan, buf []complex128) error {
-	if !BlockedTransposeEnabled() {
+	if p.legacyGather {
 		for c := c0; c < c1; c++ {
 			gatherCol(buf, data, c, p.w, p.h)
 			if err := cp.Execute(buf); err != nil {
@@ -211,7 +459,7 @@ func (p *Plan2D) executeParallel(data []complex128, fill func([]complex128, int)
 	if firstErr != nil {
 		return firstErr
 	}
-	if BlockedTransposeEnabled() {
+	if !p.legacyGather {
 		// Transpose back, sharded over the destination's row slabs.
 		wg.Add(p.workers)
 		for wk := 0; wk < p.workers; wk++ {

@@ -125,26 +125,9 @@ func (pl *Planner) Plan2D(h, w int, dir Direction, opts Plan2DOpts) (*Plan2D, er
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	p := &Plan2D{w: w, h: h, dir: dir, norm: opts.NormalizeInverse, workers: workers,
-		tbuf: make([]complex128, w*h)}
-	for i := 0; i < workers; i++ {
-		rp, err := NewPlan(w, dir, PlanOpts{ForceStrategy: sw})
-		if err != nil {
-			return nil, err
-		}
-		cp, err := NewPlan(h, dir, PlanOpts{ForceStrategy: sh})
-		if err != nil {
-			return nil, err
-		}
-		p.rowPlans = append(p.rowPlans, rp)
-		p.colPlans = append(p.colPlans, cp)
-		p.colBufs = append(p.colBufs, make([]complex128, h))
-	}
-	return p, nil
+	return newPlan2D(h, w, dir, opts,
+		func() (*Plan, error) { return NewPlan(w, dir, PlanOpts{ForceStrategy: sw}) },
+		func() (*Plan, error) { return NewPlan(h, dir, PlanOpts{ForceStrategy: sh}) })
 }
 
 // wisdomFactory is the planFactory that routes a real plan's inner
@@ -163,9 +146,17 @@ func (pl *Planner) RealPlan(n int) (*RealPlan, error) {
 
 // RealPlan2D returns a fresh 2-D real-transform plan for h×w images with
 // the given worker fan-out (≤1 means serial). Row r2c plans and column
-// complex plans all consult the wisdom cache.
+// complex plans all consult the wisdom cache. The execution strategy is
+// pinned serial, matching the plan this method historically built; use
+// RealPlan2DOpts for the split/batched shapes.
 func (pl *Planner) RealPlan2D(h, w, workers int) (*RealPlan2D, error) {
-	return newRealPlan2D(h, w, workers, pl.wisdomFactory)
+	return newRealPlan2D(h, w, Real2DOpts{Workers: workers, Exec: ExecSerial}, pl.wisdomFactory)
+}
+
+// RealPlan2DOpts returns a fresh 2-D real-transform plan with full
+// control over the execution shape, wisdom-backed like RealPlan2D.
+func (pl *Planner) RealPlan2DOpts(h, w int, opts Real2DOpts) (*RealPlan2D, error) {
+	return newRealPlan2D(h, w, opts, pl.wisdomFactory)
 }
 
 // strategyFor returns the cached or newly decided strategy name for (n, dir).

@@ -31,9 +31,16 @@ type poolKey struct {
 }
 
 // real2DKey identifies one RealPlan2D free list. Workers is part of the
-// key because it fixes the number of internal per-worker plans.
+// key because it fixes the number of internal per-worker plans; the
+// requested exec strategy, legacy-gather flag, and worker-pool identity
+// join it because each changes the plan's execution behavior — a plan
+// bound to one pool's budget must never substitute for a plan bound to
+// another's.
 type real2DKey struct {
 	h, w, workers int
+	exec          ExecStrategy
+	legacy        bool
+	poolID        uint64
 }
 
 // maxFreePerKey bounds the retained plans per (size, direction); beyond
@@ -117,11 +124,20 @@ func (pp *PlanPool) PutReal(p *RealPlan) {
 
 // GetReal2D checks out a 2-D real-transform plan for h×w images whose
 // Forward/Inverse shard across workers goroutines (≤1 means serial).
+// Execution is pinned serial, matching this method's historical
+// behavior; GetReal2DOpts exposes the split/batched shapes.
 func (pp *PlanPool) GetReal2D(h, w, workers int) (*RealPlan2D, error) {
-	if workers < 1 {
-		workers = 1
+	return pp.GetReal2DOpts(h, w, Real2DOpts{Workers: workers, Exec: ExecSerial})
+}
+
+// GetReal2DOpts checks out a 2-D real-transform plan built with the
+// given execution options, keyed so plans with different shapes (or
+// bound to different worker pools) never substitute for one another.
+func (pp *PlanPool) GetReal2DOpts(h, w int, opts Real2DOpts) (*RealPlan2D, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
 	}
-	key := real2DKey{h: h, w: w, workers: workers}
+	key := real2DKeyFor(h, w, opts.Workers, opts.Exec, opts.LegacyGather, opts.Pool)
 	pp.mu.Lock()
 	if lst := pp.freeR2D[key]; len(lst) > 0 {
 		p := lst[len(lst)-1]
@@ -130,15 +146,24 @@ func (pp *PlanPool) GetReal2D(h, w, workers int) (*RealPlan2D, error) {
 		return p, nil
 	}
 	pp.mu.Unlock()
-	return pp.planner.RealPlan2D(h, w, workers)
+	return pp.planner.RealPlan2DOpts(h, w, opts)
 }
 
-// PutReal2D returns a 2-D real plan for reuse.
+func real2DKeyFor(h, w, workers int, exec ExecStrategy, legacy bool, pool *WorkerPool) real2DKey {
+	if pool == nil {
+		pool = SharedPool()
+	}
+	return real2DKey{h: h, w: w, workers: workers, exec: exec, legacy: legacy, poolID: pool.ID()}
+}
+
+// PutReal2D returns a 2-D real plan for reuse. The plan rejoins the free
+// list of the options it was REQUESTED with (an ExecAuto plan that
+// resolved serial still serves future ExecAuto gets).
 func (pp *PlanPool) PutReal2D(p *RealPlan2D) {
 	if p == nil {
 		return
 	}
-	key := real2DKey{h: p.H(), w: p.W(), workers: p.Workers()}
+	key := real2DKeyFor(p.h, p.w, p.workers, p.reqExec, p.legacyGather, p.pool)
 	pp.mu.Lock()
 	if len(pp.freeR2D[key]) < maxFreePerKey {
 		pp.freeR2D[key] = append(pp.freeR2D[key], p)

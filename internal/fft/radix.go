@@ -63,9 +63,75 @@ func (p *Plan) mixedRadix(x []complex128) {
 //
 //stitchlint:hotpath
 func (p *Plan) ctRec(dst, src []complex128, n, stride, fi int) {
-	if n == 1 {
+	// Leaf kernels: once the remaining length is a single radix the
+	// transform is a direct small DFT over strided input. Handling it
+	// here skips one full recursion level of n==1 calls and the m==1
+	// combine pass whose first twiddle is always 1. n==4 only reaches a
+	// leaf as a merged radix-4 factor (mergeRadix4), so p.lr4 is set.
+	switch n {
+	case 1:
 		dst[0] = src[0]
 		return
+	case 2:
+		a, b := src[0], src[stride]
+		dst[0] = a + b
+		dst[1] = a - b
+		return
+	case 3:
+		t0, t1, t2 := src[0], src[stride], src[2*stride]
+		w1, w2 := p.lr3[0], p.lr3[1]
+		dst[0] = t0 + t1 + t2
+		dst[1] = t0 + t1*w1 + t2*w2
+		dst[2] = t0 + t1*w2 + t2*w1
+		return
+	case 4:
+		t0, t1 := src[0], src[stride]
+		t2, t3 := src[2*stride], src[3*stride]
+		a := t0 + t2
+		b := t0 - t2
+		c := t1 + t3
+		d := (t1 - t3) * p.lr4
+		dst[0] = a + c
+		dst[1] = b + d
+		dst[2] = a - c
+		dst[3] = b - d
+		return
+	case 5:
+		t0, t1, t2 := src[0], src[stride], src[2*stride]
+		t3, t4 := src[3*stride], src[4*stride]
+		w1, w2, w3, w4 := p.lr5[0], p.lr5[1], p.lr5[2], p.lr5[3]
+		dst[0] = t0 + t1 + t2 + t3 + t4
+		dst[1] = t0 + t1*w1 + t2*w2 + t3*w3 + t4*w4
+		dst[2] = t0 + t1*w2 + t2*w4 + t3*w1 + t4*w3
+		dst[3] = t0 + t1*w3 + t2*w1 + t3*w4 + t4*w2
+		dst[4] = t0 + t1*w4 + t2*w3 + t3*w2 + t4*w1
+		return
+	case 8:
+		if p.factors[fi] == 8 {
+			t0, t1 := src[0], src[stride]
+			t2, t3 := src[2*stride], src[3*stride]
+			t4, t5 := src[4*stride], src[5*stride]
+			t6, t7 := src[6*stride], src[7*stride]
+			w1, w2, w3 := p.lr8[0], p.lr8[1], p.lr8[2]
+			a0, a1, a2, a3 := t0+t4, t1+t5, t2+t6, t3+t7
+			b0 := t0 - t4
+			b1 := (t1 - t5) * w1
+			b2 := (t2 - t6) * w2
+			b3 := (t3 - t7) * w3
+			pa, qa := a0+a2, a0-a2
+			ra, sa := a1+a3, (a1-a3)*w2
+			pb, qb := b0+b2, b0-b2
+			rb, sb := b1+b3, (b1-b3)*w2
+			dst[0] = pa + ra
+			dst[1] = pb + rb
+			dst[2] = qa + sa
+			dst[3] = qb + sb
+			dst[4] = pa - ra
+			dst[5] = pb - rb
+			dst[6] = qa - sa
+			dst[7] = qb - sb
+			return
+		}
 	}
 	r := p.factors[fi]
 	m := n / r
@@ -86,6 +152,8 @@ func (p *Plan) ctRec(dst, src []complex128, n, stride, fi int) {
 		combine4(dst, m, p.twiddle, unit)
 	case 5:
 		combine5(dst, m, p.twiddle, unit)
+	case 8:
+		combine8(dst, m, p.twiddle, unit)
 	default:
 		combineGeneric(dst, n, m, r, p.twiddle, unit)
 	}
@@ -101,12 +169,15 @@ func (p *Plan) ctRec(dst, src []complex128, n, stride, fi int) {
 //
 //stitchlint:hotpath
 func combine2(dst []complex128, m int, tw []complex128, unit int) {
+	// The d0/d1 reslices pin each sub-block's length to m so the q-loop
+	// indexing needs no bounds checks (same idiom in the other combines).
+	d0, d1 := dst[:m], dst[m : 2*m][:m]
 	idx := 0
 	for q := 0; q < m; q++ {
-		a := dst[q]
-		t := dst[q+m] * tw[idx]
-		dst[q] = a + t
-		dst[q+m] = a - t
+		a := d0[q]
+		t := d1[q] * tw[idx]
+		d0[q] = a + t
+		d1[q] = a - t
 		idx += unit
 	}
 }
@@ -119,14 +190,15 @@ func combine3(dst []complex128, m int, tw []complex128, unit int) {
 	w1 := tw[(m*unit)%full]   // ω₃
 	w2 := tw[(2*m*unit)%full] // ω₃²
 	w4 := tw[(4*m*unit)%full] // ω₃⁴ = ω₃
+	d0, d1, d2 := dst[:m], dst[m : 2*m][:m], dst[2*m : 3*m][:m]
 	idx1, idx2 := 0, 0
 	for q := 0; q < m; q++ {
-		t0 := dst[q]
-		t1 := dst[q+m] * tw[idx1]
-		t2 := dst[q+2*m] * tw[idx2]
-		dst[q] = t0 + t1 + t2
-		dst[q+m] = t0 + t1*w1 + t2*w2
-		dst[q+2*m] = t0 + t1*w2 + t2*w4
+		t0 := d0[q]
+		t1 := d1[q] * tw[idx1]
+		t2 := d2[q] * tw[idx2]
+		d0[q] = t0 + t1 + t2
+		d1[q] = t0 + t1*w1 + t2*w2
+		d2[q] = t0 + t1*w2 + t2*w4
 		idx1 += unit
 		idx2 += 2 * unit
 	}
@@ -138,20 +210,22 @@ func combine3(dst []complex128, m int, tw []complex128, unit int) {
 func combine4(dst []complex128, m int, tw []complex128, unit int) {
 	full := len(tw)
 	rot := tw[(m*unit)%full] // exp(∓2πi/4) = ∓i depending on direction
+	d0, d1 := dst[:m], dst[m : 2*m][:m]
+	d2, d3 := dst[2*m : 3*m][:m], dst[3*m : 4*m][:m]
 	idx1, idx2, idx3 := 0, 0, 0
 	for q := 0; q < m; q++ {
-		t0 := dst[q]
-		t1 := dst[q+m] * tw[idx1]
-		t2 := dst[q+2*m] * tw[idx2]
-		t3 := dst[q+3*m] * tw[idx3]
+		t0 := d0[q]
+		t1 := d1[q] * tw[idx1]
+		t2 := d2[q] * tw[idx2]
+		t3 := d3[q] * tw[idx3]
 		a := t0 + t2
 		b := t0 - t2
 		c := t1 + t3
 		d := (t1 - t3) * rot
-		dst[q] = a + c
-		dst[q+m] = b + d
-		dst[q+2*m] = a - c
-		dst[q+3*m] = b - d
+		d0[q] = a + c
+		d1[q] = b + d
+		d2[q] = a - c
+		d3[q] = b - d
 		idx1 += unit
 		idx2 += 2 * unit
 		idx3 += 3 * unit
@@ -163,25 +237,83 @@ func combine4(dst []complex128, m int, tw []complex128, unit int) {
 //stitchlint:hotpath
 func combine5(dst []complex128, m int, tw []complex128, unit int) {
 	full := len(tw)
-	var w [5]complex128 // fifth roots of unity in transform direction
-	for j := range w {
-		w[j] = tw[(j*m*unit)%full]
-	}
-	var idx [5]int
+	// Fifth roots of unity in transform direction; the butterfly below is
+	// the s/j loops unrolled with the (j·s mod 5) root schedule spelled
+	// out, so the hot loop carries no modulo and no array indirection.
+	w1 := tw[(m*unit)%full]
+	w2 := tw[(2*m*unit)%full]
+	w3 := tw[(3*m*unit)%full]
+	w4 := tw[(4*m*unit)%full]
+	d0, d1, d2 := dst[:m], dst[m : 2*m][:m], dst[2*m : 3*m][:m]
+	d3, d4 := dst[3*m : 4*m][:m], dst[4*m : 5*m][:m]
+	idx1, idx2, idx3, idx4 := 0, 0, 0, 0
 	for q := 0; q < m; q++ {
-		var t [5]complex128
-		t[0] = dst[q]
-		for j := 1; j < 5; j++ {
-			t[j] = dst[q+j*m] * tw[idx[j]]
-			idx[j] += j * unit
-		}
-		for s := 0; s < 5; s++ {
-			acc := t[0]
-			for j := 1; j < 5; j++ {
-				acc += t[j] * w[(j*s)%5]
-			}
-			dst[q+s*m] = acc
-		}
+		t0 := d0[q]
+		t1 := d1[q] * tw[idx1]
+		t2 := d2[q] * tw[idx2]
+		t3 := d3[q] * tw[idx3]
+		t4 := d4[q] * tw[idx4]
+		d0[q] = t0 + t1 + t2 + t3 + t4
+		d1[q] = t0 + t1*w1 + t2*w2 + t3*w3 + t4*w4
+		d2[q] = t0 + t1*w2 + t2*w4 + t3*w1 + t4*w3
+		d3[q] = t0 + t1*w3 + t2*w1 + t3*w4 + t4*w2
+		d4[q] = t0 + t1*w4 + t2*w3 + t3*w2 + t4*w1
+		idx1 += unit
+		idx2 += 2 * unit
+		idx3 += 3 * unit
+		idx4 += 4 * unit
+	}
+}
+
+// combine8 is the radix-8 butterfly (three radix-2 levels fused): after
+// the per-position twiddles, even outputs are the radix-4 DFT of the
+// half-sums and odd outputs the radix-4 DFT of the ω₈ʲ-rotated half-
+// differences, with ω₄ = ω₈².
+//
+//stitchlint:hotpath
+func combine8(dst []complex128, m int, tw []complex128, unit int) {
+	full := len(tw)
+	w1 := tw[(m*unit)%full]
+	w2 := tw[(2*m*unit)%full]
+	w3 := tw[(3*m*unit)%full]
+	d0, d1, d2 := dst[:m], dst[m : 2*m][:m], dst[2*m : 3*m][:m]
+	d3, d4, d5 := dst[3*m : 4*m][:m], dst[4*m : 5*m][:m], dst[5*m : 6*m][:m]
+	d6, d7 := dst[6*m : 7*m][:m], dst[7*m : 8*m][:m]
+	idx1, idx2, idx3, idx4 := 0, 0, 0, 0
+	idx5, idx6, idx7 := 0, 0, 0
+	for q := 0; q < m; q++ {
+		t0 := d0[q]
+		t1 := d1[q] * tw[idx1]
+		t2 := d2[q] * tw[idx2]
+		t3 := d3[q] * tw[idx3]
+		t4 := d4[q] * tw[idx4]
+		t5 := d5[q] * tw[idx5]
+		t6 := d6[q] * tw[idx6]
+		t7 := d7[q] * tw[idx7]
+		a0, a1, a2, a3 := t0+t4, t1+t5, t2+t6, t3+t7
+		b0 := t0 - t4
+		b1 := (t1 - t5) * w1
+		b2 := (t2 - t6) * w2
+		b3 := (t3 - t7) * w3
+		pa, qa := a0+a2, a0-a2
+		ra, sa := a1+a3, (a1-a3)*w2
+		pb, qb := b0+b2, b0-b2
+		rb, sb := b1+b3, (b1-b3)*w2
+		d0[q] = pa + ra
+		d1[q] = pb + rb
+		d2[q] = qa + sa
+		d3[q] = qb + sb
+		d4[q] = pa - ra
+		d5[q] = pb - rb
+		d6[q] = qa - sa
+		d7[q] = qb - sb
+		idx1 += unit
+		idx2 += 2 * unit
+		idx3 += 3 * unit
+		idx4 += 4 * unit
+		idx5 += 5 * unit
+		idx6 += 6 * unit
+		idx7 += 7 * unit
 	}
 }
 

@@ -25,6 +25,8 @@ type RealPlan struct {
 	full    *Plan        // full-size fallback (odd n)
 	fullInv *Plan        // full-size inverse for odd-n c2r
 	wr      []complex128 // untangling twiddles exp(-2πi k/n)
+	wrf     []complex128 // forward untangle: wr[k]·(-i/2), folding the O[k] scale
+	wri     []complex128 // inverse re-tangle: conj(wr[k])/2, folding the O'[k] scale
 	buf     []complex128
 }
 
@@ -54,8 +56,14 @@ func newRealPlan(n int, mk planFactory) (*RealPlan, error) {
 		}
 		rp.half = p
 		rp.wr = make([]complex128, n/2+1)
+		rp.wrf = make([]complex128, n/2+1)
+		rp.wri = make([]complex128, n/2)
 		for k := range rp.wr {
 			rp.wr[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+			rp.wrf[k] = rp.wr[k] * complex(0, -0.5)
+			if k < n/2 {
+				rp.wri[k] = cmplx.Conj(rp.wr[k]) * 0.5
+			}
 		}
 		rp.buf = make([]complex128, n/2)
 	} else {
@@ -113,12 +121,19 @@ func (rp *RealPlan) Forward(dst []complex128, x []float64) error {
 	//   E[k] = (Z[k] + conj(Z[h-k]))/2          (FFT of even samples)
 	//   O[k] = (Z[k] - conj(Z[h-k]))/(2i)       (FFT of odd samples)
 	//   X[k] = E[k] + exp(-2πik/n)·O[k]
-	for k := 0; k <= h; k++ {
-		zk := rp.buf[k%h]
-		zc := cmplx.Conj(rp.buf[(h-k)%h])
-		e := (zk + zc) * 0.5
-		o := (zk - zc) * complex(0, -0.5)
-		dst[k] = e + rp.wr[k]*o
+	// k=0 and k=h both wrap to Z[0]; peeling them keeps the loop free of
+	// the index modulo. wrf carries the -i/2 scale of O[k], so the loop
+	// body is one conjugate-symmetric sum and one complex multiply.
+	z0 := rp.buf[0]
+	zc0 := cmplx.Conj(z0)
+	e0 := (z0 + zc0) * 0.5
+	d0 := z0 - zc0
+	dst[0] = e0 + rp.wrf[0]*d0
+	dst[h] = e0 + rp.wrf[h]*d0
+	for k := 1; k < h; k++ {
+		zk := rp.buf[k]
+		zc := cmplx.Conj(rp.buf[h-k])
+		dst[k] = (zk+zc)*0.5 + rp.wrf[k]*(zk-zc)
 	}
 	return nil
 }
@@ -154,28 +169,28 @@ func (rp *RealPlan) Inverse(x []float64, spec []complex128) error {
 	// Re-tangle: Z[k] = E[k] + i·exp(+2πik/n)·O'[k] where
 	//   E[k]  = (X[k] + conj(X[h-k]))/2
 	//   O'[k] = (X[k] - conj(X[h-k]))/2 · conj(w[k])·... — derived by
-	// inverting the untangle step.
+	// inverting the untangle step. The inverse h-point FFT reuses the
+	// forward plan via the conjugation trick IFFT(z) = conj(FFT(conj(z)));
+	// the entry conjugation is folded into this staging write instead of
+	// making a second pass over buf.
 	for k := 0; k < h; k++ {
 		xk := spec[k]
 		xc := cmplx.Conj(spec[h-k])
 		e := (xk + xc) * 0.5
-		o := (xk - xc) * 0.5 * cmplx.Conj(rp.wr[k]) // O[k]·(-i) inverted below
-		rp.buf[k] = e + complex(0, 1)*o
-	}
-	// Inverse h-point complex FFT (unnormalized): reuse forward plan via
-	// conjugation trick: IFFT(z) = conj(FFT(conj(z))).
-	for j := 0; j < h; j++ {
-		rp.buf[j] = cmplx.Conj(rp.buf[j])
+		o := (xk - xc) * rp.wri[k] // wri folds the 1/2 scale
+		v := e + complex(-imag(o), real(o))
+		rp.buf[k] = complex(real(v), -imag(v))
 	}
 	if err := rp.half.Execute(rp.buf); err != nil {
 		return err
 	}
 	// Unpack: z[j] carries x[2j] (real) and x[2j+1] (imag), each ×h; the
-	// overall unnormalized convention wants ×n = ×2h, so scale by 2.
+	// overall unnormalized convention wants ×n = ×2h, so scale by 2 (with
+	// the exit conjugation of the IFFT trick applied inline).
 	for j := 0; j < h; j++ {
-		z := cmplx.Conj(rp.buf[j])
+		z := rp.buf[j]
 		x[2*j] = real(z) * 2
-		x[2*j+1] = imag(z) * 2
+		x[2*j+1] = -imag(z) * 2
 	}
 	return nil
 }
@@ -184,18 +199,30 @@ func (rp *RealPlan) Inverse(x []float64, spec []complex128) error {
 // row-major real images, producing the half spectrum with rows of length
 // w/2+1 (h rows). Inverse reconstructs the real image. Like Plan2D, the
 // spectrum column passes run through a blocked transpose into plan-held
-// scratch (the seed gather path remains behind SetBlockedTranspose).
+// scratch (the seed gather path remains behind Real2DOpts.LegacyGather).
 // Not safe for concurrent use.
 type RealPlan2D struct {
 	w, h    int
 	sw      int // spectrum row width = w/2+1
 	workers int
-	rowF    []*RealPlan // one per worker
-	colF    []*Plan
-	colI    []*Plan
-	cbuf    [][]complex128
-	specF   []complex128 // scratch spectrum for inverse
-	tbuf    []complex128 // sw×h transpose scratch for the column passes
+
+	exec         ExecStrategy // resolved: ExecSerial or ExecSplit
+	reqExec      ExecStrategy // as requested (may be ExecAuto); pool free-list key
+	batch        bool         // ForwardBatch uses shared multi-tile passes
+	pool         *WorkerPool
+	legacyGather bool
+	nslots       int // len(rowF); split legs use disjoint slot ranges
+
+	rowF  []*RealPlan // one per worker/slot
+	colF  []*Plan
+	colI  []*Plan
+	cbuf  [][]complex128
+	specF []complex128 // scratch spectrum for inverse
+	tbuf  []complex128 // sw×h transpose scratch for the column passes
+
+	// Split-pass spans (minimum indices per leg), precomputed per pass
+	// shape so the hot path does no division.
+	rowSpan, colSpan, specRowSpan int
 
 	// Pending-pass operands. The shard/slab bodies below are bound once
 	// at construction and read their per-call operands from these fields;
@@ -207,37 +234,99 @@ type RealPlan2D struct {
 	opPlans []*Plan
 	opFill  func(dst []complex128, r int)
 
-	fnRowFwd   func(wk, r int) error
-	fnRowInv   func(wk, r int) error
-	fnFill     func(wk, r int) error
-	fnColShard func(wk, c int) error
-	fnColSlab  func(wk, lo, hi int) error
-	fnColBack  func(wk, lo, hi int) error
+	// Batch operands: ForwardBatch transforms the rows of several tiles
+	// in one pass over a virtual row space.
+	opImgs  [][]float64
+	opSpecs [][]complex128
+
+	fnRowFwd      func(wk, r int) error
+	fnRowFwdBatch func(wk, vr int) error
+	fnRowInv      func(wk, r int) error
+	fnFill        func(wk, r int) error
+	fnColShard    func(wk, c int) error
+	fnColSlab     func(wk, lo, hi int) error
+	fnColBack     func(wk, lo, hi int) error
+}
+
+// Real2DOpts adjusts real 2-D plan construction — the r2c counterpart of
+// Plan2DOpts.
+type Real2DOpts struct {
+	// Workers is the legacy dedicated-goroutine fan-out; 0 or 1 means a
+	// single goroutine. Workers > 1 disables the Exec split path.
+	Workers int
+	// Exec selects the single-call execution shape: ExecAuto (zero
+	// value) measures serial vs split vs batched at plan time,
+	// ExecSerial pins the zero-allocation path, ExecSplit pins the
+	// recursive pool-fed split.
+	Exec ExecStrategy
+	// Pool supplies the helper budget for the split path; nil means
+	// SharedPool().
+	Pool *WorkerPool
+	// LegacyGather routes column passes through the seed's strided
+	// gather/scatter instead of the blocked transpose.
+	LegacyGather bool
 }
 
 // NewRealPlan2D builds a serial 2-D real-transform plan.
 func NewRealPlan2D(h, w int) (*RealPlan2D, error) {
-	return NewRealPlan2DWorkers(h, w, 1)
+	return NewRealPlan2DOpts(h, w, Real2DOpts{Exec: ExecSerial})
 }
 
 // NewRealPlan2DWorkers builds a plan whose Forward/Inverse shard rows and
 // spectrum columns across `workers` goroutines — the r2c counterpart of
 // Plan2DOpts.Workers.
 func NewRealPlan2DWorkers(h, w, workers int) (*RealPlan2D, error) {
-	return newRealPlan2D(h, w, workers, defaultPlanFactory)
+	return NewRealPlan2DOpts(h, w, Real2DOpts{Workers: workers, Exec: ExecSerial})
 }
 
-func newRealPlan2D(h, w, workers int, mk planFactory) (*RealPlan2D, error) {
+// NewRealPlan2DOpts builds a plan with full control over the execution
+// shape.
+func NewRealPlan2DOpts(h, w int, opts Real2DOpts) (*RealPlan2D, error) {
+	return newRealPlan2D(h, w, opts, defaultPlanFactory)
+}
+
+func newRealPlan2D(h, w int, opts Real2DOpts, mk planFactory) (*RealPlan2D, error) {
 	if h <= 0 || w < 2 {
 		return nil, fmt.Errorf("fft: invalid real 2-D size %dx%d", h, w)
 	}
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = SharedPool()
+	}
 	p := &RealPlan2D{w: w, h: h, sw: w/2 + 1, workers: workers,
+		reqExec: opts.Exec,
+		pool:    pool, legacyGather: opts.LegacyGather,
 		specF: make([]complex128, h*(w/2+1)),
 		tbuf:  make([]complex128, h*(w/2+1))}
-	for i := 0; i < workers; i++ {
+	p.rowSpan = spanAtLeast1(splitMinWork / w)
+	p.colSpan = spanAtLeast1(splitMinWork / h)
+	p.specRowSpan = spanAtLeast1(splitMinWork / p.sw)
+
+	slots := workers
+	autoTrivial := false
+	if workers > 1 {
+		p.exec = ExecSerial // Workers fan-out owns the parallelism
+	} else {
+		p.exec = opts.Exec
+		if p.exec == ExecAuto && (pool.Cap() == 0 || w*h < autotuneFloor) {
+			p.exec = ExecSerial
+			autoTrivial = true
+		}
+		if p.exec != ExecSerial {
+			if s := pool.Cap() + 1; s > 1 {
+				if s > maxSplitSlots {
+					s = maxSplitSlots
+				}
+				slots = s
+			}
+		}
+	}
+
+	for i := 0; i < slots; i++ {
 		rowF, err := newRealPlan(w, mk)
 		if err != nil {
 			return nil, err
@@ -255,8 +344,13 @@ func newRealPlan2D(h, w, workers int, mk planFactory) (*RealPlan2D, error) {
 		p.colI = append(p.colI, colI)
 		p.cbuf = append(p.cbuf, make([]complex128, h))
 	}
+	p.nslots = slots
 	p.fnRowFwd = func(wk, r int) error {
 		return p.rowF[wk].Forward(p.opSpec[r*p.sw:(r+1)*p.sw], p.opImg[r*p.w:(r+1)*p.w])
+	}
+	p.fnRowFwdBatch = func(wk, vr int) error {
+		t, r := vr/p.h, vr%p.h
+		return p.rowF[wk].Forward(p.opSpecs[t][r*p.sw:(r+1)*p.sw], p.opImgs[t][r*p.w:(r+1)*p.w])
 	}
 	p.fnRowInv = func(wk, r int) error {
 		return p.rowF[wk].Inverse(p.opImg[r*p.w:(r+1)*p.w], p.specF[r*p.sw:(r+1)*p.sw])
@@ -286,13 +380,81 @@ func newRealPlan2D(h, w, workers int, mk planFactory) (*RealPlan2D, error) {
 		transposeRange(p.opSpec, p.tbuf, p.sw, p.h, lo, hi)
 		return nil
 	}
+	switch {
+	case autoTrivial:
+		countChoice(autoChoice{exec: ExecSerial})
+	case p.exec == ExecAuto:
+		p.resolveAuto()
+	}
 	return p, nil
 }
 
-// shard runs fn(worker, index) for every index in [0, n), distributed
-// round-robin across the plan's workers, and returns the first error.
-func (p *RealPlan2D) shard(n int, fn func(worker, index int) error) error {
+// resolveAuto times the forward transform under the serial, split, and
+// batched shapes on scratch data and commits the plan to the fastest
+// (cached per size/budget; one decision covers forward and inverse,
+// whose pass structures match).
+func (p *RealPlan2D) resolveAuto() {
+	kind := "r2c"
+	if p.legacyGather {
+		kind += "+legacy"
+	}
+	key := autoKey{kind: kind, h: p.h, w: p.w, budget: p.pool.Cap()}
+
+	var img, imgB []float64
+	var spec, specB []complex128
+	mk := func() ([]float64, []complex128) {
+		im := make([]float64, p.h*p.w)
+		for i := range im {
+			im[i] = float64(i%97) - 48
+		}
+		return im, make([]complex128, p.h*p.sw)
+	}
+	c := autotune(key,
+		func() error {
+			if img == nil {
+				img, spec = mk()
+			}
+			p.exec = ExecSerial
+			return p.Forward(spec, img)
+		},
+		func() error {
+			if img == nil {
+				img, spec = mk()
+			}
+			p.exec = ExecSplit
+			return p.Forward(spec, img)
+		},
+		func() error {
+			if img == nil {
+				img, spec = mk()
+			}
+			if imgB == nil {
+				imgB, specB = mk()
+			}
+			p.exec = ExecSerial
+			return p.forwardBatch([][]complex128{spec, specB}, [][]float64{img, imgB})
+		})
+	p.exec, p.batch = c.exec, c.batch
+}
+
+// shard runs fn(worker, index) for every index in [0, n): round-robin
+// across dedicated goroutines when the legacy Workers fan-out is active,
+// by recursive range splitting over the pool when the plan resolved to
+// ExecSplit (minSpan is the smallest index range a split leg may keep),
+// and as a plain loop otherwise. The serial branch creates no closures
+// and performs no allocation — the zero-alloc steady state runs there.
+func (p *RealPlan2D) shard(n, minSpan int, fn func(worker, index int) error) error {
 	if p.workers == 1 {
+		if p.exec == ExecSplit {
+			return splitRange(p.pool, 0, p.nslots, 0, n, minSpan, func(slot, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					if err := fn(slot, i); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
 		for i := 0; i < n; i++ {
 			if err := fn(0, i); err != nil {
 				return err
@@ -323,12 +485,15 @@ func (p *RealPlan2D) shard(n int, fn func(worker, index int) error) error {
 	return nil
 }
 
-// slab runs fn(worker, lo, hi) over contiguous shares of [0, n), one per
-// worker — the slab counterpart of shard, used by the blocked-transpose
-// column passes so each worker transposes and transforms a disjoint
-// column range.
-func (p *RealPlan2D) slab(n int, fn func(worker, lo, hi int) error) error {
+// slab runs fn(worker, lo, hi) over contiguous shares of [0, n) — the
+// slab counterpart of shard, used by the blocked-transpose column passes
+// so each worker/leg transposes and transforms a disjoint column range.
+// Routing matches shard: Workers fan-out, pool split, or one inline call.
+func (p *RealPlan2D) slab(n, minSpan int, fn func(worker, lo, hi int) error) error {
 	if p.workers == 1 {
+		if p.exec == ExecSplit {
+			return splitRange(p.pool, 0, p.nslots, 0, n, minSpan, fn)
+		}
 		return fn(0, 0, n)
 	}
 	var wg sync.WaitGroup
@@ -358,12 +523,12 @@ func (p *RealPlan2D) slab(n int, fn func(worker, lo, hi int) error) error {
 func (p *RealPlan2D) columnPass(spec []complex128, plans []*Plan) error {
 	p.opSpec, p.opPlans = spec, plans
 	var err error
-	if !BlockedTransposeEnabled() {
-		err = p.shard(p.sw, p.fnColShard)
+	if p.legacyGather {
+		err = p.shard(p.sw, p.colSpan, p.fnColShard)
 	} else {
-		err = p.slab(p.sw, p.fnColSlab)
+		err = p.slab(p.sw, p.colSpan, p.fnColSlab)
 		if err == nil {
-			err = p.slab(p.h, p.fnColBack)
+			err = p.slab(p.h, p.specRowSpan, p.fnColBack)
 		}
 	}
 	p.opSpec, p.opPlans = nil, nil
@@ -382,6 +547,15 @@ func (p *RealPlan2D) H() int { return p.h }
 // Workers reports the goroutine fan-out Forward/Inverse use.
 func (p *RealPlan2D) Workers() int { return p.workers }
 
+// Exec reports the resolved execution strategy (never ExecAuto).
+func (p *RealPlan2D) Exec() ExecStrategy { return p.exec }
+
+// Batched reports whether ForwardBatch uses shared multi-tile passes.
+func (p *RealPlan2D) Batched() bool { return p.batch }
+
+// Pool returns the worker pool the split path draws from.
+func (p *RealPlan2D) Pool() *WorkerPool { return p.pool }
+
 // Forward computes the half spectrum of the real image img (h*w,
 // row-major) into dst (h*(w/2+1), row-major).
 //
@@ -394,12 +568,59 @@ func (p *RealPlan2D) Forward(dst []complex128, img []float64) error {
 		return fmt.Errorf("fft: spectrum is %d elements, want %d", len(dst), p.h*p.sw)
 	}
 	p.opImg, p.opSpec = img, dst
-	err := p.shard(p.h, p.fnRowFwd)
+	err := p.shard(p.h, p.rowSpan, p.fnRowFwd)
 	p.opImg, p.opSpec = nil, nil
 	if err != nil {
 		return err
 	}
 	return p.columnPass(dst, p.colF)
+}
+
+// ForwardBatch computes the half spectra of several same-size tiles,
+// dsts[t] from imgs[t]. When the plan's autotuner chose batching, the
+// row r2c FFTs of all tiles run as ONE pass over a virtual row space —
+// a single planner dispatch whose twiddles, untangle tables, and split
+// bookkeeping are amortized across tiles — followed by per-tile column
+// passes sharing the plan's transpose scratch. Otherwise the tiles go
+// through Forward in sequence.
+func (p *RealPlan2D) ForwardBatch(dsts [][]complex128, imgs [][]float64) error {
+	if len(dsts) != len(imgs) {
+		return fmt.Errorf("fft: batch has %d spectra for %d images", len(dsts), len(imgs))
+	}
+	for t := range imgs {
+		if len(imgs[t]) != p.h*p.w {
+			return fmt.Errorf("fft: batch image %d is %d elements, want %d", t, len(imgs[t]), p.h*p.w)
+		}
+		if len(dsts[t]) != p.h*p.sw {
+			return fmt.Errorf("fft: batch spectrum %d is %d elements, want %d", t, len(dsts[t]), p.h*p.sw)
+		}
+	}
+	if len(imgs) < 2 || !p.batch || p.workers > 1 {
+		for t := range imgs {
+			if err := p.Forward(dsts[t], imgs[t]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	batchedExecCount.Add(1)
+	return p.forwardBatch(dsts, imgs)
+}
+
+// forwardBatch is the shared-pass body behind ForwardBatch.
+func (p *RealPlan2D) forwardBatch(dsts [][]complex128, imgs [][]float64) error {
+	p.opImgs, p.opSpecs = imgs, dsts
+	err := p.shard(p.h*len(imgs), p.rowSpan, p.fnRowFwdBatch)
+	p.opImgs, p.opSpecs = nil, nil
+	if err != nil {
+		return err
+	}
+	for t := range dsts {
+		if err := p.columnPass(dsts[t], p.colF); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Inverse reconstructs the real image from the half spectrum. The result
@@ -434,7 +655,7 @@ func (p *RealPlan2D) InverseFill(img []float64, fill func(dst []complex128, r in
 		return fmt.Errorf("fft: InverseFill requires a fill function")
 	}
 	p.opFill = fill
-	err := p.shard(p.h, p.fnFill)
+	err := p.shard(p.h, p.specRowSpan, p.fnFill)
 	p.opFill = nil
 	if err != nil {
 		return err
@@ -454,7 +675,7 @@ func (p *RealPlan2D) inverseStaged(img []float64) error {
 		return err
 	}
 	p.opImg = img
-	err := p.shard(p.h, p.fnRowInv)
+	err := p.shard(p.h, p.rowSpan, p.fnRowInv)
 	p.opImg = nil
 	return err
 }

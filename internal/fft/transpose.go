@@ -23,20 +23,10 @@ const transposeBlock = 16
 // counter (this package deliberately does not import obs).
 var transposeBlocksCount atomic.Int64
 
-// blockedTransposeOff disables the blocked column passes, restoring the
-// seed gather/scatter path. It exists as a rollback escape hatch and for
-// the on/off differential tests; production code leaves it enabled.
-var blockedTransposeOff atomic.Bool
-
-// SetBlockedTranspose toggles the blocked-transpose column passes of
-// Plan2D and RealPlan2D process-wide. Off restores the seed strided
-// gather path (bit-identical results, worse locality). Intended for
-// tests and benchmarks; not meant to be flipped mid-transform.
-func SetBlockedTranspose(on bool) { blockedTransposeOff.Store(!on) }
-
-// BlockedTransposeEnabled reports whether the blocked column passes are
-// active (the default).
-func BlockedTransposeEnabled() bool { return !blockedTransposeOff.Load() }
+// The seed gather/scatter path survives as a plan-scoped option
+// (Plan2DOpts.LegacyGather / Real2DOpts.LegacyGather) rather than a
+// process-global toggle, so differential tests can run both paths
+// concurrently without racing on shared state.
 
 // TransposeBlocks returns the process-wide count of transposed tiles.
 func TransposeBlocks() int64 { return transposeBlocksCount.Load() }

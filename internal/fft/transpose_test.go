@@ -5,15 +5,6 @@ import (
 	"testing"
 )
 
-// withLegacyColumnPass runs fn with the blocked transpose disabled (the
-// seed gather/scatter path) and restores the default afterwards.
-func withLegacyColumnPass(t *testing.T, fn func()) {
-	t.Helper()
-	SetBlockedTranspose(false)
-	defer SetBlockedTranspose(true)
-	fn()
-}
-
 // transposeSizes covers the shapes the blocked path must agree on with
 // the seed path bit-for-bit: odd, prime, power-of-two, mixed, and sizes
 // straddling the block edge.
@@ -29,7 +20,9 @@ var transposeSizes = []struct{ h, w int }{
 
 // TestBlockedTransposeBitIdentical pins the tentpole invariant: the
 // blocked-transpose column pass produces bit-identical spectra to the
-// seed strided gather, for both directions and worker counts.
+// seed strided gather, for both directions and worker counts. The legacy
+// path is a plan-scoped option (LegacyGather), so both plans coexist —
+// no process-global toggle to serialize on.
 func TestBlockedTransposeBitIdentical(t *testing.T) {
 	for _, sz := range transposeSizes {
 		for _, workers := range []int{1, 3} {
@@ -39,16 +32,18 @@ func TestBlockedTransposeBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatalf("NewPlan2D(%d,%d): %v", sz.h, sz.w, err)
 				}
+				pl, err := NewPlan2D(sz.h, sz.w, dir, Plan2DOpts{Workers: workers, LegacyGather: true})
+				if err != nil {
+					t.Fatalf("NewPlan2D(%d,%d) legacy: %v", sz.h, sz.w, err)
+				}
 				blocked := append([]complex128(nil), src...)
 				if err := p.Execute(blocked); err != nil {
 					t.Fatalf("blocked Execute: %v", err)
 				}
 				legacy := append([]complex128(nil), src...)
-				withLegacyColumnPass(t, func() {
-					if err := p.Execute(legacy); err != nil {
-						t.Fatalf("legacy Execute: %v", err)
-					}
-				})
+				if err := pl.Execute(legacy); err != nil {
+					t.Fatalf("legacy Execute: %v", err)
+				}
 				for i := range blocked {
 					if blocked[i] != legacy[i] {
 						t.Fatalf("%dx%d dir=%v workers=%d: element %d differs: blocked=%v legacy=%v",
@@ -71,6 +66,10 @@ func TestRealPlan2DBlockedTransposeBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatalf("NewRealPlan2DWorkers(%d,%d): %v", sz.h, sz.w, err)
 			}
+			pl, err := NewRealPlan2DOpts(sz.h, sz.w, Real2DOpts{Workers: workers, Exec: ExecSerial, LegacyGather: true})
+			if err != nil {
+				t.Fatalf("NewRealPlan2DOpts(%d,%d) legacy: %v", sz.h, sz.w, err)
+			}
 			img := make([]float64, sz.h*sz.w)
 			for i := range img {
 				img[i] = rng.NormFloat64()
@@ -81,11 +80,9 @@ func TestRealPlan2DBlockedTransposeBitIdentical(t *testing.T) {
 				t.Fatalf("blocked Forward: %v", err)
 			}
 			specLegacy := make([]complex128, sh*sw)
-			withLegacyColumnPass(t, func() {
-				if err := p.Forward(specLegacy, img); err != nil {
-					t.Fatalf("legacy Forward: %v", err)
-				}
-			})
+			if err := pl.Forward(specLegacy, img); err != nil {
+				t.Fatalf("legacy Forward: %v", err)
+			}
 			for i := range specBlocked {
 				if specBlocked[i] != specLegacy[i] {
 					t.Fatalf("%dx%d workers=%d: forward spectrum bin %d differs", sz.h, sz.w, workers, i)
@@ -96,11 +93,9 @@ func TestRealPlan2DBlockedTransposeBitIdentical(t *testing.T) {
 				t.Fatalf("blocked Inverse: %v", err)
 			}
 			recLegacy := make([]float64, sz.h*sz.w)
-			withLegacyColumnPass(t, func() {
-				if err := p.Inverse(recLegacy, specLegacy); err != nil {
-					t.Fatalf("legacy Inverse: %v", err)
-				}
-			})
+			if err := pl.Inverse(recLegacy, specLegacy); err != nil {
+				t.Fatalf("legacy Inverse: %v", err)
+			}
 			for i := range recBlocked {
 				if recBlocked[i] != recLegacy[i] {
 					t.Fatalf("%dx%d workers=%d: inverse sample %d differs", sz.h, sz.w, workers, i)
@@ -179,9 +174,13 @@ func TestInverseFillMatchesInverse(t *testing.T) {
 }
 
 // TestTransposeBlocksCounter checks that blocked executions advance the
-// process-wide block counter and legacy executions do not.
+// process-wide block counter and legacy-gather plans do not.
 func TestTransposeBlocksCounter(t *testing.T) {
 	p, err := NewPlan2D(32, 32, Forward, Plan2DOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlan2D(32, 32, Forward, Plan2DOpts{LegacyGather: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +195,9 @@ func TestTransposeBlocksCounter(t *testing.T) {
 	if want := before + 8; after != want {
 		t.Fatalf("TransposeBlocks after blocked execute = %d, want %d", after, want)
 	}
-	withLegacyColumnPass(t, func() {
-		if err := p.Execute(data); err != nil {
-			t.Fatal(err)
-		}
-	})
+	if err := pl.Execute(data); err != nil {
+		t.Fatal(err)
+	}
 	if got := TransposeBlocks(); got != after {
 		t.Fatalf("legacy execute moved TransposeBlocks from %d to %d", after, got)
 	}

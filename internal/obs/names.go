@@ -80,9 +80,16 @@ const (
 	CounterPipelineAborts  = "pipeline.aborts"
 	CounterGPULaunchFused  = "gpu.launch.fused"
 	CounterTransposeBlocks = "fft.transpose.blocks"
-	CounterArenaReuse      = "pciam.arena.reuse"
-	CounterPoolAcquires    = "gpu.pool.acquires"
-	CounterPoolWaits       = "gpu.pool.waits"
+	// The autotune family records plan-time execution-strategy decisions
+	// (one per ExecAuto plan construction, cache hits included); the
+	// batched-exec counter records how many multi-tile passes actually ran.
+	CounterFFTAutotuneSerial  = "fft.autotune.serial"
+	CounterFFTAutotuneSplit   = "fft.autotune.split"
+	CounterFFTAutotuneBatched = "fft.autotune.batched"
+	CounterFFTBatchedExecs    = "fft.exec.batched"
+	CounterArenaReuse         = "pciam.arena.reuse"
+	CounterPoolAcquires       = "gpu.pool.acquires"
+	CounterPoolWaits          = "gpu.pool.waits"
 )
 
 // Gauges.

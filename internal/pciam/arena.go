@@ -3,6 +3,8 @@ package pciam
 import (
 	"sync"
 	"sync/atomic"
+
+	"hybridstitch/internal/fft"
 )
 
 // This file implements the per-aligner scratch arenas and the aligner
@@ -74,11 +76,14 @@ func ArenaReuse() int64 { return arenaReuseCount.Load() }
 // scratch (full spectrum for the complex/padded aligners, half spectrum
 // for the real aligner); corr and pix are the real aligner's correlation
 // surface and pixel staging; peaks, cands, and cx back the peak search.
-// cands and cx start nil and grow on first NPeaks>1 use.
+// cands and cx start nil and grow on first NPeaks>1 use; pix2 starts nil
+// and grows on the real aligner's first batched TransformPair (staging
+// the second tile of the pair).
 type arena struct {
 	work  []complex128
 	corr  []float64
 	pix   []float64
+	pix2  []float64
 	peaks []Peak
 	cands []peakCand
 	cx    []complex128
@@ -117,28 +122,40 @@ func releaseArena(kind string, w, h int, ar *arena) {
 // cross-variant equivalence tests pin this) — so runs that build a
 // fresh estimate-mode planner per run still share aligners.
 type alignerKey struct {
-	kind          string
-	w, h          int
-	nPeaks        int
-	positiveOnly  bool
-	minOverlapPx  int
-	window        bool
-	fftWorkers    int
-	disableFusion bool
+	kind            string
+	w, h            int
+	nPeaks          int
+	positiveOnly    bool
+	minOverlapPx    int
+	window          bool
+	fftWorkers      int
+	fftExec         fft.ExecStrategy
+	fftPoolID       uint64
+	legacyTranspose bool
+	disableBatch    bool
+	disableFusion   bool
 }
 
 var alignerPools sync.Map // alignerKey → pool
 
 func makeAlignerKey(kind string, w, h int, opts Options) alignerKey {
 	opts = opts.withDefaults()
+	pool := opts.FFTPool
+	if pool == nil {
+		pool = fft.SharedPool()
+	}
 	return alignerKey{
 		kind: kind, w: w, h: h,
-		nPeaks:        opts.NPeaks,
-		positiveOnly:  opts.PositiveOnly,
-		minOverlapPx:  opts.MinOverlapPx,
-		window:        opts.Window,
-		fftWorkers:    opts.FFTWorkers,
-		disableFusion: opts.DisableFusion,
+		nPeaks:          opts.NPeaks,
+		positiveOnly:    opts.PositiveOnly,
+		minOverlapPx:    opts.MinOverlapPx,
+		window:          opts.Window,
+		fftWorkers:      opts.FFTWorkers,
+		fftExec:         opts.FFTExec,
+		fftPoolID:       pool.ID(),
+		legacyTranspose: opts.LegacyTranspose,
+		disableBatch:    opts.DisableBatch,
+		disableFusion:   opts.DisableFusion,
 	}
 }
 

@@ -57,6 +57,28 @@ type Options struct {
 	// plans (the CPU pipeline stages use 1 and parallelize across tiles
 	// instead).
 	FFTWorkers int
+	// FFTExec selects the execution shape of the aligner's 2-D plans:
+	// the zero value lets the plan-time autotuner measure serial vs
+	// split vs batched per size and core budget; ExecSerial pins the
+	// zero-allocation path; ExecSplit pins the recursive pool-fed
+	// split. Ignored when FFTWorkers > 1 (the legacy fan-out owns the
+	// parallelism).
+	FFTExec fft.ExecStrategy
+	// FFTPool is the bounded worker budget the split path draws from;
+	// nil means fft.SharedPool(). Pair-level runners Reserve their
+	// worker count from the same pool, so transform-level splits only
+	// use genuinely idle cores.
+	FFTPool *fft.WorkerPool
+	// LegacyTranspose routes the plans' column passes through the
+	// seed's strided gather instead of the blocked transpose
+	// (differential testing; plan-scoped, so both paths can run
+	// concurrently).
+	LegacyTranspose bool
+	// DisableBatch forces TransformPair to run its two forward
+	// transforms separately even when the plan's autotuner chose
+	// batched passes. The stitch layer sets it when fault injection is
+	// active, so injected transform faults keep their exact sequence.
+	DisableBatch bool
 	// Planner supplies FFT wisdom; nil uses a private estimate-mode
 	// planner.
 	Planner *fft.Planner
@@ -80,6 +102,19 @@ func (o Options) withDefaults() Options {
 		o.FFTWorkers = 1
 	}
 	return o
+}
+
+// plan2DOpts translates the aligner options into complex 2-D plan
+// options.
+func (o Options) plan2DOpts() fft.Plan2DOpts {
+	return fft.Plan2DOpts{Workers: o.FFTWorkers, Exec: o.FFTExec,
+		Pool: o.FFTPool, LegacyGather: o.LegacyTranspose}
+}
+
+// real2DOpts is the r2c counterpart of plan2DOpts.
+func (o Options) real2DOpts() fft.Real2DOpts {
+	return fft.Real2DOpts{Workers: o.FFTWorkers, Exec: o.FFTExec,
+		Pool: o.FFTPool, LegacyGather: o.LegacyTranspose}
 }
 
 // Aligner computes displacements for tile pairs of one fixed size. It is
@@ -111,11 +146,11 @@ func NewAligner(w, h int, opts Options) (*Aligner, error) {
 	if pl == nil {
 		pl = fft.NewPlanner(fft.Estimate)
 	}
-	fwd, err := pl.Plan2D(h, w, fft.Forward, fft.Plan2DOpts{Workers: opts.FFTWorkers})
+	fwd, err := pl.Plan2D(h, w, fft.Forward, opts.plan2DOpts())
 	if err != nil {
 		return nil, err
 	}
-	inv, err := pl.Plan2D(h, w, fft.Inverse, fft.Plan2DOpts{Workers: opts.FFTWorkers})
+	inv, err := pl.Plan2D(h, w, fft.Inverse, opts.plan2DOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +207,51 @@ func (al *Aligner) H() int { return al.h }
 // This is the cacheable per-tile work (step 2 of the paper's data-flow
 // graph); each tile's transform is reused by up to four pairs.
 func (al *Aligner) Transform(t *tile.Gray16) ([]complex128, error) {
+	buf, err := al.stageTile(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := al.fwd.Execute(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// TransformPair computes the forward transforms of both tiles of a pair.
+// When the plan's autotuner chose batched execution (and the aligner's
+// DisableBatch option is off), the two tiles' row FFTs run as ONE pass
+// over a shared virtual row space — a single planner dispatch amortizing
+// twiddles and split bookkeeping — followed by per-tile column passes.
+// Results are bit-identical to two Transform calls.
+func (al *Aligner) TransformPair(a, b *tile.Gray16) ([]complex128, []complex128, error) {
+	if al.opts.DisableBatch {
+		fa, err := al.Transform(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		fb, err := al.Transform(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fa, fb, nil
+	}
+	fa, err := al.stageTile(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	fb, err := al.stageTile(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := al.fwd.ExecuteBatch([][]complex128{fa, fb}); err != nil {
+		return nil, nil, err
+	}
+	return fa, fb, nil
+}
+
+// stageTile loads (and optionally windows) a tile into a fresh transform
+// buffer without executing the FFT.
+func (al *Aligner) stageTile(t *tile.Gray16) ([]complex128, error) {
 	if t.W != al.w || t.H != al.h {
 		return nil, fmt.Errorf("pciam: tile is %dx%d, aligner expects %dx%d", t.W, t.H, al.w, al.h)
 	}
@@ -183,9 +263,6 @@ func (al *Aligner) Transform(t *tile.Gray16) ([]complex128, error) {
 		for i := range buf {
 			buf[i] *= complex(al.window[i], 0)
 		}
-	}
-	if err := al.fwd.Execute(buf); err != nil {
-		return nil, err
 	}
 	return buf, nil
 }
@@ -238,11 +315,7 @@ func (al *Aligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Displa
 // DisplaceTiles is the convenience form that computes both forward
 // transforms itself — the Simple-CPU code path.
 func (al *Aligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
-	fa, err := al.Transform(a)
-	if err != nil {
-		return tile.Displacement{}, err
-	}
-	fb, err := al.Transform(b)
+	fa, fb, err := al.TransformPair(a, b)
 	if err != nil {
 		return tile.Displacement{}, err
 	}
@@ -261,7 +334,12 @@ func (al *Aligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
 func NCCSpectrum(dst, fa, fb []complex128) {
 	for i := range dst {
 		p := fa[i] * cmplx.Conj(fb[i])
-		m := cmplx.Abs(p)
+		// Plain sqrt of the squared magnitude instead of cmplx.Abs: Hypot
+		// guards against overflow at |re|,|im| near 1e154, far beyond any
+		// product of tile spectra (16-bit pixels, tiles ≪ 1e5 on a side),
+		// and costs several times a sqrt.
+		re, im := real(p), imag(p)
+		m := math.Sqrt(re*re + im*im)
 		if m == 0 {
 			dst[i] = 0
 			continue
@@ -271,7 +349,7 @@ func NCCSpectrum(dst, fa, fb []complex128) {
 		// real and positive, so only the magnitude rounding differs (≤1
 		// ulp per component).
 		s := 1 / m
-		dst[i] = complex(real(p)*s, imag(p)*s)
+		dst[i] = complex(re*s, im*s)
 	}
 }
 

@@ -50,11 +50,11 @@ func NewPaddedAligner(w, h int, opts Options) (*PaddedAligner, error) {
 	if pl == nil {
 		pl = fft.NewPlanner(fft.Estimate)
 	}
-	fwd, err := pl.Plan2D(ph, pw, fft.Forward, fft.Plan2DOpts{Workers: opts.FFTWorkers})
+	fwd, err := pl.Plan2D(ph, pw, fft.Forward, opts.plan2DOpts())
 	if err != nil {
 		return nil, err
 	}
-	inv, err := pl.Plan2D(ph, pw, fft.Inverse, fft.Plan2DOpts{Workers: opts.FFTWorkers})
+	inv, err := pl.Plan2D(ph, pw, fft.Inverse, opts.plan2DOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +86,19 @@ func (al *PaddedAligner) PaddedDims() (w, h int) { return al.pw, al.ph }
 
 // Transform computes the zero-padded forward FFT of a tile.
 func (al *PaddedAligner) Transform(t *tile.Gray16) ([]complex128, error) {
+	buf, err := al.stageTile(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := al.fwd.Execute(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// stageTile zero-pads a tile into a fresh transform buffer without
+// executing the FFT.
+func (al *PaddedAligner) stageTile(t *tile.Gray16) ([]complex128, error) {
 	if t.W != al.w || t.H != al.h {
 		return nil, fmt.Errorf("pciam: tile is %dx%d, aligner expects %dx%d", t.W, t.H, al.w, al.h)
 	}
@@ -95,10 +108,36 @@ func (al *PaddedAligner) Transform(t *tile.Gray16) ([]complex128, error) {
 			buf[y*al.pw+x] = complex(float64(t.At(x, y)), 0)
 		}
 	}
-	if err := al.fwd.Execute(buf); err != nil {
-		return nil, err
-	}
 	return buf, nil
+}
+
+// TransformPair computes both tiles' padded transforms, batching the two
+// row passes into one planner dispatch when the plan's autotuner chose
+// batched execution; see (*Aligner).TransformPair.
+func (al *PaddedAligner) TransformPair(a, b *tile.Gray16) ([]complex128, []complex128, error) {
+	if al.opts.DisableBatch {
+		fa, err := al.Transform(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		fb, err := al.Transform(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fa, fb, nil
+	}
+	fa, err := al.stageTile(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	fb, err := al.stageTile(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := al.fwd.ExecuteBatch([][]complex128{fa, fb}); err != nil {
+		return nil, nil, err
+	}
+	return fa, fb, nil
 }
 
 // Displace computes the displacement of b relative to a from padded
@@ -155,11 +194,7 @@ func (al *PaddedAligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.
 
 // DisplaceTiles is the convenience form computing both transforms.
 func (al *PaddedAligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
-	fa, err := al.Transform(a)
-	if err != nil {
-		return tile.Displacement{}, err
-	}
-	fb, err := al.Transform(b)
+	fa, fb, err := al.TransformPair(a, b)
 	if err != nil {
 		return tile.Displacement{}, err
 	}
@@ -194,7 +229,7 @@ func NewRealAligner(w, h int, opts Options) (*RealAligner, error) {
 	if pl == nil {
 		pl = fft.NewPlanner(fft.Estimate)
 	}
-	fwd, err := pl.RealPlan2D(h, w, opts.FFTWorkers)
+	fwd, err := pl.RealPlan2DOpts(h, w, opts.real2DOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +271,43 @@ func (al *RealAligner) Transform(t *tile.Gray16) ([]complex128, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// TransformPair computes both tiles' half-spectrum transforms. When the
+// plan's autotuner chose batched execution, the two tiles' r2c row
+// passes run as one planner dispatch over a shared virtual row space
+// (the second tile stages through an extra arena pixel buffer); see
+// (*Aligner).TransformPair.
+func (al *RealAligner) TransformPair(a, b *tile.Gray16) ([]complex128, []complex128, error) {
+	if al.opts.DisableBatch {
+		fa, err := al.Transform(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		fb, err := al.Transform(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fa, fb, nil
+	}
+	if a.W != al.w || a.H != al.h || b.W != al.w || b.H != al.h {
+		return nil, nil, fmt.Errorf("pciam: pair tiles %dx%d/%dx%d, aligner expects %dx%d", a.W, a.H, b.W, b.H, al.w, al.h)
+	}
+	if al.ar.pix2 == nil {
+		al.ar.pix2 = make([]float64, al.w*al.h)
+	}
+	if err := a.ToFloat(al.pix); err != nil {
+		return nil, nil, err
+	}
+	if err := b.ToFloat(al.ar.pix2); err != nil {
+		return nil, nil, err
+	}
+	fa := make([]complex128, al.h*al.sw)
+	fb := make([]complex128, al.h*al.sw)
+	if err := al.fwd.ForwardBatch([][]complex128{fa, fb}, [][]float64{al.pix, al.ar.pix2}); err != nil {
+		return nil, nil, err
+	}
+	return fa, fb, nil
 }
 
 // Displace computes the displacement of b relative to a from half
@@ -280,11 +352,7 @@ func (al *RealAligner) Displace(a, b *tile.Gray16, fa, fb []complex128) (tile.Di
 
 // DisplaceTiles is the convenience form computing both transforms.
 func (al *RealAligner) DisplaceTiles(a, b *tile.Gray16) (tile.Displacement, error) {
-	fa, err := al.Transform(a)
-	if err != nil {
-		return tile.Displacement{}, err
-	}
-	fb, err := al.Transform(b)
+	fa, fb, err := al.TransformPair(a, b)
 	if err != nil {
 		return tile.Displacement{}, err
 	}

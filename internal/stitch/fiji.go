@@ -51,6 +51,7 @@ func (Fiji) Run(src Source, opts Options) (*Result, error) {
 	var cntMu sync.Mutex
 
 	next := make(chan tile.Pair)
+	defer opts.reservePairWorkers(opts.Threads)()
 	go func() {
 		for _, p := range pairs {
 			next <- p

@@ -29,12 +29,12 @@ func assertBitIdenticalDisplacements(t *testing.T, ref, got *Result, refName, go
 // zero-allocation hot path: for the complex and real FFT variants, all
 // five implementations run under every combination of the two hot-path
 // toggles — blocked transpose on/off and fused NCC on/off — and every
-// displacement must equal the seed configuration (both off, Simple-CPU)
-// exactly. This is what licenses shipping the new path enabled by
-// default.
+// displacement must equal the seed configuration (legacy gather,
+// unfused NCC, Simple-CPU) exactly. The transpose toggle is plan-scoped
+// (Options.LegacyTranspose) rather than a process global, so the seed
+// reference and the candidates can coexist without serializing.
 func TestHotPathTogglesBitIdentical(t *testing.T) {
 	src := testDataset(t, 3, 3)
-	defer fft.SetBlockedTranspose(true)
 
 	for _, variant := range []FFTVariant{VariantComplex, VariantReal} {
 		variant := variant
@@ -44,23 +44,23 @@ func TestHotPathTogglesBitIdentical(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			// Seed reference: legacy gather column pass, unfused NCC.
-			fft.SetBlockedTranspose(false)
-			ref := runStitcher(t, &SimpleCPU{}, src, Options{FFTVariant: variant, DisableFusedNCC: true})
-			fft.SetBlockedTranspose(true)
+			ref := runStitcher(t, &SimpleCPU{}, src, Options{
+				FFTVariant: variant, DisableFusedNCC: true,
+				LegacyTranspose: true, FFTExec: fft.ExecSerial, DisableFFTBatch: true,
+			})
 
 			for _, impl := range degradableVariants() {
 				for _, blocked := range []bool{true, false} {
 					for _, fused := range []bool{true, false} {
 						label := fmt.Sprintf("%s/blocked=%v/fused=%v", impl.Name(), blocked, fused)
-						fft.SetBlockedTranspose(blocked)
 						devs := testDevices(2)
 						res := runStitcher(t, impl, src, Options{
 							Threads: 3, Devices: devs,
 							FFTVariant:      variant,
 							DisableFusedNCC: !fused,
+							LegacyTranspose: !blocked,
 						})
 						closeDevices(devs)
-						fft.SetBlockedTranspose(true)
 						assertBitIdenticalDisplacements(t, ref, res, "seed", label)
 					}
 				}
@@ -73,21 +73,58 @@ func TestHotPathTogglesBitIdentical(t *testing.T) {
 // path with the same toggle matrix on the sequential implementation.
 func TestPaddedHotPathBitIdentical(t *testing.T) {
 	src := testDataset(t, 3, 3)
-	defer fft.SetBlockedTranspose(true)
 
-	fft.SetBlockedTranspose(false)
-	ref := runStitcher(t, &SimpleCPU{}, src, Options{FFTVariant: VariantPadded, DisableFusedNCC: true})
-	fft.SetBlockedTranspose(true)
+	ref := runStitcher(t, &SimpleCPU{}, src, Options{
+		FFTVariant: VariantPadded, DisableFusedNCC: true,
+		LegacyTranspose: true, FFTExec: fft.ExecSerial, DisableFFTBatch: true,
+	})
 
 	for _, blocked := range []bool{true, false} {
 		for _, fused := range []bool{true, false} {
-			fft.SetBlockedTranspose(blocked)
 			res := runStitcher(t, &SimpleCPU{}, src, Options{
 				Threads: 2, FFTVariant: VariantPadded, DisableFusedNCC: !fused,
+				LegacyTranspose: !blocked,
 			})
-			fft.SetBlockedTranspose(true)
 			assertBitIdenticalDisplacements(t, ref, res, "seed",
 				fmt.Sprintf("padded/blocked=%v/fused=%v", blocked, fused))
 		}
+	}
+}
+
+// TestFFTExecTogglesBitIdentical extends the differential wall along the
+// execution-strategy axis: pinned-serial, pinned-split, autotuned, and
+// batched-vs-unbatched pair transforms must all produce displacements
+// bit-identical to the serial unbatched reference, across the complex,
+// padded, and real variants. Split and batched execution only
+// repartition the row/column loops — the per-element arithmetic is
+// unchanged — so exact equality is the contract, not a tolerance.
+func TestFFTExecTogglesBitIdentical(t *testing.T) {
+	src := testDataset(t, 3, 3)
+	pool := fft.NewWorkerPool(2)
+	defer pool.Close()
+
+	for _, variant := range []FFTVariant{VariantComplex, VariantPadded, VariantReal} {
+		variant := variant
+		vname := string(variant)
+		if vname == "" {
+			vname = "complex"
+		}
+		t.Run(vname, func(t *testing.T) {
+			ref := runStitcher(t, &SimpleCPU{}, src, Options{
+				FFTVariant: variant, FFTExec: fft.ExecSerial, DisableFFTBatch: true,
+			})
+			for _, exec := range []fft.ExecStrategy{fft.ExecAuto, fft.ExecSerial, fft.ExecSplit} {
+				for _, batch := range []bool{true, false} {
+					res := runStitcher(t, &SimpleCPU{}, src, Options{
+						FFTVariant:      variant,
+						FFTExec:         exec,
+						FFTPool:         pool,
+						DisableFFTBatch: !batch,
+					})
+					assertBitIdenticalDisplacements(t, ref, res, "serial",
+						fmt.Sprintf("%s/exec=%v/batch=%v", vname, exec, batch))
+				}
+			}
+		})
 	}
 }

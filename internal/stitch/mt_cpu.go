@@ -44,6 +44,7 @@ func (MTCPU) Run(src Source, opts Options) (*Result, error) {
 	// free memory early within a region.
 	pairs := opts.Traversal.PairOrder(g)
 	chunk := (len(pairs) + threads - 1) / threads
+	defer opts.reservePairWorkers(threads)()
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex

@@ -47,6 +47,10 @@ func pairAttr(p tile.Pair) obs.Attr {
 type runBaselines struct {
 	transposeBlocks int64
 	arenaReuse      int64
+	autoSerial      int64
+	autoSplit       int64
+	autoBatched     int64
+	batchedExecs    int64
 }
 
 // startRun opens the per-run root span on the "run" track. Nil-safe.
@@ -64,7 +68,9 @@ func startRun(opts Options, impl string, g tile.Grid) (*obs.Span, runBaselines) 
 	base := runBaselines{
 		transposeBlocks: fft.TransposeBlocks(),
 		arenaReuse:      pciam.ArenaReuse(),
+		batchedExecs:    fft.BatchedExecs(),
 	}
+	base.autoSerial, base.autoSplit, base.autoBatched = fft.AutotuneCounts()
 	return opts.Obs.StartSpan(obs.TrackRun, obs.SpanStitch, attrs...), base
 }
 
@@ -87,6 +93,11 @@ func finishRun(opts Options, root *obs.Span, base runBaselines, res *Result) {
 	// (runs in tests and the CLI are sequential).
 	rec.Counter(obs.CounterTransposeBlocks).Add(fft.TransposeBlocks() - base.transposeBlocks)
 	rec.Counter(obs.CounterArenaReuse).Add(pciam.ArenaReuse() - base.arenaReuse)
+	serial, split, batched := fft.AutotuneCounts()
+	rec.Counter(obs.CounterFFTAutotuneSerial).Add(serial - base.autoSerial)
+	rec.Counter(obs.CounterFFTAutotuneSplit).Add(split - base.autoSplit)
+	rec.Counter(obs.CounterFFTAutotuneBatched).Add(batched - base.autoBatched)
+	rec.Counter(obs.CounterFFTBatchedExecs).Add(fft.BatchedExecs() - base.batchedExecs)
 	aligned := 0
 	for _, p := range res.Grid.Pairs() {
 		if _, ok := res.PairDisplacement(p); ok {

@@ -69,6 +69,7 @@ func (PipelinedCPU) Run(src Source, opts Options) (*Result, error) {
 	spBK := root.ChildOn(obs.TrackStagePrefix+obs.SpanBK, obs.SpanBK)
 	defer spBK.End()
 	start := time.Now()
+	defer opts.reservePairWorkers(opts.Threads)()
 
 	p := pipeline.New()
 	p.Observe(opts.Obs)

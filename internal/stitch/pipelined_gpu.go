@@ -244,14 +244,14 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 			streams = append(streams, st)
 			fftStreams[w] = st
 			if realFFT {
-				plan, err := opts.Planner.RealPlan2D(g.TileH, g.TileW, 1)
+				plan, err := opts.Planner.RealPlan2DOpts(g.TileH, g.TileW, opts.fftReal2DOpts())
 				if err != nil {
 					return nil, constructionFail(err)
 				}
 				fwdRealPlans[w] = plan
 				continue
 			}
-			plan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
+			plan, err := opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, opts.fftPlan2DOpts())
 			if err != nil {
 				return nil, constructionFail(err)
 			}
@@ -266,9 +266,9 @@ func (PipelinedGPU) Run(src Source, opts Options) (*Result, error) {
 		var invPlan *fft.Plan2D
 		var invRealPlan *fft.RealPlan2D
 		if realFFT {
-			invRealPlan, err = opts.Planner.RealPlan2D(g.TileH, g.TileW, 1)
+			invRealPlan, err = opts.Planner.RealPlan2DOpts(g.TileH, g.TileW, opts.fftReal2DOpts())
 		} else {
-			invPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+			invPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, opts.fftPlan2DOpts())
 		}
 		if err != nil {
 			return nil, constructionFail(err)

@@ -22,8 +22,14 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults(g)
+	// startRun must precede aligner acquisition: constructing the
+	// aligner is where FFT plans are built and the autotune decision
+	// counters tick, and the baseline snapshot has to see the values
+	// from before that.
+	root, base := startRun(opts, "simple-cpu", g)
 	al, err := acquireAligner(g, opts)
 	if err != nil {
+		root.End()
 		return nil, err
 	}
 	defer releaseAligner(al)
@@ -31,7 +37,6 @@ func (SimpleCPU) Run(src Source, opts Options) (*Result, error) {
 	res := newResult(g)
 	fp := opts.plan()
 	ds := newDegradedSet(g)
-	root, base := startRun(opts, "simple-cpu", g)
 	start := time.Now()
 
 	ensure := func(c tile.Coord, psp *obs.Span) (*tile.Gray16, []complex128, error) {

@@ -77,16 +77,16 @@ func (SimpleGPU) Run(src Source, opts Options) (*Result, error) {
 	var fwdPlan, invPlan *fft.Plan2D
 	var realPlan *fft.RealPlan2D
 	if realFFT {
-		realPlan, err = opts.Planner.RealPlan2D(g.TileH, g.TileW, 1)
+		realPlan, err = opts.Planner.RealPlan2DOpts(g.TileH, g.TileW, opts.fftReal2DOpts())
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		fwdPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, fft.Plan2DOpts{})
+		fwdPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Forward, opts.fftPlan2DOpts())
 		if err != nil {
 			return nil, err
 		}
-		invPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, fft.Plan2DOpts{})
+		invPlan, err = opts.Planner.Plan2D(g.TileH, g.TileW, fft.Inverse, opts.fftPlan2DOpts())
 		if err != nil {
 			return nil, err
 		}

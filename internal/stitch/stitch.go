@@ -28,10 +28,10 @@ import (
 
 	"hybridstitch/internal/fault"
 	"hybridstitch/internal/fft"
-	"hybridstitch/internal/obs"
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
 	"hybridstitch/internal/memgov"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/pciam"
 	"hybridstitch/internal/tiffio"
 	"hybridstitch/internal/tile"
@@ -157,6 +157,27 @@ type Options struct {
 	// CPU implementations support all three; the GPU implementations
 	// support complex and real (padded is CPU-only).
 	FFTVariant FFTVariant
+	// FFTExec selects how each 2-D transform uses the machine: the zero
+	// value (auto) lets the plan-time autotuner measure serial vs split
+	// vs batched per transform size and core budget; "serial" pins the
+	// zero-allocation path; "split" pins the recursive intra-transform
+	// split. Pair-level and transform-level parallelism draw from ONE
+	// worker budget (FFTPool), so split transforms only use cores the
+	// pair workers left idle.
+	FFTExec fft.ExecStrategy
+	// FFTPool overrides the shared transform worker budget (tests and
+	// experiments); nil means fft.SharedPool(), sized GOMAXPROCS-1.
+	FFTPool *fft.WorkerPool
+	// LegacyTranspose routes FFT column passes through the seed's
+	// strided gather instead of the blocked transpose. Plan-scoped (not
+	// a process global), so differential tests can run both paths
+	// concurrently.
+	LegacyTranspose bool
+	// DisableFFTBatch forces the two forward transforms of a pair to
+	// run separately even when the autotuner chose batched passes.
+	// Batching is also disabled automatically when fault injection is
+	// active, so injected per-transform faults keep their sequence.
+	DisableFFTBatch bool
 	// Sockets runs one independent CPU pipeline per (simulated) CPU
 	// socket in Pipelined-CPU, each over a row band with its own
 	// transform cache — the paper's stated future work for the CPU
@@ -240,11 +261,53 @@ func (o Options) withDefaults(g tile.Grid) Options {
 // pciamOptions builds the per-pair aligner configuration.
 func (o Options) pciamOptions() pciam.Options {
 	return pciam.Options{
-		NPeaks:        o.NPeaks,
-		PositiveOnly:  o.PositiveOnly,
-		Planner:       o.Planner,
-		DisableFusion: o.DisableFusedNCC,
+		NPeaks:          o.NPeaks,
+		PositiveOnly:    o.PositiveOnly,
+		Planner:         o.Planner,
+		DisableFusion:   o.DisableFusedNCC,
+		FFTExec:         o.FFTExec,
+		FFTPool:         o.FFTPool,
+		LegacyTranspose: o.LegacyTranspose,
+		// Batched pair transforms collapse two fault-injection hit points
+		// into one; keep the injected sequence exact whenever an injector
+		// is present.
+		DisableBatch: o.DisableFFTBatch || o.Faults != nil,
 	}
+}
+
+// fftPool resolves the worker budget pair-level runners reserve from.
+func (o Options) fftPool() *fft.WorkerPool {
+	if o.FFTPool != nil {
+		return o.FFTPool
+	}
+	return fft.SharedPool()
+}
+
+// fftPlan2DOpts and fftReal2DOpts carry the run-level FFT execution
+// toggles to plans the stitch layer builds directly (the GPU simulators'
+// host-side transforms); pciam-built plans get them via pciamOptions.
+func (o Options) fftPlan2DOpts() fft.Plan2DOpts {
+	return fft.Plan2DOpts{Exec: o.FFTExec, Pool: o.FFTPool, LegacyGather: o.LegacyTranspose}
+}
+
+func (o Options) fftReal2DOpts() fft.Real2DOpts {
+	return fft.Real2DOpts{Workers: 1, Exec: o.FFTExec, Pool: o.FFTPool, LegacyGather: o.LegacyTranspose}
+}
+
+// reservePairWorkers charges n pair-level workers against the shared
+// transform worker budget, so intra-transform splits only fan out onto
+// cores the pair loop left idle (one budget, not two: T pair workers +
+// per-transform splits must not oversubscribe the machine). The first
+// worker is the caller's own goroutine and is free; the reservation is
+// best-effort (non-blocking). The returned func releases the tokens and
+// must be called when the pair workers exit.
+func (o Options) reservePairWorkers(n int) func() {
+	if n <= 1 {
+		return func() {}
+	}
+	pool := o.fftPool()
+	got := pool.Reserve(n - 1)
+	return func() { pool.Release(got) }
 }
 
 // Result is the phase-1 output: the two displacement arrays of the
