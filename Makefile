@@ -70,7 +70,7 @@ check: build
 # bench runs every benchmark and converts the output into a
 # machine-readable snapshot (BENCH_<tag>.json) for benchdiff. Override
 # BENCH_TAG to keep several snapshots side by side.
-BENCH_TAG ?= pr8
+BENCH_TAG ?= pr9
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) run ./cmd/experiments -bench-in bench_output.txt -bench-out BENCH_$(BENCH_TAG).json
@@ -78,8 +78,8 @@ bench:
 # benchdiff flags >15% ns/op regressions between two snapshots:
 #   make benchdiff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json
 # The defaults gate the current PR's snapshot against the previous one.
-OLD ?= BENCH_pr5.json
-NEW ?= BENCH_pr8.json
+OLD ?= BENCH_pr8.json
+NEW ?= BENCH_pr9.json
 benchdiff:
 	$(GO) run ./cmd/experiments -bench-old $(OLD) -bench-new $(NEW)
 
@@ -107,6 +107,7 @@ experiments:
 
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/tiffio/
+	$(GO) test -fuzz FuzzPyramidRoundTrip -fuzztime 30s ./internal/tiffio/
 	$(GO) test -fuzz FuzzSplitPlanRoundTrip -fuzztime 30s ./internal/fft/
 	$(GO) test -fuzz FuzzUnmarshalResult -fuzztime 30s ./internal/stitch/
 	$(GO) test -fuzz FuzzDegradedTileRead -fuzztime 30s ./internal/stitch/
@@ -118,6 +119,7 @@ fuzz:
 # the workflow's wall clock.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDecode -fuzztime 10s ./internal/tiffio/
+	$(GO) test -fuzz FuzzPyramidRoundTrip -fuzztime 10s ./internal/tiffio/
 	$(GO) test -fuzz FuzzSplitPlanRoundTrip -fuzztime 10s ./internal/fft/
 	$(GO) test -fuzz FuzzUnmarshalResult -fuzztime 10s ./internal/stitch/
 	$(GO) test -fuzz FuzzDegradedTileRead -fuzztime 10s ./internal/stitch/

@@ -10,7 +10,15 @@
 package hybridstitch_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,7 +31,9 @@ import (
 	"hybridstitch/internal/memgov"
 	"hybridstitch/internal/pciam"
 	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tiffio"
 	"hybridstitch/internal/tile"
+	"hybridstitch/internal/tileserve"
 )
 
 // benchSource caches one reduced dataset per configuration across
@@ -640,5 +650,160 @@ func BenchmarkAblationFFTVariants(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- serving: out-of-core compose + tile server under load ---
+
+// benchPyramid composes the bench plate into an in-memory pyramid once.
+var benchPyramidData []byte
+
+func benchPyramidBytes(b *testing.B) []byte {
+	b.Helper()
+	if benchPyramidData != nil {
+		return benchPyramidData
+	}
+	src := benchSource(b, 6, 6, 96, 64)
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb benchSeekBuffer
+	err = compose.ComposeSharded(pl, src, &sb, compose.ShardedOpts{
+		Blend: compose.BlendLinear, TileW: 64, TileH: 64, MinSide: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPyramidData = sb.buf
+	return benchPyramidData
+}
+
+type benchSeekBuffer struct {
+	buf []byte
+	pos int64
+}
+
+func (s *benchSeekBuffer) Write(p []byte) (int, error) {
+	if need := s.pos + int64(len(p)); need > int64(len(s.buf)) {
+		grown := make([]byte, need)
+		copy(grown, s.buf)
+		s.buf = grown
+	}
+	copy(s.buf[s.pos:], p)
+	s.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (s *benchSeekBuffer) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case 0:
+		s.pos = off
+	case 1:
+		s.pos += off
+	case 2:
+		s.pos = int64(len(s.buf)) + off
+	}
+	return s.pos, nil
+}
+
+// BenchmarkComposeSharded measures the out-of-core compositor against
+// the same plate the in-memory Fig 13 bench uses: the cost of banding +
+// pyramid reduction + deflate, in exchange for a bounded working set.
+func BenchmarkComposeSharded(b *testing.B) {
+	src := benchSource(b, 6, 6, 96, 64)
+	res, err := (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb benchSeekBuffer
+		err := compose.ComposeSharded(pl, src, &sb, compose.ShardedOpts{
+			Blend: compose.BlendOverlay, TileW: 64, TileH: 64, MinSide: 128, BandRows: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTileServe is the load-generator for the serving story: 64+
+// concurrent clients hammering the HTTP tile endpoint with a zipf-ish
+// mix of hot (level-max overview) and cold (random level-0) tiles,
+// reporting p95 request latency. The content-addressed cache means the
+// hot set stays decoded; the p95 captures the cold-decode + PNG-encode
+// tail.
+func BenchmarkTileServe(b *testing.B) {
+	data := benchPyramidBytes(b)
+	pyr, err := tiffio.OpenPyramid(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := tileserve.New(pyr, tileserve.Options{CacheBytes: 8 << 20})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+
+	lv0 := pyr.Level(0)
+	const clients = 64
+	b.SetParallelism((clients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+
+	var mu sync.Mutex
+	var latencies []float64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(42)))
+		local := make([]float64, 0, 256)
+		i := 0
+		for pb.Next() {
+			var url string
+			if i%4 == 0 {
+				// Hot: the coarsest level's single tile row (an overview
+				// request every viewer session starts with).
+				url = fmt.Sprintf("%s/tile/%d/0/0", ts.URL, pyr.NumLevels()-1)
+			} else {
+				url = fmt.Sprintf("%s/tile/0/%d/%d", ts.URL, rng.Intn(lv0.Across), rng.Intn(lv0.Down))
+			}
+			start := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d for %s", resp.StatusCode, url)
+				return
+			}
+			local = append(local, float64(time.Since(start).Microseconds())/1000)
+			i++
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		p95 := latencies[len(latencies)*95/100]
+		b.ReportMetric(p95, "p95-ms")
+		b.ReportMetric(float64(clients), "clients")
+	}
+	hits, misses, _, _ := srv.CacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-%")
 	}
 }

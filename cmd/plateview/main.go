@@ -4,22 +4,30 @@
 // (stitch -save-displacements) or a fresh phase-1 run, and renders any
 // (x, y, w, h, level) viewport to PNG without composing the plate.
 //
+// With -serve it is instead an HTTP deep-zoom tile server over a
+// pyramid file written by `stitch -compose-out` (no dataset needed):
+// GET /info describes the levels, GET /tile/{level}/{tx}/{ty} returns
+// one PNG tile through a content-addressed decoded-tile cache.
+//
 // Usage:
 //
 //	plateview -dir dataset -overview overview.png
 //	plateview -dir dataset -disp disp.json -x 300 -y 200 -w 512 -h 384 -out view.png
+//	plateview -pyramid plate.ptif -serve :8080 -serve-cache 268435456
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"hybridstitch/internal/compose"
 	"hybridstitch/internal/global"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tile"
+	"hybridstitch/internal/tileserve"
 )
 
 func main() {
@@ -37,10 +45,23 @@ func main() {
 		overview = flag.String("overview", "", "also write a whole-plate overview PNG (max side 1024)")
 		cache    = flag.Int("cache", 0, "decoded-tile cache bound (0 = 2×columns)")
 		stretchF = flag.Bool("stretch", true, "contrast-stretch outputs for display")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "phase-1 worker threads when computing displacements fresh")
+
+		serveAddr  = flag.String("serve", "", "serve deep-zoom tiles over HTTP on this address (requires -pyramid)")
+		pyramid    = flag.String("pyramid", "", "pyramid file written by `stitch -compose-out`")
+		serveCache = flag.Int64("serve-cache", 64<<20, "tile-server decoded-tile cache budget, bytes")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		if *pyramid == "" {
+			log.Fatal("-serve needs -pyramid (a file written by `stitch -compose-out`)")
+		}
+		fmt.Printf("serving %s on %s (cache %d bytes)\n", *pyramid, *serveAddr, *serveCache)
+		log.Fatal(tileserve.ServePyramidFile(*pyramid, *serveAddr, tileserve.Options{CacheBytes: *serveCache}))
+	}
 	if *dir == "" {
-		log.Fatal("need -dir (a dataset written by genplate)")
+		log.Fatal("need -dir (a dataset written by genplate) or -serve with -pyramid")
 	}
 
 	src, _, _, err := openDataset(*dir)
@@ -60,11 +81,11 @@ func main() {
 		fmt.Printf("loaded displacements from %s\n", *dispFile)
 	} else {
 		t0 := time.Now()
-		res, err = (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: 4})
+		res, err = (&stitch.PipelinedCPU{}).Run(src, stitch.Options{Threads: *threads})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("computed displacements in %v\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("computed displacements in %v (%d threads)\n", time.Since(t0).Round(time.Millisecond), *threads)
 	}
 
 	pl, err := global.Solve(res, global.Options{RepairOutliers: true})

@@ -27,6 +27,7 @@ import (
 	"hybridstitch/internal/global"
 	"hybridstitch/internal/gpu"
 	"hybridstitch/internal/imagegen"
+	"hybridstitch/internal/memgov"
 	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tiffio"
@@ -53,6 +54,8 @@ func main() {
 		sockets   = flag.Int("sockets", 1, "CPU pipelines (pipelined-cpu; one per socket)")
 		outPNG    = flag.String("out", "", "write the composite image to this PNG")
 		outTIFF   = flag.String("out-tiff", "", "write the composite image to this 16-bit TIFF (tiled layout for large plates)")
+		compOut   = flag.String("compose-out", "", "compose out-of-core into this multi-resolution pyramid file (BigTIFF; serve it with `plateview -serve`)")
+		compBudg  = flag.Int64("compose-budget", 256<<20, "memory budget in bytes for -compose-out band sizing")
 		highlight = flag.String("highlight", "", "write a tile-outline overlay to this PNG")
 		blendName = flag.String("blend", "overlay", "composite blend: overlay, average, linear")
 		solver    = flag.String("solver", "mst", "phase-2 solver: mst (spanning tree) or ls (least squares)")
@@ -213,7 +216,7 @@ func main() {
 		}
 	}
 
-	if *outPNG == "" && *highlight == "" && *outTIFF == "" {
+	if *outPNG == "" && *highlight == "" && *outTIFF == "" && *compOut == "" {
 		return
 	}
 	blend, err := parseBlend(*blendName)
@@ -248,6 +251,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("phase 3: wrote %s (%dx%d 16-bit TIFF)\n", *outTIFF, img.W, img.H)
+	}
+	if *compOut != "" {
+		// Out-of-core path: band-by-band composition into a pyramid file,
+		// with the band height sized from the governor budget. This is
+		// the route for plates whose composite exceeds RAM — bit-identical
+		// pixels, bounded working set.
+		gov := memgov.New(*compBudg, 0)
+		if rec != nil {
+			gov.SetObs(rec)
+		}
+		t0 = time.Now()
+		err := compose.ComposeShardedFile(pl, src, *compOut, compose.ShardedOpts{
+			Blend: blend, Gov: gov, Rec: rec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, peak, _, _ := gov.Stats()
+		fmt.Printf("phase 3: wrote %s (%dx%d pyramid, %s blend, peak %d bytes of %d budget) in %v\n",
+			*compOut, w, h, blend, peak, *compBudg, time.Since(t0).Round(time.Millisecond))
 	}
 	if *highlight != "" {
 		img, err := compose.HighlightGrid(pl, src, blend)

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"hybridstitch/internal/global"
+	"hybridstitch/internal/memgov"
 	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tiffio"
@@ -65,9 +66,31 @@ func ComposeObs(rec *obs.Recorder, pl *global.Placement, src stitch.Source, blen
 // Compose assembles the composite image for a placement, streaming tiles
 // from src.
 func Compose(pl *global.Placement, src stitch.Source, blend Blend) (*tile.Gray16, error) {
+	return ComposeGoverned(pl, src, blend, nil)
+}
+
+// ComposeGoverned is Compose with the working set charged to gov (nil
+// gov skips accounting): the output plane always, plus the two
+// full-plate float64 accumulator planes the blended modes allocate —
+// 16·w·h bytes that previously slipped past the budget the rest of the
+// pipeline respects. Plates whose accumulators dwarf the budget belong
+// in ComposeSharded, which bounds the working set to one band.
+func ComposeGoverned(pl *global.Placement, src stitch.Source, blend Blend, gov *memgov.Governor) (*tile.Gray16, error) {
 	w, h := pl.Bounds()
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("compose: degenerate composite %dx%d", w, h)
+	}
+	if gov != nil {
+		charge := int64(2 * w * h)
+		if blend == BlendAverage || blend == BlendLinear {
+			charge += int64(16 * w * h)
+		}
+		a, err := gov.Alloc(charge)
+		if err != nil {
+			return nil, err
+		}
+		defer a.Free()
+		gov.Touch(charge)
 	}
 	g := pl.Grid
 	out := tile.NewGray16(w, h)
@@ -206,7 +229,9 @@ func Downsample2x(img *tile.Gray16) *tile.Gray16 {
 					}
 				}
 			}
-			out.Set(x, y, uint16(sum/cnt))
+			// Round to nearest: plain sum/cnt truncates, a half-LSB
+			// darkening bias that compounds across pyramid levels.
+			out.Set(x, y, uint16((sum+cnt/2)/cnt))
 		}
 	}
 	return out

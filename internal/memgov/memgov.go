@@ -104,6 +104,15 @@ func (a *Allocation) Free() error {
 	return nil
 }
 
+// Physical returns the configured physical capacity in bytes — the
+// budget out-of-core stages (sharded compose) size their working set
+// against.
+func (g *Governor) Physical() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.physical
+}
+
 // OvercommitFraction returns max(0, (live-physical)/live): the fraction
 // of the working set that cannot be resident.
 func (g *Governor) OvercommitFraction() float64 {

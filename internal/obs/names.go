@@ -56,6 +56,10 @@ const (
 	SpanBK   = "bk"
 	// SpanUploadFFT is Simple-GPU's combined H2D upload + forward FFT.
 	SpanUploadFFT = "upload+fft"
+	// SpanComposeSharded is the out-of-core compose root on TrackPhase3;
+	// SpanComposeBand wraps one output band (accumulate + reduce + write).
+	SpanComposeSharded = "compose.sharded"
+	SpanComposeBand    = "compose.band"
 )
 
 // Semantic counters: equal across all five variants for the same input
@@ -90,11 +94,24 @@ const (
 	CounterArenaReuse         = "pciam.arena.reuse"
 	CounterPoolAcquires       = "gpu.pool.acquires"
 	CounterPoolWaits          = "gpu.pool.waits"
+	// Sharded-compose progress: bands written, and source tiles blended
+	// across all bands (tiles straddling a band boundary count once per
+	// band — the counter measures re-read amplification, not coverage).
+	CounterComposeBands     = "compose.band.count"
+	CounterComposeBandTiles = "compose.band.tiles"
+	// Tile-server cache behavior: requests served from the decoded-tile
+	// LRU, misses that decoded from the pyramid file, entries evicted to
+	// stay under the byte budget, and requests rejected with an error.
+	CounterServeTileHits      = "serve.tile.hits"
+	CounterServeTileMisses    = "serve.tile.misses"
+	CounterServeTileEvictions = "serve.tile.evictions"
+	CounterServeTileErrors    = "serve.tile.errors"
 )
 
 // Gauges.
 const (
 	GaugeMemgovLiveBytes    = "memgov.live_bytes"
+	GaugeServeCacheBytes    = "serve.tile.cache_bytes"
 	GaugePoolInUse          = "gpu.pool.in_use"
 	GaugeTransformsPeakLive = "stitch.transforms.peak_live"
 	GaugeTransformWords     = "stitch.transform.words"
@@ -106,6 +123,7 @@ const (
 	HistReadSeconds        = "stitch.read.seconds"
 	HistFFTSeconds         = "stitch.fft.seconds"
 	HistDispSeconds        = "stitch.disp.seconds"
+	HistServeTileSeconds   = "serve.tile.seconds"
 )
 
 // Dynamic-name prefixes and suffixes: families whose full name embeds a

@@ -67,3 +67,72 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPyramidRoundTrip drives OpenPyramid + tile reads over arbitrary
+// bytes, seeded with real pyramid files. The reader backs the long-lived
+// tile server, so a corrupt or adversarial pyramid must reject with an
+// ErrCorrupt-classified error — never panic, never hand back a
+// malformed tile.
+func FuzzPyramidRoundTrip(f *testing.F) {
+	img := tile.NewGray16(75, 50)
+	for i := range img.Pix {
+		img.Pix[i] = uint16(i * 257)
+	}
+	for _, opts := range []PyramidOpts{
+		{TileW: 32, TileH: 32, MinSide: 40},
+		{TileW: 32, TileH: 32, MinSide: 40, NoDeflate: true},
+		{TileW: 16, TileH: 16, MinSide: 40, BigEndian: true},
+	} {
+		var sb seekBuffer
+		pw, err := NewPyramidWriter(&sb, img.W, img.H, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		cur := img
+		for l := 0; l < pw.NumLevels(); l++ {
+			if err := pw.WriteRows(l, cur.Pix, cur.H); err != nil {
+				f.Fatal(err)
+			}
+			if l+1 < pw.NumLevels() {
+				cur = halveImage(cur)
+			}
+		}
+		if err := pw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		valid := sb.buf
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		f.Add(valid[:16])
+		flipped := append([]byte(nil), valid...)
+		flipped[11] ^= 0xff // first-IFD offset bit flip
+		f.Add(flipped)
+	}
+	f.Add([]byte("II+\x00\x08\x00\x00\x00"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := OpenPyramid(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open error not classified as ErrCorrupt: %v", err)
+			}
+			return
+		}
+		for l := 0; l < p.NumLevels(); l++ {
+			lv := p.Level(l)
+			for _, tc := range [][2]int{{0, 0}, {lv.Across - 1, lv.Down - 1}} {
+				tl, err := p.ReadTileAt(l, tc[0], tc[1])
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("tile error not classified as ErrCorrupt: %v", err)
+					}
+					continue
+				}
+				if tl.W <= 0 || tl.H <= 0 || len(tl.Pix) != tl.W*tl.H {
+					t.Fatalf("accepted malformed tile: %dx%d with %d pixels", tl.W, tl.H, len(tl.Pix))
+				}
+			}
+		}
+	})
+}

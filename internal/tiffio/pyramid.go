@@ -1,0 +1,711 @@
+package tiffio
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"hybridstitch/internal/tile"
+)
+
+// This file implements the multi-resolution pyramid file format the
+// sharded compositor streams into and the tile server reads back: a
+// BigTIFF (version 43, 64-bit offsets) with one IFD per pyramid level,
+// each level tiled and (by default) per-tile Deflate-compressed. BigTIFF
+// is the layout because the whole point of sharded composition is plates
+// past the 4 GiB classic-TIFF offset space — the overflow ErrOffsetOverflow
+// guards against.
+//
+// The writer is streaming: levels receive rows top to bottom, only one
+// tile-row of staging is resident per level, and tile payloads go to
+// disk the moment a tile row completes. Offsets are bookkept in memory
+// (16 bytes per tile) and the IFD chain is written at Close.
+
+// BigTIFF constants (the TIFF 6.0 supplement "BigTIFF").
+const (
+	bigtiffVersion    = 43
+	typeLong8         = 16 // 64-bit unsigned
+	tagNewSubfileType = 254
+	subfileReduced    = 1 // bit 0: reduced-resolution version of another image
+)
+
+// PyramidOpts configures NewPyramidWriter.
+type PyramidOpts struct {
+	// TileW/TileH set the pyramid tile size (default 256×256; the spec
+	// requires multiples of 16).
+	TileW, TileH int
+	// MinSide stops the level chain once both dimensions fit (default
+	// 256). Matches compose.Pyramid's termination rule.
+	MinSide int
+	// NoDeflate stores tiles uncompressed. The default compresses each
+	// tile independently with zlib (Compression=8) so readers can still
+	// random-access single tiles.
+	NoDeflate bool
+	// BigEndian writes an "MM" file; default is "II".
+	BigEndian bool
+}
+
+func (o PyramidOpts) withDefaults() PyramidOpts {
+	if o.TileW == 0 {
+		o.TileW = 256
+	}
+	if o.TileH == 0 {
+		o.TileH = 256
+	}
+	if o.MinSide == 0 {
+		o.MinSide = 256
+	}
+	return o
+}
+
+// PyramidLevelDims returns the (width, height) of every pyramid level
+// for a full-resolution w×h image: level 0 is the input, each further
+// level halves both dimensions (rounding up) until both fit minSide.
+// This is the same chain compose.Pyramid builds in memory.
+func PyramidLevelDims(w, h, minSide int) [][2]int {
+	if minSide < 1 {
+		minSide = 1
+	}
+	dims := [][2]int{{w, h}}
+	cw, ch := w, h
+	for cw > minSide || ch > minSide {
+		nw, nh := (cw+1)/2, (ch+1)/2
+		if nw == cw && nh == ch {
+			break
+		}
+		dims = append(dims, [2]int{nw, nh})
+		cw, ch = nw, nh
+	}
+	return dims
+}
+
+// levelWriter is the streaming state of one pyramid level.
+type levelWriter struct {
+	w, h         int
+	rows         int      // rows received so far
+	staged       int      // rows currently in buf
+	buf          []uint16 // tileH × w staging
+	across, down int
+	offs, cnts   []uint64
+	nextTileRow  int
+}
+
+// PyramidWriter streams a multi-level tiled pyramid to a file. Feed each
+// level its rows top to bottom with WriteRows (the compose reducer does
+// this as bands retire) and call Close to write the IFD chain.
+type PyramidWriter struct {
+	ws     io.WriteSeeker
+	bo     binary.ByteOrder
+	mark   [2]byte
+	opts   PyramidOpts
+	levels []*levelWriter
+	off    int64 // current file position
+	closed bool
+
+	packBuf []byte // tile staging, tileW*tileH*2
+	zbuf    bytes.Buffer
+	zw      *zlib.Writer
+}
+
+// NewPyramidWriter starts a pyramid for a w×h full-resolution image on
+// ws (typically an *os.File). The header is written immediately with a
+// placeholder IFD offset that Close patches, so ws must support seeking.
+func NewPyramidWriter(ws io.WriteSeeker, w, h int, opts PyramidOpts) (*PyramidWriter, error) {
+	opts = opts.withDefaults()
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("tiffio: cannot write empty pyramid %dx%d", w, h)
+	}
+	if opts.TileW%16 != 0 || opts.TileH%16 != 0 || opts.TileW <= 0 || opts.TileH <= 0 {
+		return nil, fmt.Errorf("tiffio: pyramid tile size %dx%d must be positive multiples of 16", opts.TileW, opts.TileH)
+	}
+	pw := &PyramidWriter{ws: ws, bo: binary.LittleEndian, mark: [2]byte{'I', 'I'}, opts: opts}
+	if opts.BigEndian {
+		pw.bo = binary.BigEndian
+		pw.mark = [2]byte{'M', 'M'}
+	}
+	for _, d := range PyramidLevelDims(w, h, opts.MinSide) {
+		lw := &levelWriter{
+			w: d[0], h: d[1],
+			buf:    make([]uint16, opts.TileH*d[0]),
+			across: (d[0] + opts.TileW - 1) / opts.TileW,
+			down:   (d[1] + opts.TileH - 1) / opts.TileH,
+		}
+		lw.offs = make([]uint64, 0, lw.across*lw.down)
+		lw.cnts = make([]uint64, 0, lw.across*lw.down)
+		pw.levels = append(pw.levels, lw)
+	}
+	pw.packBuf = make([]byte, opts.TileW*opts.TileH*2)
+
+	// BigTIFF header: mark | 43 | offset size 8 | reserved 0 | IFD offset.
+	hdr := make([]byte, 16)
+	hdr[0], hdr[1] = pw.mark[0], pw.mark[1]
+	pw.bo.PutUint16(hdr[2:4], bigtiffVersion)
+	pw.bo.PutUint16(hdr[4:6], 8)
+	pw.bo.PutUint16(hdr[6:8], 0)
+	pw.bo.PutUint64(hdr[8:16], 0) // patched by Close
+	if err := pw.write(hdr); err != nil {
+		return nil, err
+	}
+	return pw, nil
+}
+
+// NumLevels reports the number of pyramid levels.
+func (pw *PyramidWriter) NumLevels() int { return len(pw.levels) }
+
+// LevelDims returns the dimensions of level l.
+func (pw *PyramidWriter) LevelDims(l int) (w, h int) {
+	return pw.levels[l].w, pw.levels[l].h
+}
+
+func (pw *PyramidWriter) write(b []byte) error {
+	n, err := pw.ws.Write(b)
+	pw.off += int64(n)
+	return err
+}
+
+// WriteRows appends n rows of pixels to level l. pix holds n*levelWidth
+// samples in row-major order. Rows arrive top to bottom; a level must
+// receive exactly its height in rows before Close.
+func (pw *PyramidWriter) WriteRows(l int, pix []uint16, n int) error {
+	if pw.closed {
+		return fmt.Errorf("tiffio: pyramid writer is closed")
+	}
+	if l < 0 || l >= len(pw.levels) {
+		return fmt.Errorf("tiffio: pyramid level %d of %d", l, len(pw.levels))
+	}
+	lv := pw.levels[l]
+	if len(pix) != n*lv.w {
+		return fmt.Errorf("tiffio: level %d row data is %d samples, want %d rows × %d", l, len(pix), n, lv.w)
+	}
+	if lv.rows+n > lv.h {
+		return fmt.Errorf("tiffio: level %d overflows: %d+%d rows of %d", l, lv.rows, n, lv.h)
+	}
+	for r := 0; r < n; r++ {
+		copy(lv.buf[lv.staged*lv.w:(lv.staged+1)*lv.w], pix[r*lv.w:(r+1)*lv.w])
+		lv.staged++
+		lv.rows++
+		if lv.staged == pw.opts.TileH || lv.rows == lv.h {
+			if err := pw.flushTileRow(lv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushTileRow encodes the staged rows of lv as one row of tiles,
+// zero-padding to full tile size at the right and bottom edges.
+func (pw *PyramidWriter) flushTileRow(lv *levelWriter) error {
+	tw, th := pw.opts.TileW, pw.opts.TileH
+	for tx := 0; tx < lv.across; tx++ {
+		for i := range pw.packBuf {
+			pw.packBuf[i] = 0
+		}
+		for y := 0; y < lv.staged; y++ {
+			for x := 0; x < tw; x++ {
+				ix := tx*tw + x
+				if ix >= lv.w {
+					break
+				}
+				pw.bo.PutUint16(pw.packBuf[2*(y*tw+x):], lv.buf[y*lv.w+ix])
+			}
+		}
+		payload := pw.packBuf
+		if !pw.opts.NoDeflate {
+			pw.zbuf.Reset()
+			if pw.zw == nil {
+				pw.zw = zlib.NewWriter(&pw.zbuf)
+			} else {
+				pw.zw.Reset(&pw.zbuf)
+			}
+			if _, err := pw.zw.Write(pw.packBuf); err != nil {
+				return err
+			}
+			if err := pw.zw.Close(); err != nil {
+				return err
+			}
+			payload = pw.zbuf.Bytes()
+		}
+		lv.offs = append(lv.offs, uint64(pw.off))
+		lv.cnts = append(lv.cnts, uint64(len(payload)))
+		if err := pw.write(payload); err != nil {
+			return err
+		}
+	}
+	_ = th
+	lv.staged = 0
+	lv.nextTileRow++
+	return nil
+}
+
+// bigEntry is one BigTIFF IFD entry.
+type bigEntry struct {
+	tag, ftype uint16
+	count      uint64
+	value      uint64 // inline value or out-of-line offset
+	array      []uint64
+}
+
+// Close flushes every level, writes the chained IFDs (one per level, in
+// level order), and patches the header to point at level 0's IFD. It
+// does not close the underlying file.
+func (pw *PyramidWriter) Close() error {
+	if pw.closed {
+		return fmt.Errorf("tiffio: pyramid writer already closed")
+	}
+	pw.closed = true
+	for l, lv := range pw.levels {
+		if lv.rows != lv.h {
+			return fmt.Errorf("tiffio: pyramid level %d received %d of %d rows", l, lv.rows, lv.h)
+		}
+		if len(lv.offs) != lv.across*lv.down {
+			return fmt.Errorf("tiffio: pyramid level %d wrote %d tiles, want %d", l, len(lv.offs), lv.across*lv.down)
+		}
+	}
+
+	compression := uint64(compressionDeflate)
+	if pw.opts.NoDeflate {
+		compression = compressionNone
+	}
+	// Precompute each IFD's position so the next-IFD chain can be
+	// written in a single forward pass. Every entry array larger than 8
+	// bytes goes out of line, directly after its IFD.
+	const entryCount = 11
+	ifdOff := make([]int64, len(pw.levels)+1)
+	pos := pw.off
+	for l, lv := range pw.levels {
+		ifdOff[l] = pos
+		pos += 8 + entryCount*20 + 8
+		n := lv.across * lv.down
+		if n > 1 {
+			pos += 2 * 8 * int64(n) // offsets + counts arrays
+		}
+	}
+	ifdOff[len(pw.levels)] = 0 // end of chain
+
+	for l, lv := range pw.levels {
+		subfile := uint64(0)
+		if l > 0 {
+			subfile = subfileReduced
+		}
+		n := uint64(lv.across * lv.down)
+		entries := []bigEntry{
+			{tag: tagNewSubfileType, ftype: typeLong, count: 1, value: subfile},
+			{tag: tagImageWidth, ftype: typeLong, count: 1, value: uint64(lv.w)},
+			{tag: tagImageLength, ftype: typeLong, count: 1, value: uint64(lv.h)},
+			{tag: tagBitsPerSample, ftype: typeShort, count: 1, value: 16},
+			{tag: tagCompression, ftype: typeShort, count: 1, value: compression},
+			{tag: tagPhotometric, ftype: typeShort, count: 1, value: photometricMinIsBlack},
+			{tag: tagSamplesPerPixel, ftype: typeShort, count: 1, value: 1},
+			{tag: tagTileWidth, ftype: typeLong, count: 1, value: uint64(pw.opts.TileW)},
+			{tag: tagTileLength, ftype: typeLong, count: 1, value: uint64(pw.opts.TileH)},
+			{tag: tagTileOffsets, ftype: typeLong8, count: n, array: lv.offs},
+			{tag: tagTileByteCounts, ftype: typeLong8, count: n, array: lv.cnts},
+		}
+		var arrays []byte
+		arrayOff := ifdOff[l] + 8 + entryCount*20 + 8
+		buf := make([]byte, 8+entryCount*20+8)
+		pw.bo.PutUint64(buf[0:8], entryCount)
+		for i := range entries {
+			e := &entries[i]
+			b := buf[8+i*20 : 8+(i+1)*20]
+			pw.bo.PutUint16(b[0:2], e.tag)
+			pw.bo.PutUint16(b[2:4], e.ftype)
+			pw.bo.PutUint64(b[4:12], e.count)
+			switch {
+			case e.array != nil && len(e.array) == 1:
+				pw.bo.PutUint64(b[12:20], e.array[0])
+			case e.array != nil:
+				pw.bo.PutUint64(b[12:20], uint64(arrayOff)+uint64(len(arrays)))
+				for _, v := range e.array {
+					var vb [8]byte
+					pw.bo.PutUint64(vb[:], v)
+					arrays = append(arrays, vb[:]...)
+				}
+			case e.ftype == typeShort:
+				// Inline values are left-justified in the 8-byte field
+				// regardless of byte order (BigTIFF follows TIFF 6.0 here).
+				pw.bo.PutUint16(b[12:14], uint16(e.value))
+			case e.ftype == typeLong:
+				pw.bo.PutUint32(b[12:16], uint32(e.value))
+			default:
+				pw.bo.PutUint64(b[12:20], e.value)
+			}
+		}
+		pw.bo.PutUint64(buf[8+entryCount*20:], uint64(ifdOff[l+1]))
+		if err := pw.write(buf); err != nil {
+			return err
+		}
+		if len(arrays) > 0 {
+			if err := pw.write(arrays); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Patch the header's first-IFD offset.
+	if _, err := pw.ws.Seek(8, io.SeekStart); err != nil {
+		return err
+	}
+	var ob [8]byte
+	pw.bo.PutUint64(ob[:], uint64(ifdOff[0]))
+	if _, err := pw.ws.Write(ob[:]); err != nil {
+		return err
+	}
+	_, err := pw.ws.Seek(pw.off, io.SeekStart)
+	return err
+}
+
+// PyramidLevel describes one level of an opened pyramid.
+type PyramidLevel struct {
+	W, H         int
+	TileW, TileH int
+	Across, Down int
+
+	compression uint64
+	offs, cnts  []uint64
+}
+
+// Pyramid is a random-access reader over a pyramid file written by
+// PyramidWriter (BigTIFF, tiled levels). It is safe for concurrent use:
+// all state is immutable after OpenPyramid and reads go through ReadAt.
+type Pyramid struct {
+	r      io.ReaderAt
+	bo     binary.ByteOrder
+	levels []PyramidLevel
+}
+
+// maxPyramidLevels bounds the IFD chain walk: a 2^40-pixel-per-side
+// image needs 33 levels, so a longer chain is a corrupt (or adversarial)
+// file, not a plate.
+const maxPyramidLevels = 64
+
+// OpenPyramid parses the level directory of a pyramid file. Tile data is
+// read lazily by ReadTileAt.
+func OpenPyramid(r io.ReaderAt) (*Pyramid, error) {
+	p, err := openPyramid(r)
+	if err != nil {
+		return nil, &corruptError{err: err}
+	}
+	return p, nil
+}
+
+func openPyramid(r io.ReaderAt) (*Pyramid, error) {
+	var hdr [16]byte
+	if _, err := r.ReadAt(hdr[:8], 0); err != nil {
+		return nil, fmt.Errorf("tiffio: short pyramid header: %w", err)
+	}
+	var bo binary.ByteOrder
+	switch {
+	case hdr[0] == 'I' && hdr[1] == 'I':
+		bo = binary.LittleEndian
+	case hdr[0] == 'M' && hdr[1] == 'M':
+		bo = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("tiffio: bad byte-order mark %q", hdr[:2])
+	}
+	if v := bo.Uint16(hdr[2:4]); v != bigtiffVersion {
+		return nil, fmt.Errorf("tiffio: not a BigTIFF pyramid (version %d, want %d)", v, bigtiffVersion)
+	}
+	if _, err := r.ReadAt(hdr[4:16], 4); err != nil {
+		return nil, fmt.Errorf("tiffio: short BigTIFF header: %w", err)
+	}
+	if sz := bo.Uint16(hdr[4:6]); sz != 8 {
+		return nil, fmt.Errorf("tiffio: BigTIFF offset size %d, want 8", sz)
+	}
+	next := bo.Uint64(hdr[8:16])
+	if next == 0 {
+		return nil, fmt.Errorf("tiffio: pyramid has no IFDs")
+	}
+
+	p := &Pyramid{r: r, bo: bo}
+	for next != 0 {
+		if len(p.levels) >= maxPyramidLevels {
+			return nil, fmt.Errorf("tiffio: IFD chain longer than %d levels", maxPyramidLevels)
+		}
+		if next > math.MaxInt64 {
+			return nil, fmt.Errorf("tiffio: IFD offset %d out of range", next)
+		}
+		lv, n, err := readPyramidIFD(r, bo, int64(next))
+		if err != nil {
+			return nil, err
+		}
+		p.levels = append(p.levels, lv)
+		if n == next {
+			return nil, fmt.Errorf("tiffio: IFD chain loops at %d", n)
+		}
+		next = n
+	}
+	// Levels must shrink monotonically: that is what makes the chain a
+	// pyramid rather than an arbitrary multi-image file.
+	for i := 1; i < len(p.levels); i++ {
+		if p.levels[i].W > p.levels[i-1].W || p.levels[i].H > p.levels[i-1].H {
+			return nil, fmt.Errorf("tiffio: level %d (%dx%d) larger than level %d (%dx%d)",
+				i, p.levels[i].W, p.levels[i].H, i-1, p.levels[i-1].W, p.levels[i-1].H)
+		}
+	}
+	return p, nil
+}
+
+// readPyramidIFD parses one BigTIFF IFD into a level description.
+func readPyramidIFD(r io.ReaderAt, bo binary.ByteOrder, off int64) (PyramidLevel, uint64, error) {
+	var lv PyramidLevel
+	var nb [8]byte
+	if _, err := r.ReadAt(nb[:], off); err != nil {
+		return lv, 0, fmt.Errorf("tiffio: IFD count: %w", err)
+	}
+	n := bo.Uint64(nb[:])
+	if n == 0 || n > 64 {
+		return lv, 0, fmt.Errorf("tiffio: implausible IFD entry count %d", n)
+	}
+	buf := make([]byte, n*20+8)
+	if _, err := r.ReadAt(buf, off+8); err != nil {
+		return lv, 0, fmt.Errorf("tiffio: IFD entries: %w", err)
+	}
+	next := bo.Uint64(buf[n*20:])
+
+	var (
+		bits, comp, spp uint64 = 1, compressionNone, 1
+		offs, cnts      []uint64
+	)
+	readArray := func(ftype uint16, count uint64, inline []byte) ([]uint64, error) {
+		sz := uint64(0)
+		switch ftype {
+		case typeShort:
+			sz = 2
+		case typeLong:
+			sz = 4
+		case typeLong8:
+			sz = 8
+		default:
+			return nil, fmt.Errorf("tiffio: unsupported tile-array type %d", ftype)
+		}
+		total := sz * count
+		if count == 0 || total > 256<<20 {
+			return nil, fmt.Errorf("tiffio: tile array claims %d bytes", total)
+		}
+		data := inline[:min(8, len(inline))]
+		if total > 8 {
+			data = make([]byte, total)
+			o := bo.Uint64(inline)
+			if o > math.MaxInt64 {
+				return nil, fmt.Errorf("tiffio: array offset %d out of range", o)
+			}
+			if _, err := r.ReadAt(data, int64(o)); err != nil {
+				return nil, fmt.Errorf("tiffio: tile array: %w", err)
+			}
+		}
+		vals := make([]uint64, count)
+		for i := range vals {
+			switch ftype {
+			case typeShort:
+				vals[i] = uint64(bo.Uint16(data[2*i:]))
+			case typeLong:
+				vals[i] = uint64(bo.Uint32(data[4*i:]))
+			case typeLong8:
+				vals[i] = bo.Uint64(data[8*i:])
+			}
+		}
+		return vals, nil
+	}
+	scalar := func(ftype uint16, inline []byte) uint64 {
+		switch ftype {
+		case typeShort:
+			return uint64(bo.Uint16(inline))
+		case typeLong:
+			return uint64(bo.Uint32(inline))
+		default:
+			return bo.Uint64(inline)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		b := buf[i*20 : (i+1)*20]
+		tag := bo.Uint16(b[0:2])
+		ftype := bo.Uint16(b[2:4])
+		count := bo.Uint64(b[4:12])
+		inline := b[12:20]
+		var err error
+		switch tag {
+		case tagImageWidth:
+			lv.W = int(scalar(ftype, inline))
+		case tagImageLength:
+			lv.H = int(scalar(ftype, inline))
+		case tagBitsPerSample:
+			bits = scalar(ftype, inline)
+		case tagCompression:
+			comp = scalar(ftype, inline)
+		case tagSamplesPerPixel:
+			spp = scalar(ftype, inline)
+		case tagTileWidth:
+			lv.TileW = int(scalar(ftype, inline))
+		case tagTileLength:
+			lv.TileH = int(scalar(ftype, inline))
+		case tagTileOffsets:
+			offs, err = readArray(ftype, count, inline)
+		case tagTileByteCounts:
+			cnts, err = readArray(ftype, count, inline)
+		}
+		if err != nil {
+			return lv, 0, err
+		}
+	}
+	if bits != 16 || spp != 1 {
+		return lv, 0, fmt.Errorf("tiffio: pyramid level is %d-bit ×%d samples, want 16-bit grayscale", bits, spp)
+	}
+	if comp != compressionNone && comp != compressionDeflate {
+		return lv, 0, fmt.Errorf("tiffio: unsupported pyramid compression %d", comp)
+	}
+	if lv.W <= 0 || lv.H <= 0 || lv.W > 1<<30 || lv.H > 1<<30 {
+		return lv, 0, fmt.Errorf("tiffio: implausible level dimensions %dx%d", lv.W, lv.H)
+	}
+	if lv.TileW <= 0 || lv.TileH <= 0 || lv.TileW > 1<<16 || lv.TileH > 1<<16 {
+		return lv, 0, fmt.Errorf("tiffio: invalid tile size %dx%d", lv.TileW, lv.TileH)
+	}
+	lv.Across = (lv.W + lv.TileW - 1) / lv.TileW
+	lv.Down = (lv.H + lv.TileH - 1) / lv.TileH
+	want := lv.Across * lv.Down
+	if len(offs) != want || len(cnts) != want {
+		return lv, 0, fmt.Errorf("tiffio: %d tile offsets / %d counts for a %dx%d tile grid", len(offs), len(cnts), lv.Down, lv.Across)
+	}
+	lv.compression = comp
+	lv.offs, lv.cnts = offs, cnts
+	return lv, next, nil
+}
+
+// NumLevels reports the number of pyramid levels.
+func (p *Pyramid) NumLevels() int { return len(p.levels) }
+
+// Level returns the description of level l.
+func (p *Pyramid) Level(l int) PyramidLevel { return p.levels[l] }
+
+// checkTile validates a (level, tx, ty) address.
+func (p *Pyramid) checkTile(l, tx, ty int) (*PyramidLevel, int, error) {
+	if l < 0 || l >= len(p.levels) {
+		return nil, 0, fmt.Errorf("tiffio: pyramid level %d of %d", l, len(p.levels))
+	}
+	lv := &p.levels[l]
+	if tx < 0 || ty < 0 || tx >= lv.Across || ty >= lv.Down {
+		return nil, 0, fmt.Errorf("tiffio: tile (%d,%d) outside level %d's %dx%d grid", tx, ty, l, lv.Down, lv.Across)
+	}
+	return lv, ty*lv.Across + tx, nil
+}
+
+// TilePayload returns the stored (possibly compressed) bytes of one
+// tile — the unit the tile server content-addresses: identical payloads
+// (blank regions deflate identically) hash to one cache entry.
+func (p *Pyramid) TilePayload(l, tx, ty int) ([]byte, error) {
+	lv, idx, err := p.checkTile(l, tx, ty)
+	if err != nil {
+		return nil, err
+	}
+	n := lv.cnts[idx]
+	tileBytes := uint64(lv.TileW) * uint64(lv.TileH) * 2
+	limit := tileBytes
+	if lv.compression == compressionDeflate {
+		limit = 2*tileBytes + 1024
+	}
+	if n == 0 || n > limit {
+		return nil, &corruptError{err: fmt.Errorf("tiffio: tile (%d,%d,%d) claims %d bytes for a %d-byte tile", l, tx, ty, n, tileBytes)}
+	}
+	off := lv.offs[idx]
+	if off > math.MaxInt64 {
+		return nil, &corruptError{err: fmt.Errorf("tiffio: tile offset %d out of range", off)}
+	}
+	buf := make([]byte, n)
+	if _, err := p.r.ReadAt(buf, int64(off)); err != nil {
+		return nil, &corruptError{err: fmt.Errorf("tiffio: tile (%d,%d,%d): %w", l, tx, ty, err)}
+	}
+	return buf, nil
+}
+
+// DecodePayload decodes a payload returned by TilePayload for level l
+// into pixels, clipped to the level bounds (edge tiles come back smaller
+// than TileW×TileH, which is what a deep-zoom client expects).
+func (p *Pyramid) DecodePayload(l, tx, ty int, payload []byte) (*tile.Gray16, error) {
+	lv, _, err := p.checkTile(l, tx, ty)
+	if err != nil {
+		return nil, err
+	}
+	tileBytes := lv.TileW * lv.TileH * 2
+	raw := payload
+	if lv.compression == compressionDeflate {
+		full := make([]byte, tileBytes)
+		if err := inflateTile(full, payload); err != nil {
+			return nil, &corruptError{err: fmt.Errorf("tiffio: tile (%d,%d,%d): %w", l, tx, ty, err)}
+		}
+		raw = full
+	} else if len(raw) != tileBytes {
+		return nil, &corruptError{err: fmt.Errorf("tiffio: tile payload is %d bytes, want %d", len(raw), tileBytes)}
+	}
+	w := min(lv.TileW, lv.W-tx*lv.TileW)
+	h := min(lv.TileH, lv.H-ty*lv.TileH)
+	img := tile.NewGray16(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Pix[y*w+x] = p.bo.Uint16(raw[2*(y*lv.TileW+x):])
+		}
+	}
+	return img, nil
+}
+
+// ReadTileAt reads and decodes one tile, clipped to the level bounds.
+func (p *Pyramid) ReadTileAt(l, tx, ty int) (*tile.Gray16, error) {
+	payload, err := p.TilePayload(l, tx, ty)
+	if err != nil {
+		return nil, err
+	}
+	return p.DecodePayload(l, tx, ty, payload)
+}
+
+// Image assembles the whole of level l — for tests and overviews, not
+// for terapixel level 0.
+func (p *Pyramid) Image(l int) (*tile.Gray16, error) {
+	if l < 0 || l >= len(p.levels) {
+		return nil, fmt.Errorf("tiffio: pyramid level %d of %d", l, len(p.levels))
+	}
+	lv := &p.levels[l]
+	if int64(lv.W)*int64(lv.H) > 1<<28 {
+		return nil, fmt.Errorf("tiffio: level %d (%dx%d) too large to assemble in memory", l, lv.W, lv.H)
+	}
+	img := tile.NewGray16(lv.W, lv.H)
+	for ty := 0; ty < lv.Down; ty++ {
+		for tx := 0; tx < lv.Across; tx++ {
+			t, err := p.ReadTileAt(l, tx, ty)
+			if err != nil {
+				return nil, err
+			}
+			x0, y0 := tx*lv.TileW, ty*lv.TileH
+			for y := 0; y < t.H; y++ {
+				copy(img.Pix[(y0+y)*lv.W+x0:(y0+y)*lv.W+x0+t.W], t.Pix[y*t.W:(y+1)*t.W])
+			}
+		}
+	}
+	return img, nil
+}
+
+// PyramidFile is a Pyramid bound to an open file.
+type PyramidFile struct {
+	*Pyramid
+	f *os.File
+}
+
+// OpenPyramidFile opens the pyramid at path. Close releases the file.
+func OpenPyramidFile(path string) (*PyramidFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := OpenPyramid(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &PyramidFile{Pyramid: p, f: f}, nil
+}
+
+// Close releases the underlying file.
+func (pf *PyramidFile) Close() error { return pf.f.Close() }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sync/atomic"
 
@@ -175,16 +176,17 @@ func decode(r io.ReaderAt) (*tile.Gray16, error) {
 	if bits != 8 && bits != 16 {
 		return nil, fmt.Errorf("tiffio: unsupported bits per sample %d", bits)
 	}
-	if c := first(tagCompression, compressionNone); c != compressionNone {
-		return nil, fmt.Errorf("tiffio: unsupported compression %d", c)
-	}
 	if spp := first(tagSamplesPerPixel, 1); spp != 1 {
 		return nil, fmt.Errorf("tiffio: unsupported samples per pixel %d", spp)
 	}
 
 	// Tiled layout (TIFF 6.0 §15): fixed-size tiles, edge tiles padded.
+	// Tiles may be Deflate-compressed; strips are uncompressed only.
 	if tw := int(first(tagTileWidth, 0)); tw > 0 {
 		return decodeTiled(r, bo, get, width, height, bits)
+	}
+	if c := first(tagCompression, compressionNone); c != compressionNone {
+		return nil, fmt.Errorf("tiffio: unsupported compression %d", c)
 	}
 
 	offsets, ok := get(tagStripOffsets)
@@ -244,6 +246,10 @@ func decodeTiled(r io.ReaderAt, bo binary.ByteOrder, get func(uint16) (ifdEntry,
 	if tw <= 0 || th <= 0 || tw > 1<<16 || th > 1<<16 {
 		return nil, fmt.Errorf("tiffio: invalid tile size %dx%d", tw, th)
 	}
+	comp := first(tagCompression, compressionNone)
+	if comp != compressionNone && comp != compressionDeflate {
+		return nil, fmt.Errorf("tiffio: unsupported tile compression %d", comp)
+	}
 	offsets, ok := get(tagTileOffsets)
 	if !ok {
 		return nil, fmt.Errorf("tiffio: missing TileOffsets")
@@ -261,15 +267,35 @@ func decodeTiled(r io.ReaderAt, bo binary.ByteOrder, get func(uint16) (ifdEntry,
 	tileBytes := tw * th * bytesPerPixel
 	img := tile.NewGray16(width, height)
 	buf := make([]byte, tileBytes)
+	var raw []byte // compressed staging, reused across tiles
 	for ty := 0; ty < down; ty++ {
 		for tx := 0; tx < across; tx++ {
 			idx := ty*across + tx
 			n := int(counts.vals[idx])
-			if n != tileBytes {
-				return nil, fmt.Errorf("tiffio: tile %d is %d bytes, want %d", idx, n, tileBytes)
-			}
-			if _, err := r.ReadAt(buf, int64(offsets.vals[idx])); err != nil {
-				return nil, fmt.Errorf("tiffio: tile %d: %w", idx, err)
+			if comp == compressionDeflate {
+				// zlib never expands a tile past a small constant-factor
+				// overhead; a larger claim is a corrupt directory, caught
+				// before allocating.
+				if n <= 0 || n > 2*tileBytes+1024 {
+					return nil, fmt.Errorf("tiffio: compressed tile %d claims %d bytes for a %d-byte tile", idx, n, tileBytes)
+				}
+				if cap(raw) < n {
+					raw = make([]byte, n)
+				}
+				raw = raw[:n]
+				if _, err := r.ReadAt(raw, int64(offsets.vals[idx])); err != nil {
+					return nil, fmt.Errorf("tiffio: tile %d: %w", idx, err)
+				}
+				if err := inflateTile(buf, raw); err != nil {
+					return nil, fmt.Errorf("tiffio: tile %d: %w", idx, err)
+				}
+			} else {
+				if n != tileBytes {
+					return nil, fmt.Errorf("tiffio: tile %d is %d bytes, want %d", idx, n, tileBytes)
+				}
+				if _, err := r.ReadAt(buf, int64(offsets.vals[idx])); err != nil {
+					return nil, fmt.Errorf("tiffio: tile %d: %w", idx, err)
+				}
 			}
 			for y := 0; y < th; y++ {
 				iy := ty*th + y
@@ -367,6 +393,10 @@ type EncodeOpts struct {
 	// TileW/TileH switch to the tiled layout (TIFF 6.0 §15). The spec
 	// requires multiples of 16. Zero keeps strips.
 	TileW, TileH int
+	// Deflate zlib-compresses each tile payload independently
+	// (Compression=8, TIFF Technical Note 2). Only the tiled layout
+	// supports it.
+	Deflate bool
 }
 
 // Encode writes img as an uncompressed 16-bit grayscale baseline TIFF.
@@ -383,6 +413,9 @@ func Encode(w io.Writer, img *tile.Gray16, opts EncodeOpts) error {
 	if opts.TileW > 0 || opts.TileH > 0 {
 		return encodeTiled(w, img, bo, mark, opts)
 	}
+	if opts.Deflate {
+		return fmt.Errorf("tiffio: Deflate requires the tiled layout (set TileW/TileH)")
+	}
 	rps := opts.RowsPerStrip
 	if rps <= 0 {
 		rowBytes := img.W * 2
@@ -396,27 +429,27 @@ func Encode(w io.Writer, img *tile.Gray16, opts EncodeOpts) error {
 	}
 	nStrips := (img.H + rps - 1) / rps
 
-	// Layout: header(8) | pixel strips | IFD | out-of-line tag data.
-	pixBytes := img.W * img.H * 2
-	stripOff := make([]uint32, nStrips)
-	stripCnt := make([]uint32, nStrips)
-	off := uint32(8)
+	// Layout: header(8) | pixel strips | IFD | out-of-line tag data. The
+	// offsets are computed in int64 and checked against the 32-bit field
+	// width: before the check a >4 GiB image wrapped them silently.
+	sizes := make([]int, nStrips)
 	for s := 0; s < nStrips; s++ {
 		rows := rps
 		if s == nStrips-1 {
 			rows = img.H - s*rps
 		}
-		stripOff[s] = off
-		stripCnt[s] = uint32(rows * img.W * 2)
-		off += stripCnt[s]
+		sizes[s] = rows * img.W * 2
 	}
-	ifdOff := 8 + uint32(pixBytes)
+	stripOff, stripCnt, ifdOff, err := chunkLayout(8, sizes)
+	if err != nil {
+		return err
+	}
 
 	// Header.
 	hdr := make([]byte, 8)
 	hdr[0], hdr[1] = mark[0], mark[1]
 	bo.PutUint16(hdr[2:4], 42)
-	bo.PutUint32(hdr[4:8], ifdOff)
+	bo.PutUint32(hdr[4:8], uint32(ifdOff))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -440,23 +473,26 @@ func Encode(w io.Writer, img *tile.Gray16, opts EncodeOpts) error {
 	}
 	nEntries := 10
 	ifdSize := 2 + nEntries*12 + 4
-	extraOff := ifdOff + uint32(ifdSize)
+	extraBase := ifdOff + int64(ifdSize)
 
 	var extra []byte
 	appendLongs := func(vals []uint32) uint32 {
-		o := extraOff + uint32(len(extra))
+		o := extraBase + int64(len(extra))
 		for _, v := range vals {
 			var b [4]byte
 			bo.PutUint32(b[:], v)
 			extra = append(extra, b[:]...)
 		}
-		return o
+		return uint32(o)
 	}
 
 	offVal, cntVal := stripOff[0], stripCnt[0]
 	if nStrips > 1 {
 		offVal = appendLongs(stripOff)
 		cntVal = appendLongs(stripCnt)
+	}
+	if extraBase+int64(len(extra)) > math.MaxUint32 {
+		return ErrOffsetOverflow
 	}
 	entries := []entry{
 		{tagImageWidth, typeLong, 1, uint32(img.W)},

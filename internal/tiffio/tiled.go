@@ -1,17 +1,100 @@
 package tiffio
 
 import (
+	"bytes"
+	"compress/zlib"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"hybridstitch/internal/tile"
 )
 
+// compressionDeflate is the zlib-wrapped Deflate codec (TIFF Technical
+// Note 2, the "Adobe" Deflate tag value every modern reader supports).
+const compressionDeflate = 8
+
+// ErrOffsetOverflow reports that an encode would place data past the
+// 4 GiB boundary classic TIFF's 32-bit offsets can address. Before this
+// check the offsets silently wrapped and the file was corrupt. Plates
+// that large belong in the BigTIFF pyramid layout: compose them with
+// compose.ComposeSharded into a tiffio.PyramidWriter, whose offsets are
+// 64-bit.
+var ErrOffsetOverflow = errors.New("tiffio: image exceeds the 4 GiB classic-TIFF offset space (write it with the sharded pyramid writer: compose.ComposeSharded / tiffio.NewPyramidWriter)")
+
+// chunkLayout assigns sequential file offsets starting at base to chunks
+// of the given sizes, returning the 32-bit offset and byte-count arrays
+// a classic TIFF directory stores and the file position after the last
+// chunk. The arithmetic runs in int64 so an offset that would wrap the
+// 32-bit field is detected instead of silently truncated.
+func chunkLayout(base int64, sizes []int) (offs, cnts []uint32, end int64, err error) {
+	offs = make([]uint32, len(sizes))
+	cnts = make([]uint32, len(sizes))
+	off := base
+	for i, n := range sizes {
+		if n < 0 {
+			return nil, nil, 0, fmt.Errorf("tiffio: negative chunk size %d", n)
+		}
+		if off > math.MaxUint32 {
+			return nil, nil, 0, ErrOffsetOverflow
+		}
+		offs[i] = uint32(off)
+		cnts[i] = uint32(n)
+		off += int64(n)
+	}
+	if off > math.MaxUint32 {
+		return nil, nil, 0, ErrOffsetOverflow
+	}
+	return offs, cnts, off, nil
+}
+
+// inflateTile decompresses one zlib-wrapped tile payload into dst,
+// which must be exactly the decompressed tile size.
+func inflateTile(dst, src []byte) error {
+	zr, err := zlib.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	if _, err := io.ReadFull(zr, dst); err != nil {
+		return fmt.Errorf("short tile payload: %w", err)
+	}
+	var one [1]byte
+	if n, _ := zr.Read(one[:]); n != 0 {
+		return errors.New("tile payload longer than tile")
+	}
+	return nil
+}
+
+// packTile copies the (tx, ty) tile of img into buf (tw×th 16-bit
+// samples in bo order), zero-padding past the right/bottom image edges.
+func packTile(buf []byte, img *tile.Gray16, bo binary.ByteOrder, tx, ty, tw, th int) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	for y := 0; y < th; y++ {
+		iy := ty*th + y
+		if iy >= img.H {
+			break
+		}
+		for x := 0; x < tw; x++ {
+			ix := tx*tw + x
+			if ix >= img.W {
+				break
+			}
+			bo.PutUint16(buf[2*(y*tw+x):], img.At(ix, iy))
+		}
+	}
+}
+
 // encodeTiled writes the tile-organized layout (TIFF 6.0 §15): the image
 // is cut into fixed-size tiles, edge tiles zero-padded to full size, and
 // the IFD carries TileWidth/TileLength/TileOffsets/TileByteCounts in
-// place of the strip tags.
+// place of the strip tags. With opts.Deflate each tile payload is
+// zlib-compressed independently, so readers can still random-access
+// single tiles.
 func encodeTiled(w io.Writer, img *tile.Gray16, bo binary.ByteOrder, mark [2]byte, opts EncodeOpts) error {
 	tw, th := opts.TileW, opts.TileH
 	if tw <= 0 {
@@ -28,49 +111,47 @@ func encodeTiled(w io.Writer, img *tile.Gray16, bo binary.ByteOrder, mark [2]byt
 	nTiles := across * down
 	tileBytes := tw * th * 2
 
-	// Layout: header(8) | tiles | IFD | out-of-line arrays.
-	offsets := make([]uint32, nTiles)
-	counts := make([]uint32, nTiles)
-	off := uint32(8)
-	for i := range offsets {
-		offsets[i] = off
-		counts[i] = uint32(tileBytes)
-		off += uint32(tileBytes)
+	// Build every tile payload up front: compressed sizes are only known
+	// after compressing, and the offsets must be final before the header
+	// is written (the IFD follows the payloads).
+	var payloads bytes.Buffer
+	sizes := make([]int, nTiles)
+	buf := make([]byte, tileBytes)
+	var zw *zlib.Writer
+	for ty := 0; ty < down; ty++ {
+		for tx := 0; tx < across; tx++ {
+			idx := ty*across + tx
+			packTile(buf, img, bo, tx, ty, tw, th)
+			if opts.Deflate {
+				start := payloads.Len()
+				if zw == nil {
+					zw = zlib.NewWriter(&payloads)
+				} else {
+					zw.Reset(&payloads)
+				}
+				if _, err := zw.Write(buf); err != nil {
+					return err
+				}
+				if err := zw.Close(); err != nil {
+					return err
+				}
+				sizes[idx] = payloads.Len() - start
+			} else {
+				payloads.Write(buf)
+				sizes[idx] = tileBytes
+			}
+		}
 	}
-	ifdOff := off
 
-	hdr := make([]byte, 8)
-	hdr[0], hdr[1] = mark[0], mark[1]
-	bo.PutUint16(hdr[2:4], 42)
-	bo.PutUint32(hdr[4:8], ifdOff)
-	if _, err := w.Write(hdr); err != nil {
+	// Layout: header(8) | tiles | IFD | out-of-line arrays.
+	offsets, counts, ifdOff, err := chunkLayout(8, sizes)
+	if err != nil {
 		return err
 	}
 
-	// Tile payloads, zero-padded at the right/bottom edges.
-	buf := make([]byte, tileBytes)
-	for ty := 0; ty < down; ty++ {
-		for tx := 0; tx < across; tx++ {
-			for i := range buf {
-				buf[i] = 0
-			}
-			for y := 0; y < th; y++ {
-				iy := ty*th + y
-				if iy >= img.H {
-					break
-				}
-				for x := 0; x < tw; x++ {
-					ix := tx*tw + x
-					if ix >= img.W {
-						break
-					}
-					bo.PutUint16(buf[2*(y*tw+x):], img.At(ix, iy))
-				}
-			}
-			if _, err := w.Write(buf); err != nil {
-				return err
-			}
-		}
+	compression := uint32(compressionNone)
+	if opts.Deflate {
+		compression = compressionDeflate
 	}
 
 	type entry struct {
@@ -80,33 +161,47 @@ func encodeTiled(w io.Writer, img *tile.Gray16, bo binary.ByteOrder, mark [2]byt
 	}
 	nEntries := 10
 	ifdSize := 2 + nEntries*12 + 4
-	extraOff := ifdOff + uint32(ifdSize)
+	extraBase := ifdOff + int64(ifdSize)
 	var extra []byte
 	appendLongs := func(vals []uint32) uint32 {
-		o := extraOff + uint32(len(extra))
+		o := extraBase + int64(len(extra))
 		for _, v := range vals {
 			var b [4]byte
 			bo.PutUint32(b[:], v)
 			extra = append(extra, b[:]...)
 		}
-		return o
+		return uint32(o)
 	}
 	offVal, cntVal := offsets[0], counts[0]
 	if nTiles > 1 {
 		offVal = appendLongs(offsets)
 		cntVal = appendLongs(counts)
 	}
+	if extraBase+int64(len(extra)) > math.MaxUint32 {
+		return ErrOffsetOverflow
+	}
 	entries := []entry{
 		{tagImageWidth, typeLong, 1, uint32(img.W)},
 		{tagImageLength, typeLong, 1, uint32(img.H)},
 		{tagBitsPerSample, typeShort, 1, 16},
-		{tagCompression, typeShort, 1, compressionNone},
+		{tagCompression, typeShort, 1, compression},
 		{tagPhotometric, typeShort, 1, photometricMinIsBlack},
 		{tagSamplesPerPixel, typeShort, 1, 1},
 		{tagTileWidth, typeLong, 1, uint32(tw)},
 		{tagTileLength, typeLong, 1, uint32(th)},
 		{tagTileOffsets, typeLong, uint32(nTiles), offVal},
 		{tagTileByteCounts, typeLong, uint32(nTiles), cntVal},
+	}
+
+	hdr := make([]byte, 8)
+	hdr[0], hdr[1] = mark[0], mark[1]
+	bo.PutUint16(hdr[2:4], 42)
+	bo.PutUint32(hdr[4:8], uint32(ifdOff))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(payloads.Bytes()); err != nil {
+		return err
 	}
 	ifd := make([]byte, ifdSize)
 	bo.PutUint16(ifd[0:2], uint16(nEntries))

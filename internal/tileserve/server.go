@@ -1,0 +1,258 @@
+// Package tileserve is the read-heavy half of the production story the
+// paper's future-work section sketches (stitch once, serve millions):
+// an HTTP deep-zoom tile server over a stitched pyramid file. Requests
+// address tiles as /tile/{level}/{tx}/{ty}; decoding goes through a
+// content-addressed LRU keyed on the hash of the stored (compressed)
+// payload, so identical payloads — blank agar around the colonies
+// deflates to identical bytes — share one cache entry no matter how
+// many tile addresses they appear at.
+package tileserve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybridstitch/internal/obs"
+	"hybridstitch/internal/tiffio"
+	"hybridstitch/internal/tile"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheBytes bounds the decoded-tile LRU (default 64 MiB). Entry
+	// cost is the decoded pixel size, not the compressed payload.
+	CacheBytes int64
+	// Rec records serve.tile.* counters, the latency histogram, and the
+	// cache-size gauge (nil skips recording).
+	Rec *obs.Recorder
+}
+
+// cacheKey is the content address of a decoded tile: the SHA-256 of the
+// stored payload bytes.
+type cacheKey [sha256.Size]byte
+
+type cacheEntry struct {
+	key  cacheKey
+	img  *tile.Gray16
+	cost int64
+}
+
+// flightCall is one in-progress decode other requesters wait on
+// (singleflight: N concurrent misses on one key decode once).
+type flightCall struct {
+	done chan struct{}
+	img  *tile.Gray16
+	err  error
+}
+
+// Server serves deep-zoom tiles from a pyramid with a bounded
+// content-addressed decode cache. Safe for concurrent use.
+type Server struct {
+	pyr *tiffio.Pyramid
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recent; values are *cacheEntry
+	byKey    map[cacheKey]*list.Element
+	inflight map[cacheKey]*flightCall
+	bytes    int64
+	budget   int64
+
+	hits, misses, evictions int64
+
+	cHits, cMisses, cEvict, cErrors *obs.Counter
+	hLatency                        *obs.Histogram
+	gBytes                          *obs.Gauge
+
+	mux *http.ServeMux
+}
+
+// New builds a server over an opened pyramid.
+func New(pyr *tiffio.Pyramid, opts Options) *Server {
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	s := &Server{
+		pyr:      pyr,
+		lru:      list.New(),
+		byKey:    make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*flightCall),
+		budget:   opts.CacheBytes,
+		cHits:    opts.Rec.Counter(obs.CounterServeTileHits),
+		cMisses:  opts.Rec.Counter(obs.CounterServeTileMisses),
+		cEvict:   opts.Rec.Counter(obs.CounterServeTileEvictions),
+		cErrors:  opts.Rec.Counter(obs.CounterServeTileErrors),
+		hLatency: opts.Rec.Histogram(obs.HistServeTileSeconds),
+		gBytes:   opts.Rec.Gauge(obs.GaugeServeCacheBytes),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /info", s.handleInfo)
+	s.mux.HandleFunc("GET /tile/{level}/{tx}/{ty}", s.handleTile)
+	return s
+}
+
+// Tile returns the decoded tile at (level, tx, ty), through the cache.
+func (s *Server) Tile(level, tx, ty int) (*tile.Gray16, error) {
+	payload, err := s.pyr.TilePayload(level, tx, ty)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(sha256.Sum256(payload))
+
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		s.mu.Unlock()
+		s.cHits.Add(1)
+		return el.Value.(*cacheEntry).img, nil
+	}
+	if fc, ok := s.inflight[key]; ok {
+		// Another goroutine is decoding this content; wait for it. A
+		// follower counts as a hit: the content was decoded once.
+		s.mu.Unlock()
+		<-fc.done
+		if fc.err != nil {
+			return nil, fc.err
+		}
+		s.mu.Lock()
+		if el, ok := s.byKey[key]; ok {
+			s.lru.MoveToFront(el)
+		}
+		s.hits++
+		s.mu.Unlock()
+		s.cHits.Add(1)
+		return fc.img, nil
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	s.inflight[key] = fc
+	s.mu.Unlock()
+
+	img, err := s.pyr.DecodePayload(level, tx, ty, payload)
+	fc.img, fc.err = img, err
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.insertLocked(key, img)
+		s.misses++
+	}
+	cacheBytes := s.bytes
+	s.mu.Unlock()
+	close(fc.done)
+	if err != nil {
+		return nil, err
+	}
+	s.cMisses.Add(1)
+	s.gBytes.Set(float64(cacheBytes))
+	return img, nil
+}
+
+// insertLocked adds a decoded tile and evicts from the cold end until
+// the budget holds. Call with s.mu held.
+func (s *Server) insertLocked(key cacheKey, img *tile.Gray16) {
+	if _, ok := s.byKey[key]; ok {
+		return // raced with another decode of identical content
+	}
+	cost := int64(len(img.Pix) * 2)
+	el := s.lru.PushFront(&cacheEntry{key: key, img: img, cost: cost})
+	s.byKey[key] = el
+	s.bytes += cost
+	for s.bytes > s.budget && s.lru.Len() > 1 {
+		cold := s.lru.Back()
+		ce := cold.Value.(*cacheEntry)
+		s.lru.Remove(cold)
+		delete(s.byKey, ce.key)
+		s.bytes -= ce.cost
+		s.evictions++
+		s.cEvict.Add(1)
+	}
+}
+
+// CacheStats reports cache behavior for tests and the experiments
+// report.
+func (s *Server) CacheStats() (hits, misses, evictions, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions, s.bytes
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// levelInfo is one entry of the /info response.
+type levelInfo struct {
+	Level  int `json:"level"`
+	W      int `json:"w"`
+	H      int `json:"h"`
+	TileW  int `json:"tile_w"`
+	TileH  int `json:"tile_h"`
+	Across int `json:"across"`
+	Down   int `json:"down"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	infos := make([]levelInfo, s.pyr.NumLevels())
+	for l := range infos {
+		lv := s.pyr.Level(l)
+		infos[l] = levelInfo{Level: l, W: lv.W, H: lv.H, TileW: lv.TileW, TileH: lv.TileH, Across: lv.Across, Down: lv.Down}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Levels []levelInfo `json:"levels"`
+	}{infos})
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	level, err1 := strconv.Atoi(r.PathValue("level"))
+	tx, err2 := strconv.Atoi(r.PathValue("tx"))
+	ty, err3 := strconv.Atoi(r.PathValue("ty"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		s.cErrors.Add(1)
+		http.Error(w, "tile address must be numeric", http.StatusBadRequest)
+		return
+	}
+	img, err := s.Tile(level, tx, ty)
+	if err != nil {
+		s.cErrors.Add(1)
+		status := http.StatusNotFound
+		http.Error(w, err.Error(), status)
+		return
+	}
+	gray := image.NewGray16(image.Rect(0, 0, img.W, img.H))
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			gray.SetGray16(x, y, color.Gray16{Y: img.At(x, y)})
+		}
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if err := png.Encode(w, gray); err != nil {
+		// Headers are gone; nothing to do but record it.
+		s.cErrors.Add(1)
+		return
+	}
+	s.hLatency.ObserveDuration(time.Since(start))
+}
+
+// ServePyramidFile opens the pyramid at path and serves it on addr,
+// blocking. The plateview CLI's -serve mode is this.
+func ServePyramidFile(path, addr string, opts Options) error {
+	pf, err := tiffio.OpenPyramidFile(path)
+	if err != nil {
+		return fmt.Errorf("tileserve: %w", err)
+	}
+	defer pf.Close()
+	return http.ListenAndServe(addr, New(pf.Pyramid, opts))
+}
