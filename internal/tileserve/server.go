@@ -3,15 +3,17 @@
 // an HTTP deep-zoom tile server over a stitched pyramid file. Requests
 // address tiles as /tile/{level}/{tx}/{ty}; decoding goes through a
 // content-addressed LRU keyed on the hash of the stored (compressed)
-// payload, so identical payloads — blank agar around the colonies
-// deflates to identical bytes — share one cache entry no matter how
-// many tile addresses they appear at.
+// payload plus the decoded dimensions, so identical same-size payloads
+// — blank agar around the colonies deflates to identical bytes — share
+// one cache entry no matter how many tile addresses they appear at,
+// while edge tiles (clipped smaller on decode) stay distinct.
 package tileserve
 
 import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image"
 	"image/color"
@@ -37,8 +39,15 @@ type Options struct {
 }
 
 // cacheKey is the content address of a decoded tile: the SHA-256 of the
-// stored payload bytes.
-type cacheKey [sha256.Size]byte
+// stored payload bytes plus the decoded dimensions. The dimensions are
+// part of the key because edge-tile payloads are zero-padded to the full
+// TileW×TileH before compression but decode clipped to the level bounds,
+// so a blank interior tile and a blank edge tile share payload bytes yet
+// decode to different images.
+type cacheKey struct {
+	sum  [sha256.Size]byte
+	w, h int
+}
 
 type cacheEntry struct {
 	key  cacheKey
@@ -105,7 +114,14 @@ func (s *Server) Tile(level, tx, ty int) (*tile.Gray16, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey(sha256.Sum256(payload))
+	// TilePayload validated the address, so Level and the clip math are
+	// in range here.
+	lv := s.pyr.Level(level)
+	key := cacheKey{
+		sum: sha256.Sum256(payload),
+		w:   min(lv.TileW, lv.W-tx*lv.TileW),
+		h:   min(lv.TileH, lv.H-ty*lv.TileH),
+	}
 
 	s.mu.Lock()
 	if el, ok := s.byKey[key]; ok {
@@ -226,7 +242,13 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	img, err := s.Tile(level, tx, ty)
 	if err != nil {
 		s.cErrors.Add(1)
+		// Address-range errors are the client's fault; corrupt pyramids
+		// and I/O failures are ours and must not read as "tile missing"
+		// to clients or monitoring.
 		status := http.StatusNotFound
+		if errors.Is(err, tiffio.ErrCorrupt) {
+			status = http.StatusInternalServerError
+		}
 		http.Error(w, err.Error(), status)
 		return
 	}

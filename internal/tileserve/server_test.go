@@ -135,6 +135,67 @@ func TestTileCacheHitsAndContentDedup(t *testing.T) {
 	}
 }
 
+// TestEdgeTileNotDedupedWithInterior pins the cache-key regression on
+// plates whose dimensions are not tile multiples: the writer zero-pads
+// edge-tile payloads to full TileW×TileH before deflate, so a blank
+// interior tile and a blank edge tile have identical payload bytes but
+// must decode — and cache — to different dimensions.
+func TestEdgeTileNotDedupedWithInterior(t *testing.T) {
+	p := testPyramid(t, 256, 100) // 32x32 tiles: bottom row clips to 32x4
+	lv := p.Level(0)
+	edgeH := lv.H - (lv.Down-1)*lv.TileH
+	if edgeH == lv.TileH {
+		t.Fatal("test plate height must not be a tile multiple")
+	}
+	blankTx := lv.Across - 1 // right half of the plate is blank
+
+	// Interior blank first, then the blank edge tile below it.
+	s := New(p, Options{})
+	interior, err := s.Tile(0, blankTx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interior.W != lv.TileW || interior.H != lv.TileH {
+		t.Fatalf("interior blank tile is %dx%d, want %dx%d", interior.W, interior.H, lv.TileW, lv.TileH)
+	}
+	edge, err := s.Tile(0, blankTx, lv.Down-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.W != lv.TileW || edge.H != edgeH {
+		t.Fatalf("edge blank tile is %dx%d, want %dx%d", edge.W, edge.H, lv.TileW, edgeH)
+	}
+
+	// Reverse order on a fresh server: the clipped decode must not be
+	// served at interior addresses either.
+	s2 := New(p, Options{})
+	if img, err := s2.Tile(0, blankTx, lv.Down-1); err != nil {
+		t.Fatal(err)
+	} else if img.H != edgeH {
+		t.Fatalf("edge-first: edge tile height %d, want %d", img.H, edgeH)
+	}
+	if img, err := s2.Tile(0, blankTx, 0); err != nil {
+		t.Fatal(err)
+	} else if img.H != lv.TileH {
+		t.Fatalf("edge-first: interior tile height %d, want %d", img.H, lv.TileH)
+	}
+
+	// Same-size blank tiles still dedup: interior blanks across the
+	// blank half must cost one decode.
+	s3 := New(p, Options{})
+	for ty := 0; ty < lv.Down-1; ty++ {
+		for tx := lv.Across / 2; tx < lv.Across; tx++ {
+			if _, err := s3.Tile(0, tx, ty); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, misses, _, _ := s3.CacheStats()
+	if misses != 1 {
+		t.Fatalf("interior blank tiles not deduped: %d misses, want 1", misses)
+	}
+}
+
 func TestCacheEviction(t *testing.T) {
 	p := testPyramid(t, 256, 128)
 	lv := p.Level(0)
