@@ -70,7 +70,7 @@ check: build
 # bench runs every benchmark and converts the output into a
 # machine-readable snapshot (BENCH_<tag>.json) for benchdiff. Override
 # BENCH_TAG to keep several snapshots side by side.
-BENCH_TAG ?= pr9
+BENCH_TAG ?= pr10
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 	$(GO) run ./cmd/experiments -bench-in bench_output.txt -bench-out BENCH_$(BENCH_TAG).json
@@ -78,8 +78,8 @@ bench:
 # benchdiff flags >15% ns/op regressions between two snapshots:
 #   make benchdiff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json
 # The defaults gate the current PR's snapshot against the previous one.
-OLD ?= BENCH_pr8.json
-NEW ?= BENCH_pr9.json
+OLD ?= BENCH_pr9.json
+NEW ?= BENCH_pr10.json
 benchdiff:
 	$(GO) run ./cmd/experiments -bench-old $(OLD) -bench-new $(NEW)
 
@@ -113,6 +113,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDegradedTileRead -fuzztime 30s ./internal/stitch/
 	$(GO) test -fuzz FuzzChromeTrace -fuzztime 30s ./internal/obs/
 	$(GO) test -fuzz FuzzRealPlanRoundTrip -fuzztime 30s ./internal/fft/
+	$(GO) test -fuzz FuzzCSRLaplacian -fuzztime 30s ./internal/global/
 
 # fuzz-smoke is the CI-sized pass: every fuzz target for 10s each, enough
 # to catch regressions in the decode/unmarshal paths without dominating
@@ -125,6 +126,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDegradedTileRead -fuzztime 10s ./internal/stitch/
 	$(GO) test -fuzz FuzzChromeTrace -fuzztime 10s ./internal/obs/
 	$(GO) test -fuzz FuzzRealPlanRoundTrip -fuzztime 10s ./internal/fft/
+	$(GO) test -fuzz FuzzCSRLaplacian -fuzztime 10s ./internal/global/
 
 clean:
 	rm -rf results dataset pyramid_out

@@ -46,6 +46,8 @@ func main() {
 		cache    = flag.Int("cache", 0, "decoded-tile cache bound (0 = 2×columns)")
 		stretchF = flag.Bool("stretch", true, "contrast-stretch outputs for display")
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "phase-1 worker threads when computing displacements fresh")
+		solver   = flag.String("solver", "mst", "phase-2 solver: mst (spanning tree) or ls (least squares); matches `stitch -solver`")
+		lsSolver = flag.String("ls-solver", "auto", "least-squares engine for -solver ls: auto (pcg on large plates), gs, pcg")
 
 		serveAddr  = flag.String("serve", "", "serve deep-zoom tiles over HTTP on this address (requires -pyramid)")
 		pyramid    = flag.String("pyramid", "", "pyramid file written by `stitch -compose-out`")
@@ -88,7 +90,21 @@ func main() {
 		fmt.Printf("computed displacements in %v (%d threads)\n", time.Since(t0).Round(time.Millisecond), *threads)
 	}
 
-	pl, err := global.Solve(res, global.Options{RepairOutliers: true})
+	// Resolve positions with the same solver choices as cmd/stitch, so
+	// the served mosaic matches the CLI's output for the same plate.
+	var pl *global.Placement
+	switch *solver {
+	case "mst":
+		pl, err = global.Solve(res, global.Options{RepairOutliers: true})
+	case "ls":
+		kind, kerr := global.ParseSolverKind(*lsSolver)
+		if kerr != nil {
+			log.Fatalf("-ls-solver: %v", kerr)
+		}
+		pl, err = global.SolveLeastSquares(res, global.LSOptions{Solver: kind})
+	default:
+		log.Fatalf("unknown -solver %q (want mst or ls)", *solver)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,6 +59,8 @@ func main() {
 		highlight = flag.String("highlight", "", "write a tile-outline overlay to this PNG")
 		blendName = flag.String("blend", "overlay", "composite blend: overlay, average, linear")
 		solver    = flag.String("solver", "mst", "phase-2 solver: mst (spanning tree) or ls (least squares)")
+		lsSolver  = flag.String("ls-solver", "auto", "least-squares engine for -solver ls: auto (pcg on large plates), gs, pcg")
+		lsPrecond = flag.String("ls-precond", "twolevel", "PCG preconditioner for -solver ls: twolevel, jacobi")
 		stretch   = flag.Bool("stretch", true, "contrast-stretch the composite PNG for display")
 		refine    = flag.Bool("refine", false, "repair low-confidence pairs via CCF search from the stage model before phase 2")
 		wisdom    = flag.String("wisdom", "", "FFT wisdom file: imported if present, updated after the run")
@@ -200,7 +202,17 @@ func main() {
 	case "mst":
 		pl, err = global.Solve(res, global.Options{RepairOutliers: true, Obs: rec})
 	case "ls":
-		pl, err = global.SolveLeastSquares(res, global.LSOptions{})
+		kind, kerr := global.ParseSolverKind(*lsSolver)
+		if kerr != nil {
+			log.Fatalf("-ls-solver: %v", kerr)
+		}
+		pre, perr := global.ParsePrecondKind(*lsPrecond)
+		if perr != nil {
+			log.Fatalf("-ls-precond: %v", perr)
+		}
+		pl, err = global.SolveLeastSquares(res, global.LSOptions{
+			Solver: kind, Precond: pre, Pool: opts.TransformPool(), Obs: rec,
+		})
 	default:
 		log.Fatalf("unknown -solver %q (want mst or ls)", *solver)
 	}

@@ -1,0 +1,151 @@
+package global
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCSRLaplacian drives newLSSystem with randomized edge lists and
+// checks the CSR structure invariants plus the numerical kernels against
+// naive references: SpMV and the normal equations against a dense
+// Laplacian, and gsSweep against an adjacency-list sweep built in the
+// same append order (which must match bit-for-bit — that order is the
+// seed-oracle contract).
+func FuzzCSRLaplacian(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(12))
+	f.Add(int64(42), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(40), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, nodes, edgeCount uint8) {
+		n := int(nodes)%48 + 2
+		ne := int(edgeCount) % 160
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]lsEdge, 0, ne)
+		for i := 0; i < ne; i++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			if from == to {
+				continue
+			}
+			edges = append(edges, lsEdge{
+				from: from, to: to,
+				dx: rng.Intn(201) - 100, dy: rng.Intn(201) - 100,
+				w: 1e-3 + rng.Float64(),
+			})
+		}
+		sys := newLSSystem(n, edges)
+
+		// Structure invariants.
+		if got, want := int(sys.rowPtr[n]), 2*len(edges); got != want {
+			t.Fatalf("nnz = %d, want %d", got, want)
+		}
+		for i := 0; i < n; i++ {
+			if sys.rowPtr[i] > sys.rowPtr[i+1] {
+				t.Fatalf("rowPtr not monotone at %d", i)
+			}
+		}
+		seen := make([]int, len(edges))
+		for i := 0; i < n; i++ {
+			for k := sys.rowPtr[i]; k < sys.rowPtr[i+1]; k++ {
+				e := edges[sys.edgeRef[k]]
+				seen[sys.edgeRef[k]]++
+				switch i {
+				case e.to:
+					if int(sys.colInd[k]) != e.from || sys.ex[k] != float64(e.dx) {
+						t.Fatalf("row %d entry %d disagrees with edge %d (to-side)", i, k, sys.edgeRef[k])
+					}
+				case e.from:
+					if int(sys.colInd[k]) != e.to || sys.ex[k] != -float64(e.dx) {
+						t.Fatalf("row %d entry %d disagrees with edge %d (from-side)", i, k, sys.edgeRef[k])
+					}
+				default:
+					t.Fatalf("edge %d appears in row %d, which it does not touch", sys.edgeRef[k], i)
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 2 {
+				t.Fatalf("edge %d has %d CSR entries, want 2", i, c)
+			}
+		}
+
+		// Random weights (as IRLS would leave them) and positions.
+		for i := range sys.robustW {
+			sys.robustW[i] = 1e-3 + rng.Float64()
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 50
+		}
+
+		// Dense Laplacian reference for SpMV and the normal equations.
+		dense := make([]float64, n*n)
+		bxRef := make([]float64, n)
+		byRef := make([]float64, n)
+		for i, e := range edges {
+			w := sys.robustW[i]
+			dense[e.from*n+e.from] += w
+			dense[e.to*n+e.to] += w
+			dense[e.from*n+e.to] -= w
+			dense[e.to*n+e.from] -= w
+			bxRef[e.to] += w * float64(e.dx)
+			bxRef[e.from] -= w * float64(e.dx)
+			byRef[e.to] += w * float64(e.dy)
+			byRef[e.from] -= w * float64(e.dy)
+		}
+		diag := make([]float64, n)
+		bx := make([]float64, n)
+		by := make([]float64, n)
+		sys.normalRange(diag, bx, by, 0, n)
+		dst := make([]float64, n)
+		sys.spmvRange(dst, x, diag, 0, n)
+		for i := 0; i < n; i++ {
+			var want float64
+			for j := 0; j < n; j++ {
+				want += dense[i*n+j] * x[j]
+			}
+			if d := dst[i] - want; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("spmv row %d = %g, dense says %g", i, dst[i], want)
+			}
+			if d := bx[i] - bxRef[i]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("bx[%d] = %g, dense says %g", i, bx[i], bxRef[i])
+			}
+			if d := by[i] - byRef[i]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("by[%d] = %g, dense says %g", i, by[i], byRef[i])
+			}
+		}
+
+		// gsSweep against an adjacency sweep replayed from the CSR entry
+		// order with the same accumulation expressions: the X-axis update
+		// is independent of Y, so the X positions must be bit-equal.
+		type nb struct {
+			j    int
+			w, e float64
+		}
+		ref := make([][]nb, n)
+		for i := 0; i < n; i++ {
+			for k := sys.rowPtr[i]; k < sys.rowPtr[i+1]; k++ {
+				ref[i] = append(ref[i], nb{j: int(sys.colInd[k]), w: sys.robustW[sys.edgeRef[k]], e: sys.ex[k]})
+			}
+		}
+		gx := append([]float64(nil), x...)
+		gy := make([]float64, n)
+		rx := append([]float64(nil), x...)
+		sys.gsSweep(gx, gy)
+		for i := 1; i < n; i++ {
+			var sw, sx float64
+			for _, a := range ref[i] {
+				sw += a.w
+				sx += a.w * (rx[a.j] + a.e)
+			}
+			if sw == 0 {
+				continue
+			}
+			rx[i] = sx / sw
+		}
+		for i := 0; i < n; i++ {
+			if gx[i] != rx[i] {
+				t.Fatalf("gsSweep x[%d] = %v, adjacency reference says %v", i, gx[i], rx[i])
+			}
+		}
+	})
+}

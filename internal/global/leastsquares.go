@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"hybridstitch/internal/fft"
+	"hybridstitch/internal/obs"
 	"hybridstitch/internal/stitch"
 	"hybridstitch/internal/tile"
 )
@@ -17,20 +19,90 @@ import (
 //	Σ_e  w_e · (p_to − p_from − d_e)²
 //
 // over tile positions p, with w_e = max(corr_e, ε). The normal equations
-// form a graph Laplacian system solved by Gauss-Seidel sweeps (the matrix
-// is diagonally dominant for connected graphs, so the iteration
-// converges; tile 0 is pinned to remove the translation null space).
+// form a graph Laplacian system (tile 0 pinned to remove the translation
+// null space) solved by one of two engines: the seed's serial
+// Gauss-Seidel sweeps, retained bit-identical as the differential
+// oracle, or the parallel preconditioned conjugate-gradient engine in
+// pcg.go, which `auto` selects above a size threshold. Robustness comes
+// from IRLS reweighting (Cauchy loss) around either engine; the sparse
+// system itself is built once and reweighted in place (sparse.go).
+
+// SolverKind selects the phase-2 least-squares engine.
+type SolverKind string
+
+const (
+	// SolverAuto (the zero value) picks PCG at or above
+	// autoPCGMinTiles tiles and Gauss-Seidel below it — small plates
+	// keep the seed solver's exact arithmetic, large plates get the
+	// parallel engine.
+	SolverAuto SolverKind = ""
+	// SolverGS forces the serial Gauss-Seidel sweeps.
+	SolverGS SolverKind = "gs"
+	// SolverPCG forces the preconditioned conjugate-gradient engine.
+	SolverPCG SolverKind = "pcg"
+)
+
+// PrecondKind selects the PCG preconditioner.
+type PrecondKind string
+
+const (
+	// PrecondTwoLevel (the zero value) is the aggregation hierarchy:
+	// super-tile coarse solve between damped-Jacobi smoothing flanks.
+	// Iteration counts stay in the tens regardless of plate size.
+	PrecondTwoLevel PrecondKind = ""
+	// PrecondJacobi is plain diagonal scaling — the baseline arm, kept
+	// for the differential matrix and for triage.
+	PrecondJacobi PrecondKind = "jacobi"
+)
+
+// autoPCGMinTiles is the grid size at which SolverAuto switches from the
+// seed Gauss-Seidel to PCG. Below it the serial sweeps finish in
+// microseconds and bit-compatibility with historical snapshots is worth
+// more than the speedup.
+const autoPCGMinTiles = 1024
+
+// irlsRoundTolFactor scales LSOptions.Tol into the round-level IRLS
+// convergence threshold on the PCG path: a round whose largest total
+// position movement stays under factor·Tol (0.01 px at the default Tol)
+// has fixed-pointed — reweighting from essentially unchanged positions
+// yields essentially unchanged weights.
+const irlsRoundTolFactor = 100
+
+// ParseSolverKind maps a CLI flag value to a SolverKind.
+func ParseSolverKind(s string) (SolverKind, error) {
+	switch s {
+	case "", "auto":
+		return SolverAuto, nil
+	case "gs":
+		return SolverGS, nil
+	case "pcg":
+		return SolverPCG, nil
+	}
+	return SolverAuto, fmt.Errorf("global: unknown solver %q (want auto, gs, or pcg)", s)
+}
+
+// ParsePrecondKind maps a CLI flag value to a PrecondKind.
+func ParsePrecondKind(s string) (PrecondKind, error) {
+	switch s {
+	case "", "auto", "twolevel", "two-level":
+		return PrecondTwoLevel, nil
+	case "jacobi":
+		return PrecondJacobi, nil
+	}
+	return PrecondTwoLevel, fmt.Errorf("global: unknown preconditioner %q (want twolevel or jacobi)", s)
+}
 
 // LSOptions tunes SolveLeastSquares.
 type LSOptions struct {
 	// MinCorr excludes edges below this correlation from the system
 	// entirely (they contribute no information).
 	MinCorr float64
-	// MaxIter bounds the Gauss-Seidel sweeps per reweighting round; 0
-	// picks 100·√tiles.
+	// MaxIter bounds the iterations per reweighting round — Gauss-Seidel
+	// sweeps or CG iterations per axis; 0 picks 100·√tiles (a cap CG
+	// never approaches).
 	MaxIter int
-	// Tol stops iteration when the largest per-tile position update in
-	// a sweep falls below it (pixels); 0 picks 1e-4.
+	// Tol stops iteration when the largest per-tile position update of a
+	// sweep (GS) or iteration (CG) falls below it (pixels); 0 picks 1e-4.
 	Tol float64
 	// Rounds is the number of IRLS reweighting rounds: after each
 	// solve, edges are down-weighted by their residual (Cauchy loss),
@@ -48,6 +120,34 @@ type LSOptions struct {
 	// adversarial plates it lets one confidently-wrong displacement drag
 	// whole rows of tiles. Production callers leave it false.
 	Unweighted bool
+	// Solver picks the engine: auto (PCG above autoPCGMinTiles tiles,
+	// Gauss-Seidel below), gs, or pcg.
+	Solver SolverKind
+	// Precond picks the PCG preconditioner: the two-level aggregation
+	// hierarchy (default) or plain Jacobi.
+	Precond PrecondKind
+	// Warm seeds the solve from a previous placement of the SAME grid
+	// instead of the robust spanning tree — the rolling re-solve path.
+	// For grids that grew since the previous solve, use Resolver, which
+	// maps the old placement onto the new grid.
+	Warm *Placement
+	// Pool is the worker budget PCG's SpMV/dot/reweight fan-outs draw
+	// from; nil means fft.SharedPool(). Phase 2 reserves idle tokens for
+	// the solve's duration and releases them on return, so it composes
+	// with phase-1 pair-worker reservations instead of oversubscribing.
+	Pool *fft.WorkerPool
+	// Obs, when non-nil, records a "solve.ls" span on the phase2 track
+	// plus the global.ls.* counters (rounds, GS sweeps, CG iterations)
+	// and the final max-residual gauge.
+	Obs *obs.Recorder
+
+	// warmIncremental (set by Resolver for warm re-solves) runs a single
+	// IRLS round WITH the reweighting pass: the warm positions already
+	// encode the robust fixed point of the previous plate, so one
+	// informed reweight+solve is the incremental IRLS step — repeated
+	// appends keep converging across Solve calls instead of paying the
+	// full round budget per append.
+	warmIncremental bool
 }
 
 func (o LSOptions) withDefaults(n int) LSOptions {
@@ -72,178 +172,154 @@ func (o LSOptions) withDefaults(n int) LSOptions {
 	return o
 }
 
+// effectiveSolver resolves SolverAuto against the plate size.
+func (o LSOptions) effectiveSolver(n int) SolverKind {
+	switch o.Solver {
+	case SolverGS, SolverPCG:
+		return o.Solver
+	}
+	if n >= autoPCGMinTiles {
+		return SolverPCG
+	}
+	return SolverGS
+}
+
 // SolveLeastSquares computes absolute positions by global optimization.
 // Compared with the spanning tree, it averages the over-constraint
 // instead of discarding it: every displacement influences the result in
 // proportion to its confidence, which typically halves the RMS position
 // error under per-edge noise (see the solver-comparison experiment).
 func SolveLeastSquares(res *stitch.Result, opts LSOptions) (*Placement, error) {
+	var warmX, warmY []float64
+	if opts.Warm != nil {
+		n := res.Grid.NumTiles()
+		if len(opts.Warm.X) != n || len(opts.Warm.Y) != n {
+			return nil, fmt.Errorf("global: warm placement has %d/%d tiles, grid has %d",
+				len(opts.Warm.X), len(opts.Warm.Y), n)
+		}
+		warmX = make([]float64, n)
+		warmY = make([]float64, n)
+		for i := 0; i < n; i++ {
+			warmX[i] = float64(opts.Warm.X[i])
+			warmY[i] = float64(opts.Warm.Y[i])
+		}
+	}
+	pl, _, _, err := solveLS(res, opts, warmX, warmY)
+	return pl, err
+}
+
+// solveLS is the shared driver behind SolveLeastSquares and Resolver:
+// build the sparse system once, seed positions (warm vectors, else the
+// robust spanning tree, else nominal), then run IRLS rounds around the
+// selected engine. It returns the placement plus the un-normalized float
+// solution, which Resolver retains as the next warm start.
+func solveLS(res *stitch.Result, opts LSOptions, warmX, warmY []float64) (*Placement, []float64, []float64, error) {
 	g := res.Grid
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	n := g.NumTiles()
 	opts = opts.withDefaults(n)
+	kind := opts.effectiveSolver(n)
 
-	type lsEdge struct {
-		from, to int
-		dx, dy   int
-		w        float64
-	}
-	var edges []lsEdge
-	dropped := 0
-	var westDX, westDY, northDX, northDY []int
-	for _, p := range g.Pairs() {
-		d, ok := res.PairDisplacement(p)
-		if !ok || d.Corr < opts.MinCorr {
-			dropped++
-			continue
-		}
-		if p.Dir == tile.West {
-			westDX = append(westDX, d.X)
-			westDY = append(westDY, d.Y)
-		} else {
-			northDX = append(northDX, d.X)
-			northDY = append(northDY, d.Y)
-		}
-		w := math.Max(d.Corr, 1e-3)
-		if opts.Unweighted {
-			w = 1
-		}
-		edges = append(edges, lsEdge{
-			from: g.Index(p.Neighbor()),
-			to:   g.Index(p.Coord),
-			dx:   d.X, dy: d.Y,
-			w: w,
-		})
-	}
-	// Stage-model prior: every pair also gets a weak edge at the median
-	// per-direction displacement (the mechanical stage is consistent).
-	// Good measurements (w ≈ 0.9) dominate it; pairs whose measurement
-	// was dropped or gets IRLS-suppressed fall back to the stage model —
-	// the least-squares analogue of Solve's outlier repair.
-	const priorW = 0.02
-	medWX, medWY := median(westDX), median(westDY)
-	medNX, medNY := median(northDX), median(northDY)
-	for _, p := range g.Pairs() {
-		dx, dy := medWX, medWY
-		if p.Dir == tile.North {
-			dx, dy = medNX, medNY
-		}
-		edges = append(edges, lsEdge{
-			from: g.Index(p.Neighbor()),
-			to:   g.Index(p.Coord),
-			dx:   dx, dy: dy, w: priorW,
-		})
-	}
+	sp := opts.Obs.StartSpan(obs.TrackPhase2, obs.SpanSolveLS,
+		obs.String("grid", fmt.Sprintf("%dx%d", g.Rows, g.Cols)),
+		obs.String("solver", solverLabel(kind, opts.Precond)))
+	defer sp.End()
 
-	// Connectivity check with nominal-edge reconnection, mirroring
-	// Solve: an unconstrained tile would make the system singular.
-	dsu := newDSU(n)
-	for _, e := range edges {
-		dsu.union(e.from, e.to)
+	edges, dropped, err := buildLSEdges(res, opts)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	nomW := g.NominalDisplacement(tile.West)
-	nomN := g.NominalDisplacement(tile.North)
-	for _, p := range g.Pairs() {
-		bi, ai := g.Index(p.Coord), g.Index(p.Neighbor())
-		if !dsu.union(ai, bi) {
-			continue
-		}
-		nom := nomW
-		if p.Dir == tile.North {
-			nom = nomN
-		}
-		// Nominal edges carry a small weight: enough to anchor the
-		// component, not enough to fight measured edges.
-		edges = append(edges, lsEdge{from: ai, to: bi, dx: nom.X, dy: nom.Y, w: 1e-3})
-	}
-	root := dsu.find(0)
-	for i := 1; i < n; i++ {
-		if dsu.find(i) != root {
-			return nil, fmt.Errorf("global: tile %d unreachable even after nominal reconnection", i)
-		}
-	}
+	sys := newLSSystem(n, edges)
 
-	// Initialize from the robust spanning-tree placement (nominal
-	// positions as a fallback): IRLS converges to the nearest local
-	// minimum, so starting from a fit that outliers cannot drag makes
-	// the first residuals meaningful and the suppression decisive.
-	px := make([]float64, n)
-	py := make([]float64, n)
-	if seed, err := Solve(res, Options{MinCorr: opts.MinCorr, RepairOutliers: true}); err == nil {
-		for i := 0; i < n; i++ {
-			px[i] = float64(seed.X[i])
-			py[i] = float64(seed.Y[i])
-		}
-	} else {
-		for i := 0; i < n; i++ {
-			c := g.CoordOf(i)
-			px[i] = float64(c.Col * nomW.X)
-			py[i] = float64(c.Row * nomN.Y)
-		}
-	}
-
-	// IRLS rounds: reweight from the current positions (the robust seed
-	// supplies the first residuals, so outliers are suppressed BEFORE
-	// the first solve), then run Gauss-Seidel sweeps. With Rounds=1 the
-	// weights stay at their correlation values (plain weighted least
-	// squares, no robustness).
-	robustW := make([]float64, len(edges))
-	for i, e := range edges {
-		robustW[i] = e.w
-	}
-	reweight := func(scale float64) {
-		c2 := scale * scale
-		for i, e := range edges {
-			rx := px[e.to] - px[e.from] - float64(e.dx)
-			ry := py[e.to] - py[e.from] - float64(e.dy)
-			robustW[i] = e.w / (1 + (rx*rx+ry*ry)/c2)
-		}
-	}
-	type nb struct {
-		j      int
-		dx, dy float64
-		w      float64
-	}
-	for round := 0; round < opts.Rounds; round++ {
-		if opts.Rounds > 1 {
-			reweight(opts.ResidualScale)
-		}
-		adj := make([][]nb, n)
-		for i, e := range edges {
-			adj[e.to] = append(adj[e.to], nb{j: e.from, dx: float64(e.dx), dy: float64(e.dy), w: robustW[i]})
-			adj[e.from] = append(adj[e.from], nb{j: e.to, dx: -float64(e.dx), dy: -float64(e.dy), w: robustW[i]})
-		}
-		// Gauss-Seidel: p_i ← Σ_j w_ij (p_j + d_ji) / Σ_j w_ij, tile 0
-		// pinned.
-		for it := 0; it < opts.MaxIter; it++ {
-			var maxDelta float64
-			for i := 1; i < n; i++ {
-				var sw, sx, sy float64
-				for _, e := range adj[i] {
-					// p_i should equal p_j + d(j→i); e.dx is d(e.j→i).
-					sw += e.w
-					sx += e.w * (px[e.j] + e.dx)
-					sy += e.w * (py[e.j] + e.dy)
-				}
-				if sw == 0 {
-					continue
-				}
-				nx, ny := sx/sw, sy/sw
-				if d := math.Abs(nx - px[i]); d > maxDelta {
-					maxDelta = d
-				}
-				if d := math.Abs(ny - py[i]); d > maxDelta {
-					maxDelta = d
-				}
-				px[i], py[i] = nx, ny
+	// Initialize from the warm placement when given; otherwise from the
+	// robust spanning-tree placement (nominal positions as a fallback).
+	// IRLS converges to the nearest local minimum, so starting from a
+	// fit that outliers cannot drag makes the first residuals meaningful
+	// and the suppression decisive.
+	px, py := warmX, warmY
+	if px == nil {
+		px = make([]float64, n)
+		py = make([]float64, n)
+		if seed, err := Solve(res, Options{MinCorr: opts.MinCorr, RepairOutliers: true}); err == nil {
+			for i := 0; i < n; i++ {
+				px[i] = float64(seed.X[i])
+				py[i] = float64(seed.Y[i])
 			}
-			if maxDelta < opts.Tol {
+		} else {
+			nomW := g.NominalDisplacement(tile.West)
+			nomN := g.NominalDisplacement(tile.North)
+			for i := 0; i < n; i++ {
+				c := g.CoordOf(i)
+				px[i] = float64(c.Col * nomW.X)
+				py[i] = float64(c.Row * nomN.Y)
+			}
+		}
+	}
+
+	// IRLS rounds: reweight from the current positions (the seed
+	// supplies the first residuals, so outliers are suppressed BEFORE
+	// the first solve), then solve. With Rounds=1 the weights stay at
+	// their correlation values (plain weighted least squares).
+	c2 := opts.ResidualScale * opts.ResidualScale
+	reweight := opts.Rounds > 1 || (opts.warmIncremental && !opts.Unweighted)
+	roundsRun, gsSweeps, cgIters := 0, 0, 0
+	switch kind {
+	case SolverPCG:
+		par := newParRun(opts.Pool)
+		defer par.release()
+		st := newPCGState(sys, opts.Precond, g.Rows, g.Cols)
+		for round := 0; round < opts.Rounds; round++ {
+			roundsRun++
+			if reweight {
+				par.run(len(sys.edges), parMinChunk, func(lo, hi int) {
+					sys.reweightRange(px, py, c2, lo, hi)
+				})
+			}
+			st.refresh(par)
+			ix, mx := st.solveAxis(px, st.bx, opts.Tol, opts.MaxIter, par)
+			iy, my := st.solveAxis(py, st.by, opts.Tol, opts.MaxIter, par)
+			cgIters += ix + iy
+			// Round-level IRLS convergence: if this round barely moved
+			// any tile, the next reweighting changes the weights by the
+			// same order — the iteration has fixed-pointed and further
+			// rounds would re-solve an unchanged system. This is what
+			// makes warm re-solves cheap: the first round does the
+			// (local) correction, then the loop exits instead of paying
+			// full CG cost four more times.
+			if mx < irlsRoundTolFactor*opts.Tol && my < irlsRoundTolFactor*opts.Tol {
 				break
 			}
 		}
+		if opts.Obs != nil {
+			st.refresh(par)
+			opts.Obs.Gauge(obs.GaugeLSResidualPx).Set(sys.residualMax(px, py, st.diag, st.bx, st.by))
+		}
+	default: // SolverGS — the seed path, arithmetic-identical.
+		for round := 0; round < opts.Rounds; round++ {
+			roundsRun++
+			if reweight {
+				sys.reweightRange(px, py, c2, 0, len(sys.edges))
+			}
+			for it := 0; it < opts.MaxIter; it++ {
+				gsSweeps++
+				if sys.gsSweep(px, py) < opts.Tol {
+					break
+				}
+			}
+		}
+		if opts.Obs != nil {
+			diag := make([]float64, n)
+			bx := make([]float64, n)
+			by := make([]float64, n)
+			sys.normalRange(diag, bx, by, 0, n)
+			opts.Obs.Gauge(obs.GaugeLSResidualPx).Set(sys.residualMax(px, py, diag, bx, by))
+		}
 	}
+	opts.Obs.Counter(obs.CounterLSRounds).Add(int64(roundsRun))
+	opts.Obs.Counter(obs.CounterLSSweepsGS).Add(int64(gsSweeps))
+	opts.Obs.Counter(obs.CounterLSItersCG).Add(int64(cgIters))
 
 	pl := &Placement{Grid: g, X: make([]int, n), Y: make([]int, n), Dropped: dropped}
 	for i := 0; i < n; i++ {
@@ -251,5 +327,15 @@ func SolveLeastSquares(res *stitch.Result, opts LSOptions) (*Placement, error) {
 		pl.Y[i] = int(math.Round(py[i]))
 	}
 	pl.normalize()
-	return pl, nil
+	return pl, px, py, nil
+}
+
+func solverLabel(kind SolverKind, pre PrecondKind) string {
+	if kind != SolverPCG {
+		return string(SolverGS)
+	}
+	if pre == PrecondJacobi {
+		return "pcg/jacobi"
+	}
+	return "pcg/twolevel"
 }

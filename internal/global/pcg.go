@@ -1,0 +1,450 @@
+package global
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"hybridstitch/internal/fft"
+)
+
+// This file is the parallel preconditioned conjugate-gradient engine for
+// the phase-2 least-squares system. The pinned graph Laplacian of a
+// plate grid is symmetric positive definite but O(√n)-conditioned, so a
+// stationary sweep needs O(√n) iterations per digit; CG with a two-level
+// hierarchy (coarsen tiles into super-tiles along the grid, solve the
+// coarse Laplacian directly, interpolate, smooth) turns that into tens
+// of iterations regardless of plate size. Jacobi preconditioning is kept
+// as the cheap baseline arm.
+//
+// Parallel work (SpMV, dot products, reweighting) draws helper tokens
+// from the shared fft.WorkerPool — the same budget phase-1 pair workers
+// reserve from (stitch.Options.reservePairWorkers) — so a rolling
+// re-solve running beside an active acquisition composes with phase 1
+// instead of oversubscribing the machine.
+
+// parRun holds worker tokens reserved from the shared transform pool for
+// the duration of one solve. Reservation is best-effort: an empty pool
+// (or nil on a single-core box) degrades every fan-out to an inline
+// loop. Chunk boundaries depend only on the reserved count, fixed at
+// construction, so every reduction within one solve combines its
+// partials in a deterministic order.
+type parRun struct {
+	pool     *fft.WorkerPool
+	reserved int
+	partial  []float64 // per-chunk dot partials, len reserved+1
+}
+
+func newParRun(pool *fft.WorkerPool) *parRun {
+	if pool == nil {
+		pool = fft.SharedPool()
+	}
+	want := runtime.GOMAXPROCS(0) - 1
+	if want < 0 {
+		want = 0
+	}
+	p := &parRun{pool: pool, reserved: pool.Reserve(want)}
+	p.partial = make([]float64, p.reserved+1)
+	return p
+}
+
+func (p *parRun) release() {
+	p.pool.Release(p.reserved)
+	p.reserved = 0
+}
+
+// run executes fn over [0, n) split into reserved+1 contiguous chunks,
+// one per held token plus the caller's own goroutine. Chunks below
+// minChunk merge into the caller's share (goroutine handoff costs more
+// than the loop it would cover).
+func (p *parRun) run(n, minChunk int, fn func(lo, hi int)) {
+	workers := p.reserved
+	chunk := (n + workers) / (workers + 1)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var wg sync.WaitGroup
+	lo := chunk // chunk 0 runs inline below
+	for w := 0; w < workers && lo < n; w++ {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	if chunk > n {
+		chunk = n
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// dot computes a·b over rows [1, n) (row 0 is the pinned tile) with
+// deterministic chunked partials.
+func (p *parRun) dot(a, b []float64) float64 {
+	n := len(a)
+	workers := p.reserved
+	chunk := (n + workers) / (workers + 1)
+	if chunk < parMinChunk {
+		chunk = parMinChunk
+	}
+	nChunks := (n + chunk - 1) / chunk
+	var wg sync.WaitGroup
+	for c := 1; c < nChunks; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			p.partial[c] = dotRange(a, b, lo, hi)
+		}(c, lo, hi)
+	}
+	first := chunk
+	if first > n {
+		first = n
+	}
+	p.partial[0] = dotRange(a, b, 1, first)
+	wg.Wait()
+	var sum float64
+	for c := 0; c < nChunks; c++ {
+		sum += p.partial[c]
+	}
+	return sum
+}
+
+//stitchlint:hotpath
+func dotRange(a, b []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// parMinChunk is the smallest row range worth a goroutine handoff.
+const parMinChunk = 2048
+
+// preconditioner applies z ← M⁻¹r on the pinned subspace (z[0] = 0).
+// refresh is called once per IRLS round, after the weights and the
+// normal-equation diagonal changed.
+type preconditioner interface {
+	refresh(par *parRun)
+	apply(z, r []float64, par *parRun)
+}
+
+// jacobiPrecond is diagonal scaling — the baseline arm. One division per
+// row; leaves the O(√n) grid conditioning to CG itself.
+type jacobiPrecond struct {
+	diag []float64
+}
+
+func (j *jacobiPrecond) refresh(*parRun) {}
+
+func (j *jacobiPrecond) apply(z, r []float64, par *parRun) {
+	diag := j.diag
+	par.run(len(z), parMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d := diag[i]; d > 0 {
+				z[i] = r[i] / d
+			} else {
+				z[i] = r[i]
+			}
+		}
+	})
+	z[0] = 0
+}
+
+// twoLevelPrecond is the aggregation hierarchy: tiles coarsen into f×f
+// super-tiles along the grid, the Galerkin coarse Laplacian (exact for a
+// piecewise-constant prolongator that zeroes the pinned tile) is
+// Cholesky-factored once per IRLS round, and one application runs
+// damped-Jacobi pre-smooth → coarse correction → post-smooth. The
+// symmetric smoother on both flanks keeps the operator SPD, which PCG
+// requires of its preconditioner.
+type twoLevelPrecond struct {
+	sys  *lsSystem
+	diag []float64 // fine normal-equation diagonal (shared with pcgState)
+	agg  []int32   // fine tile → coarse aggregate
+	nc   int
+	ac   []float64 // dense nc×nc coarse Laplacian, then its Cholesky factor
+	rc   []float64 // coarse residual / correction
+	tmp  []float64 // fine scratch
+}
+
+// twoLevelCoarseTarget bounds the coarse system size: the dense Cholesky
+// is O(nc³) once per round, so nc ≈ 600 keeps it a rounding error next
+// to the CG iterations while aggregates stay small enough (≈10×10 tiles
+// at 59k) for the smoother to cover intra-aggregate modes.
+const twoLevelCoarseTarget = 600
+
+func newTwoLevelPrecond(sys *lsSystem, diag []float64, rows, cols int) *twoLevelPrecond {
+	n := sys.n
+	f := 1
+	for (rows+f-1)/f*((cols+f-1)/f) > twoLevelCoarseTarget {
+		f++
+	}
+	cCols := (cols + f - 1) / f
+	cRows := (rows + f - 1) / f
+	nc := cRows * cCols
+	t := &twoLevelPrecond{
+		sys: sys, diag: diag,
+		agg: make([]int32, n),
+		nc:  nc,
+		ac:  make([]float64, nc*nc),
+		rc:  make([]float64, nc),
+		tmp: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		t.agg[i] = int32(r/f*cCols + c/f)
+	}
+	return t
+}
+
+// refresh rebuilds and factors the coarse Laplacian from the current
+// IRLS weights. The prolongator zeroes the pinned fine tile, so an edge
+// touching tile 0 contributes only its grounding term.
+func (t *twoLevelPrecond) refresh(*parRun) {
+	nc := t.nc
+	for i := range t.ac {
+		t.ac[i] = 0
+	}
+	for i, e := range t.sys.edges {
+		w := t.sys.robustW[i]
+		ca, cb := int(t.agg[e.from]), int(t.agg[e.to])
+		switch {
+		case e.from == 0:
+			t.ac[cb*nc+cb] += w
+		case e.to == 0:
+			t.ac[ca*nc+ca] += w
+		case ca == cb:
+			// Interior edge: (e_ca − e_cb) vanishes under Pᵀ.
+		default:
+			t.ac[ca*nc+ca] += w
+			t.ac[cb*nc+cb] += w
+			t.ac[ca*nc+cb] -= w
+			t.ac[cb*nc+ca] -= w
+		}
+	}
+	// Aggregates with no grounded coupling (possible only on degenerate
+	// inputs) become inert identity rows rather than singular pivots.
+	for c := 0; c < nc; c++ {
+		if t.ac[c*nc+c] == 0 {
+			for j := 0; j < nc; j++ {
+				t.ac[c*nc+j] = 0
+				t.ac[j*nc+c] = 0
+			}
+			t.ac[c*nc+c] = 1
+		}
+	}
+	choleskyInPlace(t.ac, nc)
+}
+
+// twoLevelOmega is the damped-Jacobi smoothing weight. 2/3 is the
+// classic choice that damps the upper half of the Laplacian spectrum.
+const twoLevelOmega = 2.0 / 3.0
+
+func (t *twoLevelPrecond) apply(z, r []float64, par *parRun) {
+	n := t.sys.n
+	diag := t.diag
+	// Pre-smooth from zero: z = ω D⁻¹ r.
+	par.run(n, parMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d := diag[i]; d > 0 {
+				z[i] = twoLevelOmega * r[i] / d
+			} else {
+				z[i] = 0
+			}
+		}
+	})
+	z[0] = 0
+	// Coarse correction on the smoothed residual.
+	par.run(n, parMinChunk, func(lo, hi int) {
+		t.sys.spmvRange(t.tmp, z, diag, lo, hi)
+	})
+	for c := range t.rc {
+		t.rc[c] = 0
+	}
+	for i := 1; i < n; i++ {
+		t.rc[t.agg[i]] += r[i] - t.tmp[i]
+	}
+	choleskySolve(t.ac, t.nc, t.rc)
+	for i := 1; i < n; i++ {
+		z[i] += t.rc[t.agg[i]]
+	}
+	// Post-smooth: z += ω D⁻¹ (r − A z). Same smoother on both flanks
+	// keeps M symmetric.
+	par.run(n, parMinChunk, func(lo, hi int) {
+		t.sys.spmvRange(t.tmp, z, diag, lo, hi)
+	})
+	par.run(n, parMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d := diag[i]; d > 0 {
+				z[i] += twoLevelOmega * (r[i] - t.tmp[i]) / d
+			}
+		}
+	})
+	z[0] = 0
+}
+
+// choleskyInPlace factors the dense SPD matrix a (n×n, row-major) into
+// its lower-triangular Cholesky factor, stored in the lower triangle.
+// Non-positive pivots (numerically semi-definite inputs) are clamped so
+// the factor stays usable as a preconditioner.
+func choleskyInPlace(a []float64, n int) {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if d < 1e-12 {
+			d = 1e-12
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			row := a[i*n:]
+			pj := a[j*n:]
+			for k := 0; k < j; k++ {
+				s -= row[k] * pj[k]
+			}
+			a[i*n+j] = s * inv
+		}
+	}
+}
+
+// choleskySolve solves L·Lᵀ·x = b in place given the factor from
+// choleskyInPlace.
+func choleskySolve(l []float64, n int, b []float64) {
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l[i*n:]
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s / row[i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * b[k]
+		}
+		b[i] = s / l[i*n+i]
+	}
+}
+
+// pcgState carries the per-solve vectors of the CG iteration, allocated
+// once and reused across axes and IRLS rounds.
+type pcgState struct {
+	sys            *lsSystem
+	diag, bx, by   []float64
+	r, z, p, ap, u []float64
+	pre            preconditioner
+}
+
+func newPCGState(sys *lsSystem, precond PrecondKind, rows, cols int) *pcgState {
+	n := sys.n
+	st := &pcgState{
+		sys:  sys,
+		diag: make([]float64, n),
+		bx:   make([]float64, n),
+		by:   make([]float64, n),
+		r:    make([]float64, n),
+		z:    make([]float64, n),
+		p:    make([]float64, n),
+		ap:   make([]float64, n),
+		u:    make([]float64, n),
+	}
+	if precond == PrecondJacobi {
+		st.pre = &jacobiPrecond{diag: st.diag}
+	} else {
+		st.pre = newTwoLevelPrecond(sys, st.diag, rows, cols)
+	}
+	return st
+}
+
+// refresh recomputes the normal equations and the preconditioner for
+// the current IRLS weights.
+func (st *pcgState) refresh(par *parRun) {
+	par.run(st.sys.n, parMinChunk, func(lo, hi int) {
+		st.sys.normalRange(st.diag, st.bx, st.by, lo, hi)
+	})
+	st.pre.refresh(par)
+}
+
+// solveAxis runs PCG on L·u = b − L·p for one axis, updating pos in
+// place. It returns the iteration count and the largest per-tile total
+// movement of the solve. Convergence matches the GS criterion in spirit:
+// stop when the largest per-tile position update of an iteration falls
+// below tol.
+func (st *pcgState) solveAxis(pos, b []float64, tol float64, maxIter int, par *parRun) (int, float64) {
+	n := st.sys.n
+	// r = b − L·pos, restricted to the pinned subspace.
+	par.run(n, parMinChunk, func(lo, hi int) {
+		st.sys.spmvRange(st.ap, pos, st.diag, lo, hi)
+	})
+	for i := range st.u {
+		st.u[i] = 0
+		st.r[i] = b[i] - st.ap[i]
+	}
+	st.r[0] = 0
+	st.pre.apply(st.z, st.r, par)
+	copy(st.p, st.z)
+	rz := par.dot(st.r, st.z)
+	iters := 0
+	for ; iters < maxIter && rz > 0; iters++ {
+		par.run(n, parMinChunk, func(lo, hi int) {
+			st.sys.spmvRange(st.ap, st.p, st.diag, lo, hi)
+		})
+		st.ap[0] = 0
+		pap := par.dot(st.p, st.ap)
+		if pap <= 0 {
+			break
+		}
+		alpha := rz / pap
+		var maxUpd float64
+		for i := 1; i < n; i++ {
+			d := alpha * st.p[i]
+			st.u[i] += d
+			if d < 0 {
+				d = -d
+			}
+			if d > maxUpd {
+				maxUpd = d
+			}
+			st.r[i] -= alpha * st.ap[i]
+		}
+		if maxUpd < tol {
+			iters++
+			break
+		}
+		st.pre.apply(st.z, st.r, par)
+		rzNew := par.dot(st.r, st.z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 1; i < n; i++ {
+			st.p[i] = st.z[i] + beta*st.p[i]
+		}
+		st.p[0] = 0
+	}
+	var moved float64
+	for i := 1; i < n; i++ {
+		pos[i] += st.u[i]
+		if d := st.u[i]; d > moved {
+			moved = d
+		} else if -d > moved {
+			moved = -d
+		}
+	}
+	return iters, moved
+}
+

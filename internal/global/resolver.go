@@ -1,0 +1,93 @@
+package global
+
+import (
+	"hybridstitch/internal/stitch"
+	"hybridstitch/internal/tile"
+)
+
+// Resolver runs phase-2 least-squares solves repeatedly over a growing
+// plate — the rolling re-solve that stitchd-style streaming ingest needs.
+// Each Solve is warm-started from the float solution of the previous one:
+// tiles present in both grids keep their converged positions, freshly
+// appended tiles are seeded from their already-solved neighbors plus the
+// nominal stage displacement. Warm CG then only has to propagate the
+// correction locally, which makes an append-one-row re-solve a small
+// fraction of cold cost.
+type Resolver struct {
+	opts LSOptions
+
+	// Previous solve's grid and un-normalized float solution.
+	grid   tile.Grid
+	fx, fy []float64
+}
+
+// NewResolver returns a Resolver that applies opts to every Solve. Any
+// LSOptions.Warm set in opts is ignored — the Resolver manages its own
+// warm state.
+func NewResolver(opts LSOptions) *Resolver {
+	opts.Warm = nil
+	return &Resolver{opts: opts}
+}
+
+// Solve computes a placement for res, warm-starting from the previous
+// call when there was one. The grid may differ from the previous call's
+// (typically by appended rows or columns); tiles at coordinates outside
+// the previous grid are seeded from a solved neighbor.
+//
+// Warm re-solves run a single incremental IRLS round: the warm positions
+// are already the robust fixed point of the previous plate, so the one
+// reweight they inform suppresses outliers on fresh edges immediately
+// (an appended edge with a 35px bogus displacement sees its full
+// residual against the neighbor-seeded positions and is down-weighted
+// by ~300x before the solve). Repeated appends therefore keep
+// converging across Solve calls instead of restarting the full round
+// budget each time.
+func (r *Resolver) Solve(res *stitch.Result) (*Placement, error) {
+	var warmX, warmY []float64
+	opts := r.opts
+	if r.fx != nil {
+		warmX, warmY = r.warmVectors(res.Grid)
+		if !opts.Unweighted {
+			opts.Rounds = 1
+			opts.warmIncremental = true
+		}
+	}
+	pl, fx, fy, err := solveLS(res, opts, warmX, warmY)
+	if err != nil {
+		return nil, err
+	}
+	r.grid, r.fx, r.fy = res.Grid, fx, fy
+	return pl, nil
+}
+
+// warmVectors maps the previous solution onto grid g. Row-major index
+// order guarantees a new tile's west and north neighbors are filled
+// before the tile itself, so neighbor+nominal seeding always has an
+// anchor (except tile 0, which is the pinned origin anyway).
+func (r *Resolver) warmVectors(g tile.Grid) ([]float64, []float64) {
+	n := g.NumTiles()
+	wx := make([]float64, n)
+	wy := make([]float64, n)
+	nomW := g.NominalDisplacement(tile.West)
+	nomN := g.NominalDisplacement(tile.North)
+	for i := 0; i < n; i++ {
+		c := g.CoordOf(i)
+		if c.Row < r.grid.Rows && c.Col < r.grid.Cols {
+			old := c.Row*r.grid.Cols + c.Col
+			wx[i] = r.fx[old]
+			wy[i] = r.fy[old]
+			continue
+		}
+		switch {
+		case c.Col > 0:
+			w := i - 1
+			wx[i] = wx[w] + float64(nomW.X)
+			wy[i] = wy[w] + float64(nomW.Y)
+		case c.Row > 0:
+			nb := i - g.Cols
+			wx[i] = wx[nb] + float64(nomN.X)
+			wy[i] = wy[nb] + float64(nomN.Y)
+		}
+	}
+	return wx, wy
+}

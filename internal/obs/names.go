@@ -41,6 +41,9 @@ const (
 	// SpanSolve and SpanCompose are the phase-2 and phase-3 roots.
 	SpanSolve   = "solve"
 	SpanCompose = "compose"
+	// SpanSolveLS is the phase-2 least-squares solve (IRLS around
+	// Gauss-Seidel or PCG), recorded on TrackPhase2 like SpanSolve.
+	SpanSolveLS = "solve.ls"
 	// SpanPair wraps one pair's full alignment (read through CCF).
 	SpanPair = "pair"
 	// SpanRead, SpanFFT, and SpanDisp are the instrumented fault-point
@@ -79,6 +82,13 @@ const (
 	CounterDispOps         = "stitch.disp.ops"
 	CounterEdgesRepaired   = "global.edges.repaired"
 	CounterEdgesDropped    = "global.edges.dropped"
+	// Least-squares solver effort: IRLS rounds executed, Gauss-Seidel
+	// sweeps (serial engine), and CG iterations summed over both axes
+	// (PCG engine). Exactly one of the two iteration counters is nonzero
+	// per solve.
+	CounterLSRounds   = "global.ls.rounds"
+	CounterLSSweepsGS = "global.ls.gs.sweeps"
+	CounterLSItersCG  = "global.ls.cg.iterations"
 	CounterMemgovFaults    = "memgov.faults"
 	CounterPipelineNotes   = "pipeline.notes"
 	CounterPipelineAborts  = "pipeline.aborts"
@@ -115,6 +125,9 @@ const (
 	GaugePoolInUse          = "gpu.pool.in_use"
 	GaugeTransformsPeakLive = "stitch.transforms.peak_live"
 	GaugeTransformWords     = "stitch.transform.words"
+	// GaugeLSResidualPx is the final max |b − L·p| of the least-squares
+	// solve (pixels·weight) — the convergence figure of merit.
+	GaugeLSResidualPx = "global.ls.residual_px"
 )
 
 // Latency histograms.

@@ -275,8 +275,11 @@ func (o Options) pciamOptions() pciam.Options {
 	}
 }
 
-// fftPool resolves the worker budget pair-level runners reserve from.
-func (o Options) fftPool() *fft.WorkerPool {
+// TransformPool resolves the worker budget pair-level runners reserve
+// from: Options.FFTPool when set, else the shared process pool. Exported
+// so downstream phases (the phase-2 PCG solver) can draw on the same
+// budget instead of oversubscribing alongside it.
+func (o Options) TransformPool() *fft.WorkerPool {
 	if o.FFTPool != nil {
 		return o.FFTPool
 	}
@@ -305,7 +308,7 @@ func (o Options) reservePairWorkers(n int) func() {
 	if n <= 1 {
 		return func() {}
 	}
-	pool := o.fftPool()
+	pool := o.TransformPool()
 	got := pool.Reserve(n - 1)
 	return func() { pool.Release(got) }
 }
